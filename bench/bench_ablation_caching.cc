@@ -1,0 +1,32 @@
+// Ablation (Section 3.3, paper future work): client quasi-caching under
+// weak currency requirements. Sweeps the currency bound T (in broadcast
+// cycles) for F-Matrix and R-Matrix; T = 0 disables the cache. Cached reads
+// skip the wait for the object's broadcast slot when validation against the
+// stored control information succeeds, trading currency for latency.
+//
+// The database is shrunk so transactions revisit objects often enough for a
+// client-private cache to matter.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace bcc;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+
+  ExperimentSpec spec;
+  spec.title = "Ablation: quasi-caching currency bound (T in cycles; 0 = no cache)";
+  spec.x_label = "currency bound T (cycles)";
+  spec.base = bench::BaseConfig(flags);
+  spec.base.num_objects = 50;  // small, hot database: repeats are common
+  spec.x_values = {0, 1, 4, 16, 64};
+  spec.algorithms = {Algorithm::kRMatrix, Algorithm::kFMatrix};
+  spec.apply = [](SimConfig* c, double x) {
+    if (x == 0) {
+      c->enable_cache = false;
+      return;
+    }
+    c->enable_cache = true;
+    c->cache_currency_bound = static_cast<SimTime>(x * static_cast<double>(c->Geometry().cycle_bits));
+  };
+  return bench::RunAndPrint(spec, flags);
+}

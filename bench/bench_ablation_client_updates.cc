@@ -1,0 +1,22 @@
+// Ablation (Section 5 future work: "extensions to optimize for update
+// transactions at clients"): a fraction of client transactions buffer
+// writes locally and commit through the server's optimistic validator over
+// the uplink. Read conditions still validate every read off the air, so the
+// algorithms differ in how often an update transaction even REACHES its
+// uplink commit; the validator then rejects stale read sets.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace bcc;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+
+  ExperimentSpec spec;
+  spec.title = "Ablation: client update-transaction fraction (uplink commits)";
+  spec.x_label = "update fraction";
+  spec.base = bench::BaseConfig(flags);
+  spec.base.client_txn_length = 4;
+  spec.x_values = {0.0, 0.1, 0.3, 0.5};
+  spec.apply = [](SimConfig* c, double x) { c->client_update_fraction = x; };
+  return bench::RunAndPrint(spec, flags);
+}

@@ -1,0 +1,33 @@
+// Ablation (Section 3.2.2): the n x g grouped-control spectrum between the
+// reduced vector (g = 1, Datacycle-style condition and overhead) and the
+// full F-Matrix (g = n). The paper analyses the two endpoints; this sweep
+// fills in the middle, showing the tradeoff between control-information
+// overhead (cycle length) and unnecessary conflicts (aborts).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace bcc;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+
+  ExperimentSpec spec;
+  spec.title = "Ablation: grouped-control spectrum (g groups, F-Matrix protocol family)";
+  spec.x_label = "groups g";
+  spec.base = bench::BaseConfig(flags);
+  spec.x_values = {1, 3, 10, 30, 100, 300};
+  spec.algorithms = {Algorithm::kFMatrix};
+  spec.apply = [](SimConfig* c, double x) {
+    c->num_groups = static_cast<uint32_t>(x);
+  };
+  const int rc = bench::RunAndPrint(spec, flags);
+  if (rc != 0) return rc;
+
+  // Reference rows: the paper's endpoints under their own names.
+  ExperimentSpec refs;
+  refs.title = "Reference: paper endpoints at Table 1 defaults";
+  refs.x_label = "(defaults)";
+  refs.base = bench::BaseConfig(flags);
+  refs.x_values = {0};
+  refs.apply = {};
+  return bench::RunAndPrint(refs, flags);
+}

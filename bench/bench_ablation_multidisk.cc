@@ -1,0 +1,26 @@
+// Ablation (Section 2.1 scoping lifted): multi-speed broadcast disks.
+// 20% of the database is hot and receives 80% of both client reads and
+// server updates; the sweep raises the hot set's broadcast frequency.
+// Faster hot rotations shorten waits for the skewed client but lengthen the
+// major cycle (hurting cold reads) — the classic broadcast-disk tradeoff,
+// here measured under each concurrency-control algorithm.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace bcc;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+
+  ExperimentSpec spec;
+  spec.title = "Ablation: multi-speed disk (hot set broadcast frequency)";
+  spec.x_label = "hot broadcast freq";
+  spec.base = bench::BaseConfig(flags);
+  spec.base.hot_set_size = 60;  // 20% of 300
+  spec.base.client_hot_access_fraction = 0.8;
+  spec.base.server_hot_access_fraction = 0.8;
+  spec.x_values = {1, 2, 4, 8};
+  spec.apply = [](SimConfig* c, double x) {
+    c->hot_broadcast_frequency = static_cast<uint32_t>(x);
+  };
+  return bench::RunAndPrint(spec, flags);
+}

@@ -1,0 +1,74 @@
+// Shared plumbing for the figure-reproduction benchmark binaries.
+//
+// Every binary prints the paper's series as response-time and restart-ratio
+// tables (mean +- 95% CI over the steady-state window, Table 1 defaults).
+// Flags:
+//   --quick      reduced transaction counts (CI sanity runs)
+//   --csv        additionally dump machine-readable rows
+//   --seed=N     override the base seed
+
+#ifndef BCC_BENCH_BENCH_COMMON_H_
+#define BCC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.h"
+
+namespace bcc::bench {
+
+struct BenchFlags {
+  bool quick = false;
+  bool csv = false;
+  uint64_t seed = 42;
+};
+
+inline BenchFlags ParseFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      flags.quick = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      flags.csv = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      flags.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (known: --quick --csv --seed=N)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+/// Table 1 defaults adjusted for the run mode.
+inline SimConfig BaseConfig(const BenchFlags& flags) {
+  SimConfig config;  // Table 1 defaults
+  config.seed = flags.seed;
+  if (flags.quick) {
+    config.num_client_txns = 100;
+    config.warmup_txns = 40;
+  }
+  return config;
+}
+
+/// Runs the experiment, prints the paper-style tables, exits non-zero on
+/// simulation errors.
+inline int RunAndPrint(const ExperimentSpec& spec, const BenchFlags& flags,
+                       bool print_restarts = true) {
+  auto result = RunExperiment(spec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  PrintResponseTable(*result, std::cout);
+  if (print_restarts) PrintRestartTable(*result, std::cout);
+  if (flags.csv) PrintCsv(*result, std::cout);
+  return 0;
+}
+
+}  // namespace bcc::bench
+
+#endif  // BCC_BENCH_BENCH_COMMON_H_

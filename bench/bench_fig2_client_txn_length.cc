@@ -1,0 +1,22 @@
+// Figure 2(a)/(b): response time and restart ratio vs client transaction
+// length (Section 4.2). Expected shape: all four algorithms similar up to
+// length 4; beyond 6, Datacycle degrades sharply (off the chart at 10 in
+// the paper), R-Matrix is much better, F-Matrix is nearly flat and close to
+// the F-Matrix-No ideal, with restarts near zero.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace bcc;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+
+  ExperimentSpec spec;
+  spec.title = "Figure 2(a)+(b): effect of client transaction length";
+  spec.x_label = "client txn length";
+  spec.base = bench::BaseConfig(flags);
+  spec.x_values = {2, 4, 6, 8, 10};
+  spec.apply = [](SimConfig* c, double x) {
+    c->client_txn_length = static_cast<uint32_t>(x);
+  };
+  return bench::RunAndPrint(spec, flags);
+}

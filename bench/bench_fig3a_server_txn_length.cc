@@ -1,0 +1,21 @@
+// Figure 3(a): response time vs server transaction length (Section 4.3).
+// Longer server transactions mean more updates per cycle; response times
+// rise for every algorithm, but F-Matrix shows very little increase
+// compared to Datacycle and even R-Matrix.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace bcc;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+
+  ExperimentSpec spec;
+  spec.title = "Figure 3(a): effect of server transaction length";
+  spec.x_label = "server txn length";
+  spec.base = bench::BaseConfig(flags);
+  spec.x_values = {2, 4, 8, 12, 16};
+  spec.apply = [](SimConfig* c, double x) {
+    c->server_txn_length = static_cast<uint32_t>(x);
+  };
+  return bench::RunAndPrint(spec, flags);
+}

@@ -1,0 +1,22 @@
+// Figure 3(b): response time vs transaction rate at the server
+// (Section 4.4). The x-axis is the inter-completion time, so the rate
+// DECREASES left to right, as in the paper. Response times improve as the
+// rate drops; F-Matrix stays close to F-Matrix-No and shows almost no
+// degradation at high rates, in sharp contrast to Datacycle.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace bcc;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+
+  ExperimentSpec spec;
+  spec.title = "Figure 3(b): effect of transaction rate at server";
+  spec.x_label = "server inter-txn time (bits)";
+  spec.base = bench::BaseConfig(flags);
+  spec.x_values = {125000, 250000, 500000, 1000000, 2000000};
+  spec.apply = [](SimConfig* c, double x) {
+    c->server_txn_interval = static_cast<uint64_t>(x);
+  };
+  return bench::RunAndPrint(spec, flags);
+}

@@ -1,0 +1,20 @@
+// Figure 4(a): response time vs number of objects in the database
+// (Section 4.5). Larger databases mean longer cycles (and for F-Matrix,
+// quadratically more control bits), so response times rise for everyone,
+// but the relative ordering is unchanged and F-Matrix's rate of increase is
+// the smallest among the practical protocols.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace bcc;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+
+  ExperimentSpec spec;
+  spec.title = "Figure 4(a): effect of number of objects";
+  spec.x_label = "objects in database";
+  spec.base = bench::BaseConfig(flags);
+  spec.x_values = {100, 200, 300, 400, 500};
+  spec.apply = [](SimConfig* c, double x) { c->num_objects = static_cast<uint32_t>(x); };
+  return bench::RunAndPrint(spec, flags, /*print_restarts=*/false);
+}

@@ -1,0 +1,21 @@
+// Figure 4(b): response time vs object size (Section 4.6). Cycle length
+// grows with object size; F-Matrix scales better than R-Matrix and
+// Datacycle, and converges toward F-Matrix-No as objects grow (the control
+// information becomes a vanishing share of the cycle).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace bcc;
+  const bench::BenchFlags flags = bench::ParseFlags(argc, argv);
+
+  ExperimentSpec spec;
+  spec.title = "Figure 4(b): effect of object size";
+  spec.x_label = "object size (KB)";
+  spec.base = bench::BaseConfig(flags);
+  spec.x_values = {0.5, 1, 2, 4};
+  spec.apply = [](SimConfig* c, double x) {
+    c->object_size_bits = static_cast<uint64_t>(x * 8 * 1024);
+  };
+  return bench::RunAndPrint(spec, flags, /*print_restarts=*/false);
+}

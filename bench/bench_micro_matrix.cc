@@ -1,0 +1,111 @@
+// Microbenchmarks (google-benchmark) for the server-side control-matrix
+// hot paths: Theorem 2 incremental maintenance, client read-condition
+// checks, per-cycle snapshotting, group-matrix derivation and delta diffs.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "matrix/group_matrix.h"
+#include "matrix/mc_vector.h"
+#include "matrix/wire.h"
+
+namespace bcc {
+namespace {
+
+// A warmed-up matrix with plausible dependency structure.
+FMatrix WarmMatrix(uint32_t n, uint32_t commits = 200) {
+  Rng rng(99);
+  FMatrix c(n);
+  for (Cycle cycle = 1; cycle <= commits; ++cycle) {
+    const auto reads = rng.SampleWithoutReplacement(n, 4);
+    const auto writes = rng.SampleWithoutReplacement(n, 4);
+    c.ApplyCommit(reads, writes, cycle);
+  }
+  return c;
+}
+
+void BM_FMatrixApplyCommit(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  FMatrix c = WarmMatrix(n);
+  Rng rng(7);
+  const auto reads = rng.SampleWithoutReplacement(n, 4);
+  const auto writes = rng.SampleWithoutReplacement(n, 4);
+  Cycle cycle = 1000;
+  for (auto _ : state) {
+    c.ApplyCommit(reads, writes, cycle++);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FMatrixApplyCommit)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_FMatrixReadCondition(benchmark::State& state) {
+  const uint32_t n = 300;
+  const FMatrix c = WarmMatrix(n);
+  const uint32_t reads = static_cast<uint32_t>(state.range(0));
+  std::vector<ReadRecord> records;
+  for (uint32_t k = 0; k < reads; ++k) records.push_back({k * 7 % n, 150 + k});
+  bool sink = false;
+  for (auto _ : state) {
+    sink ^= c.ReadCondition(records, 42);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FMatrixReadCondition)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_McVectorReadCondition(benchmark::State& state) {
+  const uint32_t n = 300;
+  McVector mc(n);
+  for (ObjectId i = 0; i < n; ++i) mc.Set(i, i % 97);
+  std::vector<ReadRecord> records;
+  for (uint32_t k = 0; k < 8; ++k) records.push_back({k * 11 % n, 150 + k});
+  bool sink = false;
+  for (auto _ : state) {
+    sink ^= RMatrixReadCondition(mc, records, 42, 150);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_McVectorReadCondition);
+
+void BM_CycleSnapshotCopy(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  const FMatrix c = WarmMatrix(n);
+  for (auto _ : state) {
+    FMatrix copy = c;
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * n *
+                          static_cast<int64_t>(sizeof(Cycle)));
+}
+BENCHMARK(BM_CycleSnapshotCopy)->Arg(100)->Arg(300)->Arg(500);
+
+void BM_GroupMatrixDerivation(benchmark::State& state) {
+  const uint32_t n = 300;
+  const FMatrix c = WarmMatrix(n);
+  const ObjectPartition p = ObjectPartition::Blocks(n, static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    GroupMatrix gm(p, c);
+    benchmark::DoNotOptimize(gm);
+  }
+}
+BENCHMARK(BM_GroupMatrixDerivation)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_DeltaDiff(benchmark::State& state) {
+  const uint32_t n = 300;
+  const CycleStampCodec codec(8);
+  FMatrix prev = WarmMatrix(n);
+  FMatrix cur = prev;
+  Rng rng(13);
+  cur.ApplyCommit(rng.SampleWithoutReplacement(n, 4), rng.SampleWithoutReplacement(n, 4), 999);
+  for (auto _ : state) {
+    auto diff = DeltaCodec::Diff(prev, cur, codec);
+    benchmark::DoNotOptimize(diff);
+  }
+}
+BENCHMARK(BM_DeltaDiff);
+
+}  // namespace
+}  // namespace bcc
+
+BENCHMARK_MAIN();

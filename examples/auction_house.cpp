@@ -1,0 +1,77 @@
+// Auction house: the motivating application from the paper's introduction.
+//
+// A small, hot database (one lot = current-bid, bid-count, closing-time
+// entries) is broadcast to a very large audience; only a few participants
+// bid (update transactions through the uplink), while everyone else watches
+// with read-only transactions "off the air". This example runs the full
+// simulator at auction-like contention and contrasts the algorithms, then
+// zooms into one concrete watcher transaction to show WHY update
+// consistency (APPROX) avoids the aborts serializability forces.
+
+#include <cstdio>
+
+#include "cc/approx.h"
+#include "cc/criteria.h"
+#include "history/history_parser.h"
+#include "sim/broadcast_sim.h"
+
+namespace {
+
+using namespace bcc;
+
+void RunAuctionSim() {
+  std::printf("== auction floor: 40 lots x 3 fields, furious bidding ==\n");
+  std::printf("%-14s %16s %10s %10s\n", "algorithm", "response (bits)", "restarts",
+              "censored");
+  for (Algorithm algorithm : kAllAlgorithms) {
+    SimConfig config;
+    config.algorithm = algorithm;
+    config.num_objects = 120;          // 40 lots x 3 fields
+    config.object_size_bits = 2048;    // small auction records
+    config.client_txn_length = 6;      // watcher reads a lot's whole state + rivals
+    config.server_txn_length = 4;      // a bid touches a few fields
+    config.server_txn_interval = 80000;  // bids arrive briskly
+    config.num_client_txns = 300;
+    config.warmup_txns = 100;
+    config.seed = 7;
+    auto summary = RunSimulation(config);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "simulation failed: %s\n", summary.status().ToString().c_str());
+      return;
+    }
+    std::printf("%-14s %16.4e %10.3f %10llu\n",
+                std::string(AlgorithmName(algorithm)).c_str(), summary->mean_response_time,
+                summary->restart_ratio,
+                static_cast<unsigned long long>(summary->censored_txns));
+  }
+  std::printf("\n");
+}
+
+void ExplainWhy() {
+  // Two watchers each glance at two different lots while two independent
+  // bids land — the paper's Example 1 in auction clothes.
+  const char* text =
+      "r1(lotA) w2(lotA) c2 r3(lotA) r3(lotB) w4(lotB) c4 r1(lotB) c1 c3";
+  auto parsed = ParseHistory(text);
+  if (!parsed.ok()) return;
+  const History& h = parsed->history;
+  std::printf("== why serializability over-aborts here ==\n");
+  std::printf("watchers t1, t3; bids t2 (lotA), t4 (lotB):\n  %s\n", parsed->ToString().c_str());
+  auto report = SweepLattice(h);
+  if (!report.ok()) return;
+  std::printf("  serializable?        %s  -> Datacycle must abort a watcher\n",
+              report->view_serializable ? "yes" : "no");
+  std::printf("  update consistent?   %s  -> F-Matrix commits both watchers\n",
+              report->legal ? "yes" : "no");
+  std::printf(
+      "  each watcher saw a consistent auction state; they merely disagree\n"
+      "  on the relative order of two UNRELATED bids.\n\n");
+}
+
+}  // namespace
+
+int main() {
+  RunAuctionSim();
+  ExplainWhy();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Cached reader: the Section 3.3 weak-currency extension.
+//
+// A client that tolerates data up to T time units old can serve repeat
+// reads from a local quasi-cache — validated for mutual consistency against
+// the F-Matrix columns stored with each entry — and skip the wait for the
+// object's next broadcast slot. This example sweeps T and reports the
+// latency/hit-rate tradeoff, then shows the per-object currency tailoring.
+
+#include <cstdio>
+
+#include "client/cache.h"
+#include "sim/broadcast_sim.h"
+
+namespace {
+
+using namespace bcc;
+
+void SweepCurrencyBound() {
+  std::printf("== latency vs currency bound T (F-Matrix, 50 hot objects) ==\n");
+  std::printf("%-18s %16s %10s %12s\n", "T (cycles)", "response (bits)", "restarts",
+              "cache hit %");
+  for (double cycles_of_currency : {0.0, 1.0, 4.0, 16.0, 64.0}) {
+    SimConfig config;
+    config.algorithm = Algorithm::kFMatrix;
+    config.num_objects = 50;
+    config.num_client_txns = 300;
+    config.warmup_txns = 100;
+    config.seed = 11;
+    if (cycles_of_currency > 0) {
+      config.enable_cache = true;
+      config.cache_currency_bound = static_cast<SimTime>(
+          cycles_of_currency * static_cast<double>(config.Geometry().cycle_bits));
+    }
+    auto summary = RunSimulation(config);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "simulation failed: %s\n", summary.status().ToString().c_str());
+      return;
+    }
+    const uint64_t lookups = summary->cache_hits + summary->cache_misses;
+    std::printf("%-18.0f %16.4e %10.3f %11.1f%%\n", cycles_of_currency,
+                summary->mean_response_time, summary->restart_ratio,
+                lookups ? 100.0 * static_cast<double>(summary->cache_hits) /
+                              static_cast<double>(lookups)
+                        : 0.0);
+  }
+  std::printf("(T = 0 disables the cache; every read waits for its broadcast slot)\n\n");
+}
+
+void PerObjectBounds() {
+  std::printf("== per-object currency tailoring (purely local, no uplink) ==\n");
+  QuasiCache cache(/*capacity=*/0, /*default_currency_bound=*/1000);
+  cache.SetCurrencyBound(/*ob=*/0, /*bound=*/50);  // a fast-moving quote
+  CacheEntry entry;
+  entry.version = ObjectVersion{1, 1, 1};
+  entry.cycle = 1;
+  entry.cached_time = 0;
+  cache.Insert(0, entry);
+  cache.Insert(1, entry);
+  std::printf("  at t=100:  ob0 (T=50)  -> %s\n",
+              cache.Lookup(0, 100) ? "HIT" : "stale, dropped locally");
+  std::printf("  at t=100:  ob1 (T=1000) -> %s\n",
+              cache.Lookup(1, 100) ? "HIT" : "stale, dropped locally");
+  std::printf("  clients with different currency needs coexist with zero extra "
+              "communication.\n");
+}
+
+}  // namespace
+
+int main() {
+  SweepCurrencyBound();
+  PerObjectBounds();
+  return 0;
+}

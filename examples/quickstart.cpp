@@ -1,0 +1,43 @@
+// Quickstart: run the paper's default experiment (Table 1) for each of the
+// four concurrency-control algorithms and print the steady-state metrics.
+//
+//   $ ./examples/quickstart
+//
+// This is the ten-line version of the Section 4 evaluation: one call to
+// RunSimulation per algorithm. See stock_ticker.cpp and auction_house.cpp
+// for driving the server/client protocol objects directly.
+
+#include <cstdio>
+
+#include "sim/broadcast_sim.h"
+
+int main() {
+  using namespace bcc;
+
+  std::printf("Broadcast-disk concurrency control (SIGMOD '99) — Table 1 defaults\n");
+  std::printf("%-14s %16s %12s %10s %10s\n", "algorithm", "response (bits)", "95%% CI",
+              "restarts", "cycles");
+
+  for (Algorithm algorithm : kAllAlgorithms) {
+    SimConfig config;  // Table 1 defaults: 300 objects, 1 KB, 4-read clients
+    config.algorithm = algorithm;
+    config.num_client_txns = 300;  // quick demo run (the paper uses 1000)
+    config.warmup_txns = 100;
+
+    auto summary = RunSimulation(config);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "simulation failed: %s\n", summary.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14s %16.4e %12.2e %10.3f %10llu\n",
+                std::string(AlgorithmName(algorithm)).c_str(), summary->mean_response_time,
+                summary->response_ci_half_width, summary->restart_ratio,
+                static_cast<unsigned long long>(summary->cycles_elapsed));
+  }
+
+  std::printf(
+      "\nF-Matrix pays ~23%% of each cycle for control information yet wins on\n"
+      "response time: its weaker read condition (mutual consistency via APPROX\n"
+      "instead of serializability) nearly eliminates client aborts.\n");
+  return 0;
+}

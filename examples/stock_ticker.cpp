@@ -1,0 +1,107 @@
+// Stock ticker: the paper's Section 5 scenario, driven against the public
+// server/client API directly (no simulator).
+//
+// A server broadcasts prices of a handful of instruments; a mobile client
+// reads a "portfolio view" (several instruments) entirely off the air using
+// the F-Matrix protocol, and a broker submits an update transaction (a
+// trade) over the low-bandwidth uplink, validated optimistically at the
+// server. Shows: per-cycle snapshots, read-condition aborts, and uplink
+// commit/reject.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "client/read_txn.h"
+#include "client/update_txn.h"
+#include "server/broadcast_server.h"
+#include "server/validator.h"
+
+namespace {
+
+using namespace bcc;
+
+const char* kNames[] = {"IBM", "Sun", "DEC", "HP", "Intel"};
+constexpr uint32_t kInstruments = 5;
+
+void PrintBoard(const CycleSnapshot& snap) {
+  std::printf("-- cycle %llu board --\n", static_cast<unsigned long long>(snap.cycle));
+  for (ObjectId ob = 0; ob < kInstruments; ++ob) {
+    std::printf("  %-6s v%llu (writer t%u, committed cycle %llu)\n", kNames[ob],
+                static_cast<unsigned long long>(snap.values[ob].value), snap.values[ob].writer,
+                static_cast<unsigned long long>(snap.values[ob].cycle));
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Server side: serial update-transaction manager + broadcast front end.
+  TxnManagerOptions options;
+  options.record_history = true;
+  ServerTxnManager manager(kInstruments, options);
+  UpdateValidator validator(&manager);
+  BroadcastServer server(kInstruments,
+                         ComputeGeometry(Algorithm::kFMatrix, kInstruments, 8 * 1024, 8));
+
+  // Cycle 1: initial prices on the air.
+  server.BeginCycle(1, 0, manager);
+  PrintBoard(server.snapshot());
+
+  // A mobile client starts a read-only "portfolio" transaction and reads
+  // IBM off the air. No lock, no uplink message.
+  ReadOnlyTxnProtocol portfolio(Algorithm::kFMatrix);
+  auto ibm = portfolio.Read(server.snapshot(), 0);
+  std::printf("client reads IBM: %s\n", ibm.ok() ? "ok" : ibm.status().ToString().c_str());
+
+  // Meanwhile the market moves: two trades commit at the server during
+  // cycle 1 (they will surface at the start of cycle 2).
+  manager.ExecuteAndCommit(ServerTxn{1, {}, {1}}, 1);        // Sun trade
+  manager.ExecuteAndCommit(ServerTxn{2, {0}, {2}}, 1);       // DEC repriced off IBM
+
+  server.BeginCycle(2, server.CycleEndTime(), manager);
+  PrintBoard(server.snapshot());
+
+  // The portfolio transaction keeps reading in cycle 2. Sun's new value
+  // does not depend on anything that invalidates the IBM read: F-Matrix
+  // lets it through ("off the air" mutual consistency).
+  auto sun = portfolio.Read(server.snapshot(), 1);
+  std::printf("client reads Sun in cycle 2: %s\n",
+              sun.ok() ? "ok (update consistency, no abort)" : sun.status().ToString().c_str());
+  std::printf("portfolio committed with %zu reads\n\n", portfolio.Commit());
+
+  // Under Datacycle (serializability), the same read sequence would abort
+  // if IBM itself had been overwritten. Demonstrate with a fresh txn:
+  ReadOnlyTxnProtocol strict(Algorithm::kDatacycle);
+  (void)strict.Read(server.snapshot(), 2);                   // reads DEC at cycle 2
+  manager.ExecuteAndCommit(ServerTxn{3, {}, {2}}, 2);        // DEC overwritten
+  server.BeginCycle(3, server.CycleEndTime(), manager);
+  auto hp = strict.Read(server.snapshot(), 3);
+  std::printf("Datacycle txn reading HP after DEC changed: %s\n",
+              hp.ok() ? "ok" : hp.status().ToString().c_str());
+
+  // A broker's update transaction: read Intel off the air, place a trade
+  // (write Intel), ship read records + writes over the uplink.
+  UpdateTxnBuffer trade(/*id=*/100, Algorithm::kFMatrix);
+  auto intel = trade.Read(server.snapshot(), 4);
+  std::printf("\nbroker reads Intel: %s\n", intel.ok() ? "ok" : "abort");
+  trade.Write(4);
+  auto commit = validator.ValidateAndCommit(trade.BuildCommitRequest(),
+                                            server.snapshot().cycle);
+  std::printf("broker trade commit: %s\n",
+              commit.ok() ? "accepted by server validator" : commit.status().ToString().c_str());
+
+  // A second broker raced and loses: its Intel read is now stale.
+  UpdateTxnBuffer late(/*id=*/101, Algorithm::kFMatrix);
+  server.BeginCycle(4, server.CycleEndTime(), manager);
+  (void)late.Read(server.snapshot(), 4);
+  manager.ExecuteAndCommit(ServerTxn{4, {}, {4}}, 4);  // Intel moves again
+  late.Write(4);
+  auto late_commit = validator.ValidateAndCommit(late.BuildCommitRequest(), 5);
+  std::printf("late broker trade commit: %s\n",
+              late_commit.ok() ? "accepted" : late_commit.status().ToString().c_str());
+
+  std::printf("\nserver-side committed update history:\n  %s\n",
+              manager.recorded_history().ToString().c_str());
+  return 0;
+}

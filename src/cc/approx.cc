@@ -1,0 +1,66 @@
+#include "cc/approx.h"
+
+#include "cc/conflict_serializability.h"
+#include "common/format.h"
+
+namespace bcc {
+
+Digraph BuildTxnSerializationGraph(const History& history, TxnId t) {
+  Digraph sg;
+  const std::unordered_set<TxnId> live = history.LiveSet(t);
+  for (TxnId n : live) {
+    if (n != kInitTxn) sg.AddNode(n);
+  }
+
+  auto is_live = [&live](TxnId x) { return x != kInitTxn && live.contains(x); };
+
+  // X arcs: reads-from.
+  for (const ReadsFromEdge& e : history.ReadsFrom()) {
+    if (is_live(e.reader) && is_live(e.writer) && e.reader != e.writer) {
+      sg.AddEdge(e.writer, e.reader);
+    }
+  }
+
+  // Y (ww) and Z (rw) arcs from history order. Operations of aborted
+  // transactions are skipped: their effects are never visible.
+  const auto& ops = history.ops();
+  auto visible = [&](const Operation& op) {
+    return op.IsAccess() && is_live(op.txn) &&
+           history.Txn(op.txn).outcome != TxnOutcome::kAborted;
+  };
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!visible(ops[i])) continue;
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      if (!visible(ops[j])) continue;
+      if (ops[i].txn == ops[j].txn || ops[i].object != ops[j].object) continue;
+      if (ops[j].type != OpType::kWrite) continue;
+      // ops[i] (read or write) precedes ops[j] (write): Y or Z arc.
+      sg.AddEdge(ops[i].txn, ops[j].txn);
+    }
+  }
+  return sg;
+}
+
+ApproxResult CheckApprox(const History& history) {
+  ApproxResult result;
+  if (!IsConflictSerializable(history.UpdateSubHistory())) {
+    result.accepted = false;
+    result.reason = "update sub-history is not conflict serializable";
+    return result;
+  }
+  for (TxnId t : history.TxnIds()) {
+    const TxnInfo& info = history.Txn(t);
+    if (!info.IsReadOnly() || info.outcome == TxnOutcome::kAborted) continue;
+    if (BuildTxnSerializationGraph(history, t).HasCycle()) {
+      result.accepted = false;
+      result.reason = StrFormat("serialization graph S_H(t%u) is cyclic", t);
+      return result;
+    }
+  }
+  result.accepted = true;
+  return result;
+}
+
+bool ApproxAccepts(const History& history) { return CheckApprox(history).accepted; }
+
+}  // namespace bcc

@@ -1,0 +1,46 @@
+// APPROX (Section 3.1): the polynomial-time approximation of update
+// consistency that the F-Matrix protocol implements.
+//
+// APPROX accepts a history H iff
+//   1. H_update is *conflict* serializable, and
+//   2. for every read-only transaction t_R, the serialization graph
+//      S_H(t_R) over LIVE_H(t_R) (Definition 9) is acyclic.
+// Theorem 6: APPROX accepts a proper subset of legal (update-consistent)
+// histories. Theorem 7: APPROX runs in polynomial time.
+
+#ifndef BCC_CC_APPROX_H_
+#define BCC_CC_APPROX_H_
+
+#include <string>
+
+#include "graph/digraph.h"
+#include "history/history.h"
+
+namespace bcc {
+
+/// Builds S_H(t) (Definition 9): nodes are LIVE_H(t); arcs are
+///   X: t' -> t'' when t'' reads some object from t',
+///   Y: t' -> t'' when t' writes ob before t'' writes ob in H (ww order),
+///   Z: t' -> t'' when t' reads ob before t'' writes ob in H (rw order),
+/// all restricted to live transactions (aborted writers never contribute:
+/// their operations are invisible in the broadcast model). The initial
+/// transaction t0 has only outgoing arcs and is omitted (it can never be on
+/// a cycle).
+Digraph BuildTxnSerializationGraph(const History& history, TxnId t);
+
+/// Verdict with an explanation for rejection.
+struct ApproxResult {
+  bool accepted = false;
+  std::string reason;
+};
+
+/// The APPROX decision procedure. Aborted read-only transactions are
+/// skipped; active ones are checked (prefix closure).
+ApproxResult CheckApprox(const History& history);
+
+/// Convenience wrapper.
+bool ApproxAccepts(const History& history);
+
+}  // namespace bcc
+
+#endif  // BCC_CC_APPROX_H_

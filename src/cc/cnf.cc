@@ -1,0 +1,98 @@
+#include "cc/cnf.h"
+
+#include <cassert>
+
+#include "common/format.h"
+
+namespace bcc {
+
+bool CnfClause::IsMixed() const {
+  bool pos = false, neg = false;
+  for (const Literal& l : literals) (l.negated ? neg : pos) = true;
+  return pos && neg;
+}
+
+bool CnfFormula::Evaluate(const std::vector<bool>& assignment) const {
+  assert(assignment.size() >= num_vars);
+  for (const CnfClause& clause : clauses) {
+    bool satisfied = false;
+    for (const Literal& l : clause.literals) {
+      if (assignment[l.var] != l.negated) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+size_t CnfFormula::NumOccurrences() const {
+  size_t n = 0;
+  for (const CnfClause& c : clauses) n += c.literals.size();
+  return n;
+}
+
+bool CnfFormula::IsNonCircular() const {
+  std::vector<uint32_t> mixed_occurrences(num_vars, 0);
+  for (const CnfClause& c : clauses) {
+    if (!c.IsMixed()) continue;
+    for (const Literal& l : c.literals) {
+      if (++mixed_occurrences[l.var] > 1) return false;
+    }
+  }
+  return true;
+}
+
+std::string CnfFormula::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i) out += " & ";
+    out += "(";
+    for (size_t j = 0; j < clauses[i].literals.size(); ++j) {
+      if (j) out += " | ";
+      const Literal& l = clauses[i].literals[j];
+      out += StrFormat("%sx%u", l.negated ? "!" : "", l.var);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::optional<std::vector<bool>> SolveBruteForce(
+    const CnfFormula& formula, const std::vector<std::pair<uint32_t, bool>>& pinned) {
+  assert(formula.num_vars <= 24);
+  const uint64_t space = uint64_t{1} << formula.num_vars;
+  std::vector<bool> assignment(formula.num_vars);
+  for (uint64_t bits = 0; bits < space; ++bits) {
+    bool ok = true;
+    for (const auto& [var, value] : pinned) {
+      if (((bits >> var) & 1) != static_cast<uint64_t>(value)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (uint32_t v = 0; v < formula.num_vars; ++v) assignment[v] = (bits >> v) & 1;
+    if (formula.Evaluate(assignment)) return assignment;
+  }
+  return std::nullopt;
+}
+
+CnfFormula RandomCnf(uint32_t num_vars, uint32_t num_clauses, uint32_t max_width, Rng* rng) {
+  assert(num_vars >= 1 && max_width >= 1);
+  CnfFormula f;
+  f.num_vars = num_vars;
+  for (uint32_t c = 0; c < num_clauses; ++c) {
+    const uint32_t width = 1 + static_cast<uint32_t>(
+                                   rng->NextBounded(std::min(max_width, num_vars)));
+    CnfClause clause;
+    for (uint32_t var : rng->SampleWithoutReplacement(num_vars, width)) {
+      clause.literals.push_back({var, rng->NextBernoulli(0.5)});
+    }
+    f.clauses.push_back(std::move(clause));
+  }
+  return f;
+}
+
+}  // namespace bcc

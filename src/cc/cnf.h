@@ -1,0 +1,64 @@
+// Small CNF-formula toolkit backing the Appendix B NP-completeness
+// machinery (Theorem 5 reduction and its tests).
+
+#ifndef BCC_CC_CNF_H_
+#define BCC_CC_CNF_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bcc {
+
+/// A literal: variable index plus polarity.
+struct Literal {
+  uint32_t var;
+  bool negated;
+
+  friend bool operator==(const Literal& a, const Literal& b) {
+    return a.var == b.var && a.negated == b.negated;
+  }
+};
+
+/// A disjunction of literals.
+struct CnfClause {
+  std::vector<Literal> literals;
+
+  bool IsMixed() const;  ///< contains both a positive and a negated literal
+};
+
+/// A conjunction of clauses over variables [0, num_vars).
+struct CnfFormula {
+  uint32_t num_vars = 0;
+  std::vector<CnfClause> clauses;
+
+  /// Evaluates under a full assignment (size num_vars).
+  bool Evaluate(const std::vector<bool>& assignment) const;
+
+  /// Total number of literal occurrences.
+  size_t NumOccurrences() const;
+
+  /// Appendix B, Definition 8: at most one occurrence of each variable lies
+  /// in a mixed clause.
+  bool IsNonCircular() const;
+
+  /// e.g. "(x0 | !x1 | x2) & (!x0 | x1)".
+  std::string ToString() const;
+};
+
+/// Exhaustive satisfiability check (requires num_vars <= 24). `pinned`
+/// optionally fixes some variables (pairs of index/value). Returns a
+/// satisfying assignment or nullopt.
+std::optional<std::vector<bool>> SolveBruteForce(
+    const CnfFormula& formula,
+    const std::vector<std::pair<uint32_t, bool>>& pinned = {});
+
+/// Random k-CNF for property tests: `num_clauses` clauses of up to
+/// `max_width` distinct-variable literals (at least 1).
+CnfFormula RandomCnf(uint32_t num_vars, uint32_t num_clauses, uint32_t max_width, Rng* rng);
+
+}  // namespace bcc
+
+#endif  // BCC_CC_CNF_H_

@@ -1,0 +1,39 @@
+#include "cc/conflict_serializability.h"
+
+namespace bcc {
+
+Digraph BuildSerializationGraph(const History& history) {
+  Digraph sg;
+  const auto& ops = history.ops();
+
+  auto committed = [&history](TxnId t) {
+    return history.Txn(t).outcome == TxnOutcome::kCommitted;
+  };
+
+  for (const Operation& op : ops) {
+    if (op.IsAccess() && committed(op.txn)) sg.AddNode(op.txn);
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Operation& a = ops[i];
+    if (!a.IsAccess() || !committed(a.txn)) continue;
+    for (size_t j = i + 1; j < ops.size(); ++j) {
+      const Operation& b = ops[j];
+      if (!b.IsAccess() || !committed(b.txn)) continue;
+      if (a.txn == b.txn || a.object != b.object) continue;
+      if (a.type == OpType::kWrite || b.type == OpType::kWrite) {
+        sg.AddEdge(a.txn, b.txn);
+      }
+    }
+  }
+  return sg;
+}
+
+bool IsConflictSerializable(const History& history) {
+  return !BuildSerializationGraph(history).HasCycle();
+}
+
+StatusOr<std::vector<TxnId>> ConflictSerializationOrder(const History& history) {
+  return BuildSerializationGraph(history).TopologicalSort();
+}
+
+}  // namespace bcc

@@ -1,0 +1,31 @@
+// Conflict serializability: the classical polynomial-time criterion used by
+// APPROX in place of view serializability (Section 3.1).
+
+#ifndef BCC_CC_CONFLICT_SERIALIZABILITY_H_
+#define BCC_CC_CONFLICT_SERIALIZABILITY_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/digraph.h"
+#include "history/history.h"
+
+namespace bcc {
+
+/// Builds the serialization graph SG(H) over the *committed* transactions of
+/// H: an edge t' -> t'' for every pair of conflicting operations (same
+/// object, at least one write, t' != t'') where t''s operation comes first.
+/// Aborted transactions' operations are ignored; active (unterminated)
+/// transactions are treated as aborted.
+Digraph BuildSerializationGraph(const History& history);
+
+/// True iff SG(H) is acyclic.
+bool IsConflictSerializable(const History& history);
+
+/// A serialization order witnessing conflict serializability, or
+/// InvalidArgument when the history is not conflict serializable.
+StatusOr<std::vector<TxnId>> ConflictSerializationOrder(const History& history);
+
+}  // namespace bcc
+
+#endif  // BCC_CC_CONFLICT_SERIALIZABILITY_H_

@@ -1,0 +1,64 @@
+#include "cc/criteria.h"
+
+#include "cc/approx.h"
+#include "cc/conflict_serializability.h"
+#include "cc/update_consistency.h"
+#include "cc/view_serializability.h"
+#include "common/format.h"
+
+namespace bcc {
+
+std::string_view CriterionName(Criterion c) {
+  switch (c) {
+    case Criterion::kConflictSerializable:
+      return "conflict-serializable";
+    case Criterion::kViewSerializable:
+      return "view-serializable";
+    case Criterion::kApprox:
+      return "APPROX";
+    case Criterion::kLegal:
+      return "legal (update-consistent)";
+  }
+  return "?";
+}
+
+StatusOr<bool> Satisfies(Criterion criterion, const History& history) {
+  switch (criterion) {
+    case Criterion::kConflictSerializable:
+      return IsConflictSerializable(history);
+    case Criterion::kViewSerializable:
+      return IsViewSerializable(history);
+    case Criterion::kApprox:
+      return ApproxAccepts(history);
+    case Criterion::kLegal: {
+      BCC_ASSIGN_OR_RETURN(const LegalityResult r, CheckLegality(history));
+      return r.legal;
+    }
+  }
+  return Status::Internal("unknown criterion");
+}
+
+bool LatticeReport::ImplicationsHold() const {
+  if (conflict_serializable && !view_serializable) return false;
+  if (conflict_serializable && !approx_accepted) return false;
+  if (view_serializable && !legal) return false;
+  if (approx_accepted && !legal) return false;
+  return true;
+}
+
+std::string LatticeReport::ToString() const {
+  return StrFormat("CSR=%d VSR=%d APPROX=%d legal=%d", conflict_serializable,
+                   view_serializable, approx_accepted, legal);
+}
+
+StatusOr<LatticeReport> SweepLattice(const History& history) {
+  LatticeReport report;
+  report.conflict_serializable = IsConflictSerializable(history);
+  BCC_ASSIGN_OR_RETURN(report.view_serializable, IsViewSerializable(history));
+  report.approx_accepted = ApproxAccepts(history);
+  BCC_ASSIGN_OR_RETURN(const LegalityResult legal, CheckLegality(history));
+  report.legal = legal.legal;
+  return report;
+}
+
+}  // namespace bcc

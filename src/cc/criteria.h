@@ -1,0 +1,55 @@
+// The correctness-criteria lattice of Figure 1, as a runnable oracle.
+//
+// The paper relates (arrows = "stronger than"):
+//   conflict serializability -> view serializability -> update consistency
+//   conflict serializability -> APPROX -> legality (scheduler-checkable
+//   update consistency)
+// This header packages all checkers behind one enum so tests, examples and
+// tools can sweep the lattice.
+
+#ifndef BCC_CC_CRITERIA_H_
+#define BCC_CC_CRITERIA_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "history/history.h"
+
+namespace bcc {
+
+/// A point in the Figure 1 lattice.
+enum class Criterion {
+  kConflictSerializable,
+  kViewSerializable,  ///< exact, exponential; small histories only
+  kApprox,            ///< Section 3.1
+  kLegal,             ///< Theorem 3 (update consistency); exponential
+};
+
+std::string_view CriterionName(Criterion c);
+
+/// Evaluates `criterion` on `history`. View/legal checks can fail with
+/// InvalidArgument when the history exceeds the exact-search size limits.
+StatusOr<bool> Satisfies(Criterion criterion, const History& history);
+
+/// Report of a full lattice sweep for one history.
+struct LatticeReport {
+  bool conflict_serializable = false;
+  bool view_serializable = false;
+  bool approx_accepted = false;
+  bool legal = false;
+
+  /// Verifies the Figure 1 implications internally (CSR => VSR, CSR =>
+  /// APPROX, VSR => legal, APPROX => legal). Violations indicate a checker
+  /// bug; used heavily by property tests.
+  bool ImplicationsHold() const;
+
+  std::string ToString() const;
+};
+
+/// Runs every checker on `history` (must be small enough for exact checks).
+StatusOr<LatticeReport> SweepLattice(const History& history);
+
+}  // namespace bcc
+
+#endif  // BCC_CC_CRITERIA_H_

@@ -1,0 +1,315 @@
+#include "cc/sat_reduction.h"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "common/format.h"
+#include "graph/digraph.h"
+
+namespace bcc {
+
+CnfFormula AddGuardVariable(const CnfFormula& psi, uint32_t* guard_var) {
+  CnfFormula out = psi;
+  *guard_var = out.num_vars;
+  out.num_vars += 1;
+  for (CnfClause& clause : out.clauses) {
+    clause.literals.push_back({*guard_var, /*negated=*/false});
+  }
+  return out;
+}
+
+CnfFormula SplitWideClauses(const CnfFormula& f) {
+  CnfFormula out;
+  out.num_vars = f.num_vars;
+  for (const CnfClause& clause : f.clauses) {
+    std::vector<Literal> rest = clause.literals;
+    // (l1 | l2 | l3 | l4 | ...) -> (l1 | l2 | z) & (!z | l3 | l4 | ...),
+    // iterated until everything is width <= 3.
+    while (rest.size() > 3) {
+      const uint32_t z = out.num_vars++;
+      CnfClause head;
+      head.literals = {rest[0], rest[1], {z, false}};
+      out.clauses.push_back(std::move(head));
+      std::vector<Literal> tail;
+      tail.push_back({z, true});
+      tail.insert(tail.end(), rest.begin() + 2, rest.end());
+      rest = std::move(tail);
+    }
+    out.clauses.push_back(CnfClause{std::move(rest)});
+  }
+  return out;
+}
+
+CnfFormula MakeNonCircular(const CnfFormula& f,
+                           std::vector<std::pair<uint32_t, bool>>* copy_map) {
+  CnfFormula out;
+  out.num_vars = f.num_vars;
+  copy_map->clear();
+  for (uint32_t v = 0; v < f.num_vars; ++v) copy_map->push_back({v, false});
+
+  // For each source variable, the copy used for its most recent occurrence
+  // and that copy's 1-based index (parity decides polarity flip).
+  std::vector<uint32_t> last_copy(f.num_vars);
+  std::vector<uint32_t> occurrence_count(f.num_vars, 0);
+  for (uint32_t v = 0; v < f.num_vars; ++v) last_copy[v] = v;
+
+  for (const CnfClause& clause : f.clauses) {
+    CnfClause rewritten;
+    for (const Literal& lit : clause.literals) {
+      const uint32_t i = ++occurrence_count[lit.var];  // 1-based occurrence
+      uint32_t copy;
+      bool flipped;
+      if (i == 1) {
+        copy = lit.var;
+        flipped = false;
+      } else {
+        // Fresh copy v_i with v_i == !v_{i-1}, tied by two NON-mixed
+        // clauses (v_{i-1} | v_i) and (!v_{i-1} | !v_i); polarity
+        // alternates so v_i == source iff i is odd.
+        copy = out.num_vars++;
+        flipped = (i % 2) == 0;
+        copy_map->push_back({lit.var, flipped});
+        const uint32_t prev = last_copy[lit.var];
+        out.clauses.push_back(CnfClause{{{prev, false}, {copy, false}}});
+        out.clauses.push_back(CnfClause{{{prev, true}, {copy, true}}});
+        last_copy[lit.var] = copy;
+      }
+      rewritten.literals.push_back({copy, lit.negated != flipped});
+    }
+    out.clauses.push_back(std::move(rewritten));
+  }
+  return out;
+}
+
+std::vector<bool> SatisfyWithGuardTrue(const CnfFormula& post_split, uint32_t guard_var,
+                                       uint32_t first_link_var) {
+  std::vector<bool> assignment(post_split.num_vars, false);
+  assignment[guard_var] = true;
+  // Link variables were appended in clause order by SplitWideClauses; a
+  // clause's fresh link (positive occurrence) appears before its negative
+  // occurrence in the next emitted clause, so one in-order pass settles
+  // them all: set each still-unset link to satisfy its clause exactly when
+  // nothing earlier already does.
+  std::vector<bool> settled(post_split.num_vars, true);
+  for (uint32_t v = first_link_var; v < post_split.num_vars; ++v) settled[v] = false;
+  for (const CnfClause& clause : post_split.clauses) {
+    bool satisfied = false;
+    for (const Literal& l : clause.literals) {
+      if (settled[l.var] && assignment[l.var] != l.negated) {
+        satisfied = true;
+        break;
+      }
+    }
+    for (const Literal& l : clause.literals) {
+      if (settled[l.var]) continue;
+      assignment[l.var] = satisfied ? l.negated : !l.negated;
+      settled[l.var] = true;
+      satisfied = satisfied || (assignment[l.var] != l.negated);
+    }
+  }
+  return assignment;
+}
+
+std::vector<bool> ExtendToCopies(const std::vector<bool>& base,
+                                 const std::vector<std::pair<uint32_t, bool>>& copy_map) {
+  std::vector<bool> out(copy_map.size());
+  for (size_t v = 0; v < copy_map.size(); ++v) {
+    const auto& [source, flipped] = copy_map[v];
+    out[v] = base[source] != flipped;
+  }
+  return out;
+}
+
+namespace {
+
+// Gadget node/object bookkeeping for the history construction.
+class GadgetBuilder {
+ public:
+  explicit GadgetBuilder(const CnfFormula& phi) : phi_(phi) {
+    // Transaction ids: 1-based; per variable a, b, c; per occurrence y, z.
+    for (uint32_t x = 0; x < phi.num_vars; ++x) {
+      a_.push_back(next_txn_++);
+      b_.push_back(next_txn_++);
+      c_.push_back(next_txn_++);
+    }
+    y_.resize(phi.clauses.size());
+    z_.resize(phi.clauses.size());
+    for (size_t i = 0; i < phi.clauses.size(); ++i) {
+      for (size_t k = 0; k < phi.clauses[i].literals.size(); ++k) {
+        y_[i].push_back(next_txn_++);
+        z_[i].push_back(next_txn_++);
+      }
+    }
+    reader_ = next_txn_++;
+  }
+
+  TxnId reader() const { return reader_; }
+  size_t num_update_txns() const { return static_cast<size_t>(reader_) - 1; }
+  size_t num_objects() const { return next_object_; }
+
+  // Reads-from arc (writer -> reader) over a dedicated object.
+  void Arc(TxnId writer, TxnId reader) {
+    const ObjectId ob = next_object_++;
+    writes_[writer].push_back(ob);
+    reads_[reader].push_back(ob);
+    arc_object_[Key(writer, reader)] = ob;
+  }
+
+  // Adds `extra` as a second writer of the object behind arc
+  // (writer -> reader): generates the bipath "extra before writer, or
+  // after reader" in P_H(t_R).
+  void ExtraWriter(TxnId writer, TxnId reader, TxnId extra) {
+    const ObjectId ob = arc_object_.at(Key(writer, reader));
+    writes_[extra].push_back(ob);
+  }
+
+  // Builds the whole gadget: arcs, bipath extra-writers, and the witness
+  // digraph arms chosen from `assignment` (guard true).
+  void Build(const std::vector<bool>& assignment) {
+    const uint32_t n = phi_.num_vars;
+    // Per-variable spine: a_x -> b_x, with c_x the bipath extra writer.
+    for (uint32_t x = 0; x < n; ++x) {
+      Arc(a_[x], b_[x]);
+      ExtraWriter(a_[x], b_[x], c_[x]);
+      witness_.AddEdge(a_[x], b_[x]);
+      // Arm choice: x true -> c_x before a_x; x false -> b_x before c_x.
+      if (assignment[x]) {
+        witness_.AddEdge(c_[x], a_[x]);
+      } else {
+        witness_.AddEdge(b_[x], c_[x]);
+      }
+    }
+    // Per clause: the ring y_ik -> z_i(k+1), and per literal occurrence the
+    // variable hooks and the occurrence bipath.
+    for (size_t i = 0; i < phi_.clauses.size(); ++i) {
+      const auto& lits = phi_.clauses[i].literals;
+      const size_t w = lits.size();
+      for (size_t k = 0; k < w; ++k) {
+        Arc(y_[i][k], z_[i][(k + 1) % w]);
+        witness_.AddEdge(y_[i][k], z_[i][(k + 1) % w]);
+        const uint32_t x = lits[k].var;
+        const bool literal_true = assignment[x] != lits[k].negated;
+        if (!lits[k].negated) {
+          // Positive occurrence: hooks c_x -> y_ik and b_x -> z_ik; the
+          // bipath is "(y_ik before b_x) or (z_ik before y_ik)".
+          Arc(c_[x], y_[i][k]);
+          Arc(b_[x], z_[i][k]);
+          ExtraWriter(b_[x], z_[i][k], y_[i][k]);
+          witness_.AddEdge(c_[x], y_[i][k]);
+          witness_.AddEdge(b_[x], z_[i][k]);
+          witness_.AddEdge(literal_true ? y_[i][k] : z_[i][k],
+                           literal_true ? b_[x] : y_[i][k]);
+        } else {
+          // Negative occurrence: hooks z_ik -> c_x and y_ik -> a_x; the
+          // bipath is "(a_x before z_ik) or (z_ik before y_ik)".
+          Arc(z_[i][k], c_[x]);
+          Arc(y_[i][k], a_[x]);
+          ExtraWriter(y_[i][k], a_[x], z_[i][k]);
+          witness_.AddEdge(z_[i][k], c_[x]);
+          witness_.AddEdge(y_[i][k], a_[x]);
+          if (literal_true) {
+            witness_.AddEdge(a_[x], z_[i][k]);
+          } else {
+            witness_.AddEdge(z_[i][k], y_[i][k]);
+          }
+        }
+      }
+    }
+    // t_R reads a dedicated object from EVERY update transaction so that
+    // LIVE(t_R) spans the whole gadget.
+    for (TxnId t = 1; t < reader_; ++t) Arc(t, reader_);
+  }
+
+  // The guard-forcing bipath: a_X also writes the object t_R reads from
+  // c_X. Combined with the arc a_X -> t_R this forces a_X before c_X in
+  // any witness, killing the "X true" arm.
+  void ForceGuardFalse(uint32_t guard_var) { ExtraWriter(c_[guard_var], reader_, a_[guard_var]); }
+
+  // Serial history: update transactions in witness topological order
+  // (reads, then writes, then commit), with t_R's read of each
+  // transaction's dedicated object immediately after that transaction's
+  // block; t_R commits at the end.
+  StatusOr<History> Layout() const {
+    auto order = witness_.TopologicalSort();
+    if (!order.ok()) {
+      return Status::Internal("witness digraph is cyclic: " + order.status().ToString());
+    }
+    History h;
+    for (TxnId t : *order) {
+      const auto rit = reads_.find(t);
+      if (rit != reads_.end()) {
+        for (ObjectId ob : rit->second) h.AppendRead(t, ob);
+      }
+      const auto wit = writes_.find(t);
+      if (wit != writes_.end()) {
+        for (ObjectId ob : wit->second) h.AppendWrite(t, ob);
+      }
+      h.AppendCommit(t);
+      // t_R consumes this transaction's dedicated object now — before any
+      // later transaction (e.g. a bipath extra writer) can overwrite it.
+      h.AppendRead(reader_, arc_object_.at(Key(t, reader_)));
+    }
+    h.AppendCommit(reader_);
+    return h;
+  }
+
+ private:
+  static uint64_t Key(TxnId w, TxnId r) { return (static_cast<uint64_t>(w) << 32) | r; }
+
+  const CnfFormula& phi_;
+  TxnId next_txn_ = 1;
+  ObjectId next_object_ = 0;
+  std::vector<TxnId> a_, b_, c_;
+  std::vector<std::vector<TxnId>> y_, z_;
+  TxnId reader_ = kNoTxn;
+  std::unordered_map<TxnId, std::vector<ObjectId>> reads_, writes_;
+  std::unordered_map<uint64_t, ObjectId> arc_object_;
+  Digraph witness_;  // update transactions only
+};
+
+}  // namespace
+
+StatusOr<SatReduction> ReduceSatToLegality(const CnfFormula& psi) {
+  for (const CnfClause& clause : psi.clauses) {
+    if (clause.literals.empty() || clause.literals.size() > 3) {
+      return Status::InvalidArgument("reduction expects clause width 1..3 (3-SAT form)");
+    }
+  }
+
+  SatReduction out;
+
+  // Step 1: guard variable X in every clause.
+  uint32_t guard = 0;
+  const CnfFormula with_guard = AddGuardVariable(psi, &guard);
+  // Step 2: back to width <= 3.
+  const CnfFormula split = SplitWideClauses(with_guard);
+  // Step 3: non-circular form.
+  std::vector<std::pair<uint32_t, bool>> copy_map;
+  out.phi = MakeNonCircular(split, &copy_map);
+  out.guard_var = guard;  // chain heads keep their ids
+  if (!out.phi.IsNonCircular()) {
+    return Status::Internal("non-circularization failed");
+  }
+
+  // Constructive guard-true satisfying assignment for the witness layout.
+  const std::vector<bool> base =
+      SatisfyWithGuardTrue(split, guard, /*first_link_var=*/with_guard.num_vars);
+  if (!split.Evaluate(base)) {
+    return Status::Internal("constructive assignment does not satisfy the split formula");
+  }
+  const std::vector<bool> assignment = ExtendToCopies(base, copy_map);
+  if (!out.phi.Evaluate(assignment)) {
+    return Status::Internal("lifted assignment does not satisfy phi");
+  }
+
+  GadgetBuilder builder(out.phi);
+  builder.Build(assignment);
+  builder.ForceGuardFalse(out.guard_var);
+  BCC_ASSIGN_OR_RETURN(out.history, builder.Layout());
+  out.reader = builder.reader();
+  out.num_update_txns = builder.num_update_txns();
+  out.num_objects = builder.num_objects();
+  return out;
+}
+
+}  // namespace bcc

@@ -1,0 +1,77 @@
+// Appendix B, Theorem 5: deciding legality (scheduler-checkable update
+// consistency) is NP-complete even when all update transactions run
+// serially. This module implements the constructive direction as runnable
+// code: a polynomial-time reduction from CNF satisfiability to history
+// legality.
+//
+// Pipeline (following the proof):
+//   1. psi' : add a fresh variable X as a disjunct to every clause of the
+//      input psi — psi' is always satisfiable (X = true), and psi is
+//      satisfiable iff psi' is satisfiable with X = false;
+//   2. psi''': split 4-literal clauses (a|b|c|d) into (a|b|z) & (c|d|!z);
+//   3. phi : make the formula non-circular (Definition 8) by replacing the
+//      i-th occurrence of each variable with a fresh alternating-polarity
+//      copy v_i (v_{i+1} == !v_i via the non-mixed clauses (v_i | v_{i+1})
+//      and (!v_i | !v_{i+1}));
+//   4. build the polygraph gadget of phi (per-variable nodes a_x, b_x, c_x;
+//      per-occurrence nodes y, z; clause rings) and realize it as a history
+//      whose update transactions run serially, plus a single read-only
+//      transaction t_R whose reads pin P_H(t_R) to the gadget and force
+//      X = false.
+//
+// The result: IsLegal(history) iff psi is satisfiable. The test suite
+// verifies this equivalence against brute-force SAT on random formulas.
+
+#ifndef BCC_CC_SAT_REDUCTION_H_
+#define BCC_CC_SAT_REDUCTION_H_
+
+#include "cc/cnf.h"
+#include "common/statusor.h"
+#include "history/history.h"
+
+namespace bcc {
+
+/// Step 1: psi' = psi with fresh variable X (returned index) added
+/// positively to every clause.
+CnfFormula AddGuardVariable(const CnfFormula& psi, uint32_t* guard_var);
+
+/// Step 2: split every clause with more than 3 literals into 3-literal
+/// clauses using fresh link variables; clauses of size <= 3 pass through.
+CnfFormula SplitWideClauses(const CnfFormula& f);
+
+/// Step 3: non-circularization. Variables [0, f.num_vars) keep their ids as
+/// chain heads; appended copies are recorded in `copy_map`:
+/// (*copy_map)[v] = {source variable in f, polarity flipped?} for every
+/// variable v of the result (heads map to themselves, unflipped).
+CnfFormula MakeNonCircular(const CnfFormula& f,
+                           std::vector<std::pair<uint32_t, bool>>* copy_map);
+
+/// A satisfying assignment of a post-split formula (clause width <= 3, the
+/// guard positive somewhere in every original clause chain) with the guard
+/// variable true and all original variables false, built constructively by
+/// walking the clauses in order and setting each fresh link variable to
+/// satisfy its clause when nothing else does.
+std::vector<bool> SatisfyWithGuardTrue(const CnfFormula& post_split, uint32_t guard_var,
+                                       uint32_t first_link_var);
+
+/// Lifts a base assignment through MakeNonCircular's copy map.
+std::vector<bool> ExtendToCopies(const std::vector<bool>& base,
+                                 const std::vector<std::pair<uint32_t, bool>>& copy_map);
+
+/// Output of the full reduction.
+struct SatReduction {
+  CnfFormula phi;         ///< final non-circular formula
+  uint32_t guard_var;     ///< X's chain head in phi
+  History history;        ///< serial updates + one read-only transaction
+  TxnId reader;           ///< t_R
+  size_t num_update_txns;
+  size_t num_objects;
+};
+
+/// Full Theorem 5 reduction. Requires clause width <= 3 in `psi` (the
+/// paper's 3-SAT source). IsLegal(result.history) iff psi is satisfiable.
+StatusOr<SatReduction> ReduceSatToLegality(const CnfFormula& psi);
+
+}  // namespace bcc
+
+#endif  // BCC_CC_SAT_REDUCTION_H_

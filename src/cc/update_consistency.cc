@@ -1,0 +1,76 @@
+#include "cc/update_consistency.h"
+
+#include <cassert>
+
+#include "cc/view_serializability.h"
+#include "common/format.h"
+
+namespace bcc {
+
+Polygraph BuildTxnPolygraph(const History& history, TxnId t) {
+  Polygraph pg;
+  const std::unordered_set<TxnId> live = history.LiveSet(t);
+  for (TxnId n : live) pg.AddNode(n);
+
+  // Arcs: writer -> reader for every reads-from pair inside the live set.
+  const auto& reads_from = history.ReadsFrom();
+  for (const ReadsFromEdge& e : reads_from) {
+    if (live.contains(e.reader) && live.contains(e.writer) && e.reader != e.writer) {
+      pg.AddArc(e.writer, e.reader);
+    }
+  }
+
+  // Bipaths: for (t''' reads ob from t'') and each other live writer t' of
+  // ob, t' must be before t'' or after t'''.
+  for (const ReadsFromEdge& e : reads_from) {
+    if (!live.contains(e.reader) || !live.contains(e.writer)) continue;
+    const TxnId reader = e.reader;   // t'''
+    const TxnId source = e.writer;   // t''
+    for (TxnId other : live) {       // t'
+      if (other == reader || other == source) continue;
+      const bool writes_ob =
+          other == kInitTxn ? true : history.Txn(other).Writes(e.object);
+      if (!writes_ob) continue;
+      if (other == kInitTxn) continue;  // t0 precedes everything: vacuous.
+      if (source == kInitTxn) {
+        // "other before t0" is impossible; force reader -> other.
+        pg.AddArc(reader, other);
+      } else {
+        pg.AddBipath({reader, other}, {other, source});
+      }
+    }
+  }
+  return pg;
+}
+
+StatusOr<LegalityResult> CheckLegality(const History& history) {
+  LegalityResult result;
+
+  const History update = history.UpdateSubHistory();
+  BCC_ASSIGN_OR_RETURN(const bool update_vsr, IsViewSerializable(update));
+  if (!update_vsr) {
+    result.legal = false;
+    result.reason = "update sub-history is not view serializable";
+    return result;
+  }
+
+  for (TxnId t : history.TxnIds()) {
+    const TxnInfo& info = history.Txn(t);
+    if (!info.IsReadOnly() || info.outcome == TxnOutcome::kAborted) continue;
+    if (!BuildTxnPolygraph(history, t).IsAcyclic()) {
+      result.legal = false;
+      result.reason = StrFormat("polygraph P_H(t%u) is cyclic", t);
+      return result;
+    }
+  }
+  result.legal = true;
+  return result;
+}
+
+bool IsLegal(const History& history) {
+  auto result = CheckLegality(history);
+  assert(result.ok() && "history too large for the exact legality test");
+  return result.ok() && result->legal;
+}
+
+}  // namespace bcc

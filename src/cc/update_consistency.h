@@ -1,0 +1,51 @@
+// Update consistency — the paper's correctness criterion (Appendix A).
+//
+// Theorem 3 characterizes the histories a scheduler can determine to satisfy
+// the update-consistency requirements ("legal" histories):
+//   1. H_update (the update sub-history) is view serializable, and
+//   2. for every read-only transaction t_R, the polygraph P_H(t_R)
+//      (Definition 6) over LIVE_H(t_R) is acyclic.
+// Deciding legality is NP-complete even when updates run serially
+// (Theorems 4 and 5); the procedures here are exact and exponential, meant
+// for analysis/testing, not for the online protocol (that is APPROX).
+
+#ifndef BCC_CC_UPDATE_CONSISTENCY_H_
+#define BCC_CC_UPDATE_CONSISTENCY_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "graph/polygraph.h"
+#include "history/history.h"
+
+namespace bcc {
+
+/// Builds P_H(t) (Definition 6): nodes are LIVE_H(t); arcs are reads-from
+/// edges within the live set; for every read (t''' reads ob from t'') and
+/// every other live writer t' of ob there is a bipath "t' before t'' or
+/// after t'''". Bipath arms involving the initial transaction t0 are
+/// resolved directly (nothing can precede t0).
+Polygraph BuildTxnPolygraph(const History& history, TxnId t);
+
+/// Detailed verdict from the legality checker.
+struct LegalityResult {
+  bool legal = false;
+  /// Human-readable reason when not legal (which condition failed, and for
+  /// which read-only transaction).
+  std::string reason;
+};
+
+/// Exact legality test per Theorem 3. Read-only transactions that aborted
+/// are skipped (their reads were never exposed); active (unterminated)
+/// read-only transactions are checked, matching the prefix-closure
+/// requirement. Returns InvalidArgument when the update sub-history exceeds
+/// the exact view-serializability size limit.
+StatusOr<LegalityResult> CheckLegality(const History& history);
+
+/// Convenience wrapper: true iff legal. Histories too large for the exact
+/// test map to false with an assertion in debug builds.
+bool IsLegal(const History& history);
+
+}  // namespace bcc
+
+#endif  // BCC_CC_UPDATE_CONSISTENCY_H_

@@ -1,0 +1,111 @@
+#include "cc/view_serializability.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/format.h"
+
+namespace bcc {
+
+namespace {
+
+// Committed projection of a history.
+History CommittedProjection(const History& history) {
+  std::unordered_set<TxnId> committed;
+  for (TxnId t : history.TxnIds()) {
+    if (history.Txn(t).outcome == TxnOutcome::kCommitted) committed.insert(t);
+  }
+  return history.Project(committed);
+}
+
+// Per-object final writer (kInitTxn when never written).
+std::unordered_map<ObjectId, TxnId> FinalWriters(const History& history) {
+  std::unordered_map<ObjectId, TxnId> final_writer;
+  for (const Operation& op : history.ops()) {
+    if (op.type == OpType::kWrite) final_writer[op.object] = op.txn;
+  }
+  return final_writer;
+}
+
+// The sequence of (txn, object, source) for every read occurrence, in order.
+// Occurrence-based so histories with repeated reads also compare correctly.
+std::vector<ReadsFromEdge> ReadOccurrences(const History& history) {
+  std::vector<ReadsFromEdge> out;
+  const auto& ops = history.ops();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].type == OpType::kRead) {
+      out.push_back({ops[i].txn, ops[i].object, history.ReaderSource(i)});
+    }
+  }
+  return out;
+}
+
+// Multiset comparison keyed per (txn, object): the k-th read of ob by t must
+// observe the same source in both histories.
+bool SameReadSources(const History& a, const History& b) {
+  auto key_sorted = [](const History& h) {
+    auto v = ReadOccurrences(h);
+    std::stable_sort(v.begin(), v.end(), [](const ReadsFromEdge& x, const ReadsFromEdge& y) {
+      if (x.reader != y.reader) return x.reader < y.reader;
+      return x.object < y.object;
+    });
+    return v;
+  };
+  return key_sorted(a) == key_sorted(b);
+}
+
+History SerialHistory(const History& history, const std::vector<TxnId>& order) {
+  History serial;
+  for (TxnId t : order) {
+    for (size_t idx : history.Txn(t).op_indices) {
+      serial.Append(history.ops()[idx]);
+    }
+  }
+  return serial;
+}
+
+}  // namespace
+
+bool IsViewEquivalentToSerial(const History& history, const std::vector<TxnId>& order) {
+  const History committed = CommittedProjection(history);
+  const History serial = SerialHistory(committed, order);
+  if (serial.size() != committed.size()) return false;  // order must cover all
+  if (!SameReadSources(committed, serial)) return false;
+  return FinalWriters(committed) == FinalWriters(serial);
+}
+
+StatusOr<bool> IsViewSerializable(const History& history) {
+  auto order = ViewSerializationOrder(history);
+  if (order.ok()) return true;
+  if (order.status().IsNotFound()) return false;
+  return order.status();
+}
+
+StatusOr<std::vector<TxnId>> ViewSerializationOrder(const History& history) {
+  std::vector<TxnId> committed;
+  for (TxnId t : history.TxnIds()) {
+    if (history.Txn(t).outcome == TxnOutcome::kCommitted) committed.push_back(t);
+  }
+  // Fast path: a serial history of committed transactions is its own
+  // witness (e.g. the broadcast server's update sub-history), with no size
+  // limit.
+  if (history.IsSerial()) {
+    std::vector<TxnId> order;
+    for (const Operation& op : history.ops()) {
+      if (op.type == OpType::kCommit) order.push_back(op.txn);
+    }
+    if (order.size() == committed.size()) return order;
+  }
+  if (committed.size() > kMaxExactViewTxns) {
+    return Status::InvalidArgument(
+        StrFormat("exact view-serializability test limited to %zu committed txns, got %zu",
+                  kMaxExactViewTxns, committed.size()));
+  }
+  std::sort(committed.begin(), committed.end());
+  do {
+    if (IsViewEquivalentToSerial(history, committed)) return committed;
+  } while (std::next_permutation(committed.begin(), committed.end()));
+  return Status::NotFound("no view-equivalent serial order exists");
+}
+
+}  // namespace bcc

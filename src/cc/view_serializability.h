@@ -1,0 +1,36 @@
+// View serializability (exact, exponential) — needed by the formal
+// characterization of update consistency (Appendix A, Theorem 3).
+
+#ifndef BCC_CC_VIEW_SERIALIZABILITY_H_
+#define BCC_CC_VIEW_SERIALIZABILITY_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "history/history.h"
+
+namespace bcc {
+
+/// Upper bound on committed transactions for the exact (permutation-
+/// enumeration) view-serializability test.
+inline constexpr size_t kMaxExactViewTxns = 10;
+
+/// True iff the committed projection of `history` is view equivalent to the
+/// serial execution of its committed transactions in order `order`:
+/// every read observes the same writer (including the initial t0), and each
+/// object's final writer is the same.
+bool IsViewEquivalentToSerial(const History& history, const std::vector<TxnId>& order);
+
+/// Exact view-serializability decision by enumerating serial orders of the
+/// committed transactions. Returns InvalidArgument if the history has more
+/// than kMaxExactViewTxns committed transactions (the problem is
+/// NP-complete; instances must stay small).
+StatusOr<bool> IsViewSerializable(const History& history);
+
+/// A witnessing serial order when view serializable; NotFound when not;
+/// InvalidArgument when too large for the exact test.
+StatusOr<std::vector<TxnId>> ViewSerializationOrder(const History& history);
+
+}  // namespace bcc
+
+#endif  // BCC_CC_VIEW_SERIALIZABILITY_H_

@@ -1,0 +1,60 @@
+#include "client/cache.h"
+
+namespace bcc {
+
+QuasiCache::QuasiCache(size_t capacity, SimTime default_currency_bound)
+    : capacity_(capacity), default_bound_(default_currency_bound) {}
+
+void QuasiCache::SetCurrencyBound(ObjectId ob, SimTime bound) {
+  per_object_bound_[ob] = bound;
+}
+
+SimTime QuasiCache::CurrencyBoundFor(ObjectId ob) const {
+  const auto it = per_object_bound_.find(ob);
+  return it == per_object_bound_.end() ? default_bound_ : it->second;
+}
+
+std::optional<CacheEntry> QuasiCache::Lookup(ObjectId ob, SimTime now) {
+  const auto it = map_.find(ob);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  const CacheEntry& entry = it->second->entry;
+  if (now - entry.cached_time > CurrencyBoundFor(ob)) {
+    // Stale: local invalidation, no communication.
+    lru_.erase(it->second);
+    map_.erase(it);
+    ++stale_drops_;
+    ++misses_;
+    return std::nullopt;
+  }
+  // Move to front (most recently used).
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return entry;
+}
+
+void QuasiCache::Insert(ObjectId ob, CacheEntry entry) {
+  const auto it = map_.find(ob);
+  if (it != map_.end()) {
+    it->second->entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (capacity_ != 0 && map_.size() >= capacity_) {
+    const Node& victim = lru_.back();
+    map_.erase(victim.ob);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Node{ob, std::move(entry)});
+  map_[ob] = lru_.begin();
+}
+
+void QuasiCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace bcc

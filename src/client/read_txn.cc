@@ -1,0 +1,148 @@
+#include "client/read_txn.h"
+
+#include <cassert>
+
+#include "client/cache.h"
+#include "common/format.h"
+#include "matrix/mc_vector.h"
+
+namespace bcc {
+
+ReadOnlyTxnProtocol::ReadOnlyTxnProtocol(Algorithm algorithm,
+                                         std::optional<CycleStampCodec> codec)
+    : algorithm_(algorithm), codec_(codec) {}
+
+Cycle ReadOnlyTxnProtocol::Stamp(Cycle raw, Cycle current) const {
+  if (!codec_.has_value()) return raw;
+  return codec_->Decode(codec_->Encode(raw), current);
+}
+
+bool ReadOnlyTxnProtocol::CheckFMatrix(const CycleSnapshot& snap, ObjectId ob) const {
+  if (snap.group_matrix.has_value()) {
+    // Grouped spectrum (Section 3.2.2): MC(i, group(j)) < cycle.
+    const GroupMatrix& gm = *snap.group_matrix;
+    const uint32_t s = gm.partition().GroupOf(ob);
+    for (const ReadRecord& r : reads_) {
+      if (Stamp(gm.At(r.object, s), snap.cycle) >= r.cycle) return false;
+    }
+    return true;
+  }
+  // read-condition(ob_j): for all (ob_i, cycle) in R_t : C(i, j) < cycle.
+  for (const ReadRecord& r : reads_) {
+    if (Stamp(snap.f_matrix.At(r.object, ob), snap.cycle) >= r.cycle) return false;
+  }
+  return true;
+}
+
+bool ReadOnlyTxnProtocol::CheckDatacycle(const CycleSnapshot& snap) const {
+  for (const ReadRecord& r : reads_) {
+    if (Stamp(snap.mc_vector.At(r.object), snap.cycle) >= r.cycle) return false;
+  }
+  return true;
+}
+
+bool ReadOnlyTxnProtocol::CheckRMatrix(const CycleSnapshot& snap, ObjectId ob) const {
+  if (CheckDatacycle(snap)) return true;
+  // Weakened disjunct: the object now being read is unchanged since the
+  // transaction's first read.
+  return Stamp(snap.mc_vector.At(ob), snap.cycle) < first_read_cycle_;
+}
+
+void ReadOnlyTxnProtocol::Record(ObjectId ob, Cycle cycle, const ObjectVersion& version,
+                                 std::vector<Cycle> column) {
+  if (reads_.empty()) first_read_cycle_ = cycle;
+  reads_.push_back({ob, cycle});
+  values_.push_back(version);
+  columns_.push_back(std::move(column));
+}
+
+StatusOr<ObjectVersion> ReadOnlyTxnProtocol::Read(const CycleSnapshot& snap, ObjectId ob) {
+  bool ok = false;
+  switch (algorithm_) {
+    case Algorithm::kFMatrix:
+    case Algorithm::kFMatrixNo:
+      ok = CheckFMatrix(snap, ob);
+      break;
+    case Algorithm::kRMatrix:
+      ok = CheckRMatrix(snap, ob);
+      break;
+    case Algorithm::kDatacycle:
+      ok = CheckDatacycle(snap);
+      break;
+  }
+  if (!ok) {
+    return Status::Aborted(StrFormat("read-condition(ob%u) failed at cycle %llu", ob,
+                                     static_cast<unsigned long long>(snap.cycle)));
+  }
+  const ObjectVersion version = snap.values[ob];
+  // Keep the consulted column (as the client decoded it) so that later
+  // stale cached reads can be validated against it.
+  std::vector<Cycle> column;
+  const bool f_family =
+      algorithm_ == Algorithm::kFMatrix || algorithm_ == Algorithm::kFMatrixNo;
+  if (f_family && !snap.group_matrix.has_value() && snap.f_matrix.num_objects() > 0) {
+    const std::span<const Cycle> raw = snap.f_matrix.Column(ob);
+    column.reserve(raw.size());
+    for (Cycle c : raw) column.push_back(Stamp(c, snap.cycle));
+  }
+  Record(ob, snap.cycle, version, std::move(column));
+  return version;
+}
+
+StatusOr<ObjectVersion> ReadOnlyTxnProtocol::ReadFromCache(const CacheEntry& entry, ObjectId ob,
+                                                           const CycleSnapshot& snap) {
+  auto reject = [&]() -> Status {
+    return Status::Aborted(
+        StrFormat("cache read-condition(ob%u) failed (cached cycle %llu)", ob,
+                  static_cast<unsigned long long>(entry.cycle)));
+  };
+
+  switch (algorithm_) {
+    case Algorithm::kFMatrix:
+    case Algorithm::kFMatrixNo: {
+      if (entry.column.empty() || snap.group_matrix.has_value()) return reject();
+      // Forward direction (the paper's rule, with the stored column standing
+      // in for the broadcast one): the cached value must not depend on a
+      // transaction that overwrote anything we already read.
+      for (const ReadRecord& r : reads_) {
+        if (entry.column[r.object] >= r.cycle) return reject();
+      }
+      // Reverse direction — needed because this read may be OLDER than
+      // previous reads: no previously read value may depend on a write to
+      // `ob` at or after the cached cycle. Fresh reads satisfy this
+      // automatically (their column entries precede their own cycle, which
+      // is itself <= any later read's cycle), but a stale insertion must be
+      // checked explicitly against every stored column.
+      for (size_t k = 0; k < reads_.size(); ++k) {
+        if (columns_[k].empty()) return reject();  // no evidence: be safe
+        if (columns_[k][ob] >= entry.cycle) return reject();
+      }
+      Record(ob, entry.cycle, entry.version, entry.column);
+      return entry.version;
+    }
+    case Algorithm::kRMatrix: {
+      // The reduced vector cannot describe a stale value's dependencies, so
+      // only serve the cached value if it is still current: no committed
+      // write to `ob` since the cached cycle per the latest on-air vector.
+      // The read is then equivalent to a fresh read at snap.cycle.
+      if (Stamp(snap.mc_vector.At(ob), snap.cycle) >= entry.cycle) return reject();
+      if (!CheckRMatrix(snap, ob)) return reject();
+      Record(ob, snap.cycle, entry.version, {});
+      return entry.version;
+    }
+    case Algorithm::kDatacycle:
+      // Datacycle has no caching story in the paper: reject so callers fall
+      // back to the broadcast.
+      return reject();
+  }
+  return reject();
+}
+
+void ReadOnlyTxnProtocol::Reset() {
+  reads_.clear();
+  values_.clear();
+  columns_.clear();
+  first_read_cycle_ = 0;
+}
+
+}  // namespace bcc

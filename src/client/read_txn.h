@@ -1,0 +1,97 @@
+// Client-side read-only transaction protocol (Section 3.2.1/3.2.2).
+//
+// A read-only transaction never contacts the server. Before each read it
+// evaluates its algorithm's read condition against the control information
+// broadcast in the cycle it reads from; failure aborts the transaction
+// (Status::Aborted), after which the client restarts it. Commit is a no-op.
+//
+// When a CycleStampCodec is supplied, every control entry consulted is
+// round-tripped through its TS-bit wire encoding (residue encode at the
+// server, windowed decode at the client anchored on the current cycle),
+// exactly as the paper's modulo-arithmetic scheme prescribes. Entries older
+// than the codec window alias to more recent cycles, which can only cause
+// spurious aborts — never a consistency violation.
+
+#ifndef BCC_CLIENT_READ_TXN_H_
+#define BCC_CLIENT_READ_TXN_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/statusor.h"
+#include "matrix/control_info.h"
+#include "server/broadcast_server.h"
+
+namespace bcc {
+
+struct CacheEntry;  // client/cache.h
+
+/// Per-transaction protocol state machine, reusable across restarts via
+/// Reset().
+class ReadOnlyTxnProtocol {
+ public:
+  explicit ReadOnlyTxnProtocol(Algorithm algorithm,
+                               std::optional<CycleStampCodec> codec = std::nullopt);
+
+  Algorithm algorithm() const { return algorithm_; }
+
+  /// Attempts to read `ob` off the air from cycle snapshot `snap`. On
+  /// success records (ob, snap.cycle) and returns the version read; on read-
+  /// condition failure returns Status::Aborted (caller restarts the txn).
+  StatusOr<ObjectVersion> Read(const CycleSnapshot& snap, ObjectId ob);
+
+  /// Attempts to serve `ob` from a cache entry (Section 3.3).
+  ///
+  /// F-Matrix/F-Matrix-No: the entry's stored column substitutes for the
+  /// broadcast column, and — because a cached read may be *older* than
+  /// previous reads — the condition is checked in both directions: the
+  /// cached value must not depend on overwrites of anything already read
+  /// (paper's rule), and no previously read value may depend on a write to
+  /// `ob` at or after the cached cycle (checked against the columns stored
+  /// with every earlier read). Records (ob, entry.cycle) on success.
+  ///
+  /// R-Matrix: the reduced entry cannot describe stale dependencies, so a
+  /// cached value is only served when it is still current (no committed
+  /// write since it was cached, per the latest on-air vector); the read is
+  /// then exactly equivalent to a fresh read at snap.cycle and is validated
+  /// and recorded as such.
+  ///
+  /// Datacycle: always rejected (the paper gives it no caching story).
+  StatusOr<ObjectVersion> ReadFromCache(const CacheEntry& entry, ObjectId ob,
+                                        const CycleSnapshot& snap);
+
+  /// Read-only commit: always succeeds, returns the number of reads.
+  size_t Commit() const { return reads_.size(); }
+
+  /// Clears all per-attempt state for a restart.
+  void Reset();
+
+  const std::vector<ReadRecord>& reads() const { return reads_; }
+  const std::vector<ObjectVersion>& values() const { return values_; }
+  /// Cycle of the first successful read (R-Matrix's c1); 0 before any read.
+  Cycle first_read_cycle() const { return first_read_cycle_; }
+
+ private:
+  /// Control-entry view with optional wire-codec round trip.
+  Cycle Stamp(Cycle raw, Cycle current) const;
+
+  bool CheckFMatrix(const CycleSnapshot& snap, ObjectId ob) const;
+  bool CheckRMatrix(const CycleSnapshot& snap, ObjectId ob) const;
+  bool CheckDatacycle(const CycleSnapshot& snap) const;
+
+  void Record(ObjectId ob, Cycle cycle, const ObjectVersion& version,
+              std::vector<Cycle> column);
+
+  Algorithm algorithm_;
+  std::optional<CycleStampCodec> codec_;
+  std::vector<ReadRecord> reads_;
+  std::vector<ObjectVersion> values_;
+  /// Per read: the control column consulted (F-family, ungrouped only;
+  /// empty otherwise). Needed to validate later *stale* cached reads.
+  std::vector<std::vector<Cycle>> columns_;
+  Cycle first_read_cycle_ = 0;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_CLIENT_READ_TXN_H_

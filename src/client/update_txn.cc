@@ -1,0 +1,34 @@
+#include "client/update_txn.h"
+
+namespace bcc {
+
+StatusOr<ObjectVersion> UpdateTxnBuffer::Read(const CycleSnapshot& snap, ObjectId ob) {
+  const auto it = local_writes_.find(ob);
+  if (it != local_writes_.end()) {
+    // Read-your-own-writes from the local copy; not a broadcast read, so no
+    // read record is added.
+    return ObjectVersion{it->second, id_, snap.cycle};
+  }
+  return protocol_.Read(snap, ob);
+}
+
+void UpdateTxnBuffer::Write(ObjectId ob) {
+  if (!local_writes_.contains(ob)) write_order_.push_back(ob);
+  local_writes_[ob] = next_local_value_++;
+}
+
+ClientUpdateRequest UpdateTxnBuffer::BuildCommitRequest() const {
+  ClientUpdateRequest request;
+  request.id = id_;
+  request.reads = protocol_.reads();
+  request.writes = write_order_;
+  return request;
+}
+
+void UpdateTxnBuffer::Abort() {
+  local_writes_.clear();
+  write_order_.clear();
+  protocol_.Reset();
+}
+
+}  // namespace bcc

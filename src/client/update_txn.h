@@ -1,0 +1,62 @@
+// Client-side update transactions (Section 3.2.1, client functionality).
+//
+// Writes are buffered locally (no checks); reads go through the same
+// read-condition protocol as read-only transactions, except that a write an
+// object previously written by this transaction is read back from the local
+// buffer. At commit, the read records (object + cycle) and the write set are
+// shipped to the server's UpdateValidator over the low-bandwidth uplink.
+
+#ifndef BCC_CLIENT_UPDATE_TXN_H_
+#define BCC_CLIENT_UPDATE_TXN_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "client/read_txn.h"
+#include "server/validator.h"
+
+namespace bcc {
+
+/// Buffered client update transaction.
+class UpdateTxnBuffer {
+ public:
+  UpdateTxnBuffer(TxnId id, Algorithm algorithm,
+                  std::optional<CycleStampCodec> codec = std::nullopt)
+      : id_(id), protocol_(algorithm, codec) {}
+
+  TxnId id() const { return id_; }
+
+  /// Reads `ob`: served from the local write buffer when previously written
+  /// by this transaction, otherwise off the air with read-condition
+  /// validation. Returns Status::Aborted on a failed condition.
+  StatusOr<ObjectVersion> Read(const CycleSnapshot& snap, ObjectId ob);
+
+  /// Buffers a write locally ("the write is performed on a local copy...
+  /// No checks are made").
+  void Write(ObjectId ob);
+
+  bool has_writes() const { return !write_order_.empty(); }
+
+  /// Builds the commit request to ship to the server. A transaction with no
+  /// writes commits locally and needs no request.
+  ClientUpdateRequest BuildCommitRequest() const;
+
+  /// Discards all local state ("all the copies of the data items written to
+  /// are discarded").
+  void Abort();
+
+  const std::vector<ReadRecord>& reads() const { return protocol_.reads(); }
+  const std::vector<ObjectId>& writes() const { return write_order_; }
+
+ private:
+  TxnId id_;
+  ReadOnlyTxnProtocol protocol_;
+  std::unordered_map<ObjectId, uint64_t> local_writes_;  // ob -> local copy marker
+  std::vector<ObjectId> write_order_;
+  uint64_t next_local_value_ = 1;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_CLIENT_UPDATE_TXN_H_

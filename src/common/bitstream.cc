@@ -1,0 +1,34 @@
+#include "common/bitstream.h"
+
+#include <cassert>
+
+namespace bcc {
+
+void BitWriter::Write(uint32_t value, unsigned bits) {
+  assert(bits >= 1 && bits <= 32);
+  for (unsigned b = 0; b < bits; ++b) {
+    if (bit_size_ % 8 == 0) bytes_.push_back(0);
+    if ((value >> b) & 1) {
+      bytes_.back() |= static_cast<uint8_t>(1u << (bit_size_ % 8));
+    }
+    ++bit_size_;
+  }
+}
+
+Status BitReader::Read(unsigned bits, uint32_t* value) {
+  assert(bits >= 1 && bits <= 32);
+  if (bits > bits_remaining()) {
+    return Status::OutOfRange("bit buffer exhausted");
+  }
+  uint32_t out = 0;
+  for (unsigned b = 0; b < bits; ++b) {
+    const size_t byte = cursor_ / 8;
+    const unsigned bit = cursor_ % 8;
+    if ((bytes_[byte] >> bit) & 1) out |= (1u << b);
+    ++cursor_;
+  }
+  *value = out;
+  return Status::OK();
+}
+
+}  // namespace bcc

@@ -1,0 +1,51 @@
+// Bit-granular serialization for broadcast control information. Timestamp
+// residues are TS bits wide (Table 1: 8, but any 1..32), so columns are
+// packed without byte alignment — the wire sizes the paper's overhead
+// formulas count are exact.
+
+#ifndef BCC_COMMON_BITSTREAM_H_
+#define BCC_COMMON_BITSTREAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bcc {
+
+/// Append-only bit buffer (LSB-first within each byte).
+class BitWriter {
+ public:
+  /// Appends the low `bits` bits of `value` (1..32).
+  void Write(uint32_t value, unsigned bits);
+
+  /// Total bits written so far.
+  size_t bit_size() const { return bit_size_; }
+
+  /// The packed bytes (final partial byte zero-padded).
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t bit_size_ = 0;
+};
+
+/// Sequential reader over a packed bit buffer.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Reads `bits` (1..32) bits; OutOfRange past the end.
+  Status Read(unsigned bits, uint32_t* value);
+
+  size_t bits_remaining() const { return bytes_.size() * 8 - cursor_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_COMMON_BITSTREAM_H_

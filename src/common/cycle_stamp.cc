@@ -1,0 +1,23 @@
+#include "common/cycle_stamp.h"
+
+#include <cassert>
+
+namespace bcc {
+
+CycleStampCodec::CycleStampCodec(unsigned bits) : bits_(bits) {
+  assert(bits >= 1 && bits <= 32);
+  modulus_ = uint64_t{1} << bits;
+}
+
+Cycle CycleStampCodec::Decode(uint32_t residue, Cycle current) const {
+  const uint64_t mask = modulus_ - 1;
+  const uint64_t r = residue & mask;
+  const uint64_t cur_residue = current & mask;
+  // Distance (mod modulus) back from the current cycle to the stamp.
+  const uint64_t back = (cur_residue - r) & mask;
+  // A stamp cannot denote a future cycle; `back` cycles before `current` is
+  // the most recent candidate. Clamp at 0 for stamps near the epoch.
+  return back <= current ? current - back : 0;
+}
+
+}  // namespace bcc

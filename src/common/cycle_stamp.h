@@ -1,0 +1,54 @@
+// Modulo broadcast-cycle timestamps (Section 3.2.1 of the paper).
+//
+// The control matrix stores commit-cycle numbers. To bound the per-entry
+// wire size, the paper stores cycle numbers modulo (max_cycles + 1), where
+// max_cycles bounds the number of broadcast cycles any transaction may span,
+// and compares them with windowed (modulo) arithmetic. With a `bits`-bit
+// timestamp, max_cycles = 2^bits - 1.
+//
+// Decoding is anchored at the *current* cycle: an encoded stamp denotes the
+// most recent absolute cycle <= current whose residue matches. Entries older
+// than the window decode to a too-recent value; per the paper's protocol this
+// can only cause spurious aborts (safe), never false acceptance — a property
+// the test suite checks.
+
+#ifndef BCC_COMMON_CYCLE_STAMP_H_
+#define BCC_COMMON_CYCLE_STAMP_H_
+
+#include <cstdint>
+
+namespace bcc {
+
+/// Absolute broadcast cycle number (cycle 0 = the imaginary cycle in which
+/// the initial transaction t0 writes every object).
+using Cycle = uint64_t;
+
+/// Encodes/decodes absolute cycle numbers into `bits`-bit residues.
+class CycleStampCodec {
+ public:
+  /// `bits` in [1, 32]; the representable window is 2^bits cycles.
+  explicit CycleStampCodec(unsigned bits);
+
+  unsigned bits() const { return bits_; }
+  /// Number of distinct residues, i.e. max_cycles + 1.
+  uint64_t modulus() const { return modulus_; }
+  /// Maximum transaction span (in cycles) that decodes unambiguously.
+  uint64_t max_cycles() const { return modulus_ - 1; }
+
+  /// Absolute cycle -> wire residue.
+  uint32_t Encode(Cycle absolute) const {
+    return static_cast<uint32_t>(absolute & (modulus_ - 1));
+  }
+
+  /// Wire residue -> most recent absolute cycle <= `current` with that
+  /// residue. Exact whenever current - absolute <= max_cycles().
+  Cycle Decode(uint32_t residue, Cycle current) const;
+
+ private:
+  unsigned bits_;
+  uint64_t modulus_;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_COMMON_CYCLE_STAMP_H_

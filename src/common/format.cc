@@ -1,0 +1,34 @@
+#include "common/format.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace bcc {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatBitUnits(double bit_units) {
+  if (bit_units >= 1e6) return StrFormat("%.2fe6 bits", bit_units / 1e6);
+  if (bit_units >= 1e3) return StrFormat("%.2fe3 bits", bit_units / 1e3);
+  return StrFormat("%.0f bits", bit_units);
+}
+
+std::string FormatEng(double v, int precision) { return StrFormat("%.*g", precision, v); }
+
+}  // namespace bcc

@@ -1,0 +1,21 @@
+// printf-style string helpers (libstdc++ 12 lacks <format>).
+
+#ifndef BCC_COMMON_FORMAT_H_
+#define BCC_COMMON_FORMAT_H_
+
+#include <string>
+
+namespace bcc {
+
+/// snprintf into a std::string. Attribute-checked like printf.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders a count of bit-units compactly, e.g. "3.18e6 bits".
+std::string FormatBitUnits(double bit_units);
+
+/// Renders a double with engineering-style precision for tables.
+std::string FormatEng(double v, int precision = 4);
+
+}  // namespace bcc
+
+#endif  // BCC_COMMON_FORMAT_H_

@@ -1,0 +1,84 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bcc {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& w : s_) w = SplitMix64(&sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ull;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+double Rng::NextExponential(double mean) {
+  assert(mean > 0);
+  // Inverse-CDF; 1 - U avoids log(0).
+  return -mean * std::log(1.0 - NextDouble());
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  assert(k <= n);
+  // Partial Fisher-Yates over an index vector.
+  std::vector<uint32_t> idx(n);
+  for (uint32_t i = 0; i < n; ++i) idx[i] = i;
+  for (uint32_t i = 0; i < k; ++i) {
+    const uint32_t j = i + static_cast<uint32_t>(NextBounded(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::Split() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ull); }
+
+}  // namespace bcc

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// Simulation results must be exactly reproducible from a seed, so we ship our
+// own small generators (SplitMix64 for seeding, xoshiro256** for the stream)
+// instead of relying on implementation-defined std::random distributions.
+
+#ifndef BCC_COMMON_RNG_H_
+#define BCC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bcc {
+
+/// SplitMix64 step; used to expand one seed into generator state.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Deterministic, portable random number generator (xoshiro256**).
+///
+/// All distribution helpers are defined in terms of the raw 64-bit stream so
+/// that sequences are identical on every platform/compiler.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64 bits.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) using Lemire rejection; bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// k distinct values sampled uniformly from [0, n); requires k <= n.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  /// Derives an independent generator (for sub-streams) deterministically.
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace bcc
+
+#endif  // BCC_COMMON_RNG_H_

@@ -1,0 +1,73 @@
+// Streaming statistics used by the simulator's metrics pipeline.
+
+#ifndef BCC_COMMON_STATS_H_
+#define BCC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace bcc {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+class StreamingStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Half-width of the normal-approximation confidence interval at the given
+  /// confidence level (default 95%). Returns 0 for fewer than two samples.
+  double ConfidenceHalfWidth(double confidence = 0.95) const;
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const StreamingStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Two-sided standard-normal quantile for the given confidence level, e.g.
+/// 0.95 -> 1.95996. Computed via Acklam's inverse-CDF approximation.
+double NormalQuantileTwoSided(double confidence);
+
+/// Fixed-bucket histogram over [lo, hi); values outside are clamped into the
+/// first/last bucket. Used for response-time distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t count() const { return total_; }
+  const std::vector<uint64_t>& buckets() const { return counts_; }
+
+  /// Approximate p-quantile (0 <= p <= 1) by linear interpolation within the
+  /// containing bucket. Returns 0 when empty.
+  double Quantile(double p) const;
+
+  /// Multi-line ASCII rendering, `width` characters for the largest bar.
+  std::string ToAscii(size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<uint64_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_COMMON_STATS_H_

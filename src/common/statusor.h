@@ -1,0 +1,76 @@
+// StatusOr<T>: the value-or-error companion of Status.
+
+#ifndef BCC_COMMON_STATUSOR_H_
+#define BCC_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace bcc {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Constructing from an OK status is a programming error
+/// (asserted in debug builds, normalized to kInternal otherwise).
+template <typename T>
+class StatusOr {
+ public:
+  /// Error state.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status without a value");
+    }
+  }
+
+  /// Value state.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr), propagating the error or binding the
+/// value to `lhs`.
+#define BCC_ASSIGN_OR_RETURN(lhs, rexpr) \
+  BCC_ASSIGN_OR_RETURN_IMPL_(BCC_STATUSOR_CONCAT_(bcc_statusor_tmp_, __LINE__), lhs, rexpr)
+
+#define BCC_STATUSOR_CONCAT_INNER_(a, b) a##b
+#define BCC_STATUSOR_CONCAT_(a, b) BCC_STATUSOR_CONCAT_INNER_(a, b)
+#define BCC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace bcc
+
+#endif  // BCC_COMMON_STATUSOR_H_

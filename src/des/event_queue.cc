@@ -1,0 +1,37 @@
+#include "des/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bcc {
+
+void EventQueue::ScheduleAt(SimTime at, Callback fn) {
+  if (at < now_) at = now_;  // late scheduling degrades to "immediately"
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::Step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
+  // copy the callback handle (std::function copy) then pop.
+  Event ev = heap_.top();
+  heap_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+size_t EventQueue::Run(size_t limit) {
+  size_t fired = 0;
+  while (fired < limit && Step()) ++fired;
+  return fired;
+}
+
+size_t EventQueue::RunUntil(SimTime until) {
+  size_t fired = 0;
+  while (!heap_.empty() && heap_.top().time <= until && Step()) ++fired;
+  return fired;
+}
+
+}  // namespace bcc

@@ -1,0 +1,146 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bcc {
+
+size_t Digraph::AddNode(NodeKey key) {
+  const auto [it, inserted] = index_.try_emplace(key, keys_.size());
+  if (inserted) {
+    keys_.push_back(key);
+    adj_.emplace_back();
+  }
+  return it->second;
+}
+
+void Digraph::AddEdge(NodeKey from, NodeKey to) {
+  const size_t f = AddNode(from);
+  const size_t t = AddNode(to);
+  auto& succ = adj_[f];
+  if (std::find(succ.begin(), succ.end(), t) == succ.end()) {
+    succ.push_back(t);
+    ++num_edges_;
+  }
+}
+
+bool Digraph::HasEdge(NodeKey from, NodeKey to) const {
+  const auto f = index_.find(from);
+  const auto t = index_.find(to);
+  if (f == index_.end() || t == index_.end()) return false;
+  const auto& succ = adj_[f->second];
+  return std::find(succ.begin(), succ.end(), t->second) != succ.end();
+}
+
+std::vector<Digraph::NodeKey> Digraph::Successors(NodeKey key) const {
+  const auto it = index_.find(key);
+  std::vector<NodeKey> out;
+  if (it == index_.end()) return out;
+  for (size_t s : adj_[it->second]) out.push_back(keys_[s]);
+  return out;
+}
+
+bool Digraph::HasCycle() const { return !TopologicalSort().ok(); }
+
+StatusOr<std::vector<Digraph::NodeKey>> Digraph::TopologicalSort() const {
+  // Kahn's algorithm.
+  std::vector<size_t> indegree(keys_.size(), 0);
+  for (const auto& succ : adj_) {
+    for (size_t t : succ) ++indegree[t];
+  }
+  std::vector<size_t> ready;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<NodeKey> order;
+  order.reserve(keys_.size());
+  while (!ready.empty()) {
+    const size_t n = ready.back();
+    ready.pop_back();
+    order.push_back(keys_[n]);
+    for (size_t t : adj_[n]) {
+      if (--indegree[t] == 0) ready.push_back(t);
+    }
+  }
+  if (order.size() != keys_.size()) {
+    return Status::InvalidArgument("graph contains a cycle");
+  }
+  return order;
+}
+
+std::vector<std::vector<Digraph::NodeKey>> Digraph::StronglyConnectedComponents() const {
+  // Iterative Tarjan.
+  const size_t n = keys_.size();
+  std::vector<int64_t> disc(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  std::vector<std::vector<NodeKey>> sccs;
+  int64_t timer = 0;
+
+  struct Frame {
+    size_t node;
+    size_t child_idx;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (disc[root] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    disc[root] = low[root] = timer++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& fr = frames.back();
+      if (fr.child_idx < adj_[fr.node].size()) {
+        const size_t child = adj_[fr.node][fr.child_idx++];
+        if (disc[child] == -1) {
+          disc[child] = low[child] = timer++;
+          stack.push_back(child);
+          on_stack[child] = true;
+          frames.push_back({child, 0});
+        } else if (on_stack[child]) {
+          low[fr.node] = std::min(low[fr.node], disc[child]);
+        }
+      } else {
+        if (low[fr.node] == disc[fr.node]) {
+          std::vector<NodeKey> comp;
+          for (;;) {
+            const size_t v = stack.back();
+            stack.pop_back();
+            on_stack[v] = false;
+            comp.push_back(keys_[v]);
+            if (v == fr.node) break;
+          }
+          sccs.push_back(std::move(comp));
+        }
+        const size_t done = fr.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] = std::min(low[frames.back().node], low[done]);
+        }
+      }
+    }
+  }
+  return sccs;
+}
+
+bool Digraph::Reachable(NodeKey from, NodeKey to) const {
+  const auto f = index_.find(from);
+  const auto t = index_.find(to);
+  assert(f != index_.end() && t != index_.end());
+  std::vector<bool> seen(keys_.size(), false);
+  std::vector<size_t> work{f->second};
+  seen[f->second] = true;
+  while (!work.empty()) {
+    const size_t cur = work.back();
+    work.pop_back();
+    if (cur == t->second) return true;
+    for (size_t s : adj_[cur]) {
+      if (!seen[s]) {
+        seen[s] = true;
+        work.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace bcc

@@ -1,0 +1,60 @@
+// A small dense directed-graph utility used by the serializability checkers.
+
+#ifndef BCC_GRAPH_DIGRAPH_H_
+#define BCC_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace bcc {
+
+/// Directed graph over nodes labeled with arbitrary uint32 keys (typically
+/// TxnIds). Nodes are interned to dense indices internally; duplicate edges
+/// are ignored.
+class Digraph {
+ public:
+  using NodeKey = uint32_t;
+
+  /// Adds a node (no-op when present). Returns its dense index.
+  size_t AddNode(NodeKey key);
+
+  /// Adds an edge, creating nodes as needed. Self-loops are allowed and make
+  /// the graph cyclic.
+  void AddEdge(NodeKey from, NodeKey to);
+
+  bool HasNode(NodeKey key) const { return index_.contains(key); }
+  bool HasEdge(NodeKey from, NodeKey to) const;
+
+  size_t NumNodes() const { return keys_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  const std::vector<NodeKey>& nodes() const { return keys_; }
+  /// Successors of `key` as node keys; empty when absent.
+  std::vector<NodeKey> Successors(NodeKey key) const;
+
+  /// True iff the graph contains a directed cycle.
+  bool HasCycle() const;
+
+  /// Topological order of node keys; InvalidArgument when cyclic.
+  StatusOr<std::vector<NodeKey>> TopologicalSort() const;
+
+  /// Strongly connected components (Tarjan), in reverse topological order of
+  /// the condensation; each component lists node keys.
+  std::vector<std::vector<NodeKey>> StronglyConnectedComponents() const;
+
+  /// True iff `to` is reachable from `from` (both must exist).
+  bool Reachable(NodeKey from, NodeKey to) const;
+
+ private:
+  std::unordered_map<NodeKey, size_t> index_;
+  std::vector<NodeKey> keys_;
+  std::vector<std::vector<size_t>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_GRAPH_DIGRAPH_H_

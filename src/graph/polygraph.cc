@@ -1,0 +1,95 @@
+#include "graph/polygraph.h"
+
+#include <algorithm>
+
+namespace bcc {
+
+void Polygraph::AddNode(NodeKey key) { base_.AddNode(key); }
+
+void Polygraph::AddArc(NodeKey from, NodeKey to) { base_.AddEdge(from, to); }
+
+void Polygraph::AddBipath(Arc first, Arc second) {
+  base_.AddNode(first.first);
+  base_.AddNode(first.second);
+  base_.AddNode(second.first);
+  base_.AddNode(second.second);
+  bipaths_.push_back({first, second});
+}
+
+namespace {
+
+// Would adding from->to close a directed cycle? (Reachability test; cheaper
+// and more precise than add-then-check.)
+bool WouldCycle(const Digraph& graph, Polygraph::NodeKey from, Polygraph::NodeKey to) {
+  if (from == to) return true;
+  return graph.Reachable(to, from);
+}
+
+// Unit propagation: repeatedly resolve bipaths with a forced arm (the other
+// arm would close a cycle). Returns false on contradiction (both arms
+// cycle). `open` marks unresolved bipaths; satisfied ones are cleared.
+bool Propagate(Digraph* graph, const std::vector<Polygraph::Bipath>& bipaths,
+               std::vector<bool>* open) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < bipaths.size(); ++i) {
+      if (!(*open)[i]) continue;
+      const Polygraph::Arc& a = bipaths[i].first;
+      const Polygraph::Arc& b = bipaths[i].second;
+      if (graph->HasEdge(a.first, a.second) || graph->HasEdge(b.first, b.second)) {
+        (*open)[i] = false;
+        continue;
+      }
+      const bool a_cycles = WouldCycle(*graph, a.first, a.second);
+      const bool b_cycles = WouldCycle(*graph, b.first, b.second);
+      if (a_cycles && b_cycles) return false;
+      if (a_cycles || b_cycles) {
+        const Polygraph::Arc& forced = a_cycles ? b : a;
+        graph->AddEdge(forced.first, forced.second);
+        (*open)[i] = false;
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+// Backtracking search with unit propagation. `graph` and `open` are copied
+// at each branch (instances are moderate; clarity over micro-optimization).
+std::optional<std::vector<Polygraph::NodeKey>> Search(
+    Digraph graph, const std::vector<Polygraph::Bipath>& bipaths, std::vector<bool> open) {
+  if (!Propagate(&graph, bipaths, &open)) return std::nullopt;
+  size_t next = bipaths.size();
+  for (size_t i = 0; i < bipaths.size(); ++i) {
+    if (open[i]) {
+      next = i;
+      break;
+    }
+  }
+  if (next == bipaths.size()) {
+    auto order = graph.TopologicalSort();
+    if (order.ok()) return std::move(order).value();
+    return std::nullopt;
+  }
+  std::vector<bool> branch_open = open;
+  branch_open[next] = false;
+  for (const Polygraph::Arc& choice : {bipaths[next].first, bipaths[next].second}) {
+    if (WouldCycle(graph, choice.first, choice.second)) continue;  // prune
+    Digraph candidate = graph;
+    candidate.AddEdge(choice.first, choice.second);
+    if (auto order = Search(std::move(candidate), bipaths, branch_open)) return order;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<Polygraph::NodeKey>> Polygraph::FindAcyclicOrder() const {
+  if (base_.HasCycle()) return std::nullopt;
+  return Search(base_, bipaths_, std::vector<bool>(bipaths_.size(), true));
+}
+
+bool Polygraph::IsAcyclic() const { return FindAcyclicOrder().has_value(); }
+
+}  // namespace bcc

@@ -1,0 +1,55 @@
+// Polygraphs (Papadimitriou 1979; Definitions 4-5 in the paper's Appendix A).
+//
+// A polygraph (N, A, B) is a digraph (N, A) plus a set B of bipaths: pairs
+// of arcs ((v, u), (u, w)) such that (w, v) is in A. The polygraph is
+// acyclic iff some digraph obtained by adding at least one arc of every
+// bipath to A is acyclic. Deciding this is NP-complete in general; we
+// provide an exact backtracking decision procedure (the instances arising
+// in tests and the checker are small).
+
+#ifndef BCC_GRAPH_POLYGRAPH_H_
+#define BCC_GRAPH_POLYGRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace bcc {
+
+/// A polygraph over uint32-keyed nodes.
+class Polygraph {
+ public:
+  using NodeKey = Digraph::NodeKey;
+  using Arc = std::pair<NodeKey, NodeKey>;
+
+  /// A bipath ((v,u),(u,w)): at least one of the two arcs must be chosen.
+  struct Bipath {
+    Arc first;
+    Arc second;
+  };
+
+  void AddNode(NodeKey key);
+  void AddArc(NodeKey from, NodeKey to);
+  void AddBipath(Arc first, Arc second);
+
+  const Digraph& base() const { return base_; }
+  const std::vector<Bipath>& bipaths() const { return bipaths_; }
+
+  /// Exact acyclicity test (worst-case exponential in |B|).
+  bool IsAcyclic() const;
+
+  /// When acyclic, returns a witness: a topological order of one acyclic
+  /// digraph in the polygraph's family. std::nullopt when cyclic.
+  std::optional<std::vector<NodeKey>> FindAcyclicOrder() const;
+
+ private:
+  Digraph base_;
+  std::vector<Bipath> bipaths_;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_GRAPH_POLYGRAPH_H_

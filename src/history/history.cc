@@ -1,0 +1,232 @@
+#include "history/history.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/format.h"
+
+namespace bcc {
+
+namespace {
+
+bool ContainsObject(const std::vector<ObjectId>& v, ObjectId ob) {
+  return std::find(v.begin(), v.end(), ob) != v.end();
+}
+
+}  // namespace
+
+bool TxnInfo::Reads(ObjectId ob) const { return ContainsObject(read_set, ob); }
+bool TxnInfo::Writes(ObjectId ob) const { return ContainsObject(write_set, ob); }
+
+History::History(std::vector<Operation> ops) : ops_(std::move(ops)) {}
+
+void History::Append(const Operation& op) {
+  ops_.push_back(op);
+  index_built_ = false;
+}
+
+void History::BuildIndex() const {
+  if (index_built_) return;
+  txns_.clear();
+  read_sources_.assign(ops_.size(), kNoTxn);
+  reads_from_.clear();
+
+  // Pass 1: per-transaction summaries and the set of ever-aborted txns.
+  std::unordered_set<TxnId> aborted;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const Operation& op = ops_[i];
+    TxnInfo& info = txns_[op.txn];
+    if (info.id == kNoTxn) info.id = op.txn;
+    info.op_indices.push_back(i);
+    switch (op.type) {
+      case OpType::kRead:
+        if (!info.Reads(op.object)) info.read_set.push_back(op.object);
+        break;
+      case OpType::kWrite:
+        if (!info.Writes(op.object)) info.write_set.push_back(op.object);
+        break;
+      case OpType::kCommit:
+        info.outcome = TxnOutcome::kCommitted;
+        break;
+      case OpType::kAbort:
+        info.outcome = TxnOutcome::kAborted;
+        aborted.insert(op.txn);
+        break;
+    }
+  }
+
+  // Pass 2: reads-from. A read observes the latest preceding write on the
+  // same object by a never-aborted transaction, else the initial value (t0).
+  std::unordered_map<ObjectId, TxnId> last_writer;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const Operation& op = ops_[i];
+    if (op.type == OpType::kWrite) {
+      if (!aborted.contains(op.txn)) last_writer[op.object] = op.txn;
+    } else if (op.type == OpType::kRead) {
+      const auto it = last_writer.find(op.object);
+      const TxnId writer = it == last_writer.end() ? kInitTxn : it->second;
+      read_sources_[i] = writer;
+      if (!aborted.contains(op.txn)) {
+        const ReadsFromEdge edge{op.txn, op.object, writer};
+        if (std::find(reads_from_.begin(), reads_from_.end(), edge) == reads_from_.end()) {
+          reads_from_.push_back(edge);
+        }
+      }
+    }
+  }
+  index_built_ = true;
+}
+
+std::vector<TxnId> History::TxnIds() const {
+  BuildIndex();
+  std::vector<TxnId> ids;
+  ids.reserve(txns_.size());
+  for (const auto& [id, info] : txns_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+const TxnInfo& History::Txn(TxnId t) const {
+  BuildIndex();
+  static const TxnInfo kAbsent;
+  const auto it = txns_.find(t);
+  return it == txns_.end() ? kAbsent : it->second;
+}
+
+bool History::Contains(TxnId t) const {
+  BuildIndex();
+  return txns_.contains(t);
+}
+
+std::vector<TxnId> History::CommittedUpdateTxns() const {
+  BuildIndex();
+  std::vector<TxnId> out;
+  for (const Operation& op : ops_) {
+    if (op.type == OpType::kCommit && txns_.at(op.txn).IsUpdate()) out.push_back(op.txn);
+  }
+  return out;
+}
+
+std::vector<TxnId> History::CommittedReadOnlyTxns() const {
+  BuildIndex();
+  std::vector<TxnId> out;
+  for (const Operation& op : ops_) {
+    if (op.type == OpType::kCommit && txns_.at(op.txn).IsReadOnly()) out.push_back(op.txn);
+  }
+  return out;
+}
+
+bool History::IsSerial() const {
+  TxnId open = kNoTxn;
+  std::unordered_set<TxnId> finished;
+  for (const Operation& op : ops_) {
+    if (finished.contains(op.txn)) return false;
+    if (open == kNoTxn) {
+      open = op.txn;
+    } else if (op.txn != open) {
+      return false;
+    }
+    if (op.type == OpType::kCommit || op.type == OpType::kAbort) {
+      finished.insert(op.txn);
+      open = kNoTxn;
+    }
+  }
+  return open == kNoTxn;
+}
+
+Status History::Validate() const {
+  std::unordered_set<TxnId> terminated;
+  for (const Operation& op : ops_) {
+    if (op.txn == kInitTxn) {
+      return Status::InvalidArgument("transaction id 0 is reserved for the initial txn t0");
+    }
+    if (terminated.contains(op.txn)) {
+      return Status::InvalidArgument(
+          StrFormat("operation %s after transaction %u terminated", op.ToString().c_str(),
+                    op.txn));
+    }
+    if (op.type == OpType::kCommit || op.type == OpType::kAbort) terminated.insert(op.txn);
+  }
+  return Status::OK();
+}
+
+Status History::ValidateAppendixAForm() const {
+  BCC_RETURN_IF_ERROR(Validate());
+  std::unordered_map<TxnId, bool> wrote;
+  std::unordered_map<TxnId, std::unordered_set<ObjectId>> seen_reads;
+  std::unordered_map<TxnId, std::unordered_set<ObjectId>> seen_writes;
+  for (const Operation& op : ops_) {
+    if (op.type == OpType::kRead) {
+      if (wrote[op.txn]) {
+        return Status::InvalidArgument(
+            StrFormat("txn %u reads after writing (Appendix A form)", op.txn));
+      }
+      if (!seen_reads[op.txn].insert(op.object).second) {
+        return Status::InvalidArgument(
+            StrFormat("txn %u reads ob%u twice (Appendix A form)", op.txn, op.object));
+      }
+    } else if (op.type == OpType::kWrite) {
+      wrote[op.txn] = true;
+      if (!seen_writes[op.txn].insert(op.object).second) {
+        return Status::InvalidArgument(
+            StrFormat("txn %u writes ob%u twice (Appendix A form)", op.txn, op.object));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+TxnId History::ReaderSource(size_t op_index) const {
+  BuildIndex();
+  return read_sources_.at(op_index);
+}
+
+const std::vector<ReadsFromEdge>& History::ReadsFrom() const {
+  BuildIndex();
+  return reads_from_;
+}
+
+std::unordered_set<TxnId> History::LiveSet(TxnId t) const {
+  BuildIndex();
+  std::unordered_set<TxnId> live{t};
+  std::deque<TxnId> frontier{t};
+  while (!frontier.empty()) {
+    const TxnId cur = frontier.front();
+    frontier.pop_front();
+    for (const ReadsFromEdge& edge : reads_from_) {
+      if (edge.reader == cur && !live.contains(edge.writer)) {
+        live.insert(edge.writer);
+        frontier.push_back(edge.writer);
+      }
+    }
+  }
+  return live;
+}
+
+History History::UpdateSubHistory() const {
+  BuildIndex();
+  std::unordered_set<TxnId> updaters;
+  for (const auto& [id, info] : txns_) {
+    if (info.IsUpdate()) updaters.insert(id);
+  }
+  return Project(updaters);
+}
+
+History History::Project(const std::unordered_set<TxnId>& txns) const {
+  std::vector<Operation> kept;
+  for (const Operation& op : ops_) {
+    if (txns.contains(op.txn)) kept.push_back(op);
+  }
+  return History(std::move(kept));
+}
+
+std::string History::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (i) out += ' ';
+    out += ops_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace bcc

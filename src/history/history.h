@@ -1,0 +1,145 @@
+// Histories: totally ordered sequences of transaction events, plus the
+// derived structure every checker in the paper is defined over — per-
+// transaction summaries, the reads-from relation, LIVE sets, and the update
+// sub-history projection (Section 3.1 / Appendix A).
+
+#ifndef BCC_HISTORY_HISTORY_H_
+#define BCC_HISTORY_HISTORY_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "history/object_id.h"
+#include "history/operation.h"
+
+namespace bcc {
+
+/// Outcome of a transaction within a history.
+enum class TxnOutcome { kActive, kCommitted, kAborted };
+
+/// Summary of one transaction's activity in a history.
+struct TxnInfo {
+  TxnId id = kNoTxn;
+  TxnOutcome outcome = TxnOutcome::kActive;
+  std::vector<ObjectId> read_set;   ///< in first-read order, deduplicated
+  std::vector<ObjectId> write_set;  ///< in first-write order, deduplicated
+  std::vector<size_t> op_indices;   ///< indices into History::ops()
+
+  bool IsUpdate() const { return !write_set.empty(); }
+  bool IsReadOnly() const { return write_set.empty(); }
+  bool Reads(ObjectId ob) const;
+  bool Writes(ObjectId ob) const;
+};
+
+/// One (reader, object, writer) triple of the READS_FROM relation
+/// (Definition 1 in the paper). writer == kInitTxn means the read observed
+/// the initial database state.
+struct ReadsFromEdge {
+  TxnId reader;
+  ObjectId object;
+  TxnId writer;
+
+  friend bool operator==(const ReadsFromEdge& a, const ReadsFromEdge& b) {
+    return a.reader == b.reader && a.object == b.object && a.writer == b.writer;
+  }
+};
+
+/// An immutable-after-build totally ordered history.
+///
+/// Build with the Append* methods (or HistoryParser), then query. Derived
+/// structure (reads-from, LIVE sets, ...) is computed on demand and cached;
+/// appending invalidates the cache.
+///
+/// Reads-from semantics: a read r_t(ob) reads from the latest preceding
+/// write w_u(ob) whose writer u is never aborted in the history; if there is
+/// no such write, it reads the initial value (writer = t0 = kInitTxn). This
+/// matches the broadcast model, where aborted writers' values are never
+/// disseminated.
+class History {
+ public:
+  History() = default;
+
+  /// Constructs directly from an operation sequence.
+  explicit History(std::vector<Operation> ops);
+
+  void AppendRead(TxnId t, ObjectId ob) { Append(Operation::Read(t, ob)); }
+  void AppendWrite(TxnId t, ObjectId ob) { Append(Operation::Write(t, ob)); }
+  void AppendCommit(TxnId t) { Append(Operation::Commit(t)); }
+  void AppendAbort(TxnId t) { Append(Operation::Abort(t)); }
+  void Append(const Operation& op);
+
+  const std::vector<Operation>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// All transactions appearing in the history, ascending by id. The
+  /// implicit initial transaction t0 is NOT listed.
+  std::vector<TxnId> TxnIds() const;
+
+  /// Per-transaction summary; kNoTxn-id TxnInfo if absent.
+  const TxnInfo& Txn(TxnId t) const;
+  bool Contains(TxnId t) const;
+
+  /// Committed update transactions, in commit order.
+  std::vector<TxnId> CommittedUpdateTxns() const;
+  /// Committed read-only transactions, in commit order.
+  std::vector<TxnId> CommittedReadOnlyTxns() const;
+
+  /// Checks structural well-formedness: operations only before the
+  /// transaction's terminal event, at most one terminal event per
+  /// transaction, and no use of the reserved t0 id.
+  Status Validate() const;
+
+  /// True iff transactions execute one after another: each transaction's
+  /// operations are contiguous and end with its terminal event. Serial
+  /// histories of committed transactions are trivially (view and conflict)
+  /// serializable.
+  bool IsSerial() const;
+
+  /// Checks the additional Appendix-A restrictions used by the formal
+  /// characterization: within each transaction all reads precede all writes,
+  /// and no object is read or written twice by the same transaction.
+  Status ValidateAppendixAForm() const;
+
+  /// Writer observed by the read operation at `op_index` (must be a read).
+  TxnId ReaderSource(size_t op_index) const;
+
+  /// The READS_FROM relation (Definition 1), restricted to reads by
+  /// non-aborted transactions. Edges from t0 are included.
+  const std::vector<ReadsFromEdge>& ReadsFrom() const;
+
+  /// LIVE_H(t): transactions t directly or indirectly reads from, including
+  /// t itself (Section 3.1). t0 is included when some member reads the
+  /// initial value of an object.
+  std::unordered_set<TxnId> LiveSet(TxnId t) const;
+
+  /// H_update: projection onto transactions that perform a write
+  /// (Section 3.1). Note: per the paper this keeps *all* their operations.
+  History UpdateSubHistory() const;
+
+  /// Projection onto an arbitrary transaction subset (order preserved).
+  History Project(const std::unordered_set<TxnId>& txns) const;
+
+  /// Space-separated paper notation.
+  std::string ToString() const;
+
+ private:
+  void BuildIndex() const;
+
+  std::vector<Operation> ops_;
+
+  // Lazily built caches (mutable: History is logically const after build).
+  mutable bool index_built_ = false;
+  mutable std::unordered_map<TxnId, TxnInfo> txns_;
+  mutable std::vector<TxnId> read_sources_;  // per op; kNoTxn for non-reads
+  mutable std::vector<ReadsFromEdge> reads_from_;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_HISTORY_HISTORY_H_

@@ -1,0 +1,126 @@
+#include "history/history_parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/format.h"
+
+namespace bcc {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\'';
+}
+
+}  // namespace
+
+std::string ParsedHistory::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < history.ops().size(); ++i) {
+    const Operation& op = history.ops()[i];
+    if (i) out += ' ';
+    switch (op.type) {
+      case OpType::kRead:
+        out += StrFormat("r%u(%s)", op.txn, object_names[op.object].c_str());
+        break;
+      case OpType::kWrite:
+        out += StrFormat("w%u(%s)", op.txn, object_names[op.object].c_str());
+        break;
+      case OpType::kCommit:
+        out += StrFormat("c%u", op.txn);
+        break;
+      case OpType::kAbort:
+        out += StrFormat("a%u", op.txn);
+        break;
+    }
+  }
+  return out;
+}
+
+StatusOr<ParsedHistory> ParseHistory(std::string_view text) {
+  ParsedHistory out;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto intern = [&out](const std::string& name) -> ObjectId {
+    const auto it = out.object_ids.find(name);
+    if (it != out.object_ids.end()) return it->second;
+    const ObjectId id = static_cast<ObjectId>(out.object_names.size());
+    out.object_names.push_back(name);
+    out.object_ids.emplace(name, id);
+    return id;
+  };
+
+  while (i < n) {
+    if (std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      continue;
+    }
+    const char kind = text[i];
+    if (kind != 'r' && kind != 'w' && kind != 'c' && kind != 'a') {
+      return Status::InvalidArgument(
+          StrFormat("unexpected character '%c' at offset %zu", kind, i));
+    }
+    ++i;
+    // Transaction number.
+    size_t num_start = i;
+    while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+    if (i == num_start) {
+      return Status::InvalidArgument(
+          StrFormat("expected transaction number after '%c' at offset %zu", kind, num_start));
+    }
+    const unsigned long txn = std::strtoul(std::string(text.substr(num_start, i - num_start)).c_str(),
+                                           nullptr, 10);
+    if (txn == 0) {
+      return Status::InvalidArgument("transaction id 0 is reserved for t0");
+    }
+    const TxnId t = static_cast<TxnId>(txn);
+
+    if (kind == 'c') {
+      out.history.AppendCommit(t);
+      continue;
+    }
+    if (kind == 'a') {
+      out.history.AppendAbort(t);
+      continue;
+    }
+    // Read/write: expect (name).
+    if (i >= n || text[i] != '(') {
+      return Status::InvalidArgument(StrFormat("expected '(' at offset %zu", i));
+    }
+    ++i;
+    const size_t name_start = i;
+    while (i < n && IsIdentChar(text[i])) ++i;
+    if (i == name_start) {
+      return Status::InvalidArgument(StrFormat("expected object name at offset %zu", name_start));
+    }
+    const std::string name(text.substr(name_start, i - name_start));
+    if (i >= n || text[i] != ')') {
+      return Status::InvalidArgument(StrFormat("expected ')' at offset %zu", i));
+    }
+    ++i;
+    const ObjectId ob = intern(name);
+    if (kind == 'r') {
+      out.history.AppendRead(t, ob);
+    } else {
+      out.history.AppendWrite(t, ob);
+    }
+  }
+
+  BCC_RETURN_IF_ERROR(out.history.Validate());
+  return out;
+}
+
+History MustParseHistory(std::string_view text) {
+  auto parsed = ParseHistory(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "MustParseHistory(\"%.*s\"): %s\n", static_cast<int>(text.size()),
+                 text.data(), parsed.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(parsed).value().history;
+}
+
+}  // namespace bcc

@@ -1,0 +1,40 @@
+// Text parser/printer for histories in the paper's notation, e.g.
+//   "r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) w4(Sun) c4 r1(Sun) c1 c3"
+// Object names are interned to dense ObjectIds in order of first appearance.
+
+#ifndef BCC_HISTORY_HISTORY_PARSER_H_
+#define BCC_HISTORY_HISTORY_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "history/history.h"
+
+namespace bcc {
+
+/// Result of parsing: the history plus the object-name interning table.
+struct ParsedHistory {
+  History history;
+  std::vector<std::string> object_names;                 ///< id -> name
+  std::unordered_map<std::string, ObjectId> object_ids;  ///< name -> id
+
+  /// Renders `history` using the original object names.
+  std::string ToString() const;
+};
+
+/// Parses the paper's notation. Accepted tokens (whitespace separated):
+///   r<txn>(<name>)   read;  <txn> a positive integer, <name> an identifier
+///   w<txn>(<name>)   write
+///   c<txn>           commit
+///   a<txn>           abort
+StatusOr<ParsedHistory> ParseHistory(std::string_view text);
+
+/// Convenience: parse-or-die for tests and examples with literal histories.
+History MustParseHistory(std::string_view text);
+
+}  // namespace bcc
+
+#endif  // BCC_HISTORY_HISTORY_PARSER_H_

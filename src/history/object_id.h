@@ -1,0 +1,25 @@
+// Identifiers shared across the bcc library.
+
+#ifndef BCC_HISTORY_OBJECT_ID_H_
+#define BCC_HISTORY_OBJECT_ID_H_
+
+#include <cstdint>
+
+namespace bcc {
+
+/// Database object (data item) identifier; objects are dense [0, n).
+using ObjectId = uint32_t;
+
+/// Transaction identifier. kInitTxn (0) is the paper's imaginary initial
+/// transaction t0 that writes every object before the first broadcast cycle.
+using TxnId = uint32_t;
+
+/// The initial transaction t0.
+inline constexpr TxnId kInitTxn = 0;
+
+/// Sentinel for "no transaction".
+inline constexpr TxnId kNoTxn = UINT32_MAX;
+
+}  // namespace bcc
+
+#endif  // BCC_HISTORY_OBJECT_ID_H_

@@ -1,0 +1,21 @@
+#include "history/operation.h"
+
+#include "common/format.h"
+
+namespace bcc {
+
+std::string Operation::ToString() const {
+  switch (type) {
+    case OpType::kRead:
+      return StrFormat("r%u(ob%u)", txn, object);
+    case OpType::kWrite:
+      return StrFormat("w%u(ob%u)", txn, object);
+    case OpType::kCommit:
+      return StrFormat("c%u", txn);
+    case OpType::kAbort:
+      return StrFormat("a%u", txn);
+  }
+  return "?";
+}
+
+}  // namespace bcc

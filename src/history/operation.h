@@ -1,0 +1,44 @@
+// Operations: the events that histories are made of.
+
+#ifndef BCC_HISTORY_OPERATION_H_
+#define BCC_HISTORY_OPERATION_H_
+
+#include <string>
+
+#include "history/object_id.h"
+
+namespace bcc {
+
+/// Kind of a history event.
+enum class OpType {
+  kRead,    ///< r_t(ob)
+  kWrite,   ///< w_t(ob)
+  kCommit,  ///< c_t
+  kAbort,   ///< a_t
+};
+
+/// One event of a history. `object` is meaningful only for reads/writes.
+struct Operation {
+  OpType type;
+  TxnId txn;
+  ObjectId object = 0;
+
+  static Operation Read(TxnId t, ObjectId ob) { return {OpType::kRead, t, ob}; }
+  static Operation Write(TxnId t, ObjectId ob) { return {OpType::kWrite, t, ob}; }
+  static Operation Commit(TxnId t) { return {OpType::kCommit, t, 0}; }
+  static Operation Abort(TxnId t) { return {OpType::kAbort, t, 0}; }
+
+  bool IsAccess() const { return type == OpType::kRead || type == OpType::kWrite; }
+
+  friend bool operator==(const Operation& a, const Operation& b) {
+    return a.type == b.type && a.txn == b.txn &&
+           (!a.IsAccess() || a.object == b.object);
+  }
+
+  /// Paper notation, e.g. "r1(ob3)", "w2(ob0)", "c2", "a4".
+  std::string ToString() const;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_HISTORY_OPERATION_H_

@@ -1,0 +1,87 @@
+#include "history/random_history.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bcc {
+
+namespace {
+
+// One transaction's operation program, emitted in order.
+std::vector<Operation> MakeProgram(TxnId id, bool update, const RandomHistoryOptions& o,
+                                   Rng* rng) {
+  std::vector<Operation> ops;
+  const uint32_t max_reads = std::min(o.max_reads_per_txn, o.num_objects);
+  uint32_t num_reads = static_cast<uint32_t>(rng->NextInt(update ? 0 : 1, max_reads));
+  if (update && rng->NextBernoulli(o.blind_write_probability)) num_reads = 0;
+  for (uint32_t ob : rng->SampleWithoutReplacement(o.num_objects, num_reads)) {
+    ops.push_back(Operation::Read(id, ob));
+  }
+  if (update) {
+    const uint32_t max_writes = std::min(std::max(o.max_writes_per_txn, 1u), o.num_objects);
+    const uint32_t num_writes = static_cast<uint32_t>(rng->NextInt(1, max_writes));
+    for (uint32_t ob : rng->SampleWithoutReplacement(o.num_objects, num_writes)) {
+      ops.push_back(Operation::Write(id, ob));
+    }
+  }
+  ops.push_back(rng->NextBernoulli(o.abort_probability) ? Operation::Abort(id)
+                                                        : Operation::Commit(id));
+  return ops;
+}
+
+// Randomly merges streams, preserving each stream's internal order. Streams
+// are chosen with probability proportional to their remaining length so the
+// merge is unbiased.
+std::vector<Operation> RandomMerge(std::vector<std::vector<Operation>> streams, Rng* rng) {
+  std::vector<size_t> pos(streams.size(), 0);
+  size_t remaining = 0;
+  for (const auto& s : streams) remaining += s.size();
+  std::vector<Operation> out;
+  out.reserve(remaining);
+  while (remaining > 0) {
+    uint64_t pick = rng->NextBounded(remaining);
+    for (size_t s = 0; s < streams.size(); ++s) {
+      const size_t left = streams[s].size() - pos[s];
+      if (pick < left) {
+        out.push_back(streams[s][pos[s]++]);
+        break;
+      }
+      pick -= left;
+    }
+    --remaining;
+  }
+  return out;
+}
+
+}  // namespace
+
+History GenerateRandomHistory(const RandomHistoryOptions& options, Rng* rng) {
+  assert(options.num_objects > 0);
+  std::vector<std::vector<Operation>> streams;
+
+  TxnId next_id = 1;
+  if (options.serial_updates) {
+    // All update transactions in one stream: contiguous blocks, random order.
+    std::vector<std::vector<Operation>> blocks;
+    for (uint32_t i = 0; i < options.num_update_txns; ++i) {
+      blocks.push_back(MakeProgram(next_id++, /*update=*/true, options, rng));
+    }
+    // Shuffle block order.
+    for (size_t i = blocks.size(); i > 1; --i) {
+      std::swap(blocks[i - 1], blocks[rng->NextBounded(i)]);
+    }
+    std::vector<Operation> serial;
+    for (auto& b : blocks) serial.insert(serial.end(), b.begin(), b.end());
+    streams.push_back(std::move(serial));
+  } else {
+    for (uint32_t i = 0; i < options.num_update_txns; ++i) {
+      streams.push_back(MakeProgram(next_id++, /*update=*/true, options, rng));
+    }
+  }
+  for (uint32_t i = 0; i < options.num_read_only_txns; ++i) {
+    streams.push_back(MakeProgram(next_id++, /*update=*/false, options, rng));
+  }
+  return History(RandomMerge(std::move(streams), rng));
+}
+
+}  // namespace bcc

@@ -1,0 +1,40 @@
+// Random history generation for property-based tests.
+
+#ifndef BCC_HISTORY_RANDOM_HISTORY_H_
+#define BCC_HISTORY_RANDOM_HISTORY_H_
+
+#include "common/rng.h"
+#include "history/history.h"
+
+namespace bcc {
+
+/// Parameters for GenerateRandomHistory.
+struct RandomHistoryOptions {
+  uint32_t num_objects = 5;
+  uint32_t num_update_txns = 3;
+  uint32_t num_read_only_txns = 2;
+  /// Maximum read-set and write-set size per transaction (>= 1).
+  uint32_t max_reads_per_txn = 3;
+  uint32_t max_writes_per_txn = 2;
+  /// If true, update transactions execute serially (each one's operations
+  /// are contiguous and followed by its terminal event) as at the paper's
+  /// broadcast server; read-only operations still interleave freely.
+  bool serial_updates = false;
+  /// Probability that a transaction aborts instead of committing.
+  double abort_probability = 0.0;
+  /// Probability that an update transaction has an empty read set (blind
+  /// writer).
+  double blind_write_probability = 0.25;
+};
+
+/// Generates a structurally valid history in Appendix-A form: per
+/// transaction, all reads (distinct objects) precede all writes (distinct
+/// objects), and every transaction ends in commit or abort.
+///
+/// Update transactions get ids 1..num_update_txns; read-only transactions
+/// get the following ids. Deterministic given the Rng state.
+History GenerateRandomHistory(const RandomHistoryOptions& options, Rng* rng);
+
+}  // namespace bcc
+
+#endif  // BCC_HISTORY_RANDOM_HISTORY_H_

@@ -1,0 +1,101 @@
+#include "matrix/f_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bcc {
+
+std::string_view AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kDatacycle:
+      return "Datacycle";
+    case Algorithm::kRMatrix:
+      return "R-Matrix";
+    case Algorithm::kFMatrix:
+      return "F-Matrix";
+    case Algorithm::kFMatrixNo:
+      return "F-Matrix-No";
+  }
+  return "?";
+}
+
+FMatrix::FMatrix(uint32_t num_objects) : n_(num_objects) {
+  data_.assign(static_cast<size_t>(n_) * n_, 0);
+  dep_scratch_.assign(n_, 0);
+}
+
+std::span<const Cycle> FMatrix::Column(ObjectId j) const {
+  assert(j < n_);
+  return {data_.data() + static_cast<size_t>(j) * n_, n_};
+}
+
+void FMatrix::ApplyCommit(std::span<const ObjectId> read_set,
+                          std::span<const ObjectId> write_set, Cycle commit_cycle) {
+  if (write_set.empty()) return;  // read-only: no entry changes
+
+  // dep(i) = max_{k in RS} C_old(i, k); 0 when the read set is empty.
+  std::fill(dep_scratch_.begin(), dep_scratch_.end(), Cycle{0});
+  for (ObjectId k : read_set) {
+    const std::span<const Cycle> col = Column(k);
+    for (uint32_t i = 0; i < n_; ++i) {
+      dep_scratch_[i] = std::max(dep_scratch_[i], col[i]);
+    }
+  }
+
+  // Membership mask for WS (write sets are tiny; a bitmap keeps this O(n)).
+  std::vector<bool> in_ws(n_, false);
+  for (ObjectId w : write_set) in_ws[w] = true;
+
+  // Rewrite every column j in WS from dep() and the commit cycle. The order
+  // over j does not matter: all new columns derive from C_old via
+  // dep_scratch_, which was captured before any column is overwritten.
+  for (ObjectId j : write_set) {
+    Cycle* col = data_.data() + static_cast<size_t>(j) * n_;
+    for (uint32_t i = 0; i < n_; ++i) {
+      col[i] = in_ws[i] ? commit_cycle : dep_scratch_[i];
+    }
+  }
+}
+
+bool FMatrix::ReadCondition(std::span<const ReadRecord> reads, ObjectId j) const {
+  const std::span<const Cycle> col = Column(j);
+  for (const ReadRecord& r : reads) {
+    if (col[r.object] >= r.cycle) return false;
+  }
+  return true;
+}
+
+FMatrix FMatrixFromDefinition(const History& history,
+                              const std::unordered_map<TxnId, Cycle>& commit_cycles,
+                              uint32_t num_objects) {
+  FMatrix c(num_objects);
+
+  // Last committed writer per object, in history order.
+  std::vector<TxnId> last_writer(num_objects, kInitTxn);
+  for (const Operation& op : history.ops()) {
+    if (op.type == OpType::kWrite &&
+        history.Txn(op.txn).outcome == TxnOutcome::kCommitted) {
+      last_writer[op.object] = op.txn;
+    }
+  }
+
+  for (ObjectId j = 0; j < num_objects; ++j) {
+    const TxnId tj = last_writer[j];
+    if (tj == kInitTxn) continue;  // column stays all-zero
+    const std::unordered_set<TxnId> live = history.LiveSet(tj);
+    for (ObjectId i = 0; i < num_objects; ++i) {
+      Cycle best = 0;
+      for (TxnId t : live) {
+        if (t == kInitTxn) continue;
+        if (!history.Txn(t).Writes(i)) continue;
+        const auto it = commit_cycles.find(t);
+        assert(it != commit_cycles.end());
+        best = std::max(best, it->second);
+      }
+      c.Set(i, j, best);
+    }
+  }
+  return c;
+}
+
+}  // namespace bcc

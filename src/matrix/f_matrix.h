@@ -1,0 +1,81 @@
+// F-Matrix: the n x n control matrix of Section 3.2.1.
+//
+// C(i, j) = the latest cycle in which some transaction that affects the
+// latest committed value of ob_j (i.e. is in LIVE(t_j) for the last
+// committed writer t_j of ob_j) and also writes ob_i, committed. Cycle 0 is
+// the imaginary initial write of every object by t0.
+//
+// The server maintains C incrementally at each commit (Theorem 2); clients
+// validate each read r(ob_j) against column j:
+//     read-condition(ob_j):  for all (ob_i, cycle) in R_t : C(i, j) < cycle
+// Theorem 1: a read-only transaction passes all its read conditions iff its
+// serialization graph S(t_R) is acyclic — i.e. F-Matrix implements APPROX.
+
+#ifndef BCC_MATRIX_F_MATRIX_H_
+#define BCC_MATRIX_F_MATRIX_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cycle_stamp.h"
+#include "history/history.h"
+#include "history/object_id.h"
+#include "matrix/control_info.h"
+
+namespace bcc {
+
+/// The server-side control matrix, column-major (column j is the unit
+/// broadcast right after object j).
+class FMatrix {
+ public:
+  /// All entries start at cycle 0 (written by t0 before the broadcast).
+  explicit FMatrix(uint32_t num_objects);
+
+  uint32_t num_objects() const { return n_; }
+
+  /// C(i, j).
+  Cycle At(ObjectId i, ObjectId j) const { return data_[Index(i, j)]; }
+
+  /// Direct entry assignment; used by from-definition builders and by wire
+  /// decoding. Normal maintenance goes through ApplyCommit.
+  void Set(ObjectId i, ObjectId j, Cycle c) { data_[Index(i, j)] = c; }
+
+  /// Column j as a contiguous span of n entries (C(0..n-1, j)).
+  std::span<const Cycle> Column(ObjectId j) const;
+
+  /// Applies the next committed transaction in the server's serialization
+  /// order (Theorem 2's incremental rules):
+  ///   - C(i, j) = commit_cycle            for i, j in WS
+  ///   - C(i, j) = max_{k in RS} C(i, k)   for i not in WS, j in WS
+  ///                                        (0 when RS is empty)
+  ///   - unchanged                          otherwise
+  void ApplyCommit(std::span<const ObjectId> read_set, std::span<const ObjectId> write_set,
+                   Cycle commit_cycle);
+
+  /// The F-Matrix read condition for reading ob_j given the reads so far.
+  bool ReadCondition(std::span<const ReadRecord> reads, ObjectId j) const;
+
+  friend bool operator==(const FMatrix& a, const FMatrix& b) {
+    return a.n_ == b.n_ && a.data_ == b.data_;
+  }
+
+ private:
+  size_t Index(ObjectId i, ObjectId j) const { return static_cast<size_t>(j) * n_ + i; }
+
+  uint32_t n_;
+  std::vector<Cycle> data_;
+  std::vector<Cycle> dep_scratch_;  // reused per ApplyCommit
+};
+
+/// From-definition construction (used to validate Theorem 2): replays the
+/// committed update transactions of `history` and computes every entry
+/// directly from LIVE sets. `commit_cycles` maps each committed update
+/// transaction to the broadcast cycle of its commit. O(n^2 * |H|); test use.
+FMatrix FMatrixFromDefinition(const History& history,
+                              const std::unordered_map<TxnId, Cycle>& commit_cycles,
+                              uint32_t num_objects);
+
+}  // namespace bcc
+
+#endif  // BCC_MATRIX_F_MATRIX_H_

@@ -1,0 +1,95 @@
+#include "matrix/wire.h"
+
+#include <bit>
+
+#include "common/bitstream.h"
+
+namespace bcc {
+
+BroadcastGeometry ComputeGeometry(Algorithm algorithm, uint32_t num_objects,
+                                  uint64_t object_bits, unsigned ts_bits,
+                                  uint32_t num_groups) {
+  BroadcastGeometry g;
+  g.object_bits = object_bits;
+  switch (algorithm) {
+    case Algorithm::kFMatrix:
+      g.control_bits =
+          static_cast<uint64_t>(num_groups == 0 ? num_objects : num_groups) * ts_bits;
+      break;
+    case Algorithm::kRMatrix:
+    case Algorithm::kDatacycle:
+      g.control_bits = ts_bits;
+      break;
+    case Algorithm::kFMatrixNo:
+      g.control_bits = 0;
+      break;
+  }
+  g.slot_bits = g.object_bits + g.control_bits;
+  g.cycle_bits = static_cast<uint64_t>(num_objects) * g.slot_bits;
+  g.control_fraction =
+      g.slot_bits == 0 ? 0.0
+                       : static_cast<double>(g.control_bits) / static_cast<double>(g.slot_bits);
+  return g;
+}
+
+std::vector<uint32_t> EncodeStamps(std::span<const Cycle> stamps, const CycleStampCodec& codec) {
+  std::vector<uint32_t> out;
+  out.reserve(stamps.size());
+  for (Cycle c : stamps) out.push_back(codec.Encode(c));
+  return out;
+}
+
+std::vector<Cycle> DecodeStamps(std::span<const uint32_t> residues, const CycleStampCodec& codec,
+                                Cycle current) {
+  std::vector<Cycle> out;
+  out.reserve(residues.size());
+  for (uint32_t r : residues) out.push_back(codec.Decode(r, current));
+  return out;
+}
+
+std::vector<uint8_t> PackStamps(std::span<const Cycle> stamps, const CycleStampCodec& codec) {
+  BitWriter writer;
+  for (Cycle c : stamps) writer.Write(codec.Encode(c), codec.bits());
+  return writer.bytes();
+}
+
+StatusOr<std::vector<Cycle>> UnpackStamps(std::span<const uint8_t> bytes, size_t count,
+                                          const CycleStampCodec& codec, Cycle current) {
+  BitReader reader(bytes);
+  std::vector<Cycle> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t residue = 0;
+    BCC_RETURN_IF_ERROR(reader.Read(codec.bits(), &residue));
+    out.push_back(codec.Decode(residue, current));
+  }
+  return out;
+}
+
+std::vector<DeltaCodec::Entry> DeltaCodec::Diff(const FMatrix& prev, const FMatrix& cur,
+                                                const CycleStampCodec& codec) {
+  std::vector<Entry> out;
+  const uint32_t n = cur.num_objects();
+  for (ObjectId j = 0; j < n; ++j) {
+    for (ObjectId i = 0; i < n; ++i) {
+      if (prev.At(i, j) != cur.At(i, j)) {
+        out.push_back({i, j, codec.Encode(cur.At(i, j))});
+      }
+    }
+  }
+  return out;
+}
+
+void DeltaCodec::Apply(FMatrix* base, std::span<const Entry> entries,
+                       const CycleStampCodec& codec, Cycle current) {
+  for (const Entry& e : entries) {
+    base->Set(e.row, e.col, codec.Decode(e.residue, current));
+  }
+}
+
+uint64_t DeltaCodec::EncodedBits(size_t num_entries, uint32_t num_objects, unsigned ts_bits) {
+  const unsigned index_bits = std::bit_width(num_objects > 1 ? num_objects - 1 : 1u);
+  return 32 + static_cast<uint64_t>(num_entries) * (2ull * index_bits + ts_bits);
+}
+
+}  // namespace bcc

@@ -1,0 +1,87 @@
+// Wire-format accounting and encoding for the broadcast control information.
+//
+// Section 4.1 derives the fraction of each broadcast cycle spent on control
+// information:
+//   F-Matrix:            n*TS / (n*TS + OBJ)   per object slot (column of n
+//                        TS-bit stamps follows each object)
+//   R-Matrix/Datacycle:  TS / (TS + OBJ)       (one stamp per object)
+//   F-Matrix-No:         0                     (cost ignored by fiat)
+// Appendix D, Theorem 8: no compression can beat Omega(n^2) bits per cycle
+// for the full matrix in the worst case; Section 3.2.1 sketches delta
+// transmission as future work — implemented here as DeltaCodec.
+
+#ifndef BCC_MATRIX_WIRE_H_
+#define BCC_MATRIX_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/cycle_stamp.h"
+#include "common/statusor.h"
+#include "matrix/control_info.h"
+#include "matrix/f_matrix.h"
+#include "matrix/mc_vector.h"
+
+namespace bcc {
+
+/// Geometry of one broadcast cycle for a given algorithm.
+struct BroadcastGeometry {
+  uint64_t object_bits;        ///< payload bits per object
+  uint64_t control_bits;       ///< control bits per object slot
+  uint64_t slot_bits;          ///< object_bits + control_bits
+  uint64_t cycle_bits;         ///< n * slot_bits
+  double control_fraction;     ///< control share of the cycle
+};
+
+/// Computes the cycle geometry. `num_groups` is the group-matrix column
+/// count: n for F-Matrix, 1 for R-Matrix/Datacycle; F-Matrix-No forces the
+/// control share to zero. For the grouped spectrum, pass Algorithm::kFMatrix
+/// with the desired num_groups.
+BroadcastGeometry ComputeGeometry(Algorithm algorithm, uint32_t num_objects,
+                                  uint64_t object_bits, unsigned ts_bits,
+                                  uint32_t num_groups = 0);
+
+/// Encodes a control column (or the MC vector) into TS-bit residues.
+std::vector<uint32_t> EncodeStamps(std::span<const Cycle> stamps, const CycleStampCodec& codec);
+
+/// Decodes residues back to absolute cycles anchored at `current`.
+std::vector<Cycle> DecodeStamps(std::span<const uint32_t> residues, const CycleStampCodec& codec,
+                                Cycle current);
+
+/// Packs a control column into the on-air bitstream: exactly
+/// stamps.size() * codec.bits() bits, zero-padded to whole bytes.
+std::vector<uint8_t> PackStamps(std::span<const Cycle> stamps, const CycleStampCodec& codec);
+
+/// Unpacks `count` stamps and decodes them anchored at `current`.
+/// OutOfRange when the buffer is too small.
+StatusOr<std::vector<Cycle>> UnpackStamps(std::span<const uint8_t> bytes, size_t count,
+                                          const CycleStampCodec& codec, Cycle current);
+
+/// Delta transmission (Section 3.2.1 future work): encodes only entries that
+/// changed relative to the previous cycle's matrix.
+class DeltaCodec {
+ public:
+  /// One changed entry.
+  struct Entry {
+    ObjectId row;
+    ObjectId col;
+    uint32_t residue;
+  };
+
+  /// Changed entries between consecutive cycle snapshots.
+  static std::vector<Entry> Diff(const FMatrix& prev, const FMatrix& cur,
+                                 const CycleStampCodec& codec);
+
+  /// Applies a diff on top of `base` (decoding residues at `current`).
+  static void Apply(FMatrix* base, std::span<const Entry> entries, const CycleStampCodec& codec,
+                    Cycle current);
+
+  /// Wire size of a diff: a count header (32 bits) plus, per entry, row and
+  /// column indices (ceil(log2 n) bits each) and the TS-bit stamp.
+  static uint64_t EncodedBits(size_t num_entries, uint32_t num_objects, unsigned ts_bits);
+};
+
+}  // namespace bcc
+
+#endif  // BCC_MATRIX_WIRE_H_

@@ -1,0 +1,95 @@
+#include "matrix/worst_case.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+
+namespace bcc {
+
+StatusOr<RealizedMatrix> RealizeQuadrant(const QuadrantSpec& spec) {
+  const uint32_t n = spec.num_objects;
+  if (n < 3 || n % 2 == 0) {
+    return Status::InvalidArgument("num_objects must be odd and >= 3");
+  }
+  const uint32_t h = spec.half();
+  if (spec.entries.size() != static_cast<size_t>(h) * h) {
+    return Status::InvalidArgument("entries must be half x half");
+  }
+  for (uint32_t j = 0; j < h; ++j) {
+    for (uint32_t i = 0; i < h; ++i) {
+      if (spec.At(i, j) > spec.At(j, j)) {
+        return Status::InvalidArgument(
+            StrFormat("spec(%u,%u) exceeds column diagonal spec(%u,%u)", i, j, j, j));
+      }
+      if (spec.At(i, j) > spec.At(i, i)) {
+        return Status::InvalidArgument(
+            StrFormat("spec(%u,%u) exceeds row diagonal spec(%u,%u)", i, j, i, i));
+      }
+    }
+  }
+
+  // One planned transaction per nonzero entry.
+  struct Planned {
+    Cycle cycle;
+    uint32_t column;     // j
+    uint32_t row;        // i; == column for the diagonal writer
+    bool diagonal;
+  };
+  std::vector<Planned> plan;
+  for (uint32_t j = 0; j < h; ++j) {
+    for (uint32_t i = 0; i < h; ++i) {
+      if (i == j || spec.At(i, j) == 0) continue;
+      plan.push_back({spec.At(i, j), j, i, false});
+    }
+    if (spec.At(j, j) != 0) plan.push_back({spec.At(j, j), j, j, true});
+  }
+  // Serial execution order: by commit cycle; within a cycle, diagonal
+  // writers last so the final writer of ob_j sees every contributor on its
+  // twin chain.
+  std::stable_sort(plan.begin(), plan.end(), [](const Planned& a, const Planned& b) {
+    if (a.cycle != b.cycle) return a.cycle < b.cycle;
+    return a.diagonal < b.diagonal;
+  });
+
+  RealizedMatrix out;
+  TxnId next = 1;
+  for (const Planned& p : plan) {
+    const TxnId t = next++;
+    const ObjectId twin = n - 1 - p.column;
+    out.history.AppendRead(t, twin);
+    if (p.diagonal) {
+      out.history.AppendWrite(t, p.column);  // the final committed ob_j
+    } else {
+      out.history.AppendWrite(t, p.row);
+      out.history.AppendWrite(t, twin);  // extend the dependency chain
+    }
+    out.history.AppendCommit(t);
+    out.commit_cycles[t] = p.cycle;
+  }
+  return out;
+}
+
+QuadrantSpec RandomQuadrantSpec(uint32_t num_objects, Cycle max_cycle, Rng* rng) {
+  QuadrantSpec spec;
+  spec.num_objects = num_objects;
+  const uint32_t h = spec.half();
+  spec.entries.assign(static_cast<size_t>(h) * h, 0);
+  // Diagonals first; each off-diagonal entry then ranges over
+  // [0, min(diag_i, diag_j)].
+  std::vector<Cycle> diag(h);
+  for (uint32_t j = 0; j < h; ++j) {
+    diag[j] = rng->NextBounded(max_cycle + 1);
+    spec.entries[static_cast<size_t>(j) * h + j] = diag[j];
+  }
+  for (uint32_t j = 0; j < h; ++j) {
+    for (uint32_t i = 0; i < h; ++i) {
+      if (i == j) continue;
+      const Cycle bound = std::min(diag[i], diag[j]);
+      spec.entries[static_cast<size_t>(i) * h + j] =
+          bound == 0 ? 0 : rng->NextBounded(bound + 1);
+    }
+  }
+  return spec;
+}
+
+}  // namespace bcc

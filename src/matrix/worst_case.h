@@ -1,0 +1,53 @@
+// Appendix D, Theorem 8: the control matrix cannot be compressed below
+// Omega(n^2) bits per cycle in the worst case, because every partial
+// specification of the top-left quadrant (subject to C(i,j) <= C(j,j)) is
+// realized by some execution history. This module implements the proof's
+// constructive "twin objects" gadget: given a desired quadrant, it builds a
+// serial update history whose F-Matrix matches the specification exactly.
+
+#ifndef BCC_MATRIX_WORST_CASE_H_
+#define BCC_MATRIX_WORST_CASE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/cycle_stamp.h"
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "history/history.h"
+
+namespace bcc {
+
+/// Desired values for C(i, j), 0 <= i, j < half, where half = (n-1)/2 and n
+/// (odd) is the database size. Entry 0 means "initial value only" (no
+/// transaction involved). Must satisfy spec(i, j) <= min(spec(i, i),
+/// spec(j, j)): the paper's counting argument fixes every diagonal at
+/// max_cycles - 1, which satisfies both bounds; we admit any dominating
+/// diagonal.
+struct QuadrantSpec {
+  uint32_t num_objects;        ///< n, odd, >= 3
+  std::vector<Cycle> entries;  ///< row-major half x half
+
+  uint32_t half() const { return (num_objects - 1) / 2; }
+  Cycle At(uint32_t i, uint32_t j) const { return entries[i * half() + j]; }
+};
+
+/// A history realizing a quadrant specification.
+struct RealizedMatrix {
+  History history;  ///< serial committed update transactions
+  std::unordered_map<TxnId, Cycle> commit_cycles;
+};
+
+/// The Theorem 8 construction. Each off-diagonal entry C(i, j) = c spawns a
+/// transaction  r(twin_j) w(ob_i) w(twin_j)  committing in cycle c — the
+/// twin object twin_j = ob_{n-1-j} carries column j's dependency chain
+/// without touching any other checked entry. Each diagonal entry C(j, j)
+/// spawns the final writer  r(twin_j) w(ob_j)  of ob_j.
+StatusOr<RealizedMatrix> RealizeQuadrant(const QuadrantSpec& spec);
+
+/// Random valid specification (diagonal dominating its column) for tests.
+QuadrantSpec RandomQuadrantSpec(uint32_t num_objects, Cycle max_cycle, Rng* rng);
+
+}  // namespace bcc
+
+#endif  // BCC_MATRIX_WORST_CASE_H_

@@ -1,0 +1,65 @@
+#include "server/broadcast_server.h"
+
+#include <cassert>
+
+namespace bcc {
+
+BroadcastServer::BroadcastServer(uint32_t num_objects, BroadcastGeometry geometry)
+    : num_objects_(num_objects),
+      geometry_(geometry),
+      schedule_(BroadcastSchedule::Flat(num_objects)) {}
+
+void BroadcastServer::SetSchedule(BroadcastSchedule schedule) {
+  assert(!started_ && "schedule must be installed before the first cycle");
+  assert(schedule.num_objects() == num_objects_);
+  schedule_ = std::move(schedule);
+}
+
+void BroadcastServer::BeginCycle(Cycle cycle, SimTime start_time,
+                                 const ServerTxnManager& manager) {
+  if (!started_) {
+    first_start_ = start_time;
+    started_ = true;
+  }
+  snapshot_.cycle = cycle;
+  snapshot_.start_time = start_time;
+  snapshot_.values = manager.store().committed();
+  if (manager.f_matrix().num_objects() > 0) snapshot_.f_matrix = manager.f_matrix();
+  if (manager.mc_vector().num_objects() > 0) snapshot_.mc_vector = manager.mc_vector();
+  if (partition_.has_value() && manager.f_matrix().num_objects() > 0) {
+    snapshot_.group_matrix.emplace(*partition_, manager.f_matrix());
+  }
+}
+
+SimTime BroadcastServer::ObjectAvailableTime(ObjectId ob) const {
+  assert(started_ && ob < num_objects_);
+  const uint32_t slot = schedule_.SlotsOf(ob).front();
+  return snapshot_.start_time + static_cast<SimTime>(slot + 1) * geometry_.slot_bits;
+}
+
+std::optional<SimTime> BroadcastServer::NextSlotEnd(ObjectId ob, SimTime at_or_after) const {
+  assert(started_ && ob < num_objects_);
+  assert(at_or_after >= snapshot_.start_time);
+  const SimTime offset = at_or_after - snapshot_.start_time;
+  // Smallest slot index s with completion start + (s+1)*slot_bits >= t.
+  const SimTime slot_bits = geometry_.slot_bits;
+  const size_t min_slot =
+      offset <= slot_bits ? 0 : static_cast<size_t>((offset - 1) / slot_bits);
+  const int64_t slot = schedule_.NextSlotOf(ob, min_slot);
+  if (slot < 0) return std::nullopt;
+  return snapshot_.start_time + static_cast<SimTime>(slot + 1) * slot_bits;
+}
+
+SimTime BroadcastServer::CycleEndTime() const {
+  assert(started_);
+  return snapshot_.start_time + CycleLengthBits();
+}
+
+Cycle BroadcastServer::CycleAt(SimTime t) const {
+  assert(started_ && t >= first_start_);
+  const SimTime len = CycleLengthBits();
+  if (len == 0) return snapshot_.cycle;
+  return (t - first_start_) / len + 1;
+}
+
+}  // namespace bcc

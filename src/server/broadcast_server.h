@@ -1,0 +1,96 @@
+// The broadcast-disk front end (Section 2.1 / Section 4.1).
+//
+// At the beginning of each cycle the server snapshots the latest committed
+// values and control information and "fills the disk": every object is
+// assigned a completion time within the cycle (its payload plus its control
+// share — the matrix column for F-Matrix, one stamp for R-Matrix/Datacycle).
+// Clients read an object only after its slot has been fully broadcast and
+// validate against the control snapshot of that same cycle.
+
+#ifndef BCC_SERVER_BROADCAST_SERVER_H_
+#define BCC_SERVER_BROADCAST_SERVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "des/event_queue.h"
+#include "matrix/group_matrix.h"
+#include "matrix/wire.h"
+#include "server/schedule.h"
+#include "server/txn_manager.h"
+
+namespace bcc {
+
+/// Immutable beginning-of-cycle state, as seen "on the air".
+struct CycleSnapshot {
+  Cycle cycle = 0;
+  SimTime start_time = 0;
+  std::vector<ObjectVersion> values;
+  /// Present when the serving algorithm needs the full matrix.
+  FMatrix f_matrix{0};
+  /// Present when the serving algorithm needs the reduced vector.
+  McVector mc_vector{0};
+  /// Present when a grouped partition is configured (Section 3.2.2 spectrum).
+  std::optional<GroupMatrix> group_matrix;
+};
+
+/// Broadcast scheduling and per-cycle snapshotting.
+class BroadcastServer {
+ public:
+  /// `geometry` fixes the slot layout (object payload + control share).
+  /// The default schedule is the paper's single-speed disk (each object
+  /// once per cycle, in id order).
+  BroadcastServer(uint32_t num_objects, BroadcastGeometry geometry);
+
+  const BroadcastGeometry& geometry() const { return geometry_; }
+  uint32_t num_objects() const { return num_objects_; }
+
+  /// Installs a multi-speed slot schedule (hot objects several times per
+  /// major cycle). Must be called before the first BeginCycle.
+  void SetSchedule(BroadcastSchedule schedule);
+  const BroadcastSchedule& schedule() const { return schedule_; }
+
+  /// Length of one (major) cycle: num_slots x slot_bits.
+  SimTime CycleLengthBits() const {
+    return static_cast<SimTime>(schedule_.num_slots()) * geometry_.slot_bits;
+  }
+
+  /// Configures the grouped-control spectrum: snapshots will carry an n x g
+  /// GroupMatrix derived from the full matrix.
+  void SetPartition(const ObjectPartition& partition) { partition_ = partition; }
+
+  /// Starts broadcast cycle `cycle` at `start_time`, snapshotting committed
+  /// state and control information from `manager`.
+  void BeginCycle(Cycle cycle, SimTime start_time, const ServerTxnManager& manager);
+
+  const CycleSnapshot& snapshot() const { return snapshot_; }
+
+  /// Time at which object `ob`'s FIRST slot (payload + control) finishes
+  /// broadcasting within the current cycle.
+  SimTime ObjectAvailableTime(ObjectId ob) const;
+
+  /// Completion time of the earliest slot of `ob` in the current cycle
+  /// finishing at or after `at_or_after`; nullopt when no appearance of
+  /// `ob` remains this cycle (wait for the next one).
+  std::optional<SimTime> NextSlotEnd(ObjectId ob, SimTime at_or_after) const;
+
+  /// End of the current cycle == start of the next.
+  SimTime CycleEndTime() const;
+
+  /// The cycle number whose broadcast covers `t` (assuming back-to-back
+  /// cycles from the first BeginCycle onward). Requires t >= first start.
+  Cycle CycleAt(SimTime t) const;
+
+ private:
+  uint32_t num_objects_;
+  BroadcastGeometry geometry_;
+  BroadcastSchedule schedule_;
+  CycleSnapshot snapshot_;
+  std::optional<ObjectPartition> partition_;
+  SimTime first_start_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_SERVER_BROADCAST_SERVER_H_

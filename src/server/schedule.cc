@@ -1,0 +1,65 @@
+#include "server/schedule.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+
+namespace bcc {
+
+BroadcastSchedule BroadcastSchedule::Flat(uint32_t num_objects) {
+  std::vector<ObjectId> slots(num_objects);
+  std::vector<std::vector<uint32_t>> object_slots(num_objects);
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    slots[i] = i;
+    object_slots[i] = {i};
+  }
+  return BroadcastSchedule(std::move(slots), std::move(object_slots));
+}
+
+StatusOr<BroadcastSchedule> BroadcastSchedule::FromFrequencies(
+    const std::vector<uint32_t>& frequencies) {
+  if (frequencies.empty()) return Status::InvalidArgument("no objects");
+  size_t total = 0;
+  for (size_t i = 0; i < frequencies.size(); ++i) {
+    if (frequencies[i] == 0) {
+      return Status::InvalidArgument(StrFormat("object %zu has frequency 0", i));
+    }
+    total += frequencies[i];
+  }
+
+  // Deterministic weighted-fair spread: each object's k-th appearance has
+  // virtual deadline (k + 1) * total / freq; fill slots in deadline order
+  // (ties by object id).
+  const uint32_t n = static_cast<uint32_t>(frequencies.size());
+  std::vector<double> next_deadline(n);
+  std::vector<double> interval(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    interval[i] = static_cast<double>(total) / frequencies[i];
+    next_deadline[i] = interval[i];
+  }
+  std::vector<uint32_t> remaining = frequencies;
+  std::vector<ObjectId> slots;
+  slots.reserve(total);
+  std::vector<std::vector<uint32_t>> object_slots(n);
+  for (size_t s = 0; s < total; ++s) {
+    uint32_t best = n;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (remaining[i] == 0) continue;
+      if (best == n || next_deadline[i] < next_deadline[best]) best = i;
+    }
+    slots.push_back(best);
+    object_slots[best].push_back(static_cast<uint32_t>(s));
+    next_deadline[best] += interval[best];
+    --remaining[best];
+  }
+  return BroadcastSchedule(std::move(slots), std::move(object_slots));
+}
+
+int64_t BroadcastSchedule::NextSlotOf(ObjectId ob, size_t from_slot) const {
+  const auto& slots = object_slots_[ob];
+  const auto it = std::lower_bound(slots.begin(), slots.end(), from_slot);
+  if (it == slots.end()) return -1;
+  return *it;
+}
+
+}  // namespace bcc

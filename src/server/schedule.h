@@ -1,0 +1,53 @@
+// Broadcast-disk slot schedules (Section 2.1: "Different data items may be
+// broadcast at different rates ... modelled in terms of many broadcast
+// disks with different speeds of rotation. In this paper, we consider only
+// single speed disks."). This module lifts that scoping: a major cycle is a
+// sequence of slots in which hot objects may appear several times, built by
+// a deterministic weighted-fair spread so each object's appearances are
+// evenly spaced. Consistency semantics are unchanged — all appearances
+// within a major cycle carry the beginning-of-cycle snapshot.
+
+#ifndef BCC_SERVER_SCHEDULE_H_
+#define BCC_SERVER_SCHEDULE_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "history/object_id.h"
+
+namespace bcc {
+
+/// An immutable slot sequence for one major cycle.
+class BroadcastSchedule {
+ public:
+  /// The paper's single-speed disk: each object exactly once, in id order.
+  static BroadcastSchedule Flat(uint32_t num_objects);
+
+  /// Multi-speed disk: object i appears frequencies[i] (>= 1) times per
+  /// major cycle, spread evenly (smallest-virtual-deadline-first).
+  static StatusOr<BroadcastSchedule> FromFrequencies(const std::vector<uint32_t>& frequencies);
+
+  uint32_t num_objects() const { return static_cast<uint32_t>(object_slots_.size()); }
+  size_t num_slots() const { return slots_.size(); }
+
+  /// The object occupying slot s (0-based).
+  ObjectId SlotObject(size_t s) const { return slots_[s]; }
+
+  /// Ascending slot indices at which `ob` appears (never empty).
+  const std::vector<uint32_t>& SlotsOf(ObjectId ob) const { return object_slots_[ob]; }
+
+  /// First slot index >= `from_slot` carrying `ob`, or -1 if none remain in
+  /// this cycle.
+  int64_t NextSlotOf(ObjectId ob, size_t from_slot) const;
+
+ private:
+  BroadcastSchedule(std::vector<ObjectId> slots, std::vector<std::vector<uint32_t>> object_slots)
+      : slots_(std::move(slots)), object_slots_(std::move(object_slots)) {}
+
+  std::vector<ObjectId> slots_;
+  std::vector<std::vector<uint32_t>> object_slots_;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_SERVER_SCHEDULE_H_

@@ -1,0 +1,48 @@
+#include "server/txn_manager.h"
+
+#include <cassert>
+
+namespace bcc {
+
+ServerTxnManager::ServerTxnManager(uint32_t num_objects, TxnManagerOptions options)
+    : options_(options),
+      store_(num_objects),
+      f_matrix_(options.maintain_f_matrix ? num_objects : 0),
+      mc_vector_(options.maintain_mc_vector ? num_objects : 0) {}
+
+std::vector<ObjectVersion> ServerTxnManager::ExecuteAndCommit(const ServerTxn& txn, Cycle cycle) {
+  assert(txn.id != kInitTxn && txn.id != kNoTxn);
+  assert(cycle >= last_cycle_ && "commits must arrive in cycle order");
+  last_cycle_ = cycle;
+
+  // Read phase: observe committed state (execution is serial, so committed
+  // state is also the current state).
+  std::vector<ObjectVersion> values_read;
+  values_read.reserve(txn.read_set.size());
+  for (ObjectId ob : txn.read_set) {
+    values_read.push_back(store_.ReadForStaging(ob));
+    if (options_.record_history) history_.AppendRead(txn.id, ob);
+  }
+
+  // Write phase.
+  for (ObjectId ob : txn.write_set) {
+    store_.StageWrite(ob, txn.id);
+    if (options_.record_history) history_.AppendWrite(txn.id, ob);
+  }
+  store_.CommitStaged(cycle);
+  if (options_.record_history) history_.AppendCommit(txn.id);
+
+  // Control information (Theorem 2 incremental maintenance).
+  if (options_.maintain_f_matrix) {
+    f_matrix_.ApplyCommit(txn.read_set, txn.write_set, cycle);
+  }
+  if (options_.maintain_mc_vector) {
+    mc_vector_.ApplyCommit(txn.write_set, cycle);
+  }
+
+  commit_cycles_[txn.id] = cycle;
+  ++num_committed_;
+  return values_read;
+}
+
+}  // namespace bcc

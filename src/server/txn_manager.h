@@ -1,0 +1,81 @@
+// The server's update-transaction manager (Section 3.2.1, server
+// functions 2 and 3).
+//
+// Update transactions — whether originated at the server or submitted by
+// clients over the uplink — are executed and committed serially, which is
+// the paper's "simple case where the entries are updated as per a
+// serialization order". Each commit atomically:
+//   - installs the transaction's writes into the two-version store,
+//   - applies the Theorem 2 incremental update to the F-Matrix,
+//   - advances the reduced MC vector, and
+//   - (optionally) appends the operations to a recorded history so tests
+//     can replay the run through the APPROX/legality oracles.
+
+#ifndef BCC_SERVER_TXN_MANAGER_H_
+#define BCC_SERVER_TXN_MANAGER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "history/history.h"
+#include "history/object_id.h"
+#include "matrix/f_matrix.h"
+#include "matrix/mc_vector.h"
+#include "server/store.h"
+
+namespace bcc {
+
+/// An update transaction to run at the server: reads first, then writes
+/// (Appendix A form). Sets must be duplicate-free.
+struct ServerTxn {
+  TxnId id = kNoTxn;
+  std::vector<ObjectId> read_set;
+  std::vector<ObjectId> write_set;
+};
+
+/// Options controlling which structures the manager maintains. Simulations
+/// disable what their algorithm does not need.
+struct TxnManagerOptions {
+  bool maintain_f_matrix = true;
+  bool maintain_mc_vector = true;
+  bool record_history = false;
+};
+
+/// Serial update-transaction executor.
+class ServerTxnManager {
+ public:
+  ServerTxnManager(uint32_t num_objects, TxnManagerOptions options = {});
+
+  uint32_t num_objects() const { return store_.num_objects(); }
+
+  /// Executes `txn` (reads then writes against committed state) and commits
+  /// it during broadcast cycle `cycle`. Cycles must be non-decreasing across
+  /// calls. Returns the values read (for logging/validation).
+  std::vector<ObjectVersion> ExecuteAndCommit(const ServerTxn& txn, Cycle cycle);
+
+  const VersionedStore& store() const { return store_; }
+  const FMatrix& f_matrix() const { return f_matrix_; }
+  const McVector& mc_vector() const { return mc_vector_; }
+
+  /// Commit cycle of every committed transaction (for oracles).
+  const std::unordered_map<TxnId, Cycle>& commit_cycles() const { return commit_cycles_; }
+
+  /// Recorded update history (empty unless options.record_history).
+  const History& recorded_history() const { return history_; }
+
+  size_t num_committed() const { return num_committed_; }
+
+ private:
+  TxnManagerOptions options_;
+  VersionedStore store_;
+  FMatrix f_matrix_;
+  McVector mc_vector_;
+  History history_;
+  std::unordered_map<TxnId, Cycle> commit_cycles_;
+  size_t num_committed_ = 0;
+  Cycle last_cycle_ = 0;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_SERVER_TXN_MANAGER_H_

@@ -1,0 +1,33 @@
+#include "server/validator.h"
+
+#include "common/format.h"
+
+namespace bcc {
+
+StatusOr<Cycle> UpdateValidator::ValidateAndCommit(const ClientUpdateRequest& request,
+                                                   Cycle current_cycle) {
+  // A read of (ob, cycle) observed the committed version as of the beginning
+  // of `cycle`. It is still current iff the last committed write to ob
+  // happened before `cycle`.
+  for (const ReadRecord& r : request.reads) {
+    const Cycle last_write = manager_->mc_vector().At(r.object);
+    if (last_write >= r.cycle) {
+      ++num_rejected_;
+      return Status::Aborted(
+          StrFormat("ob%u read at cycle %llu was overwritten at cycle %llu", r.object,
+                    static_cast<unsigned long long>(r.cycle),
+                    static_cast<unsigned long long>(last_write)));
+    }
+  }
+
+  ServerTxn txn;
+  txn.id = request.id;
+  txn.read_set.reserve(request.reads.size());
+  for (const ReadRecord& r : request.reads) txn.read_set.push_back(r.object);
+  txn.write_set = request.writes;
+  manager_->ExecuteAndCommit(txn, current_cycle);
+  ++num_validated_;
+  return current_cycle;
+}
+
+}  // namespace bcc

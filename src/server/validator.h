@@ -1,0 +1,57 @@
+// Optimistic validation of client update transactions (Section 3.2.1,
+// client functionality, Commit: "a list of all the objects written and the
+// values written are sent to the server. In addition, the list of all read
+// operations performed and the cycle numbers in which they are performed
+// are sent to the server. The server checks to see whether the update
+// transaction can be committed").
+//
+// Validation rule (backward validation): every object the client read must
+// still carry the committed version it read, i.e. no transaction that
+// committed in or after the read's cycle wrote it. On success the
+// transaction is executed serially at the server, placing it after every
+// previously committed transaction — which preserves conflict
+// serializability of all update transactions.
+
+#ifndef BCC_SERVER_VALIDATOR_H_
+#define BCC_SERVER_VALIDATOR_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "matrix/control_info.h"
+#include "server/txn_manager.h"
+
+namespace bcc {
+
+/// A client update transaction as submitted over the uplink.
+struct ClientUpdateRequest {
+  TxnId id = kNoTxn;
+  /// Reads performed off the broadcast, with the cycle each was read in.
+  std::vector<ReadRecord> reads;
+  /// Objects the client wrote locally (values are regenerated server-side;
+  /// the store models values as version counters).
+  std::vector<ObjectId> writes;
+};
+
+/// Server-side validator for client update transactions.
+class UpdateValidator {
+ public:
+  explicit UpdateValidator(ServerTxnManager* manager) : manager_(manager) {}
+
+  /// Validates `request` against the current committed state during
+  /// broadcast cycle `current_cycle`. On success the transaction commits
+  /// and its commit cycle is returned; on conflict, Status::Aborted.
+  StatusOr<Cycle> ValidateAndCommit(const ClientUpdateRequest& request, Cycle current_cycle);
+
+  size_t num_validated() const { return num_validated_; }
+  size_t num_rejected() const { return num_rejected_; }
+
+ private:
+  ServerTxnManager* manager_;
+  size_t num_validated_ = 0;
+  size_t num_rejected_ = 0;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_SERVER_VALIDATOR_H_

@@ -1,0 +1,369 @@
+#include "sim/broadcast_sim.h"
+
+#include <cassert>
+
+#include "cc/approx.h"
+#include "cc/conflict_serializability.h"
+#include "common/format.h"
+
+namespace bcc {
+
+BroadcastSim::Client::Client(const SimConfig& config, Rng rng,
+                             std::optional<CycleStampCodec> codec)
+    : workload(config, rng), protocol(config.algorithm, codec) {
+  if (config.enable_cache) {
+    cache = std::make_unique<QuasiCache>(config.cache_capacity, config.cache_currency_bound);
+  }
+}
+
+BroadcastSim::BroadcastSim(SimConfig config)
+    : config_(std::move(config)),
+      geometry_(config_.Geometry()),
+      metrics_(config_.warmup_txns) {}
+
+BroadcastSim::~BroadcastSim() = default;
+
+StatusOr<SimSummary> BroadcastSim::Run() {
+  if (ran_) return Status::FailedPrecondition("BroadcastSim::Run may only be called once");
+  ran_ = true;
+  BCC_RETURN_IF_ERROR(config_.Validate());
+
+  const bool f_family = config_.algorithm == Algorithm::kFMatrix ||
+                        config_.algorithm == Algorithm::kFMatrixNo;
+  TxnManagerOptions manager_options;
+  manager_options.maintain_f_matrix = f_family || config_.record_history;
+  manager_options.maintain_mc_vector = true;
+  manager_options.record_history = config_.record_history;
+  manager_ = std::make_unique<ServerTxnManager>(config_.num_objects, manager_options);
+
+  server_ = std::make_unique<BroadcastServer>(config_.num_objects, geometry_);
+  if (config_.hot_set_size > 0 && config_.hot_broadcast_frequency > 1) {
+    // Multi-speed disk: hot objects several times per major cycle.
+    std::vector<uint32_t> frequencies(config_.num_objects, 1);
+    for (uint32_t i = 0; i < config_.hot_set_size; ++i) {
+      frequencies[i] = config_.hot_broadcast_frequency;
+    }
+    BCC_ASSIGN_OR_RETURN(BroadcastSchedule schedule,
+                         BroadcastSchedule::FromFrequencies(frequencies));
+    server_->SetSchedule(std::move(schedule));
+  }
+  if (f_family && config_.num_groups > 0 && config_.num_groups < config_.num_objects) {
+    partition_ = ObjectPartition::Blocks(config_.num_objects, config_.num_groups);
+    server_->SetPartition(*partition_);
+  }
+
+  Rng root(config_.seed);
+  server_workload_ = std::make_unique<ServerWorkload>(config_, root.Split());
+
+  std::optional<CycleStampCodec> codec;
+  if (config_.use_wire_codec) codec.emplace(config_.timestamp_bits);
+
+  if (config_.client_update_fraction > 0.0) {
+    validator_ = std::make_unique<UpdateValidator>(manager_.get());
+  }
+
+  clients_.clear();
+  for (uint32_t c = 0; c < config_.num_clients; ++c) {
+    clients_.push_back(std::make_unique<Client>(config_, root.Split(), codec));
+  }
+
+  // Prime the loop: cycle 1 begins at t = 0; the first server transaction
+  // and each client's first submission follow their think times.
+  server_->BeginCycle(1, 0, *manager_);
+  queue_.ScheduleAt(server_->CycleEndTime(), [this] { StartNextCycle(); });
+  queue_.ScheduleAfter(server_workload_->NextInterval(), [this] { ServerCommitEvent(); });
+  for (size_t c = 0; c < clients_.size(); ++c) {
+    queue_.ScheduleAfter(clients_[c]->workload.NextInterTxnDelay(),
+                         [this, c] { SubmitClientTxn(c); });
+  }
+
+  while (!done_ && queue_.Step()) {
+  }
+
+  return metrics_.Summarize(server_->snapshot().cycle, queue_.now(), TotalCacheHits(),
+                            TotalCacheMisses());
+}
+
+uint64_t BroadcastSim::TotalCacheHits() const {
+  uint64_t total = 0;
+  for (const auto& c : clients_) {
+    if (c->cache) total += c->cache->hits();
+  }
+  return total;
+}
+
+uint64_t BroadcastSim::TotalCacheMisses() const {
+  uint64_t total = 0;
+  for (const auto& c : clients_) {
+    if (c->cache) total += c->cache->misses();
+  }
+  return total;
+}
+
+void BroadcastSim::StartNextCycle() {
+  if (done_) return;
+  const Cycle next = server_->snapshot().cycle + 1;
+  server_->BeginCycle(next, server_->CycleEndTime(), *manager_);
+  queue_.ScheduleAt(server_->CycleEndTime(), [this] { StartNextCycle(); });
+}
+
+void BroadcastSim::ServerCommitEvent() {
+  if (done_) return;
+  const ServerTxn txn = server_workload_->NextTxn();
+  manager_->ExecuteAndCommit(txn, server_->snapshot().cycle);
+  metrics_.RecordServerCommit();
+  queue_.ScheduleAfter(server_workload_->NextInterval(), [this] { ServerCommitEvent(); });
+}
+
+void BroadcastSim::SubmitClientTxn(size_t c) {
+  if (done_) return;
+  Client& client = *clients_[c];
+  client.submit_time = queue_.now();
+  client.read_set = client.workload.NextReadSet();
+  client.is_update = validator_ != nullptr && client.workload.NextIsUpdate();
+  client.write_set =
+      client.is_update ? client.workload.NextWriteSet() : std::vector<ObjectId>{};
+  client.read_idx = 0;
+  client.restarts = 0;
+  client.protocol.Reset();
+  queue_.ScheduleAfter(client.workload.NextInterOpDelay(), [this, c] { BeginReadOp(c); });
+}
+
+void BroadcastSim::BeginReadOp(size_t c) {
+  if (done_) return;
+  Client& client = *clients_[c];
+  const ObjectId ob = client.read_set[client.read_idx];
+
+  if (client.cache) {
+    if (std::optional<CacheEntry> entry = client.cache->Lookup(ob, queue_.now())) {
+      auto value = client.protocol.ReadFromCache(*entry, ob, server_->snapshot());
+      if (value.ok()) {
+        OnReadSuccess(c);
+        return;
+      }
+      // Failed cache validation: fall back to a fresh broadcast read.
+    }
+  }
+
+  if (const std::optional<SimTime> slot = server_->NextSlotEnd(ob, queue_.now())) {
+    queue_.ScheduleAt(*slot, [this, c] { PerformBroadcastRead(c); });
+  } else {
+    // No appearance of `ob` remains this cycle; catch its first slot in the
+    // next cycle (whose start event is already scheduled and fires strictly
+    // earlier than any slot completion).
+    const uint32_t first_slot = server_->schedule().SlotsOf(ob).front();
+    queue_.ScheduleAt(
+        server_->CycleEndTime() + static_cast<SimTime>(first_slot + 1) * geometry_.slot_bits,
+        [this, c] { PerformBroadcastRead(c); });
+  }
+}
+
+void BroadcastSim::PerformBroadcastRead(size_t c) {
+  if (done_) return;
+  Client& client = *clients_[c];
+  const ObjectId ob = client.read_set[client.read_idx];
+  const CycleSnapshot& snap = server_->snapshot();
+  auto value = client.protocol.Read(snap, ob);
+  if (!value.ok()) {
+    OnReadAbort(c);
+    return;
+  }
+  if (client.cache) {
+    CacheEntry entry;
+    entry.version = *value;
+    entry.cycle = snap.cycle;
+    entry.cached_time = queue_.now();
+    if (snap.f_matrix.num_objects() > 0) {
+      const std::span<const Cycle> col = snap.f_matrix.Column(ob);
+      entry.column.assign(col.begin(), col.end());
+    }
+    if (snap.mc_vector.num_objects() > 0) entry.mc_entry = snap.mc_vector.At(ob);
+    client.cache->Insert(ob, std::move(entry));
+  }
+  OnReadSuccess(c);
+}
+
+void BroadcastSim::OnReadSuccess(size_t c) {
+  Client& client = *clients_[c];
+  ++client.read_idx;
+  if (client.read_idx == client.read_set.size()) {
+    if (client.is_update) {
+      // Ship the read records and write set to the server over the uplink
+      // ("a list of all the objects written ... and the list of all read
+      // operations performed and the cycle numbers" — Section 3.2.1).
+      queue_.ScheduleAfter(config_.uplink_delay, [this, c] { SendUplinkCommit(c); });
+    } else {
+      CompleteTxn(c, /*censored=*/false);  // read-only commit is local, free
+    }
+    return;
+  }
+  queue_.ScheduleAfter(client.workload.NextInterOpDelay(), [this, c] { BeginReadOp(c); });
+}
+
+void BroadcastSim::OnReadAbort(size_t c) {
+  Client& client = *clients_[c];
+  ++client.restarts;
+  if (client.restarts >= config_.max_restarts_per_txn) {
+    CompleteTxn(c, /*censored=*/true);
+    return;
+  }
+  client.protocol.Reset();
+  client.read_idx = 0;
+  queue_.ScheduleAfter(config_.restart_delay + client.workload.NextInterOpDelay(),
+                       [this, c] { BeginReadOp(c); });
+}
+
+void BroadcastSim::SendUplinkCommit(size_t c) {
+  if (done_) return;
+  Client& client = *clients_[c];
+  ClientUpdateRequest request;
+  request.id = next_client_update_id_++;
+  request.reads = client.protocol.reads();
+  request.writes = client.write_set;
+  const auto verdict = validator_->ValidateAndCommit(request, server_->snapshot().cycle);
+  // The client learns the outcome one uplink delay later.
+  if (verdict.ok()) {
+    metrics_.RecordServerCommit();  // it is also a committed update txn
+    metrics_.RecordClientUpdateCommit();
+    queue_.ScheduleAfter(config_.uplink_delay, [this, c] { CompleteTxn(c, false); });
+  } else {
+    metrics_.RecordClientUpdateReject();
+    queue_.ScheduleAfter(config_.uplink_delay, [this, c] { OnReadAbort(c); });
+  }
+}
+
+void BroadcastSim::CompleteTxn(size_t c, bool censored) {
+  Client& client = *clients_[c];
+  // Committed client UPDATE transactions already live in the server's
+  // recorded history (via the validator); only read-only transactions need
+  // a client-side oracle log.
+  if (config_.record_history && !censored && !client.is_update) {
+    oracle_client_txns_.push_back(ClientTxnLog{
+        kClientTxnIdBase + static_cast<TxnId>(oracle_client_txns_.size()),
+        client.protocol.reads(), client.protocol.values()});
+  }
+  metrics_.RecordClientTxn(client.submit_time, queue_.now(), client.restarts, censored);
+  ++completed_txns_;
+  if (completed_txns_ >= config_.num_client_txns) {
+    done_ = true;
+    return;
+  }
+  client.protocol.Reset();
+  queue_.ScheduleAfter(client.workload.NextInterTxnDelay(), [this, c] { SubmitClientTxn(c); });
+}
+
+StatusOr<History> BroadcastSim::BuildOracleHistory() const {
+  if (!config_.record_history) {
+    return Status::FailedPrecondition("run with config.record_history = true");
+  }
+
+  // Slice the server's recorded history into per-transaction blocks, in
+  // commit order (execution is serial, so blocks are contiguous).
+  struct Block {
+    std::vector<Operation> ops;
+    Cycle cycle;
+  };
+  std::vector<Block> server_blocks;
+  {
+    Block current{{}, 0};
+    for (const Operation& op : manager_->recorded_history().ops()) {
+      current.ops.push_back(op);
+      if (op.type == OpType::kCommit || op.type == OpType::kAbort) {
+        current.cycle = manager_->commit_cycles().at(op.txn);
+        server_blocks.push_back(std::move(current));
+        current = Block{{}, 0};
+      }
+    }
+    if (!current.ops.empty()) {
+      return Status::Internal("recorded server history ends mid-transaction");
+    }
+  }
+
+  Cycle max_cycle = 0;
+  for (const Block& b : server_blocks) max_cycle = std::max(max_cycle, b.cycle);
+  for (const ClientTxnLog& ct : oracle_client_txns_) {
+    for (const ReadRecord& r : ct.reads) max_cycle = std::max(max_cycle, r.cycle);
+  }
+
+  History oracle;
+  size_t next_server_block = 0;
+  // With caching, a transaction's read cycles need not be monotone (a cached
+  // read is placed at the cycle it was cached in); the commit marker goes
+  // after the transaction's final appended read.
+  std::unordered_map<TxnId, size_t> appended_reads;
+  for (Cycle c = 1; c <= max_cycle; ++c) {
+    // Client reads that observed the beginning of cycle c (they precede all
+    // transactions that commit during c).
+    for (const ClientTxnLog& ct : oracle_client_txns_) {
+      for (size_t k = 0; k < ct.reads.size(); ++k) {
+        if (ct.reads[k].cycle != c) continue;
+        oracle.AppendRead(ct.id, ct.reads[k].object);
+        if (++appended_reads[ct.id] == ct.reads.size()) oracle.AppendCommit(ct.id);
+      }
+    }
+    // Server transactions committed during cycle c, in commit order.
+    while (next_server_block < server_blocks.size() &&
+           server_blocks[next_server_block].cycle == c) {
+      for (const Operation& op : server_blocks[next_server_block].ops) oracle.Append(op);
+      ++next_server_block;
+    }
+  }
+  if (next_server_block != server_blocks.size()) {
+    return Status::Internal("server commit cycles out of order");
+  }
+  return oracle;
+}
+
+Status BroadcastSim::VerifyOracle() const {
+  BCC_ASSIGN_OR_RETURN(const History oracle, BuildOracleHistory());
+
+  // 1. Reads-from agreement: the writer whose version each client read
+  // observed must be the writer the oracle history assigns to that read.
+  // Client read sets are duplicate-free, so (txn, object) identifies a read
+  // even when caching permutes the merge order.
+  for (size_t i = 0; i < oracle.ops().size(); ++i) {
+    const Operation& op = oracle.ops()[i];
+    // Client update transactions (ids >= 2 * base) live in server blocks
+    // and are validated server-side; only read-only logs are cross-checked.
+    if (op.type != OpType::kRead || op.txn < kClientTxnIdBase ||
+        op.txn >= 2 * kClientTxnIdBase) {
+      continue;
+    }
+    const ClientTxnLog& ct = oracle_client_txns_.at(op.txn - kClientTxnIdBase);
+    size_t k = ct.reads.size();
+    for (size_t r = 0; r < ct.reads.size(); ++r) {
+      if (ct.reads[r].object == op.object) {
+        k = r;
+        break;
+      }
+    }
+    if (k == ct.reads.size()) {
+      return Status::Internal(StrFormat("txn %u has no logged read of ob%u", op.txn, op.object));
+    }
+    const TxnId observed_writer = ct.values.at(k).writer;
+    const TxnId oracle_writer = oracle.ReaderSource(i);
+    if (observed_writer != oracle_writer) {
+      return Status::Internal(StrFormat(
+          "txn %u read %zu of ob%u: observed writer t%u but oracle says t%u", op.txn, k,
+          op.object, observed_writer, oracle_writer));
+    }
+  }
+
+  // 2. Mutual consistency: the whole run must pass APPROX.
+  const ApproxResult approx = CheckApprox(oracle);
+  if (!approx.accepted) {
+    return Status::Internal("oracle history rejected by APPROX: " + approx.reason);
+  }
+
+  // 3. Datacycle promises full (conflict) serializability.
+  if (config_.algorithm == Algorithm::kDatacycle && !IsConflictSerializable(oracle)) {
+    return Status::Internal("Datacycle oracle history is not conflict serializable");
+  }
+  return Status::OK();
+}
+
+StatusOr<SimSummary> RunSimulation(const SimConfig& config) {
+  return BroadcastSim(config).Run();
+}
+
+}  // namespace bcc

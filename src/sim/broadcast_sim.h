@@ -1,0 +1,132 @@
+// The closed-loop broadcast-disk simulation of Section 4.
+//
+// One server (update transactions completing at a fixed rate, executed
+// serially) and one or more clients (read-only transactions reading "off
+// the air", optionally update transactions committing over the uplink)
+// share a simulated broadcast channel clocked in bit-units. Each cycle the
+// server broadcasts every object followed by its control-information share;
+// a client waits for an object's slot, validates the read against the
+// cycle's control snapshot using the configured algorithm, and aborts/
+// restarts on a failed read condition.
+//
+// The paper simulates exactly one client because read-only transactions
+// never feed back into the server; with the client-update extension
+// (client_update_fraction > 0) multiple clients do interact through the
+// server's validator, so num_clients becomes meaningful.
+
+#ifndef BCC_SIM_BROADCAST_SIM_H_
+#define BCC_SIM_BROADCAST_SIM_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "client/cache.h"
+#include "client/read_txn.h"
+#include "common/statusor.h"
+#include "des/event_queue.h"
+#include "history/history.h"
+#include "matrix/group_matrix.h"
+#include "server/broadcast_server.h"
+#include "server/validator.h"
+#include "sim/config.h"
+#include "sim/metrics.h"
+#include "sim/workload.h"
+
+namespace bcc {
+
+/// First TxnId used for client read-only transactions in recorded oracle
+/// histories (server transactions count up from 1); client update
+/// transactions use ids from 2 * kClientTxnIdBase.
+inline constexpr TxnId kClientTxnIdBase = 1u << 20;
+
+/// One simulation run. Construct, Run() once, then inspect.
+class BroadcastSim {
+ public:
+  explicit BroadcastSim(SimConfig config);
+  ~BroadcastSim();
+
+  /// Executes the run to completion (num_client_txns transactions committed
+  /// across all clients).
+  StatusOr<SimSummary> Run();
+
+  const SimConfig& config() const { return config_; }
+  const ServerTxnManager& manager() const { return *manager_; }
+  /// Aggregate cache counters across clients (0s when caching is off).
+  uint64_t TotalCacheHits() const;
+  uint64_t TotalCacheMisses() const;
+
+  /// Reconstructs the paper-semantics global history of the run: per cycle,
+  /// client reads (which observe the state at the beginning of the cycle)
+  /// precede the server transactions committed during that cycle. Requires
+  /// config.record_history.
+  StatusOr<History> BuildOracleHistory() const;
+
+  /// End-to-end consistency audit (requires config.record_history):
+  ///   1. every value a committed client transaction read matches the
+  ///      reads-from relation of the oracle history (currency + atomicity);
+  ///   2. the oracle history passes APPROX (mutual consistency);
+  ///   3. under Datacycle, the oracle history is conflict serializable.
+  Status VerifyOracle() const;
+
+ private:
+  struct ClientTxnLog {
+    TxnId id;
+    std::vector<ReadRecord> reads;
+    std::vector<ObjectVersion> values;
+  };
+
+  /// Per-client protocol state machine.
+  struct Client {
+    Client(const SimConfig& config, Rng rng, std::optional<CycleStampCodec> codec);
+
+    ClientWorkload workload;
+    ReadOnlyTxnProtocol protocol;
+    std::unique_ptr<QuasiCache> cache;
+
+    std::vector<ObjectId> read_set;
+    std::vector<ObjectId> write_set;
+    size_t read_idx = 0;
+    SimTime submit_time = 0;
+    uint32_t restarts = 0;
+    bool is_update = false;
+  };
+
+  // Event handlers (`c` = client index).
+  void StartNextCycle();
+  void ServerCommitEvent();
+  void SubmitClientTxn(size_t c);
+  void BeginReadOp(size_t c);          // after think time: cache or broadcast
+  void PerformBroadcastRead(size_t c);
+  void OnReadSuccess(size_t c);
+  void OnReadAbort(size_t c);
+  void SendUplinkCommit(size_t c);     // client update txn: ship reads+writes
+  void CompleteTxn(size_t c, bool censored);
+
+  SimConfig config_;
+  BroadcastGeometry geometry_;
+  EventQueue queue_;
+
+  std::unique_ptr<ServerTxnManager> manager_;
+  std::unique_ptr<BroadcastServer> server_;
+  std::optional<ObjectPartition> partition_;
+  std::unique_ptr<ServerWorkload> server_workload_;
+  std::unique_ptr<UpdateValidator> validator_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  SimMetrics metrics_;
+
+  uint32_t completed_txns_ = 0;
+  TxnId next_client_update_id_ = 2 * kClientTxnIdBase;  // disjoint id range
+  bool done_ = false;
+  bool ran_ = false;
+
+  // Oracle logs (committed read-only client transactions, all clients).
+  std::vector<ClientTxnLog> oracle_client_txns_;
+};
+
+/// Convenience: run one configuration and return its summary.
+StatusOr<SimSummary> RunSimulation(const SimConfig& config);
+
+}  // namespace bcc
+
+#endif  // BCC_SIM_BROADCAST_SIM_H_

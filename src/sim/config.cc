@@ -1,0 +1,74 @@
+#include "sim/config.h"
+
+#include "common/format.h"
+
+namespace bcc {
+
+Status SimConfig::Validate() const {
+  if (num_objects == 0) return Status::InvalidArgument("num_objects must be > 0");
+  if (client_txn_length == 0) {
+    return Status::InvalidArgument("client_txn_length must be > 0");
+  }
+  if (client_txn_length > num_objects) {
+    return Status::InvalidArgument("client_txn_length exceeds num_objects");
+  }
+  if (server_txn_length == 0) {
+    return Status::InvalidArgument("server_txn_length must be > 0");
+  }
+  if (object_size_bits == 0) return Status::InvalidArgument("object_size_bits must be > 0");
+  if (server_txn_interval == 0) {
+    return Status::InvalidArgument("server_txn_interval must be > 0");
+  }
+  if (timestamp_bits < 1 || timestamp_bits > 32) {
+    return Status::InvalidArgument("timestamp_bits must be in [1, 32]");
+  }
+  if (server_read_probability < 0.0 || server_read_probability > 1.0) {
+    return Status::InvalidArgument("server_read_probability must be in [0, 1]");
+  }
+  if (num_groups > num_objects) {
+    return Status::InvalidArgument("num_groups exceeds num_objects");
+  }
+  if (warmup_txns >= num_client_txns) {
+    return Status::InvalidArgument("warmup_txns must be < num_client_txns");
+  }
+  if (client_update_fraction < 0.0 || client_update_fraction > 1.0) {
+    return Status::InvalidArgument("client_update_fraction must be in [0, 1]");
+  }
+  if (client_update_fraction > 0.0 &&
+      (client_update_writes == 0 || client_update_writes > num_objects)) {
+    return Status::InvalidArgument("client_update_writes must be in [1, num_objects]");
+  }
+  if (num_clients == 0) {
+    return Status::InvalidArgument("num_clients must be >= 1");
+  }
+  if (hot_set_size > num_objects) {
+    return Status::InvalidArgument("hot_set_size exceeds num_objects");
+  }
+  if (hot_set_size > 0 && hot_broadcast_frequency == 0) {
+    return Status::InvalidArgument("hot_broadcast_frequency must be >= 1");
+  }
+  if (client_hot_access_fraction > 1.0 || server_hot_access_fraction > 1.0) {
+    return Status::InvalidArgument("hot access fractions must be <= 1");
+  }
+  if ((client_hot_access_fraction >= 0.0 || server_hot_access_fraction >= 0.0) &&
+      (hot_set_size == 0 || hot_set_size == num_objects)) {
+    return Status::InvalidArgument("hot access skew requires 0 < hot_set_size < num_objects");
+  }
+  return Status::OK();
+}
+
+BroadcastGeometry SimConfig::Geometry() const {
+  return ComputeGeometry(algorithm, num_objects, object_size_bits, timestamp_bits, num_groups);
+}
+
+std::string SimConfig::ToString() const {
+  return StrFormat(
+      "%s: clientLen=%u serverLen=%u serverInt=%llu n=%u objBits=%llu ts=%u groups=%u "
+      "cache=%d seed=%llu",
+      std::string(AlgorithmName(algorithm)).c_str(), client_txn_length, server_txn_length,
+      static_cast<unsigned long long>(server_txn_interval), num_objects,
+      static_cast<unsigned long long>(object_size_bits), timestamp_bits, num_groups,
+      enable_cache ? 1 : 0, static_cast<unsigned long long>(seed));
+}
+
+}  // namespace bcc

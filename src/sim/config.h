@@ -1,0 +1,96 @@
+// Simulation configuration (Table 1 of the paper).
+
+#ifndef BCC_SIM_CONFIG_H_
+#define BCC_SIM_CONFIG_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "des/event_queue.h"
+#include "matrix/wire.h"
+
+namespace bcc {
+
+/// All knobs of the Section 4 simulation. Defaults are Table 1; time values
+/// are bit-units (time to broadcast one bit). At 64 Kbit/s the default
+/// inter-operation delay (65536) is 1 s and the inter-transaction delay
+/// (131072) is 2 s.
+struct SimConfig {
+  Algorithm algorithm = Algorithm::kFMatrix;
+
+  // ---- Table 1 parameters ----
+  uint32_t client_txn_length = 4;      ///< reads per client transaction
+  uint32_t server_txn_length = 8;      ///< read/write ops per server txn
+  uint64_t server_txn_interval = 250000;  ///< bit-units between commits
+  uint32_t num_objects = 300;
+  uint64_t object_size_bits = 8 * 1024;   ///< 1 KB objects
+  double server_read_probability = 0.5;
+  uint64_t mean_inter_op_delay = 65536;    ///< exponential
+  uint64_t mean_inter_txn_delay = 131072;  ///< exponential
+  uint64_t restart_delay = 0;              ///< after an abort
+  unsigned timestamp_bits = 8;
+
+  // ---- run control ----
+  uint32_t num_client_txns = 1000;  ///< total, all clients; paper: 1000
+  uint32_t warmup_txns = 500;       ///< excluded from steady-state stats
+  /// Concurrent clients. The paper uses one (read-only clients never
+  /// interact); more are meaningful with client_update_fraction > 0.
+  uint32_t num_clients = 1;
+  uint64_t seed = 42;
+  /// Exponential server inter-commit times (a Poisson completion process);
+  /// false = deterministic spacing.
+  bool server_interval_exponential = true;
+  /// Round-trip every consulted control stamp through the TS-bit modulo
+  /// wire codec, as the real protocol would.
+  bool use_wire_codec = true;
+  /// Censoring guard for pathological configurations (e.g. Datacycle with
+  /// very long client transactions): a transaction is force-completed after
+  /// this many aborts and flagged in the metrics.
+  uint32_t max_restarts_per_txn = 200000;
+
+  // ---- extensions ----
+  /// Group-matrix spectrum (Section 3.2.2): 0 = the algorithm's natural
+  /// granularity (n for F-Matrix, 1 for R-Matrix/Datacycle); otherwise the
+  /// number of groups g for an F-Matrix-style grouped protocol.
+  uint32_t num_groups = 0;
+  /// Client update transactions (Section 3.2.1 client functionality /
+  /// Section 5 future work): fraction of client transactions that buffer
+  /// writes locally and commit through the server's optimistic validator
+  /// over the uplink. 0 = the paper's evaluation setting (read-only only).
+  double client_update_fraction = 0.0;
+  /// Objects written by a client update transaction (chosen uniformly).
+  uint32_t client_update_writes = 2;
+  /// One-way uplink latency in bit-units for the commit request/response.
+  uint64_t uplink_delay = 4096;
+  /// Multi-speed broadcast disk (Section 2.1 scoping lifted): objects
+  /// [0, hot_set_size) appear hot_broadcast_frequency times per major
+  /// cycle. hot_set_size = 0 keeps the paper's single-speed disk.
+  uint32_t hot_set_size = 0;
+  uint32_t hot_broadcast_frequency = 1;
+  /// Access skew: probability that a client read (resp. server operation)
+  /// targets the hot set. Negative = uniform over the whole database.
+  double client_hot_access_fraction = -1.0;
+  double server_hot_access_fraction = -1.0;
+  /// Client quasi-cache (Section 3.3).
+  bool enable_cache = false;
+  size_t cache_capacity = 0;          ///< 0 = unbounded
+  SimTime cache_currency_bound = 0;   ///< T in bit-units
+
+  // ---- test instrumentation ----
+  /// Record the full update history plus client reads so the run can be
+  /// replayed through the APPROX/legality oracles. Use small configs only.
+  bool record_history = false;
+
+  /// Parameter sanity checks.
+  Status Validate() const;
+
+  /// Broadcast-cycle geometry induced by the algorithm and sizes.
+  BroadcastGeometry Geometry() const;
+
+  /// One-line description for bench output headers.
+  std::string ToString() const;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_SIM_CONFIG_H_

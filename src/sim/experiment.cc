@@ -1,0 +1,124 @@
+#include "sim/experiment.h"
+
+#include <atomic>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "common/format.h"
+
+namespace bcc {
+
+StatusOr<ExperimentResult> RunExperiment(const ExperimentSpec& spec) {
+  ExperimentResult result;
+  result.spec = spec;
+  result.summaries.assign(spec.algorithms.size(),
+                          std::vector<SimSummary>(spec.x_values.size()));
+
+  struct Job {
+    size_t a, x;
+  };
+  std::vector<Job> jobs;
+  for (size_t a = 0; a < spec.algorithms.size(); ++a) {
+    for (size_t x = 0; x < spec.x_values.size(); ++x) jobs.push_back({a, x});
+  }
+
+  unsigned workers = spec.parallelism ? spec.parallelism : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = std::min<unsigned>(workers, static_cast<unsigned>(jobs.size()));
+
+  std::atomic<size_t> next{0};
+  std::mutex error_mutex;
+  Status first_error = Status::OK();
+
+  auto worker = [&] {
+    for (;;) {
+      const size_t idx = next.fetch_add(1);
+      if (idx >= jobs.size()) return;
+      const Job job = jobs[idx];
+      SimConfig config = spec.base;
+      config.algorithm = spec.algorithms[job.a];
+      if (spec.apply) spec.apply(&config, spec.x_values[job.x]);
+      auto summary = RunSimulation(config);
+      if (!summary.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = summary.status();
+        return;
+      }
+      result.summaries[job.a][job.x] = *summary;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+
+  if (!first_error.ok()) return first_error;
+  return result;
+}
+
+namespace {
+
+void PrintHeader(const ExperimentResult& result, std::ostream& os, const char* metric) {
+  os << "== " << result.spec.title << " ==\n";
+  os << "(" << metric << "; base: " << result.spec.base.ToString() << ")\n";
+  os << StrFormat("%-22s", result.spec.x_label.c_str());
+  for (Algorithm a : result.spec.algorithms) {
+    os << StrFormat("%22s", std::string(AlgorithmName(a)).c_str());
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+void PrintResponseTable(const ExperimentResult& result, std::ostream& os) {
+  PrintHeader(result, os, "mean response time in bit-units, +- 95% CI half-width");
+  for (size_t x = 0; x < result.spec.x_values.size(); ++x) {
+    os << StrFormat("%-22g", result.spec.x_values[x]);
+    for (size_t a = 0; a < result.spec.algorithms.size(); ++a) {
+      const SimSummary& s = result.At(a, x);
+      os << StrFormat("%s%13.4e +-%6.0e", s.censored_txns ? ">" : " ", s.mean_response_time,
+                      s.response_ci_half_width);
+    }
+    os << "\n";
+  }
+  os << "\n";
+}
+
+void PrintRestartTable(const ExperimentResult& result, std::ostream& os) {
+  PrintHeader(result, os, "mean restarts per committed transaction");
+  for (size_t x = 0; x < result.spec.x_values.size(); ++x) {
+    os << StrFormat("%-22g", result.spec.x_values[x]);
+    for (size_t a = 0; a < result.spec.algorithms.size(); ++a) {
+      const SimSummary& s = result.At(a, x);
+      os << StrFormat("%s%21.3f", s.censored_txns ? ">" : " ", s.restart_ratio);
+    }
+    os << "\n";
+  }
+  os << "\n";
+}
+
+void PrintCsv(const ExperimentResult& result, std::ostream& os) {
+  os << "x,algorithm,mean_response,ci_half,p50,p95,restart_ratio,measured_txns,cycles,"
+        "server_commits,censored,cache_hits,cache_misses\n";
+  for (size_t a = 0; a < result.spec.algorithms.size(); ++a) {
+    for (size_t x = 0; x < result.spec.x_values.size(); ++x) {
+      const SimSummary& s = result.At(a, x);
+      os << StrFormat(
+          "%g,%s,%.6e,%.6e,%.6e,%.6e,%.4f,%llu,%llu,%llu,%llu,%llu,%llu\n",
+          result.spec.x_values[x],
+          std::string(AlgorithmName(result.spec.algorithms[a])).c_str(), s.mean_response_time,
+          s.response_ci_half_width, s.response_p50, s.response_p95, s.restart_ratio,
+          static_cast<unsigned long long>(s.measured_txns),
+          static_cast<unsigned long long>(s.cycles_elapsed),
+          static_cast<unsigned long long>(s.server_commits),
+          static_cast<unsigned long long>(s.censored_txns),
+          static_cast<unsigned long long>(s.cache_hits),
+          static_cast<unsigned long long>(s.cache_misses));
+    }
+  }
+  os << "\n";
+}
+
+}  // namespace bcc

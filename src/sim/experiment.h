@@ -1,0 +1,58 @@
+// Experiment harness: runs one paper figure (a parameter sweep crossed with
+// the four algorithms) and renders the series as tables.
+
+#ifndef BCC_SIM_EXPERIMENT_H_
+#define BCC_SIM_EXPERIMENT_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "sim/broadcast_sim.h"
+
+namespace bcc {
+
+/// Specification of one figure-style experiment.
+struct ExperimentSpec {
+  std::string title;    ///< e.g. "Figure 2(a): response time vs client txn length"
+  std::string x_label;  ///< e.g. "client txn length"
+  SimConfig base;       ///< defaults for everything not swept
+  std::vector<double> x_values;
+  /// Applies one swept x-value to a config copy.
+  std::function<void(SimConfig*, double)> apply;
+  std::vector<Algorithm> algorithms = {Algorithm::kDatacycle, Algorithm::kRMatrix,
+                                       Algorithm::kFMatrix, Algorithm::kFMatrixNo};
+  /// Worker threads for the sweep grid (each cell is an independent run).
+  /// 0 = hardware concurrency.
+  unsigned parallelism = 0;
+};
+
+/// Grid of results: summaries[a][x] pairs algorithms[a] with x_values[x].
+struct ExperimentResult {
+  ExperimentSpec spec;
+  std::vector<std::vector<SimSummary>> summaries;
+
+  const SimSummary& At(size_t algorithm_idx, size_t x_idx) const {
+    return summaries[algorithm_idx][x_idx];
+  }
+};
+
+/// Runs the full grid (algorithms x x_values), in parallel.
+StatusOr<ExperimentResult> RunExperiment(const ExperimentSpec& spec);
+
+/// Renders the response-time series (mean +- 95% CI), one row per x-value,
+/// one column per algorithm — the paper's figure as a table. Censored cells
+/// are flagged with '>' (off the chart, like Datacycle at length 10).
+void PrintResponseTable(const ExperimentResult& result, std::ostream& os);
+
+/// Same layout for the restart ratio (Figure 2(b) companion).
+void PrintRestartTable(const ExperimentResult& result, std::ostream& os);
+
+/// Machine-readable dump: one CSV row per (algorithm, x) cell.
+void PrintCsv(const ExperimentResult& result, std::ostream& os);
+
+}  // namespace bcc
+
+#endif  // BCC_SIM_EXPERIMENT_H_

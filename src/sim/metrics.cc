@@ -1,0 +1,62 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+
+namespace bcc {
+
+std::string SimSummary::ToString() const {
+  return StrFormat(
+      "response=%.3e +-%.2e (p50=%.3e p95=%.3e) restarts/txn=%.3f txns=%llu "
+      "cycles=%llu serverCommits=%llu censored=%llu",
+      mean_response_time, response_ci_half_width, response_p50, response_p95, restart_ratio,
+      static_cast<unsigned long long>(measured_txns),
+      static_cast<unsigned long long>(cycles_elapsed),
+      static_cast<unsigned long long>(server_commits),
+      static_cast<unsigned long long>(censored_txns));
+}
+
+void SimMetrics::RecordClientTxn(SimTime submit, SimTime commit, uint32_t restarts,
+                                 bool censored) {
+  ++total_txns_;
+  censored_ += censored;
+  if (total_txns_ <= warmup_txns_) return;
+  const double response = static_cast<double>(commit - submit);
+  response_.Add(response);
+  responses_.push_back(response);
+  restarts_.Add(static_cast<double>(restarts));
+  total_restarts_measured_ += restarts;
+}
+
+SimSummary SimMetrics::Summarize(uint64_t cycles, SimTime end_time, uint64_t cache_hits,
+                                 uint64_t cache_misses) const {
+  SimSummary s;
+  s.mean_response_time = response_.mean();
+  s.response_ci_half_width = response_.ConfidenceHalfWidth(0.95);
+  s.restart_ratio = restarts_.mean();
+  s.measured_txns = response_.count();
+  s.total_txns = total_txns_;
+  s.total_restarts = total_restarts_measured_;
+  s.cycles_elapsed = cycles;
+  s.server_commits = server_commits_;
+  s.sim_end_time = end_time;
+  s.censored_txns = censored_;
+  s.cache_hits = cache_hits;
+  s.cache_misses = cache_misses;
+  s.client_update_commits = client_update_commits_;
+  s.client_update_rejects = client_update_rejects_;
+  if (!responses_.empty()) {
+    std::vector<double> sorted = responses_;
+    std::sort(sorted.begin(), sorted.end());
+    auto quantile = [&sorted](double p) {
+      const size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+      return sorted[idx];
+    };
+    s.response_p50 = quantile(0.5);
+    s.response_p95 = quantile(0.95);
+  }
+  return s;
+}
+
+}  // namespace bcc

@@ -1,0 +1,82 @@
+// Steady-state metrics collection for the Section 4 experiments.
+
+#ifndef BCC_SIM_METRICS_H_
+#define BCC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "des/event_queue.h"
+
+namespace bcc {
+
+/// Aggregated results of one simulation run. Response times are bit-units.
+struct SimSummary {
+  // Steady-state window (transactions after warmup).
+  double mean_response_time = 0.0;
+  double response_ci_half_width = 0.0;  ///< 95% CI half-width
+  double response_p50 = 0.0;
+  double response_p95 = 0.0;
+  /// Paper's "Transaction Restart Ratio": mean number of aborts+restarts a
+  /// transaction suffers before committing.
+  double restart_ratio = 0.0;
+  uint64_t measured_txns = 0;
+  uint64_t total_txns = 0;
+  uint64_t total_restarts = 0;
+
+  uint64_t cycles_elapsed = 0;
+  uint64_t server_commits = 0;
+  SimTime sim_end_time = 0;
+  /// Transactions force-completed by the censoring guard (0 in healthy
+  /// runs; nonzero flags an off-the-chart configuration, as with Datacycle
+  /// at client length 10 in the paper).
+  uint64_t censored_txns = 0;
+
+  // Cache extension counters.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  // Client update-transaction extension counters.
+  uint64_t client_update_commits = 0;
+  uint64_t client_update_rejects = 0;  ///< uplink validation failures
+
+  std::string ToString() const;
+};
+
+/// Streaming collector fed by the simulator.
+class SimMetrics {
+ public:
+  explicit SimMetrics(uint32_t warmup_txns) : warmup_txns_(warmup_txns) {}
+
+  /// Records one committed client transaction.
+  void RecordClientTxn(SimTime submit, SimTime commit, uint32_t restarts, bool censored);
+
+  void RecordServerCommit() { ++server_commits_; }
+  void RecordClientUpdateCommit() { ++client_update_commits_; }
+  void RecordClientUpdateReject() { ++client_update_rejects_; }
+
+  uint64_t committed_client_txns() const { return total_txns_; }
+
+  /// Finalizes the summary. `cycles` and `end_time` come from the sim.
+  SimSummary Summarize(uint64_t cycles, SimTime end_time, uint64_t cache_hits,
+                       uint64_t cache_misses) const;
+
+ private:
+  uint32_t warmup_txns_;
+  uint64_t total_txns_ = 0;
+  uint64_t server_commits_ = 0;
+  uint64_t censored_ = 0;
+  uint64_t total_restarts_measured_ = 0;
+  uint64_t client_update_commits_ = 0;
+  uint64_t client_update_rejects_ = 0;
+  StreamingStats response_;
+  StreamingStats restarts_;
+  // Response-time reservoir for quantiles (measured window only).
+  std::vector<double> responses_;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_SIM_METRICS_H_

@@ -1,0 +1,64 @@
+// Workload generators for the Section 4 simulation. Object choices are
+// uniform over the database, as in the paper.
+
+#ifndef BCC_SIM_WORKLOAD_H_
+#define BCC_SIM_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "des/event_queue.h"
+#include "server/txn_manager.h"
+#include "sim/config.h"
+
+namespace bcc {
+
+/// Generates the server's update-transaction stream: each transaction has
+/// `server_txn_length` operations, each independently a read with
+/// probability `server_read_probability` (else a write) on a uniformly
+/// chosen object; duplicate choices collapse into the read/write sets. A
+/// transaction with no writes is re-rolled into having one (the server
+/// stream models *update* transactions).
+class ServerWorkload {
+ public:
+  ServerWorkload(const SimConfig& config, Rng rng, TxnId first_id = 1);
+
+  /// Next transaction in the stream.
+  ServerTxn NextTxn();
+
+  /// Bit-units until the next transaction completes at the server.
+  SimTime NextInterval();
+
+ private:
+  const SimConfig config_;
+  Rng rng_;
+  TxnId next_id_;
+};
+
+/// Generates client read-only transactions: `client_txn_length` distinct
+/// uniformly chosen objects, plus the exponential think times of Table 1.
+class ClientWorkload {
+ public:
+  ClientWorkload(const SimConfig& config, Rng rng);
+
+  /// Object sequence of the next transaction (fixed across restarts: the
+  /// transaction is a deterministic program).
+  std::vector<ObjectId> NextReadSet();
+
+  /// Whether the next client transaction is an update (client_update_fraction).
+  bool NextIsUpdate();
+
+  /// Write set of a client update transaction (distinct uniform objects).
+  std::vector<ObjectId> NextWriteSet();
+
+  SimTime NextInterOpDelay();
+  SimTime NextInterTxnDelay();
+
+ private:
+  const SimConfig config_;
+  Rng rng_;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_SIM_WORKLOAD_H_

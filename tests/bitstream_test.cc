@@ -1,0 +1,106 @@
+#include "common/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matrix/wire.h"
+
+namespace bcc {
+namespace {
+
+TEST(BitstreamTest, RoundTripMixedWidths) {
+  BitWriter w;
+  w.Write(0b101, 3);
+  w.Write(0xdead, 16);
+  w.Write(1, 1);
+  w.Write(0x12345678, 32);
+  EXPECT_EQ(w.bit_size(), 52u);
+  EXPECT_EQ(w.bytes().size(), 7u);  // ceil(52 / 8)
+
+  BitReader r(w.bytes());
+  uint32_t v = 0;
+  ASSERT_TRUE(r.Read(3, &v).ok());
+  EXPECT_EQ(v, 0b101u);
+  ASSERT_TRUE(r.Read(16, &v).ok());
+  EXPECT_EQ(v, 0xdeadu);
+  ASSERT_TRUE(r.Read(1, &v).ok());
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(r.Read(32, &v).ok());
+  EXPECT_EQ(v, 0x12345678u);
+}
+
+TEST(BitstreamTest, WriteMasksHighBits) {
+  BitWriter w;
+  w.Write(0xff, 3);  // only low 3 bits kept
+  BitReader r(w.bytes());
+  uint32_t v = 0;
+  ASSERT_TRUE(r.Read(3, &v).ok());
+  EXPECT_EQ(v, 0b111u);
+}
+
+TEST(BitstreamTest, ReadPastEndFails) {
+  BitWriter w;
+  w.Write(5, 4);
+  BitReader r(w.bytes());
+  uint32_t v = 0;
+  ASSERT_TRUE(r.Read(4, &v).ok());
+  // 4 padding bits remain in the byte; asking for more than that fails.
+  EXPECT_EQ(r.bits_remaining(), 4u);
+  EXPECT_TRUE(r.Read(5, &v).IsOutOfRange());
+}
+
+TEST(BitstreamTest, RandomRoundTrip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<uint32_t, unsigned>> items;
+    for (int i = 0; i < 50; ++i) {
+      const unsigned bits = 1 + static_cast<unsigned>(rng.NextBounded(32));
+      const uint32_t value =
+          static_cast<uint32_t>(rng.NextU64()) & (bits == 32 ? ~0u : ((1u << bits) - 1));
+      items.emplace_back(value, bits);
+      w.Write(value, bits);
+    }
+    BitReader r(w.bytes());
+    for (const auto& [value, bits] : items) {
+      uint32_t v = 0;
+      ASSERT_TRUE(r.Read(bits, &v).ok());
+      EXPECT_EQ(v, value);
+    }
+  }
+}
+
+TEST(PackStampsTest, ExactWireSizeMatchesPaperFormula) {
+  // A 300-entry column of 8-bit stamps is exactly 2400 bits = 300 bytes.
+  const CycleStampCodec codec(8);
+  std::vector<Cycle> column(300, 7);
+  const auto bytes = PackStamps(column, codec);
+  EXPECT_EQ(bytes.size(), 300u);
+
+  // Odd widths pack without alignment: 300 entries x 5 bits = 1500 bits.
+  const CycleStampCodec codec5(5);
+  EXPECT_EQ(PackStamps(column, codec5).size(), (300u * 5 + 7) / 8);
+}
+
+TEST(PackStampsTest, RoundTripThroughTheAir) {
+  const CycleStampCodec codec(8);
+  Rng rng(17);
+  const Cycle current = 1000;
+  std::vector<Cycle> column;
+  for (int i = 0; i < 64; ++i) column.push_back(current - rng.NextBounded(200));
+  const auto bytes = PackStamps(column, codec);
+  auto decoded = UnpackStamps(bytes, column.size(), codec, current);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, column);
+}
+
+TEST(PackStampsTest, UnpackDetectsTruncation) {
+  const CycleStampCodec codec(8);
+  std::vector<Cycle> column(10, 1);
+  auto bytes = PackStamps(column, codec);
+  bytes.resize(5);
+  EXPECT_TRUE(UnpackStamps(bytes, 10, codec, 100).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,150 @@
+#include "sim/broadcast_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace bcc {
+namespace {
+
+SimConfig SmallConfig(Algorithm a, uint64_t seed = 42) {
+  SimConfig c;
+  c.algorithm = a;
+  c.num_objects = 20;
+  c.object_size_bits = 512;
+  c.client_txn_length = 3;
+  c.server_txn_length = 4;
+  c.server_txn_interval = 40000;
+  c.mean_inter_op_delay = 2000;
+  c.mean_inter_txn_delay = 4000;
+  c.num_client_txns = 60;
+  c.warmup_txns = 20;
+  c.seed = seed;
+  return c;
+}
+
+TEST(BroadcastSimTest, RunsToCompletionForAllAlgorithms) {
+  for (Algorithm a : kAllAlgorithms) {
+    auto s = RunSimulation(SmallConfig(a));
+    ASSERT_TRUE(s.ok()) << AlgorithmName(a) << ": " << s.status();
+    EXPECT_EQ(s->total_txns, 60u);
+    EXPECT_EQ(s->measured_txns, 40u);
+    EXPECT_GT(s->mean_response_time, 0.0);
+    EXPECT_GT(s->cycles_elapsed, 0u);
+    EXPECT_GT(s->server_commits, 0u);
+    EXPECT_EQ(s->censored_txns, 0u);
+  }
+}
+
+TEST(BroadcastSimTest, DeterministicGivenSeed) {
+  for (Algorithm a : kAllAlgorithms) {
+    auto s1 = RunSimulation(SmallConfig(a, 7));
+    auto s2 = RunSimulation(SmallConfig(a, 7));
+    ASSERT_TRUE(s1.ok() && s2.ok());
+    EXPECT_EQ(s1->mean_response_time, s2->mean_response_time) << AlgorithmName(a);
+    EXPECT_EQ(s1->total_restarts, s2->total_restarts);
+    EXPECT_EQ(s1->sim_end_time, s2->sim_end_time);
+  }
+}
+
+TEST(BroadcastSimTest, DifferentSeedsDiffer) {
+  auto s1 = RunSimulation(SmallConfig(Algorithm::kRMatrix, 1));
+  auto s2 = RunSimulation(SmallConfig(Algorithm::kRMatrix, 2));
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_NE(s1->sim_end_time, s2->sim_end_time);
+}
+
+TEST(BroadcastSimTest, RunTwiceFails) {
+  BroadcastSim sim(SmallConfig(Algorithm::kFMatrix));
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_EQ(sim.Run().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BroadcastSimTest, InvalidConfigRejected) {
+  SimConfig c = SmallConfig(Algorithm::kFMatrix);
+  c.client_txn_length = 0;
+  EXPECT_FALSE(RunSimulation(c).ok());
+}
+
+TEST(BroadcastSimTest, FMatrixNoHasShorterCyclesThanFMatrix) {
+  auto f = RunSimulation(SmallConfig(Algorithm::kFMatrix));
+  auto fno = RunSimulation(SmallConfig(Algorithm::kFMatrixNo));
+  ASSERT_TRUE(f.ok() && fno.ok());
+  // Same simulated span contains more F-Matrix-No cycles per unit time;
+  // equivalently its end time is smaller for the same transaction count
+  // (shorter cycles -> shorter waits).
+  EXPECT_LT(fno->mean_response_time, f->mean_response_time * 1.2);
+}
+
+TEST(BroadcastSimTest, HigherContentionHurtsDatacycleMost) {
+  SimConfig base = SmallConfig(Algorithm::kDatacycle);
+  base.client_txn_length = 6;
+  base.num_client_txns = 120;
+  base.warmup_txns = 40;
+  auto d = RunSimulation(base);
+  base.algorithm = Algorithm::kFMatrix;
+  auto f = RunSimulation(base);
+  ASSERT_TRUE(d.ok() && f.ok());
+  EXPECT_GT(d->restart_ratio, f->restart_ratio);
+}
+
+TEST(BroadcastSimTest, CensoringGuardFires) {
+  SimConfig c = SmallConfig(Algorithm::kDatacycle);
+  c.client_txn_length = 10;
+  c.server_txn_interval = 2000;  // extreme contention
+  c.max_restarts_per_txn = 3;
+  c.num_client_txns = 10;
+  c.warmup_txns = 2;
+  auto s = RunSimulation(c);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s->censored_txns, 0u);
+}
+
+TEST(BroadcastSimTest, CacheServesRepeatedReads) {
+  SimConfig c = SmallConfig(Algorithm::kFMatrix);
+  c.num_objects = 5;  // tiny database: plenty of repeats
+  c.client_txn_length = 3;
+  c.enable_cache = true;
+  c.cache_currency_bound = 10'000'000;  // generous T
+  auto s = RunSimulation(c);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s->cache_hits, 0u);
+}
+
+TEST(BroadcastSimTest, CacheLowersResponseTime) {
+  SimConfig c = SmallConfig(Algorithm::kFMatrix);
+  c.num_objects = 8;
+  auto without = RunSimulation(c);
+  c.enable_cache = true;
+  c.cache_currency_bound = 50'000'000;
+  auto with = RunSimulation(c);
+  ASSERT_TRUE(without.ok() && with.ok());
+  EXPECT_LT(with->mean_response_time, without->mean_response_time);
+}
+
+TEST(BroadcastSimTest, GroupedSpectrumRunsAndOrdersSensibly) {
+  // g between 1 and n: response should be bounded by the pure variants'
+  // behaviors in cycle length; just assert it runs and aborts stay sane.
+  SimConfig c = SmallConfig(Algorithm::kFMatrix);
+  c.num_groups = 4;
+  auto s = RunSimulation(c);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_GT(s->measured_txns, 0u);
+}
+
+TEST(BroadcastSimTest, ZeroTimestampWindowStillSafe) {
+  // 1-bit stamps alias aggressively; the run must still complete (spurious
+  // aborts only).
+  SimConfig c = SmallConfig(Algorithm::kFMatrix);
+  c.timestamp_bits = 1;
+  c.max_restarts_per_txn = 100000;
+  auto s = RunSimulation(c);
+  ASSERT_TRUE(s.ok());
+}
+
+TEST(BroadcastSimTest, OracleRequiresRecordingFlag) {
+  BroadcastSim sim(SmallConfig(Algorithm::kFMatrix));
+  ASSERT_TRUE(sim.Run().ok());
+  EXPECT_EQ(sim.BuildOracleHistory().status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace bcc

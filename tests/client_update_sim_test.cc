@@ -1,0 +1,112 @@
+// Mixed client workload (read-only + update transactions committing over
+// the uplink): end-to-end behavior and consistency audits.
+
+#include <gtest/gtest.h>
+
+#include "cc/approx.h"
+#include "cc/conflict_serializability.h"
+#include "sim/broadcast_sim.h"
+
+namespace bcc {
+namespace {
+
+SimConfig MixedConfig(Algorithm a, double update_fraction, uint64_t seed = 3) {
+  SimConfig c;
+  c.algorithm = a;
+  c.num_objects = 15;
+  c.object_size_bits = 512;
+  c.client_txn_length = 3;
+  c.server_txn_length = 4;
+  c.server_txn_interval = 30000;
+  c.mean_inter_op_delay = 2000;
+  c.mean_inter_txn_delay = 4000;
+  c.num_client_txns = 80;
+  c.warmup_txns = 20;
+  c.client_update_fraction = update_fraction;
+  c.client_update_writes = 2;
+  c.seed = seed;
+  return c;
+}
+
+TEST(ClientUpdateSimTest, MixedWorkloadRunsForAllAlgorithms) {
+  for (Algorithm a : kAllAlgorithms) {
+    auto s = RunSimulation(MixedConfig(a, 0.3));
+    ASSERT_TRUE(s.ok()) << AlgorithmName(a) << ": " << s.status();
+    EXPECT_EQ(s->total_txns, 80u);
+    EXPECT_GT(s->client_update_commits, 0u) << AlgorithmName(a);
+  }
+}
+
+TEST(ClientUpdateSimTest, ZeroFractionMeansNoUplinkTraffic) {
+  auto s = RunSimulation(MixedConfig(Algorithm::kFMatrix, 0.0));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->client_update_commits, 0u);
+  EXPECT_EQ(s->client_update_rejects, 0u);
+}
+
+TEST(ClientUpdateSimTest, AllUpdatesStillComplete) {
+  auto s = RunSimulation(MixedConfig(Algorithm::kRMatrix, 1.0));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->total_txns, 80u);
+  EXPECT_EQ(s->client_update_commits, 80u);
+}
+
+TEST(ClientUpdateSimTest, ValidatorRejectionsTriggerRestarts) {
+  // Hot server + long client update transactions: some uplink commits must
+  // fail validation and retry.
+  SimConfig c = MixedConfig(Algorithm::kFMatrix, 1.0, 9);
+  c.server_txn_interval = 4000;
+  c.client_txn_length = 4;
+  auto s = RunSimulation(c);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s->client_update_rejects, 0u);
+  EXPECT_GT(s->total_restarts + s->client_update_rejects, 0u);
+}
+
+TEST(ClientUpdateSimTest, DeterministicGivenSeed) {
+  auto a = RunSimulation(MixedConfig(Algorithm::kFMatrix, 0.4, 5));
+  auto b = RunSimulation(MixedConfig(Algorithm::kFMatrix, 0.4, 5));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->sim_end_time, b->sim_end_time);
+  EXPECT_EQ(a->client_update_commits, b->client_update_commits);
+  EXPECT_EQ(a->client_update_rejects, b->client_update_rejects);
+}
+
+TEST(ClientUpdateSimTest, OracleAuditPassesWithUpdates) {
+  for (Algorithm a : {Algorithm::kFMatrix, Algorithm::kRMatrix, Algorithm::kDatacycle}) {
+    SimConfig c = MixedConfig(a, 0.3, 17);
+    c.record_history = true;
+    BroadcastSim sim(c);
+    ASSERT_TRUE(sim.Run().ok());
+    EXPECT_EQ(sim.VerifyOracle(), Status::OK()) << AlgorithmName(a);
+  }
+}
+
+TEST(ClientUpdateSimTest, UpdateSubHistoryIncludesClientUpdateTxns) {
+  SimConfig c = MixedConfig(Algorithm::kFMatrix, 0.5, 21);
+  c.record_history = true;
+  BroadcastSim sim(c);
+  ASSERT_TRUE(sim.Run().ok());
+  auto oracle = sim.BuildOracleHistory();
+  ASSERT_TRUE(oracle.ok());
+  bool saw_client_update = false;
+  for (TxnId t : oracle->CommittedUpdateTxns()) {
+    if (t >= 2 * kClientTxnIdBase) saw_client_update = true;
+  }
+  EXPECT_TRUE(saw_client_update);
+  EXPECT_TRUE(IsConflictSerializable(oracle->UpdateSubHistory()));
+}
+
+TEST(ClientUpdateSimTest, CommittedUpdatesPreserveApproxOverall) {
+  SimConfig c = MixedConfig(Algorithm::kRMatrix, 0.4, 23);
+  c.record_history = true;
+  BroadcastSim sim(c);
+  ASSERT_TRUE(sim.Run().ok());
+  auto oracle = sim.BuildOracleHistory();
+  ASSERT_TRUE(oracle.ok());
+  const ApproxResult approx = CheckApprox(*oracle);
+  EXPECT_TRUE(approx.accepted) << approx.reason;
+}
+
+}  // namespace
+}  // namespace bcc

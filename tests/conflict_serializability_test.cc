@@ -1,0 +1,100 @@
+#include "cc/conflict_serializability.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "history/history_parser.h"
+
+namespace bcc {
+namespace {
+
+TEST(ConflictSerializabilityTest, SerialHistoryIsSerializable) {
+  const History h = MustParseHistory("r1(x) w1(y) c1 r2(y) w2(z) c2");
+  EXPECT_TRUE(IsConflictSerializable(h));
+  const auto order = ConflictSerializationOrder(h);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<TxnId>{1, 2}));
+}
+
+TEST(ConflictSerializabilityTest, ClassicLostUpdateCycle) {
+  // r1(x) r2(x) w1(x) w2(x): t1 -> t2 (r1 before w2) and t2 -> t1.
+  const History h = MustParseHistory("r1(x) r2(x) w1(x) w2(x) c1 c2");
+  EXPECT_FALSE(IsConflictSerializable(h));
+  EXPECT_FALSE(ConflictSerializationOrder(h).ok());
+}
+
+TEST(ConflictSerializabilityTest, InterleavedButSerializable) {
+  const History h = MustParseHistory("r1(x) r2(y) w1(x) w2(y) c1 c2");
+  EXPECT_TRUE(IsConflictSerializable(h));  // disjoint objects: no conflicts
+}
+
+TEST(ConflictSerializabilityTest, Example1FullHistoryNotSerializable) {
+  // Paper Example 1 (history 1.1): not (conflict) serializable when both
+  // read-only transactions commit.
+  const History h =
+      MustParseHistory("r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) w4(Sun) c4 r1(Sun) c1 c3");
+  EXPECT_FALSE(IsConflictSerializable(h));
+}
+
+TEST(ConflictSerializabilityTest, Example1UpdateSubHistorySerializable) {
+  const History h =
+      MustParseHistory("r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) w4(Sun) c4 r1(Sun) c1 c3");
+  EXPECT_TRUE(IsConflictSerializable(h.UpdateSubHistory()));
+}
+
+TEST(ConflictSerializabilityTest, Example2UpdateSubHistorySerializable) {
+  // Paper Example 2 (history 2.1): update transactions t1, t2, t4 are
+  // serializable in order t4; t1; t2.
+  const History h = MustParseHistory(
+      "r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) c3 w4(Sun) c4 r1(Sun) w1(DEC) c1");
+  const History u = h.UpdateSubHistory();
+  EXPECT_TRUE(IsConflictSerializable(u));
+  const auto order = ConflictSerializationOrder(u);
+  ASSERT_TRUE(order.ok());
+  auto pos = [&](TxnId t) {
+    return std::find(order->begin(), order->end(), t) - order->begin();
+  };
+  EXPECT_LT(pos(4), pos(1));
+  EXPECT_LT(pos(1), pos(2));
+}
+
+TEST(ConflictSerializabilityTest, AbortedTxnsExcluded) {
+  // Without the abort this is the lost-update cycle; aborting t2 clears it.
+  const History h = MustParseHistory("r1(x) r2(x) w1(x) w2(x) c1 a2");
+  EXPECT_TRUE(IsConflictSerializable(h));
+  const auto sg = BuildSerializationGraph(h);
+  EXPECT_FALSE(sg.HasNode(2));
+}
+
+TEST(ConflictSerializabilityTest, ActiveTxnsExcluded) {
+  const History h = MustParseHistory("r1(x) r2(x) w1(x) w2(x) c1");
+  EXPECT_TRUE(IsConflictSerializable(h));  // t2 never committed
+}
+
+TEST(ConflictSerializabilityTest, ReadOnlyConflictsStillCount) {
+  // w-r and r-w conflicts involving a read-only txn create the cycle
+  // t2 -> t1 (w2(x) before r1(x)) and t1 -> t2 (r1(y) before w2(y)).
+  const History h = MustParseHistory("r1(y) w2(x) w2(y) c2 r1(x) c1");
+  EXPECT_FALSE(IsConflictSerializable(h));
+}
+
+TEST(ConflictSerializabilityTest, WwConflictsOrdered) {
+  const History h = MustParseHistory("w1(x) w2(x) w1(y) c1 c2");
+  // t1 -> t2 (x) and no t2 -> t1: serializable as 1, 2.
+  const auto order = ConflictSerializationOrder(h);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<TxnId>{1, 2}));
+}
+
+TEST(ConflictSerializabilityTest, GraphEdgesMatchConflicts) {
+  const History h = MustParseHistory("r1(x) w2(x) c2 r3(z) w1(z) c1 c3");
+  const Digraph sg = BuildSerializationGraph(h);
+  EXPECT_TRUE(sg.HasEdge(1, 2));   // r1(x) before w2(x)
+  EXPECT_TRUE(sg.HasEdge(3, 1));   // r3(z) before w1(z)
+  EXPECT_FALSE(sg.HasEdge(2, 1));
+  EXPECT_EQ(sg.NumEdges(), 2u);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,67 @@
+#include "common/cycle_stamp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bcc {
+namespace {
+
+TEST(CycleStampTest, ModulusFromBits) {
+  EXPECT_EQ(CycleStampCodec(8).modulus(), 256u);
+  EXPECT_EQ(CycleStampCodec(8).max_cycles(), 255u);
+  EXPECT_EQ(CycleStampCodec(1).modulus(), 2u);
+  EXPECT_EQ(CycleStampCodec(16).modulus(), 65536u);
+}
+
+TEST(CycleStampTest, RoundTripWithinWindow) {
+  const CycleStampCodec codec(8);
+  for (Cycle current = 0; current < 2000; current += 7) {
+    for (Cycle age = 0; age <= codec.max_cycles() && age <= current; age += 13) {
+      const Cycle absolute = current - age;
+      EXPECT_EQ(codec.Decode(codec.Encode(absolute), current), absolute)
+          << "current=" << current << " absolute=" << absolute;
+    }
+  }
+}
+
+TEST(CycleStampTest, ExactAtWindowEdge) {
+  const CycleStampCodec codec(4);  // window of 16 cycles
+  const Cycle current = 1000;
+  const Cycle oldest_exact = current - codec.max_cycles();
+  EXPECT_EQ(codec.Decode(codec.Encode(oldest_exact), current), oldest_exact);
+}
+
+TEST(CycleStampTest, BeyondWindowDecodesTooRecentNeverFuture) {
+  // Stamps older than the window alias to a more recent cycle. That bias
+  // direction is what makes wraparound safe for the protocol: a too-recent
+  // decoded commit cycle can only cause spurious aborts (C(i,j) >= cycle),
+  // never a false acceptance.
+  const CycleStampCodec codec(8);
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const Cycle current = 300 + rng.NextBounded(100000);
+    const Cycle absolute = rng.NextBounded(current);
+    const Cycle decoded = codec.Decode(codec.Encode(absolute), current);
+    EXPECT_LE(decoded, current);
+    EXPECT_GE(decoded, absolute);
+    EXPECT_EQ((decoded - absolute) % codec.modulus(), 0u);
+  }
+}
+
+TEST(CycleStampTest, NearEpochClampsAtZero) {
+  const CycleStampCodec codec(8);
+  // Residue 200 at current cycle 10: no absolute cycle <= 10 has residue
+  // 200; the decoder clamps to 0 rather than inventing a future cycle.
+  EXPECT_EQ(codec.Decode(200, 10), 0u);
+}
+
+TEST(CycleStampTest, EncodeMasksHighBits) {
+  const CycleStampCodec codec(8);
+  EXPECT_EQ(codec.Encode(256), 0u);
+  EXPECT_EQ(codec.Encode(511), 255u);
+  EXPECT_EQ(codec.Encode(0x1234567890ull), codec.Encode(0x1234567890ull & 0xff));
+}
+
+}  // namespace
+}  // namespace bcc

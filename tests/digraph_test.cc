@@ -1,0 +1,155 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace bcc {
+namespace {
+
+TEST(DigraphTest, EmptyGraphIsAcyclic) {
+  Digraph g;
+  EXPECT_FALSE(g.HasCycle());
+  EXPECT_TRUE(g.TopologicalSort().ok());
+  EXPECT_TRUE(g.TopologicalSort()->empty());
+}
+
+TEST(DigraphTest, AddNodeIdempotent) {
+  Digraph g;
+  EXPECT_EQ(g.AddNode(7), g.AddNode(7));
+  EXPECT_EQ(g.NumNodes(), 1u);
+}
+
+TEST(DigraphTest, DuplicateEdgesIgnored) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(DigraphTest, ChainIsAcyclicWithCorrectTopo) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  EXPECT_FALSE(g.HasCycle());
+  const auto order = g.TopologicalSort();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, (std::vector<uint32_t>{1, 2, 3, 4}));
+}
+
+TEST(DigraphTest, TriangleCycleDetected) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);
+  EXPECT_TRUE(g.HasCycle());
+  EXPECT_FALSE(g.TopologicalSort().ok());
+}
+
+TEST(DigraphTest, SelfLoopIsCycle) {
+  Digraph g;
+  g.AddEdge(5, 5);
+  EXPECT_TRUE(g.HasCycle());
+}
+
+TEST(DigraphTest, TwoNodeCycle) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);
+  EXPECT_TRUE(g.HasCycle());
+}
+
+TEST(DigraphTest, TopologicalSortRespectsAllEdges) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random DAG: edges only low -> high, relabeled.
+    Digraph g;
+    const uint32_t n = 15;
+    for (uint32_t i = 0; i < n; ++i) g.AddNode(i * 13 % 101);
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = i + 1; j < n; ++j) {
+        if (rng.NextBernoulli(0.2)) {
+          g.AddEdge(i * 13 % 101, j * 13 % 101);
+          edges.emplace_back(i * 13 % 101, j * 13 % 101);
+        }
+      }
+    }
+    const auto order = g.TopologicalSort();
+    ASSERT_TRUE(order.ok());
+    auto pos = [&](uint32_t key) {
+      return std::find(order->begin(), order->end(), key) - order->begin();
+    };
+    for (const auto& [from, to] : edges) EXPECT_LT(pos(from), pos(to));
+  }
+}
+
+TEST(DigraphTest, SuccessorsReturnsKeys) {
+  Digraph g;
+  g.AddEdge(10, 20);
+  g.AddEdge(10, 30);
+  auto succ = g.Successors(10);
+  std::sort(succ.begin(), succ.end());
+  EXPECT_EQ(succ, (std::vector<uint32_t>{20, 30}));
+  EXPECT_TRUE(g.Successors(99).empty());
+}
+
+TEST(DigraphTest, SccFindsComponents) {
+  Digraph g;
+  // SCC {1,2,3}, SCC {4,5}, singleton {6}.
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 4);
+  g.AddEdge(5, 6);
+  auto sccs = g.StronglyConnectedComponents();
+  std::vector<std::set<uint32_t>> sets;
+  for (auto& c : sccs) sets.emplace_back(c.begin(), c.end());
+  EXPECT_EQ(sets.size(), 3u);
+  EXPECT_NE(std::find(sets.begin(), sets.end(), std::set<uint32_t>{1, 2, 3}), sets.end());
+  EXPECT_NE(std::find(sets.begin(), sets.end(), std::set<uint32_t>{4, 5}), sets.end());
+  EXPECT_NE(std::find(sets.begin(), sets.end(), std::set<uint32_t>{6}), sets.end());
+}
+
+TEST(DigraphTest, SccCountMatchesCycleTest) {
+  Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    Digraph g;
+    const uint32_t n = 8;
+    for (uint32_t i = 0; i < n; ++i) g.AddNode(i);
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = 0; j < n; ++j) {
+        if (i != j && rng.NextBernoulli(0.15)) g.AddEdge(i, j);
+      }
+    }
+    const bool cyclic = g.HasCycle();
+    const bool any_big_scc = [&] {
+      for (const auto& c : g.StronglyConnectedComponents()) {
+        if (c.size() > 1) return true;
+      }
+      return false;
+    }();
+    // Without self-loops, cyclic <=> some SCC larger than 1.
+    EXPECT_EQ(cyclic, any_big_scc);
+  }
+}
+
+TEST(DigraphTest, Reachability) {
+  Digraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddNode(4);
+  EXPECT_TRUE(g.Reachable(1, 3));
+  EXPECT_TRUE(g.Reachable(2, 2));
+  EXPECT_FALSE(g.Reachable(3, 1));
+  EXPECT_FALSE(g.Reachable(1, 4));
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,86 @@
+#include "des/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bcc {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(5, [&] { order.push_back(1); });
+  q.ScheduleAt(5, [&] { order.push_back(2); });
+  q.ScheduleAt(5, [&] { order.push_back(3); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime seen = 0;
+  q.ScheduleAt(100, [&] { q.ScheduleAfter(50, [&] { seen = q.now(); }); });
+  q.Run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueueTest, LateSchedulingClampsToNow) {
+  EventQueue q;
+  SimTime seen = 0;
+  q.ScheduleAt(100, [&] {
+    q.ScheduleAt(10, [&] { seen = q.now(); });  // in the past
+  });
+  q.Run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(EventQueueTest, EventsCanChainIndefinitely) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) q.ScheduleAfter(7, tick);
+  };
+  q.ScheduleAt(0, tick);
+  q.Run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(q.now(), 63u);
+}
+
+TEST(EventQueueTest, RunWithLimitStopsEarly) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) q.ScheduleAt(i, [&] { ++count; });
+  EXPECT_EQ(q.Run(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueueTest, RunUntilHonorsDeadlineInclusive) {
+  EventQueue q;
+  std::vector<SimTime> fired;
+  for (SimTime t : {5u, 10u, 15u, 20u}) q.ScheduleAt(t, [&, t] { fired.push_back(t); });
+  q.RunUntil(15);
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 10, 15}));
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, StepOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Step());
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,91 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bcc {
+namespace {
+
+ExperimentSpec SmallSpec() {
+  ExperimentSpec spec;
+  spec.title = "test sweep";
+  spec.x_label = "client txn length";
+  spec.base.num_objects = 15;
+  spec.base.object_size_bits = 512;
+  spec.base.server_txn_interval = 30000;
+  spec.base.mean_inter_op_delay = 2000;
+  spec.base.mean_inter_txn_delay = 4000;
+  spec.base.num_client_txns = 30;
+  spec.base.warmup_txns = 10;
+  spec.x_values = {2, 3};
+  spec.apply = [](SimConfig* c, double x) {
+    c->client_txn_length = static_cast<uint32_t>(x);
+  };
+  spec.algorithms = {Algorithm::kDatacycle, Algorithm::kFMatrix};
+  return spec;
+}
+
+TEST(ExperimentTest, GridShapeMatchesSpec) {
+  auto result = RunExperiment(SmallSpec());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->summaries.size(), 2u);
+  ASSERT_EQ(result->summaries[0].size(), 2u);
+  for (size_t a = 0; a < 2; ++a) {
+    for (size_t x = 0; x < 2; ++x) {
+      EXPECT_GT(result->At(a, x).measured_txns, 0u);
+    }
+  }
+}
+
+TEST(ExperimentTest, ApplySetsSweptParameter) {
+  // Longer client transactions must take longer on average.
+  ExperimentSpec spec = SmallSpec();
+  spec.x_values = {1, 6};
+  auto result = RunExperiment(spec);
+  ASSERT_TRUE(result.ok());
+  for (size_t a = 0; a < spec.algorithms.size(); ++a) {
+    EXPECT_LT(result->At(a, 0).mean_response_time, result->At(a, 1).mean_response_time);
+  }
+}
+
+TEST(ExperimentTest, ParallelAndSerialAgree) {
+  ExperimentSpec spec = SmallSpec();
+  spec.parallelism = 1;
+  auto serial = RunExperiment(spec);
+  spec.parallelism = 4;
+  auto parallel = RunExperiment(spec);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  for (size_t a = 0; a < spec.algorithms.size(); ++a) {
+    for (size_t x = 0; x < spec.x_values.size(); ++x) {
+      EXPECT_EQ(serial->At(a, x).mean_response_time, parallel->At(a, x).mean_response_time);
+      EXPECT_EQ(serial->At(a, x).sim_end_time, parallel->At(a, x).sim_end_time);
+    }
+  }
+}
+
+TEST(ExperimentTest, InvalidConfigSurfacesError) {
+  ExperimentSpec spec = SmallSpec();
+  spec.apply = [](SimConfig* c, double) { c->client_txn_length = 0; };
+  EXPECT_FALSE(RunExperiment(spec).ok());
+}
+
+TEST(ExperimentTest, TablesRenderAllCells) {
+  auto result = RunExperiment(SmallSpec());
+  ASSERT_TRUE(result.ok());
+  std::ostringstream response, restart, csv;
+  PrintResponseTable(*result, response);
+  PrintRestartTable(*result, restart);
+  PrintCsv(*result, csv);
+  EXPECT_NE(response.str().find("test sweep"), std::string::npos);
+  EXPECT_NE(response.str().find("Datacycle"), std::string::npos);
+  EXPECT_NE(response.str().find("F-Matrix"), std::string::npos);
+  EXPECT_NE(restart.str().find("restarts"), std::string::npos);
+  // CSV: header + 4 cells + trailing blank line.
+  int lines = 0;
+  for (char ch : csv.str()) lines += ch == '\n';
+  EXPECT_EQ(lines, 6);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,40 @@
+#include "common/format.h"
+
+#include <gtest/gtest.h>
+
+namespace bcc {
+namespace {
+
+TEST(StrFormatTest, BasicSubstitution) {
+  EXPECT_EQ(StrFormat("txn %u read ob%u", 3u, 7u), "txn 3 read ob7");
+  EXPECT_EQ(StrFormat("%s=%d", "x", -5), "x=-5");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+}
+
+TEST(StrFormatTest, EmptyAndNoArgs) {
+  EXPECT_EQ(StrFormat("plain"), "plain");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrFormatTest, LongOutputAllocatesCorrectly) {
+  const std::string big(500, 'a');
+  const std::string out = StrFormat("<%s>", big.c_str());
+  EXPECT_EQ(out.size(), 502u);
+  EXPECT_EQ(out.front(), '<');
+  EXPECT_EQ(out.back(), '>');
+}
+
+TEST(FormatBitUnitsTest, ScalesUnits) {
+  EXPECT_EQ(FormatBitUnits(500), "500 bits");
+  EXPECT_EQ(FormatBitUnits(2500), "2.50e3 bits");
+  EXPECT_EQ(FormatBitUnits(3.18e6), "3.18e6 bits");
+}
+
+TEST(FormatEngTest, PrecisionControl) {
+  EXPECT_EQ(FormatEng(1234.5678, 4), "1235");
+  EXPECT_EQ(FormatEng(0.000123, 2), "0.00012");
+  EXPECT_EQ(FormatEng(1e9, 3), "1e+09");
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,72 @@
+#include "history/history_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace bcc {
+namespace {
+
+TEST(HistoryParserTest, ParsesPaperNotation) {
+  auto parsed = ParseHistory("r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) w4(Sun) c4 r1(Sun)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->history.size(), 8u);
+  EXPECT_EQ(parsed->object_names, (std::vector<std::string>{"IBM", "Sun"}));
+  EXPECT_EQ(parsed->object_ids.at("IBM"), 0u);
+  EXPECT_EQ(parsed->object_ids.at("Sun"), 1u);
+}
+
+TEST(HistoryParserTest, RoundTripWithNames) {
+  const std::string text = "r1(IBM) w2(IBM) c2 a3";
+  auto parsed = ParseHistory(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToString(), text);
+}
+
+TEST(HistoryParserTest, MultiDigitTxnIds) {
+  auto parsed = ParseHistory("r12(x) c12");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->history.ops()[0].txn, 12u);
+}
+
+TEST(HistoryParserTest, IgnoresExtraWhitespace) {
+  auto parsed = ParseHistory("  r1(x)\n\tw2(x)   c2  c1 ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->history.size(), 4u);
+}
+
+TEST(HistoryParserTest, RejectsUnknownOperation) {
+  EXPECT_FALSE(ParseHistory("x1(y)").ok());
+}
+
+TEST(HistoryParserTest, RejectsMissingTxnNumber) {
+  EXPECT_FALSE(ParseHistory("r(x)").ok());
+}
+
+TEST(HistoryParserTest, RejectsTxnZero) {
+  EXPECT_FALSE(ParseHistory("r0(x)").ok());
+}
+
+TEST(HistoryParserTest, RejectsMalformedParens) {
+  EXPECT_FALSE(ParseHistory("r1 x)").ok());
+  EXPECT_FALSE(ParseHistory("r1(x").ok());
+  EXPECT_FALSE(ParseHistory("r1()").ok());
+}
+
+TEST(HistoryParserTest, RejectsOpsAfterCommitViaValidate) {
+  EXPECT_FALSE(ParseHistory("c1 r1(x)").ok());
+}
+
+TEST(HistoryParserTest, CommitAndAbortNeedNoObject) {
+  auto parsed = ParseHistory("w1(x) c1 w2(x) a2");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->history.ops()[1].type, OpType::kCommit);
+  EXPECT_EQ(parsed->history.ops()[3].type, OpType::kAbort);
+}
+
+TEST(HistoryParserTest, ObjectNamesWithUnderscoresAndDigits) {
+  auto parsed = ParseHistory("r1(ob_42) w1(ob_42) c1");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->object_names[0], "ob_42");
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,132 @@
+#include "history/history.h"
+
+#include <gtest/gtest.h>
+
+#include "history/history_parser.h"
+
+namespace bcc {
+namespace {
+
+// Example 1 of the paper (history 1.1) with both read-only txns committing.
+History Example1() {
+  return MustParseHistory(
+      "r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) w4(Sun) c4 r1(Sun) c1 c3");
+}
+
+TEST(HistoryTest, TxnClassification) {
+  const History h = Example1();
+  EXPECT_TRUE(h.Txn(1).IsReadOnly());
+  EXPECT_TRUE(h.Txn(3).IsReadOnly());
+  EXPECT_TRUE(h.Txn(2).IsUpdate());
+  EXPECT_TRUE(h.Txn(4).IsUpdate());
+  EXPECT_EQ(h.Txn(1).outcome, TxnOutcome::kCommitted);
+  EXPECT_EQ(h.TxnIds(), (std::vector<TxnId>{1, 2, 3, 4}));
+}
+
+TEST(HistoryTest, ReadAndWriteSets) {
+  const History h = Example1();
+  // Objects interned in order of first appearance: IBM=0, Sun=1.
+  EXPECT_EQ(h.Txn(1).read_set, (std::vector<ObjectId>{0, 1}));
+  EXPECT_TRUE(h.Txn(1).write_set.empty());
+  EXPECT_EQ(h.Txn(2).write_set, (std::vector<ObjectId>{0}));
+  EXPECT_EQ(h.Txn(4).write_set, (std::vector<ObjectId>{1}));
+}
+
+TEST(HistoryTest, ReadsFromTracksLatestPrecedingWriter) {
+  const History h = Example1();
+  const auto& rf = h.ReadsFrom();
+  // t1 reads IBM from t0 (before w2), Sun from t4 (after c4).
+  EXPECT_NE(std::find(rf.begin(), rf.end(), ReadsFromEdge{1, 0, kInitTxn}), rf.end());
+  EXPECT_NE(std::find(rf.begin(), rf.end(), ReadsFromEdge{1, 1, 4}), rf.end());
+  // t3 reads IBM from t2, Sun from t0 (before w4).
+  EXPECT_NE(std::find(rf.begin(), rf.end(), ReadsFromEdge{3, 0, 2}), rf.end());
+  EXPECT_NE(std::find(rf.begin(), rf.end(), ReadsFromEdge{3, 1, kInitTxn}), rf.end());
+}
+
+TEST(HistoryTest, AbortedWritersAreInvisibleToReads) {
+  const History h = MustParseHistory("w1(x) a1 r2(x) c2");
+  const auto& rf = h.ReadsFrom();
+  ASSERT_EQ(rf.size(), 1u);
+  EXPECT_EQ(rf[0].writer, kInitTxn);  // not the aborted t1
+}
+
+TEST(HistoryTest, LiveSetIsTransitiveReadsFromClosure) {
+  // t3 reads from t2 which reads from t1: LIVE(t3) = {t3, t2, t1}.
+  const History h = MustParseHistory("w1(x) c1 r2(x) w2(y) c2 r3(y) c3");
+  const auto live = h.LiveSet(3);
+  EXPECT_TRUE(live.contains(3));
+  EXPECT_TRUE(live.contains(2));
+  EXPECT_TRUE(live.contains(1));
+  EXPECT_FALSE(live.contains(kInitTxn));
+  EXPECT_EQ(live.size(), 3u);
+}
+
+TEST(HistoryTest, LiveSetIncludesInitTxnWhenReadingInitialValue) {
+  const History h = MustParseHistory("r1(x) c1");
+  const auto live = h.LiveSet(1);
+  EXPECT_TRUE(live.contains(1));
+  EXPECT_TRUE(live.contains(kInitTxn));
+}
+
+TEST(HistoryTest, UpdateSubHistoryKeepsOnlyWriters) {
+  const History h = Example1();
+  const History u = h.UpdateSubHistory();
+  EXPECT_EQ(u.ToString(), "w2(ob0) c2 w4(ob1) c4");
+}
+
+TEST(HistoryTest, UpdateSubHistoryKeepsWritersReads) {
+  // H_update includes ALL operations of writing transactions, reads too.
+  const History h = MustParseHistory("r1(x) w1(y) c1 r2(x) c2");
+  const History u = h.UpdateSubHistory();
+  EXPECT_EQ(u.ToString(), "r1(ob0) w1(ob1) c1");
+}
+
+TEST(HistoryTest, CommittedTxnListsInCommitOrder) {
+  const History h = Example1();
+  EXPECT_EQ(h.CommittedUpdateTxns(), (std::vector<TxnId>{2, 4}));
+  EXPECT_EQ(h.CommittedReadOnlyTxns(), (std::vector<TxnId>{1, 3}));
+}
+
+TEST(HistoryTest, ValidateRejectsOpsAfterTermination) {
+  History h;
+  h.AppendWrite(1, 0);
+  h.AppendCommit(1);
+  h.AppendRead(1, 0);
+  EXPECT_FALSE(h.Validate().ok());
+}
+
+TEST(HistoryTest, ValidateRejectsReservedTxnZero) {
+  History h;
+  h.AppendWrite(kInitTxn, 0);
+  EXPECT_FALSE(h.Validate().ok());
+}
+
+TEST(HistoryTest, AppendixAFormRejectsReadAfterWrite) {
+  EXPECT_FALSE(MustParseHistory("w1(x) r1(y) c1").ValidateAppendixAForm().ok());
+  EXPECT_TRUE(MustParseHistory("r1(y) w1(x) c1").ValidateAppendixAForm().ok());
+}
+
+TEST(HistoryTest, AppendixAFormRejectsDuplicateAccess) {
+  EXPECT_FALSE(MustParseHistory("r1(x) r1(x) c1").ValidateAppendixAForm().ok());
+  EXPECT_FALSE(MustParseHistory("w1(x) w1(x) c1").ValidateAppendixAForm().ok());
+}
+
+TEST(HistoryTest, ProjectPreservesOrder) {
+  const History h = Example1();
+  const History p = h.Project({1, 2});
+  EXPECT_EQ(p.ToString(), "r1(ob0) w2(ob0) c2 r1(ob1) c1");
+}
+
+TEST(HistoryTest, RoundTripToString) {
+  const History h = MustParseHistory("r1(a) w2(a) c2 a1");
+  EXPECT_EQ(h.ToString(), "r1(ob0) w2(ob0) c2 a1");
+}
+
+TEST(HistoryTest, ActiveTxnOutcome) {
+  const History h = MustParseHistory("r1(x) w2(x)");
+  EXPECT_EQ(h.Txn(1).outcome, TxnOutcome::kActive);
+  EXPECT_EQ(h.Txn(2).outcome, TxnOutcome::kActive);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,108 @@
+#include "matrix/mc_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matrix/f_matrix.h"
+
+namespace bcc {
+namespace {
+
+TEST(McVectorTest, StartsAtZero) {
+  McVector mc(3);
+  for (ObjectId i = 0; i < 3; ++i) EXPECT_EQ(mc.At(i), 0u);
+}
+
+TEST(McVectorTest, ApplyCommitStampsWrites) {
+  McVector mc(3);
+  mc.ApplyCommit(std::vector<ObjectId>{0, 2}, 7);
+  EXPECT_EQ(mc.At(0), 7u);
+  EXPECT_EQ(mc.At(1), 0u);
+  EXPECT_EQ(mc.At(2), 7u);
+}
+
+TEST(McVectorTest, EqualsMaxColumnOfFullMatrix) {
+  // MC(i) == max_j C(i, j) at every step of a random serial workload.
+  Rng rng(11);
+  const uint32_t n = 6;
+  FMatrix c(n);
+  McVector mc(n);
+  for (Cycle cycle = 1; cycle <= 40; ++cycle) {
+    const auto reads = rng.SampleWithoutReplacement(n, static_cast<uint32_t>(rng.NextBounded(3)));
+    const auto writes = rng.SampleWithoutReplacement(n, 1 + static_cast<uint32_t>(rng.NextBounded(2)));
+    c.ApplyCommit(reads, writes, cycle);
+    mc.ApplyCommit(writes, cycle);
+    for (ObjectId i = 0; i < n; ++i) {
+      Cycle max_col = 0;
+      for (ObjectId j = 0; j < n; ++j) max_col = std::max(max_col, c.At(i, j));
+      EXPECT_EQ(mc.At(i), max_col) << "i=" << i << " cycle=" << cycle;
+    }
+  }
+}
+
+TEST(DatacycleConditionTest, RejectsAnyOverwrittenRead) {
+  McVector mc(3);
+  mc.ApplyCommit(std::vector<ObjectId>{1}, 5);
+  // Read ob1 in cycle 6 (after write committed): fine.
+  EXPECT_TRUE(DatacycleReadCondition(mc, std::vector<ReadRecord>{{1, 6}}));
+  // Read ob1 in cycle 5 (the write committed in cycle 5 >= 5): stale.
+  EXPECT_FALSE(DatacycleReadCondition(mc, std::vector<ReadRecord>{{1, 5}}));
+  // Unrelated read unaffected.
+  EXPECT_TRUE(DatacycleReadCondition(mc, std::vector<ReadRecord>{{0, 1}}));
+}
+
+TEST(DatacycleConditionTest, VacuouslyTrueWithNoReads) {
+  McVector mc(2);
+  EXPECT_TRUE(DatacycleReadCondition(mc, {}));
+}
+
+TEST(RMatrixConditionTest, FirstDisjunctMatchesDatacycle) {
+  McVector mc(3);
+  const std::vector<ReadRecord> reads{{0, 4}, {1, 4}};
+  // Nothing overwritten: accept regardless of the target object's state.
+  mc.ApplyCommit(std::vector<ObjectId>{2}, 9);
+  EXPECT_TRUE(RMatrixReadCondition(mc, reads, 2, /*first_read_cycle=*/1));
+}
+
+TEST(RMatrixConditionTest, SecondDisjunctSavesStaleReads) {
+  McVector mc(3);
+  // ob0 was overwritten after the client read it (cycle 9 >= 4)...
+  mc.ApplyCommit(std::vector<ObjectId>{0}, 9);
+  const std::vector<ReadRecord> reads{{0, 4}};
+  // ...but ob1 is unchanged since the transaction's first read (MC(1)=0 <
+  // 4): R-Matrix accepts where Datacycle aborts.
+  EXPECT_FALSE(DatacycleReadCondition(mc, reads));
+  EXPECT_TRUE(RMatrixReadCondition(mc, reads, 1, /*first_read_cycle=*/4));
+}
+
+TEST(RMatrixConditionTest, RejectsWhenBothDisjunctsFail) {
+  McVector mc(3);
+  mc.ApplyCommit(std::vector<ObjectId>{0, 1}, 9);
+  const std::vector<ReadRecord> reads{{0, 4}};
+  // ob1 also changed (cycle 9 >= first read 4): reject.
+  EXPECT_FALSE(RMatrixReadCondition(mc, reads, 1, /*first_read_cycle=*/4));
+}
+
+TEST(RMatrixConditionTest, WeakerThanDatacyclePointwise) {
+  // Property: whenever Datacycle accepts, R-Matrix accepts (same inputs).
+  Rng rng(13);
+  const uint32_t n = 5;
+  for (int trial = 0; trial < 2000; ++trial) {
+    McVector mc(n);
+    for (ObjectId i = 0; i < n; ++i) mc.Set(i, rng.NextBounded(10));
+    std::vector<ReadRecord> reads;
+    const Cycle first = 1 + rng.NextBounded(8);
+    Cycle cur = first;
+    for (uint32_t k = 0; k < 1 + rng.NextBounded(3); ++k) {
+      reads.push_back({static_cast<ObjectId>(rng.NextBounded(n)), cur});
+      cur += rng.NextBounded(3);
+    }
+    const ObjectId target = static_cast<ObjectId>(rng.NextBounded(n));
+    if (DatacycleReadCondition(mc, reads)) {
+      EXPECT_TRUE(RMatrixReadCondition(mc, reads, target, first));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcc

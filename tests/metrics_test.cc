@@ -1,0 +1,68 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace bcc {
+namespace {
+
+TEST(SimMetricsTest, WarmupTxnsExcluded) {
+  SimMetrics m(/*warmup_txns=*/2);
+  m.RecordClientTxn(0, 1000, 0, false);   // warmup
+  m.RecordClientTxn(0, 2000, 1, false);   // warmup
+  m.RecordClientTxn(0, 300, 2, false);    // measured
+  m.RecordClientTxn(0, 500, 4, false);    // measured
+  const SimSummary s = m.Summarize(10, 9999, 0, 0);
+  EXPECT_EQ(s.measured_txns, 2u);
+  EXPECT_EQ(s.total_txns, 4u);
+  EXPECT_DOUBLE_EQ(s.mean_response_time, 400.0);
+  EXPECT_DOUBLE_EQ(s.restart_ratio, 3.0);
+  EXPECT_EQ(s.total_restarts, 6u);
+}
+
+TEST(SimMetricsTest, CensoredTxnsCounted) {
+  SimMetrics m(0);
+  m.RecordClientTxn(0, 100, 50, true);
+  m.RecordClientTxn(0, 100, 0, false);
+  const SimSummary s = m.Summarize(1, 100, 0, 0);
+  EXPECT_EQ(s.censored_txns, 1u);
+}
+
+TEST(SimMetricsTest, QuantilesFromMeasuredWindow) {
+  SimMetrics m(0);
+  for (int i = 1; i <= 100; ++i) m.RecordClientTxn(0, static_cast<SimTime>(i * 10), 0, false);
+  const SimSummary s = m.Summarize(1, 1000, 0, 0);
+  EXPECT_NEAR(s.response_p50, 500.0, 20.0);
+  EXPECT_NEAR(s.response_p95, 950.0, 20.0);
+}
+
+TEST(SimMetricsTest, ServerCommitsTracked) {
+  SimMetrics m(0);
+  m.RecordServerCommit();
+  m.RecordServerCommit();
+  const SimSummary s = m.Summarize(3, 50, 7, 9);
+  EXPECT_EQ(s.server_commits, 2u);
+  EXPECT_EQ(s.cycles_elapsed, 3u);
+  EXPECT_EQ(s.sim_end_time, 50u);
+  EXPECT_EQ(s.cache_hits, 7u);
+  EXPECT_EQ(s.cache_misses, 9u);
+}
+
+TEST(SimMetricsTest, EmptyMeasurementWindowIsZeroed) {
+  SimMetrics m(10);
+  m.RecordClientTxn(0, 100, 0, false);
+  const SimSummary s = m.Summarize(1, 100, 0, 0);
+  EXPECT_EQ(s.measured_txns, 0u);
+  EXPECT_EQ(s.mean_response_time, 0.0);
+}
+
+TEST(SimSummaryTest, ToStringContainsKeyFields) {
+  SimMetrics m(0);
+  m.RecordClientTxn(0, 1234, 2, false);
+  const std::string str = m.Summarize(5, 1234, 0, 0).ToString();
+  EXPECT_NE(str.find("response="), std::string::npos);
+  EXPECT_NE(str.find("restarts/txn="), std::string::npos);
+  EXPECT_NE(str.find("cycles=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,103 @@
+// Multiple concurrent clients. Read-only clients never interact (the
+// paper's justification for simulating one); with the update extension they
+// contend through the server's validator.
+
+#include <gtest/gtest.h>
+
+#include "sim/broadcast_sim.h"
+
+namespace bcc {
+namespace {
+
+SimConfig MultiConfig(Algorithm a, uint32_t clients, double update_fraction,
+                      uint64_t seed = 13) {
+  SimConfig c;
+  c.algorithm = a;
+  c.num_objects = 25;
+  c.object_size_bits = 512;
+  c.client_txn_length = 3;
+  c.server_txn_length = 4;
+  c.server_txn_interval = 50000;
+  c.mean_inter_op_delay = 2000;
+  c.mean_inter_txn_delay = 4000;
+  c.num_client_txns = 120;
+  c.warmup_txns = 40;
+  c.num_clients = clients;
+  c.client_update_fraction = update_fraction;
+  c.seed = seed;
+  return c;
+}
+
+TEST(MultiClientSimTest, ReadOnlyClientsRunToCompletion) {
+  for (uint32_t clients : {1u, 2u, 5u, 10u}) {
+    auto s = RunSimulation(MultiConfig(Algorithm::kFMatrix, clients, 0.0));
+    ASSERT_TRUE(s.ok()) << s.status();
+    EXPECT_EQ(s->total_txns, 120u);
+    EXPECT_EQ(s->measured_txns, 80u);
+  }
+}
+
+TEST(MultiClientSimTest, MoreClientsFinishSoonerInWallClock) {
+  // Clients progress in parallel, so the same total transaction count
+  // completes in less simulated time.
+  auto one = RunSimulation(MultiConfig(Algorithm::kRMatrix, 1, 0.0));
+  auto eight = RunSimulation(MultiConfig(Algorithm::kRMatrix, 8, 0.0));
+  ASSERT_TRUE(one.ok() && eight.ok());
+  EXPECT_LT(eight->sim_end_time, one->sim_end_time);
+}
+
+TEST(MultiClientSimTest, DeterministicGivenSeed) {
+  auto a = RunSimulation(MultiConfig(Algorithm::kFMatrix, 4, 0.3, 7));
+  auto b = RunSimulation(MultiConfig(Algorithm::kFMatrix, 4, 0.3, 7));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->sim_end_time, b->sim_end_time);
+  EXPECT_EQ(a->total_restarts, b->total_restarts);
+  EXPECT_EQ(a->client_update_commits, b->client_update_commits);
+}
+
+TEST(MultiClientSimTest, UpdateContentionGrowsWithClients) {
+  // With everyone updating a small hot database, more concurrent clients
+  // mean more validator rejects + read-condition aborts per transaction.
+  SimConfig small = MultiConfig(Algorithm::kFMatrix, 1, 1.0, 3);
+  small.num_objects = 10;
+  SimConfig big = small;
+  big.num_clients = 10;
+  auto one = RunSimulation(small);
+  auto ten = RunSimulation(big);
+  ASSERT_TRUE(one.ok() && ten.ok());
+  const double one_conflicts =
+      static_cast<double>(one->client_update_rejects + one->total_restarts);
+  const double ten_conflicts =
+      static_cast<double>(ten->client_update_rejects + ten->total_restarts);
+  EXPECT_GT(ten_conflicts, one_conflicts);
+}
+
+TEST(MultiClientSimTest, OracleAuditPassesWithManyMixedClients) {
+  for (Algorithm a : {Algorithm::kFMatrix, Algorithm::kRMatrix, Algorithm::kDatacycle}) {
+    SimConfig c = MultiConfig(a, 5, 0.3, 19);
+    c.num_client_txns = 60;
+    c.warmup_txns = 20;
+    c.record_history = true;
+    BroadcastSim sim(c);
+    ASSERT_TRUE(sim.Run().ok());
+    EXPECT_EQ(sim.VerifyOracle(), Status::OK()) << AlgorithmName(a);
+  }
+}
+
+TEST(MultiClientSimTest, PerClientCachesAreIndependent) {
+  SimConfig c = MultiConfig(Algorithm::kFMatrix, 3, 0.0, 23);
+  c.num_objects = 6;
+  c.enable_cache = true;
+  c.cache_currency_bound = 20'000'000;
+  auto s = RunSimulation(c);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s->cache_hits, 0u);
+}
+
+TEST(MultiClientSimTest, ZeroClientsRejected) {
+  SimConfig c = MultiConfig(Algorithm::kFMatrix, 0, 0.0);
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+}  // namespace
+}  // namespace bcc

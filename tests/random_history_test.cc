@@ -1,0 +1,85 @@
+#include "history/random_history.h"
+
+#include <gtest/gtest.h>
+
+namespace bcc {
+namespace {
+
+TEST(RandomHistoryTest, StructurallyValid) {
+  Rng rng(1);
+  RandomHistoryOptions o;
+  for (int i = 0; i < 200; ++i) {
+    const History h = GenerateRandomHistory(o, &rng);
+    EXPECT_TRUE(h.Validate().ok());
+    EXPECT_TRUE(h.ValidateAppendixAForm().ok()) << h.ToString();
+  }
+}
+
+TEST(RandomHistoryTest, TxnCountsMatchOptions) {
+  Rng rng(2);
+  RandomHistoryOptions o;
+  o.num_update_txns = 4;
+  o.num_read_only_txns = 3;
+  const History h = GenerateRandomHistory(o, &rng);
+  size_t updates = 0, read_only = 0;
+  for (TxnId t : h.TxnIds()) {
+    (h.Txn(t).IsUpdate() ? updates : read_only)++;
+  }
+  EXPECT_EQ(updates, 4u);
+  EXPECT_EQ(read_only, 3u);
+}
+
+TEST(RandomHistoryTest, UpdateTxnsAlwaysWrite) {
+  Rng rng(3);
+  RandomHistoryOptions o;
+  o.num_update_txns = 5;
+  o.num_read_only_txns = 0;
+  for (int i = 0; i < 50; ++i) {
+    const History h = GenerateRandomHistory(o, &rng);
+    for (TxnId t : h.TxnIds()) EXPECT_FALSE(h.Txn(t).write_set.empty());
+  }
+}
+
+TEST(RandomHistoryTest, SerialUpdatesAreContiguous) {
+  Rng rng(4);
+  RandomHistoryOptions o;
+  o.serial_updates = true;
+  o.num_update_txns = 5;
+  o.num_read_only_txns = 2;
+  for (int trial = 0; trial < 100; ++trial) {
+    const History h = GenerateRandomHistory(o, &rng);
+    // Once an update transaction's first op appears, no other update txn's
+    // op may appear until its terminal event.
+    TxnId open_update = kNoTxn;
+    for (const Operation& op : h.ops()) {
+      if (!h.Txn(op.txn).IsUpdate()) continue;
+      if (open_update == kNoTxn) {
+        open_update = op.txn;
+      } else {
+        EXPECT_EQ(op.txn, open_update) << h.ToString();
+      }
+      if (op.type == OpType::kCommit || op.type == OpType::kAbort) open_update = kNoTxn;
+    }
+  }
+}
+
+TEST(RandomHistoryTest, AbortProbabilityRespected) {
+  Rng rng(5);
+  RandomHistoryOptions o;
+  o.abort_probability = 1.0;
+  const History h = GenerateRandomHistory(o, &rng);
+  for (TxnId t : h.TxnIds()) {
+    EXPECT_EQ(h.Txn(t).outcome, TxnOutcome::kAborted);
+  }
+}
+
+TEST(RandomHistoryTest, DeterministicGivenSeed) {
+  RandomHistoryOptions o;
+  Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(GenerateRandomHistory(o, &a).ToString(), GenerateRandomHistory(o, &b).ToString());
+  }
+}
+
+}  // namespace
+}  // namespace bcc

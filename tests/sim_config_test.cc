@@ -1,0 +1,76 @@
+#include "sim/config.h"
+
+#include <gtest/gtest.h>
+
+namespace bcc {
+namespace {
+
+TEST(SimConfigTest, DefaultsMatchTable1) {
+  const SimConfig c;
+  EXPECT_EQ(c.client_txn_length, 4u);
+  EXPECT_EQ(c.server_txn_length, 8u);
+  EXPECT_EQ(c.server_txn_interval, 250000u);
+  EXPECT_EQ(c.num_objects, 300u);
+  EXPECT_EQ(c.object_size_bits, 8u * 1024u);  // 1 KB
+  EXPECT_DOUBLE_EQ(c.server_read_probability, 0.5);
+  EXPECT_EQ(c.mean_inter_op_delay, 65536u);
+  EXPECT_EQ(c.mean_inter_txn_delay, 131072u);
+  EXPECT_EQ(c.restart_delay, 0u);
+  EXPECT_EQ(c.timestamp_bits, 8u);
+  EXPECT_EQ(c.num_client_txns, 1000u);
+  EXPECT_EQ(c.warmup_txns, 500u);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(SimConfigTest, ValidateCatchesBadParameters) {
+  SimConfig c;
+  c.num_objects = 0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SimConfig{};
+  c.client_txn_length = 0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SimConfig{};
+  c.client_txn_length = 400;  // > num_objects
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SimConfig{};
+  c.timestamp_bits = 0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SimConfig{};
+  c.timestamp_bits = 33;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SimConfig{};
+  c.server_read_probability = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SimConfig{};
+  c.warmup_txns = 1000;  // == num_client_txns
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SimConfig{};
+  c.num_groups = 301;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(SimConfigTest, GeometryFollowsAlgorithm) {
+  SimConfig c;
+  c.algorithm = Algorithm::kFMatrix;
+  EXPECT_EQ(c.Geometry().cycle_bits, 300u * (8192u + 2400u));
+  c.algorithm = Algorithm::kRMatrix;
+  EXPECT_EQ(c.Geometry().cycle_bits, 300u * (8192u + 8u));
+  c.algorithm = Algorithm::kFMatrixNo;
+  EXPECT_EQ(c.Geometry().cycle_bits, 300u * 8192u);
+}
+
+TEST(SimConfigTest, ToStringMentionsAlgorithm) {
+  SimConfig c;
+  c.algorithm = Algorithm::kRMatrix;
+  EXPECT_NE(c.ToString().find("R-Matrix"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcc

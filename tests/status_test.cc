@@ -1,0 +1,86 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/statusor.h"
+
+namespace bcc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  const Status s = Status::Aborted("read-condition failed");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(s.message(), "read-condition failed");
+  EXPECT_EQ(s.ToString(), "Aborted: read-condition failed");
+}
+
+TEST(StatusTest, OkCodeNormalizesMessageAway) {
+  const Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 9; ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::OutOfRange("boom"); };
+  auto wrapper = [&]() -> Status {
+    BCC_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(StatusOrTest, AssignOrReturnBindsValue) {
+  auto get = []() -> StatusOr<int> { return 5; };
+  auto use = [&]() -> StatusOr<int> {
+    BCC_ASSIGN_OR_RETURN(const int x, get());
+    return x + 1;
+  };
+  ASSERT_TRUE(use().ok());
+  EXPECT_EQ(*use(), 6);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagatesError) {
+  auto get = []() -> StatusOr<int> { return Status::Internal("nope"); };
+  auto use = [&]() -> StatusOr<int> {
+    BCC_ASSIGN_OR_RETURN(const int x, get());
+    return x + 1;
+  };
+  EXPECT_EQ(use().status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace bcc

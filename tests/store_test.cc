@@ -1,0 +1,72 @@
+#include "server/store.h"
+
+#include <gtest/gtest.h>
+
+namespace bcc {
+namespace {
+
+TEST(VersionedStoreTest, InitialStateIsT0) {
+  VersionedStore store(3);
+  for (ObjectId ob = 0; ob < 3; ++ob) {
+    EXPECT_EQ(store.Committed(ob).writer, kInitTxn);
+    EXPECT_EQ(store.Committed(ob).value, 0u);
+    EXPECT_EQ(store.Committed(ob).cycle, 0u);
+  }
+}
+
+TEST(VersionedStoreTest, StagedWritesInvisibleUntilCommit) {
+  VersionedStore store(2);
+  store.StageWrite(0, /*writer=*/7);
+  EXPECT_EQ(store.Committed(0).writer, kInitTxn);  // broadcast still sees t0
+  EXPECT_TRUE(store.HasStagedWrites());
+  store.CommitStaged(/*commit_cycle=*/4);
+  EXPECT_EQ(store.Committed(0).writer, 7u);
+  EXPECT_EQ(store.Committed(0).cycle, 4u);
+  EXPECT_FALSE(store.HasStagedWrites());
+}
+
+TEST(VersionedStoreTest, ReadForStagingSeesOwnWrites) {
+  VersionedStore store(2);
+  store.StageWrite(0, 7);
+  EXPECT_EQ(store.ReadForStaging(0).writer, 7u);
+  EXPECT_EQ(store.ReadForStaging(1).writer, kInitTxn);
+}
+
+TEST(VersionedStoreTest, AbortDiscardsStagedWrites) {
+  VersionedStore store(2);
+  store.StageWrite(0, 7);
+  store.StageWrite(1, 7);
+  store.AbortStaged();
+  EXPECT_FALSE(store.HasStagedWrites());
+  EXPECT_EQ(store.Committed(0).writer, kInitTxn);
+  EXPECT_EQ(store.Committed(1).writer, kInitTxn);
+  // Next transaction commits cleanly.
+  store.StageWrite(0, 9);
+  store.CommitStaged(2);
+  EXPECT_EQ(store.Committed(0).writer, 9u);
+}
+
+TEST(VersionedStoreTest, ValuesAreUniquePerWrite) {
+  VersionedStore store(2);
+  store.StageWrite(0, 1);
+  store.CommitStaged(1);
+  const uint64_t v1 = store.Committed(0).value;
+  store.StageWrite(0, 2);
+  store.CommitStaged(2);
+  const uint64_t v2 = store.Committed(0).value;
+  EXPECT_NE(v1, v2);
+  EXPECT_NE(v1, 0u);
+}
+
+TEST(VersionedStoreTest, DoubleStageSameObjectKeepsLastWrite) {
+  VersionedStore store(1);
+  store.StageWrite(0, 3);
+  const uint64_t first = store.ReadForStaging(0).value;
+  store.StageWrite(0, 3);
+  EXPECT_NE(store.ReadForStaging(0).value, first);
+  store.CommitStaged(1);
+  EXPECT_EQ(store.Committed(0).writer, 3u);
+}
+
+}  // namespace
+}  // namespace bcc

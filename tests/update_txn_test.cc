@@ -1,0 +1,95 @@
+#include "client/update_txn.h"
+
+#include <gtest/gtest.h>
+
+namespace bcc {
+namespace {
+
+class UpdateTxnTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kObjects = 4;
+
+  UpdateTxnTest()
+      : mgr_(kObjects,
+             [] {
+               TxnManagerOptions o;
+               o.record_history = true;
+               return o;
+             }()),
+        validator_(&mgr_),
+        server_(kObjects, ComputeGeometry(Algorithm::kFMatrix, kObjects, 100, 8)) {}
+
+  const CycleSnapshot& Snap(Cycle c) {
+    server_.BeginCycle(c, c * 1000, mgr_);
+    return server_.snapshot();
+  }
+
+  ServerTxnManager mgr_;
+  UpdateValidator validator_;
+  BroadcastServer server_;
+};
+
+TEST_F(UpdateTxnTest, ReadValidatedLikeReadOnly) {
+  UpdateTxnBuffer txn(100, Algorithm::kFMatrix);
+  ASSERT_TRUE(txn.Read(Snap(1), 0).ok());
+  EXPECT_EQ(txn.reads().size(), 1u);
+}
+
+TEST_F(UpdateTxnTest, WritesBufferLocallyWithoutChecks) {
+  UpdateTxnBuffer txn(100, Algorithm::kFMatrix);
+  txn.Write(2);
+  txn.Write(3);
+  txn.Write(2);  // rewrite
+  EXPECT_TRUE(txn.has_writes());
+  EXPECT_EQ(txn.writes(), (std::vector<ObjectId>{2, 3}));
+  // Nothing reached the server.
+  EXPECT_EQ(mgr_.num_committed(), 0u);
+}
+
+TEST_F(UpdateTxnTest, ReadYourOwnWrites) {
+  UpdateTxnBuffer txn(100, Algorithm::kFMatrix);
+  txn.Write(1);
+  auto v = txn.Read(Snap(1), 1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->writer, 100u);           // local copy, not broadcast value
+  EXPECT_TRUE(txn.reads().empty());     // not a broadcast read record
+}
+
+TEST_F(UpdateTxnTest, CommitRequestRoundTripsThroughValidator) {
+  UpdateTxnBuffer txn(100, Algorithm::kFMatrix);
+  ASSERT_TRUE(txn.Read(Snap(2), 0).ok());
+  txn.Write(1);
+  auto result = validator_.ValidateAndCommit(txn.BuildCommitRequest(), 2);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(mgr_.store().Committed(1).writer, 100u);
+}
+
+TEST_F(UpdateTxnTest, StaleReadRejectedAtServer) {
+  UpdateTxnBuffer txn(100, Algorithm::kFMatrix);
+  ASSERT_TRUE(txn.Read(Snap(2), 0).ok());
+  txn.Write(1);
+  // ob0 is overwritten after the client's read but before commit.
+  mgr_.ExecuteAndCommit(ServerTxn{1, {}, {0}}, 2);
+  auto result = validator_.ValidateAndCommit(txn.BuildCommitRequest(), 3);
+  EXPECT_TRUE(result.status().IsAborted());
+}
+
+TEST_F(UpdateTxnTest, AbortDiscardsEverything) {
+  UpdateTxnBuffer txn(100, Algorithm::kFMatrix);
+  ASSERT_TRUE(txn.Read(Snap(1), 0).ok());
+  txn.Write(1);
+  txn.Abort();
+  EXPECT_FALSE(txn.has_writes());
+  EXPECT_TRUE(txn.reads().empty());
+  EXPECT_EQ(mgr_.num_committed(), 0u);
+}
+
+TEST_F(UpdateTxnTest, ReadConditionFailureAbortsBeforeCommit) {
+  UpdateTxnBuffer txn(100, Algorithm::kDatacycle);
+  ASSERT_TRUE(txn.Read(Snap(1), 0).ok());
+  mgr_.ExecuteAndCommit(ServerTxn{1, {}, {0}}, 1);
+  EXPECT_TRUE(txn.Read(Snap(2), 2).status().IsAborted());
+}
+
+}  // namespace
+}  // namespace bcc

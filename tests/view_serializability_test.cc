@@ -1,0 +1,140 @@
+#include "cc/view_serializability.h"
+
+#include <gtest/gtest.h>
+
+#include "cc/conflict_serializability.h"
+#include "history/history_parser.h"
+#include "history/random_history.h"
+
+namespace bcc {
+namespace {
+
+TEST(ViewSerializabilityTest, SerialIsViewSerializable) {
+  const History h = MustParseHistory("r1(x) w1(y) c1 r2(y) w2(x) c2");
+  auto vsr = IsViewSerializable(h);
+  ASSERT_TRUE(vsr.ok());
+  EXPECT_TRUE(*vsr);
+}
+
+TEST(ViewSerializabilityTest, LostUpdateNotViewSerializable) {
+  const History h = MustParseHistory("r1(x) r2(x) w1(x) w2(x) c1 c2");
+  auto vsr = IsViewSerializable(h);
+  ASSERT_TRUE(vsr.ok());
+  EXPECT_FALSE(*vsr);
+}
+
+TEST(ViewSerializabilityTest, BlindWritesViewButNotConflictSerializable) {
+  // The classic VSR \ CSR witness: t2's blind write is overwritten by t3's
+  // final write, so w1/w2/w3 ww "conflicts" don't matter to any reader.
+  const History h = MustParseHistory("r1(x) w2(x) c2 w1(x) c1 w3(x) c3");
+  EXPECT_FALSE(IsConflictSerializable(h));
+  auto vsr = IsViewSerializable(h);
+  ASSERT_TRUE(vsr.ok());
+  EXPECT_TRUE(*vsr) << "serial order 1,2,3 is view equivalent";
+}
+
+TEST(ViewSerializabilityTest, WitnessOrderIsViewEquivalent) {
+  const History h = MustParseHistory("r1(x) w2(x) c2 w1(x) c1 w3(x) c3");
+  const auto order = ViewSerializationOrder(h);
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(IsViewEquivalentToSerial(h, *order));
+}
+
+TEST(ViewSerializabilityTest, ViewEquivalenceChecksReadSources) {
+  const History h = MustParseHistory("w1(x) c1 r2(x) c2");
+  EXPECT_TRUE(IsViewEquivalentToSerial(h, {1, 2}));
+  EXPECT_FALSE(IsViewEquivalentToSerial(h, {2, 1}));  // r2 would read from t0
+}
+
+TEST(ViewSerializabilityTest, ViewEquivalenceChecksFinalWrites) {
+  const History h = MustParseHistory("w1(x) w2(x) c1 c2");
+  EXPECT_TRUE(IsViewEquivalentToSerial(h, {1, 2}));
+  EXPECT_FALSE(IsViewEquivalentToSerial(h, {2, 1}));  // final writer differs
+}
+
+TEST(ViewSerializabilityTest, IncompleteOrderRejected) {
+  const History h = MustParseHistory("w1(x) c1 w2(x) c2");
+  EXPECT_FALSE(IsViewEquivalentToSerial(h, {1}));
+}
+
+TEST(ViewSerializabilityTest, AbortedTxnsIgnored) {
+  const History h = MustParseHistory("r1(x) r2(x) w1(x) w2(x) c1 a2");
+  auto vsr = IsViewSerializable(h);
+  ASSERT_TRUE(vsr.ok());
+  EXPECT_TRUE(*vsr);
+}
+
+TEST(ViewSerializabilityTest, Example1NotViewSerializable) {
+  // Paper Example 1: serialization demands t1 < t2, t2 < t3, t3 < t4,
+  // t4 < t1 — impossible.
+  const History h =
+      MustParseHistory("r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) w4(Sun) c4 r1(Sun) c1 c3");
+  auto vsr = IsViewSerializable(h);
+  ASSERT_TRUE(vsr.ok());
+  EXPECT_FALSE(*vsr);
+}
+
+TEST(ViewSerializabilityTest, Example2NotViewSerializable) {
+  const History h = MustParseHistory(
+      "r1(IBM) w2(IBM) c2 r3(IBM) r3(Sun) c3 w4(Sun) c4 r1(Sun) w1(DEC) c1");
+  auto vsr = IsViewSerializable(h);
+  ASSERT_TRUE(vsr.ok());
+  EXPECT_FALSE(*vsr);
+}
+
+TEST(ViewSerializabilityTest, Example2ServerVisibleSubHistorySerializable) {
+  // History 2.2: what the server can see (t3's reads invisible) IS
+  // serializable — the paper's argument for why serializability over-aborts.
+  const History h =
+      MustParseHistory("r1(IBM) w2(IBM) c2 w4(Sun) c4 r1(Sun) w1(DEC) c1");
+  auto vsr = IsViewSerializable(h);
+  ASSERT_TRUE(vsr.ok());
+  EXPECT_TRUE(*vsr);
+}
+
+TEST(ViewSerializabilityTest, TooManyTxnsReportsInvalidArgument) {
+  // Interleaved (non-serial) history beyond the exact-search size limit.
+  History h;
+  for (TxnId t = 1; t <= kMaxExactViewTxns + 1; ++t) h.AppendWrite(t, 0);
+  for (TxnId t = 1; t <= kMaxExactViewTxns + 1; ++t) h.AppendCommit(t);
+  EXPECT_TRUE(IsViewSerializable(h).status().IsInvalidArgument());
+}
+
+TEST(ViewSerializabilityTest, SerialFastPathHasNoSizeLimit) {
+  // A serial history is its own witness regardless of transaction count
+  // (needed for the broadcast server's serial update sub-histories).
+  History h;
+  for (TxnId t = 1; t <= 100; ++t) {
+    if (t > 1) h.AppendRead(t, 0);
+    h.AppendWrite(t, 0);
+    h.AppendCommit(t);
+  }
+  auto vsr = IsViewSerializable(h);
+  ASSERT_TRUE(vsr.ok()) << vsr.status();
+  EXPECT_TRUE(*vsr);
+  const auto order = ViewSerializationOrder(h);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->size(), 100u);
+  EXPECT_EQ(order->front(), 1u);
+  EXPECT_EQ(order->back(), 100u);
+}
+
+TEST(ViewSerializabilityTest, ConflictSerializableImpliesViewSerializable) {
+  Rng rng(77);
+  RandomHistoryOptions o;
+  o.num_update_txns = 4;
+  o.num_read_only_txns = 2;
+  int checked = 0;
+  for (int i = 0; i < 300; ++i) {
+    const History h = GenerateRandomHistory(o, &rng);
+    if (!IsConflictSerializable(h)) continue;
+    auto vsr = IsViewSerializable(h);
+    ASSERT_TRUE(vsr.ok());
+    EXPECT_TRUE(*vsr) << h.ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+}  // namespace
+}  // namespace bcc

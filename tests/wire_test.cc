@@ -1,0 +1,107 @@
+#include "matrix/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bcc {
+namespace {
+
+TEST(GeometryTest, PaperOverheadNumbers) {
+  // Section 4.1: 300 objects of 1 KB, 8-bit timestamps: F-Matrix control
+  // overhead ~23%, R-Matrix/Datacycle ~0.1%.
+  const auto f = ComputeGeometry(Algorithm::kFMatrix, 300, 8 * 1024, 8);
+  EXPECT_NEAR(f.control_fraction, 0.2266, 0.001);  // 2400 / (2400 + 8192)
+  const auto r = ComputeGeometry(Algorithm::kRMatrix, 300, 8 * 1024, 8);
+  EXPECT_NEAR(r.control_fraction, 0.000976, 0.0001);
+  const auto d = ComputeGeometry(Algorithm::kDatacycle, 300, 8 * 1024, 8);
+  EXPECT_EQ(d.control_bits, r.control_bits);
+  const auto fno = ComputeGeometry(Algorithm::kFMatrixNo, 300, 8 * 1024, 8);
+  EXPECT_EQ(fno.control_bits, 0u);
+  EXPECT_EQ(fno.control_fraction, 0.0);
+}
+
+TEST(GeometryTest, CycleLengths) {
+  const auto f = ComputeGeometry(Algorithm::kFMatrix, 300, 8 * 1024, 8);
+  EXPECT_EQ(f.slot_bits, 8192u + 300u * 8u);
+  EXPECT_EQ(f.cycle_bits, 300u * (8192u + 2400u));
+  const auto fno = ComputeGeometry(Algorithm::kFMatrixNo, 300, 8 * 1024, 8);
+  EXPECT_EQ(fno.cycle_bits, 300u * 8192u);
+}
+
+TEST(GeometryTest, GroupSpectrumInterpolates) {
+  const auto g1 = ComputeGeometry(Algorithm::kFMatrix, 300, 8 * 1024, 8, 1);
+  const auto g30 = ComputeGeometry(Algorithm::kFMatrix, 300, 8 * 1024, 8, 30);
+  const auto g300 = ComputeGeometry(Algorithm::kFMatrix, 300, 8 * 1024, 8, 300);
+  EXPECT_EQ(g1.control_bits, 8u);
+  EXPECT_EQ(g30.control_bits, 240u);
+  EXPECT_EQ(g300.control_bits, 2400u);
+  EXPECT_LT(g1.cycle_bits, g30.cycle_bits);
+  EXPECT_LT(g30.cycle_bits, g300.cycle_bits);
+}
+
+TEST(StampCodingTest, RoundTripsWithinWindow) {
+  const CycleStampCodec codec(8);
+  Rng rng(5);
+  const Cycle current = 1000;
+  std::vector<Cycle> stamps;
+  for (int i = 0; i < 200; ++i) stamps.push_back(current - rng.NextBounded(255));
+  const auto residues = EncodeStamps(stamps, codec);
+  const auto decoded = DecodeStamps(residues, codec, current);
+  EXPECT_EQ(decoded, stamps);
+}
+
+TEST(DeltaCodecTest, DiffFindsExactlyChangedEntries) {
+  const CycleStampCodec codec(8);
+  FMatrix prev(4), cur(4);
+  cur.ApplyCommit(std::vector<ObjectId>{0}, std::vector<ObjectId>{1, 2}, 5);
+  const auto diff = DeltaCodec::Diff(prev, cur, codec);
+  // Columns 1 and 2 were rewritten; entries that changed: (1,1),(2,1),(1,2),
+  // (2,2) set to 5; cross-dependency entries from the (empty-read) commit
+  // stay 0. So exactly 4 changes.
+  EXPECT_EQ(diff.size(), 4u);
+  for (const auto& e : diff) {
+    EXPECT_TRUE(e.col == 1 || e.col == 2);
+    EXPECT_EQ(e.residue, codec.Encode(5));
+  }
+}
+
+TEST(DeltaCodecTest, ApplyReconstructsMatrix) {
+  const CycleStampCodec codec(8);
+  Rng rng(17);
+  const uint32_t n = 6;
+  FMatrix server(n), client(n);
+  Cycle cycle = 1;
+  for (int step = 0; step < 30; ++step, ++cycle) {
+    FMatrix before = server;
+    const auto reads = rng.SampleWithoutReplacement(n, static_cast<uint32_t>(rng.NextBounded(3)));
+    const auto writes =
+        rng.SampleWithoutReplacement(n, 1 + static_cast<uint32_t>(rng.NextBounded(2)));
+    server.ApplyCommit(reads, writes, cycle);
+    const auto diff = DeltaCodec::Diff(before, server, codec);
+    DeltaCodec::Apply(&client, diff, codec, cycle);
+    ASSERT_TRUE(client == server) << "diverged at step " << step;
+  }
+}
+
+TEST(DeltaCodecTest, EncodedBitsFormula) {
+  // 300 objects: 9 index bits each for row/col, 8-bit stamp, 32-bit header.
+  EXPECT_EQ(DeltaCodec::EncodedBits(0, 300, 8), 32u);
+  EXPECT_EQ(DeltaCodec::EncodedBits(10, 300, 8), 32u + 10u * (9 + 9 + 8));
+  // Tiny database edge case.
+  EXPECT_EQ(DeltaCodec::EncodedBits(1, 1, 8), 32u + (1 + 1 + 8));
+}
+
+TEST(DeltaCodecTest, DeltaBeatsFullMatrixAtLowUpdateRates) {
+  const CycleStampCodec codec(8);
+  const uint32_t n = 300;
+  FMatrix prev(n), cur(n);
+  cur.ApplyCommit(std::vector<ObjectId>{3}, std::vector<ObjectId>{7, 8}, 2);
+  const auto diff = DeltaCodec::Diff(prev, cur, codec);
+  const uint64_t delta_bits = DeltaCodec::EncodedBits(diff.size(), n, 8);
+  const uint64_t full_bits = static_cast<uint64_t>(n) * n * 8;
+  EXPECT_LT(delta_bits, full_bits / 100);
+}
+
+}  // namespace
+}  // namespace bcc

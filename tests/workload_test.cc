@@ -1,0 +1,98 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bcc {
+namespace {
+
+TEST(ServerWorkloadTest, TxnsAreUpdateTxnsWithBoundedOps) {
+  SimConfig c;
+  ServerWorkload w(c, Rng(1));
+  for (int i = 0; i < 500; ++i) {
+    const ServerTxn txn = w.NextTxn();
+    EXPECT_FALSE(txn.write_set.empty());
+    EXPECT_LE(txn.read_set.size() + txn.write_set.size(), c.server_txn_length);
+    std::set<ObjectId> reads(txn.read_set.begin(), txn.read_set.end());
+    std::set<ObjectId> writes(txn.write_set.begin(), txn.write_set.end());
+    EXPECT_EQ(reads.size(), txn.read_set.size());
+    EXPECT_EQ(writes.size(), txn.write_set.size());
+    for (ObjectId ob : txn.read_set) EXPECT_LT(ob, c.num_objects);
+    for (ObjectId ob : txn.write_set) EXPECT_LT(ob, c.num_objects);
+  }
+}
+
+TEST(ServerWorkloadTest, TxnIdsAreSequential) {
+  SimConfig c;
+  ServerWorkload w(c, Rng(2), /*first_id=*/10);
+  EXPECT_EQ(w.NextTxn().id, 10u);
+  EXPECT_EQ(w.NextTxn().id, 11u);
+}
+
+TEST(ServerWorkloadTest, ReadProbabilityShapesMix) {
+  SimConfig c;
+  c.server_read_probability = 0.0;  // all writes
+  ServerWorkload w(c, Rng(3));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(w.NextTxn().read_set.empty());
+  }
+  c.server_read_probability = 0.9;
+  ServerWorkload w2(c, Rng(4));
+  size_t reads = 0, writes = 0;
+  for (int i = 0; i < 200; ++i) {
+    const ServerTxn t = w2.NextTxn();
+    reads += t.read_set.size();
+    writes += t.write_set.size();
+  }
+  EXPECT_GT(reads, writes * 3);
+}
+
+TEST(ServerWorkloadTest, DeterministicIntervalMode) {
+  SimConfig c;
+  c.server_interval_exponential = false;
+  ServerWorkload w(c, Rng(5));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(w.NextInterval(), c.server_txn_interval);
+}
+
+TEST(ServerWorkloadTest, ExponentialIntervalMeanRoughlyCorrect) {
+  SimConfig c;
+  ServerWorkload w(c, Rng(6));
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(w.NextInterval());
+  EXPECT_NEAR(sum / n, 250000.0, 5000.0);
+}
+
+TEST(ClientWorkloadTest, ReadSetsAreDistinctAndInRange) {
+  SimConfig c;
+  c.client_txn_length = 6;
+  ClientWorkload w(c, Rng(7));
+  for (int i = 0; i < 200; ++i) {
+    const auto reads = w.NextReadSet();
+    ASSERT_EQ(reads.size(), 6u);
+    std::set<ObjectId> uniq(reads.begin(), reads.end());
+    EXPECT_EQ(uniq.size(), 6u);
+    for (ObjectId ob : reads) EXPECT_LT(ob, c.num_objects);
+  }
+}
+
+TEST(ClientWorkloadTest, DelaysArePositiveWithExpectedMeans) {
+  SimConfig c;
+  ClientWorkload w(c, Rng(8));
+  double op_sum = 0, txn_sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const SimTime op = w.NextInterOpDelay();
+    const SimTime txn = w.NextInterTxnDelay();
+    EXPECT_GE(op, 1u);
+    EXPECT_GE(txn, 1u);
+    op_sum += static_cast<double>(op);
+    txn_sum += static_cast<double>(txn);
+  }
+  EXPECT_NEAR(op_sum / n, 65536.0, 1500.0);
+  EXPECT_NEAR(txn_sum / n, 131072.0, 3000.0);
+}
+
+}  // namespace
+}  // namespace bcc
