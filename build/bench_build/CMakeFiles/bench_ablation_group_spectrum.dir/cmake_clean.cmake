@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_group_spectrum"
+  "../bench/bench_ablation_group_spectrum.pdb"
+  "CMakeFiles/bench_ablation_group_spectrum.dir/bench_ablation_group_spectrum.cc.o"
+  "CMakeFiles/bench_ablation_group_spectrum.dir/bench_ablation_group_spectrum.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_group_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

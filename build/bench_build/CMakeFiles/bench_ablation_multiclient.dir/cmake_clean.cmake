@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_multiclient"
+  "../bench/bench_ablation_multiclient.pdb"
+  "CMakeFiles/bench_ablation_multiclient.dir/bench_ablation_multiclient.cc.o"
+  "CMakeFiles/bench_ablation_multiclient.dir/bench_ablation_multiclient.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

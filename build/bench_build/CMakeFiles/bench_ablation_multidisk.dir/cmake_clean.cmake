@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_multidisk"
+  "../bench/bench_ablation_multidisk.pdb"
+  "CMakeFiles/bench_ablation_multidisk.dir/bench_ablation_multidisk.cc.o"
+  "CMakeFiles/bench_ablation_multidisk.dir/bench_ablation_multidisk.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multidisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

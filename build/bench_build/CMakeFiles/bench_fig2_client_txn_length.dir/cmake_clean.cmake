@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_client_txn_length"
+  "../bench/bench_fig2_client_txn_length.pdb"
+  "CMakeFiles/bench_fig2_client_txn_length.dir/bench_fig2_client_txn_length.cc.o"
+  "CMakeFiles/bench_fig2_client_txn_length.dir/bench_fig2_client_txn_length.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_client_txn_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

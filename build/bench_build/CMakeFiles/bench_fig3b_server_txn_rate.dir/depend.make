@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig3b_server_txn_rate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4a_num_objects"
+  "../bench/bench_fig4a_num_objects.pdb"
+  "CMakeFiles/bench_fig4a_num_objects.dir/bench_fig4a_num_objects.cc.o"
+  "CMakeFiles/bench_fig4a_num_objects.dir/bench_fig4a_num_objects.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_num_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_matrix"
+  "../bench/bench_micro_matrix.pdb"
+  "CMakeFiles/bench_micro_matrix.dir/bench_micro_matrix.cc.o"
+  "CMakeFiles/bench_micro_matrix.dir/bench_micro_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

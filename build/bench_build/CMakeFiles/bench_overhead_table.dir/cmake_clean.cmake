@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_overhead_table"
+  "../bench/bench_overhead_table.pdb"
+  "CMakeFiles/bench_overhead_table.dir/bench_overhead_table.cc.o"
+  "CMakeFiles/bench_overhead_table.dir/bench_overhead_table.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

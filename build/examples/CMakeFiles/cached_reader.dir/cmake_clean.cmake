@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cached_reader.dir/cached_reader.cpp.o"
+  "CMakeFiles/cached_reader.dir/cached_reader.cpp.o.d"
+  "cached_reader"
+  "cached_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cached_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/approx.cc" "src/cc/CMakeFiles/bcc_cc.dir/approx.cc.o" "gcc" "src/cc/CMakeFiles/bcc_cc.dir/approx.cc.o.d"
+  "/root/repo/src/cc/cnf.cc" "src/cc/CMakeFiles/bcc_cc.dir/cnf.cc.o" "gcc" "src/cc/CMakeFiles/bcc_cc.dir/cnf.cc.o.d"
+  "/root/repo/src/cc/conflict_serializability.cc" "src/cc/CMakeFiles/bcc_cc.dir/conflict_serializability.cc.o" "gcc" "src/cc/CMakeFiles/bcc_cc.dir/conflict_serializability.cc.o.d"
+  "/root/repo/src/cc/criteria.cc" "src/cc/CMakeFiles/bcc_cc.dir/criteria.cc.o" "gcc" "src/cc/CMakeFiles/bcc_cc.dir/criteria.cc.o.d"
+  "/root/repo/src/cc/sat_reduction.cc" "src/cc/CMakeFiles/bcc_cc.dir/sat_reduction.cc.o" "gcc" "src/cc/CMakeFiles/bcc_cc.dir/sat_reduction.cc.o.d"
+  "/root/repo/src/cc/update_consistency.cc" "src/cc/CMakeFiles/bcc_cc.dir/update_consistency.cc.o" "gcc" "src/cc/CMakeFiles/bcc_cc.dir/update_consistency.cc.o.d"
+  "/root/repo/src/cc/view_serializability.cc" "src/cc/CMakeFiles/bcc_cc.dir/view_serializability.cc.o" "gcc" "src/cc/CMakeFiles/bcc_cc.dir/view_serializability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/bcc_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bcc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_cc.dir/approx.cc.o"
+  "CMakeFiles/bcc_cc.dir/approx.cc.o.d"
+  "CMakeFiles/bcc_cc.dir/cnf.cc.o"
+  "CMakeFiles/bcc_cc.dir/cnf.cc.o.d"
+  "CMakeFiles/bcc_cc.dir/conflict_serializability.cc.o"
+  "CMakeFiles/bcc_cc.dir/conflict_serializability.cc.o.d"
+  "CMakeFiles/bcc_cc.dir/criteria.cc.o"
+  "CMakeFiles/bcc_cc.dir/criteria.cc.o.d"
+  "CMakeFiles/bcc_cc.dir/sat_reduction.cc.o"
+  "CMakeFiles/bcc_cc.dir/sat_reduction.cc.o.d"
+  "CMakeFiles/bcc_cc.dir/update_consistency.cc.o"
+  "CMakeFiles/bcc_cc.dir/update_consistency.cc.o.d"
+  "CMakeFiles/bcc_cc.dir/view_serializability.cc.o"
+  "CMakeFiles/bcc_cc.dir/view_serializability.cc.o.d"
+  "libbcc_cc.a"
+  "libbcc_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/cache.cc" "src/client/CMakeFiles/bcc_client.dir/cache.cc.o" "gcc" "src/client/CMakeFiles/bcc_client.dir/cache.cc.o.d"
+  "/root/repo/src/client/read_txn.cc" "src/client/CMakeFiles/bcc_client.dir/read_txn.cc.o" "gcc" "src/client/CMakeFiles/bcc_client.dir/read_txn.cc.o.d"
+  "/root/repo/src/client/update_txn.cc" "src/client/CMakeFiles/bcc_client.dir/update_txn.cc.o" "gcc" "src/client/CMakeFiles/bcc_client.dir/update_txn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/bcc_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bcc_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/bcc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/bcc_history.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

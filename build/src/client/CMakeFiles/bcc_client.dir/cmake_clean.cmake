@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_client.dir/cache.cc.o"
+  "CMakeFiles/bcc_client.dir/cache.cc.o.d"
+  "CMakeFiles/bcc_client.dir/read_txn.cc.o"
+  "CMakeFiles/bcc_client.dir/read_txn.cc.o.d"
+  "CMakeFiles/bcc_client.dir/update_txn.cc.o"
+  "CMakeFiles/bcc_client.dir/update_txn.cc.o.d"
+  "libbcc_client.a"
+  "libbcc_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_common.dir/bitstream.cc.o"
+  "CMakeFiles/bcc_common.dir/bitstream.cc.o.d"
+  "CMakeFiles/bcc_common.dir/cycle_stamp.cc.o"
+  "CMakeFiles/bcc_common.dir/cycle_stamp.cc.o.d"
+  "CMakeFiles/bcc_common.dir/format.cc.o"
+  "CMakeFiles/bcc_common.dir/format.cc.o.d"
+  "CMakeFiles/bcc_common.dir/rng.cc.o"
+  "CMakeFiles/bcc_common.dir/rng.cc.o.d"
+  "CMakeFiles/bcc_common.dir/stats.cc.o"
+  "CMakeFiles/bcc_common.dir/stats.cc.o.d"
+  "CMakeFiles/bcc_common.dir/status.cc.o"
+  "CMakeFiles/bcc_common.dir/status.cc.o.d"
+  "libbcc_common.a"
+  "libbcc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

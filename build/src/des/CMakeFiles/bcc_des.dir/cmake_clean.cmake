@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_des.dir/event_queue.cc.o"
+  "CMakeFiles/bcc_des.dir/event_queue.cc.o.d"
+  "libbcc_des.a"
+  "libbcc_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

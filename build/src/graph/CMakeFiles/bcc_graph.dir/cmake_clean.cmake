@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_graph.dir/digraph.cc.o"
+  "CMakeFiles/bcc_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/bcc_graph.dir/polygraph.cc.o"
+  "CMakeFiles/bcc_graph.dir/polygraph.cc.o.d"
+  "libbcc_graph.a"
+  "libbcc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/history/history.cc" "src/history/CMakeFiles/bcc_history.dir/history.cc.o" "gcc" "src/history/CMakeFiles/bcc_history.dir/history.cc.o.d"
+  "/root/repo/src/history/history_parser.cc" "src/history/CMakeFiles/bcc_history.dir/history_parser.cc.o" "gcc" "src/history/CMakeFiles/bcc_history.dir/history_parser.cc.o.d"
+  "/root/repo/src/history/operation.cc" "src/history/CMakeFiles/bcc_history.dir/operation.cc.o" "gcc" "src/history/CMakeFiles/bcc_history.dir/operation.cc.o.d"
+  "/root/repo/src/history/random_history.cc" "src/history/CMakeFiles/bcc_history.dir/random_history.cc.o" "gcc" "src/history/CMakeFiles/bcc_history.dir/random_history.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

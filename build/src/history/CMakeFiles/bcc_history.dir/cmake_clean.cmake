@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_history.dir/history.cc.o"
+  "CMakeFiles/bcc_history.dir/history.cc.o.d"
+  "CMakeFiles/bcc_history.dir/history_parser.cc.o"
+  "CMakeFiles/bcc_history.dir/history_parser.cc.o.d"
+  "CMakeFiles/bcc_history.dir/operation.cc.o"
+  "CMakeFiles/bcc_history.dir/operation.cc.o.d"
+  "CMakeFiles/bcc_history.dir/random_history.cc.o"
+  "CMakeFiles/bcc_history.dir/random_history.cc.o.d"
+  "libbcc_history.a"
+  "libbcc_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/f_matrix.cc" "src/matrix/CMakeFiles/bcc_matrix.dir/f_matrix.cc.o" "gcc" "src/matrix/CMakeFiles/bcc_matrix.dir/f_matrix.cc.o.d"
+  "/root/repo/src/matrix/group_matrix.cc" "src/matrix/CMakeFiles/bcc_matrix.dir/group_matrix.cc.o" "gcc" "src/matrix/CMakeFiles/bcc_matrix.dir/group_matrix.cc.o.d"
+  "/root/repo/src/matrix/mc_vector.cc" "src/matrix/CMakeFiles/bcc_matrix.dir/mc_vector.cc.o" "gcc" "src/matrix/CMakeFiles/bcc_matrix.dir/mc_vector.cc.o.d"
+  "/root/repo/src/matrix/wire.cc" "src/matrix/CMakeFiles/bcc_matrix.dir/wire.cc.o" "gcc" "src/matrix/CMakeFiles/bcc_matrix.dir/wire.cc.o.d"
+  "/root/repo/src/matrix/worst_case.cc" "src/matrix/CMakeFiles/bcc_matrix.dir/worst_case.cc.o" "gcc" "src/matrix/CMakeFiles/bcc_matrix.dir/worst_case.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/bcc_history.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

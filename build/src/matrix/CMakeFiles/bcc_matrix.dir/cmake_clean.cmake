@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_matrix.dir/f_matrix.cc.o"
+  "CMakeFiles/bcc_matrix.dir/f_matrix.cc.o.d"
+  "CMakeFiles/bcc_matrix.dir/group_matrix.cc.o"
+  "CMakeFiles/bcc_matrix.dir/group_matrix.cc.o.d"
+  "CMakeFiles/bcc_matrix.dir/mc_vector.cc.o"
+  "CMakeFiles/bcc_matrix.dir/mc_vector.cc.o.d"
+  "CMakeFiles/bcc_matrix.dir/wire.cc.o"
+  "CMakeFiles/bcc_matrix.dir/wire.cc.o.d"
+  "CMakeFiles/bcc_matrix.dir/worst_case.cc.o"
+  "CMakeFiles/bcc_matrix.dir/worst_case.cc.o.d"
+  "libbcc_matrix.a"
+  "libbcc_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/broadcast_server.cc" "src/server/CMakeFiles/bcc_server.dir/broadcast_server.cc.o" "gcc" "src/server/CMakeFiles/bcc_server.dir/broadcast_server.cc.o.d"
+  "/root/repo/src/server/schedule.cc" "src/server/CMakeFiles/bcc_server.dir/schedule.cc.o" "gcc" "src/server/CMakeFiles/bcc_server.dir/schedule.cc.o.d"
+  "/root/repo/src/server/store.cc" "src/server/CMakeFiles/bcc_server.dir/store.cc.o" "gcc" "src/server/CMakeFiles/bcc_server.dir/store.cc.o.d"
+  "/root/repo/src/server/txn_manager.cc" "src/server/CMakeFiles/bcc_server.dir/txn_manager.cc.o" "gcc" "src/server/CMakeFiles/bcc_server.dir/txn_manager.cc.o.d"
+  "/root/repo/src/server/validator.cc" "src/server/CMakeFiles/bcc_server.dir/validator.cc.o" "gcc" "src/server/CMakeFiles/bcc_server.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bcc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/bcc_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/bcc_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/bcc_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_server.dir/broadcast_server.cc.o"
+  "CMakeFiles/bcc_server.dir/broadcast_server.cc.o.d"
+  "CMakeFiles/bcc_server.dir/schedule.cc.o"
+  "CMakeFiles/bcc_server.dir/schedule.cc.o.d"
+  "CMakeFiles/bcc_server.dir/store.cc.o"
+  "CMakeFiles/bcc_server.dir/store.cc.o.d"
+  "CMakeFiles/bcc_server.dir/txn_manager.cc.o"
+  "CMakeFiles/bcc_server.dir/txn_manager.cc.o.d"
+  "CMakeFiles/bcc_server.dir/validator.cc.o"
+  "CMakeFiles/bcc_server.dir/validator.cc.o.d"
+  "libbcc_server.a"
+  "libbcc_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcc_sim.dir/broadcast_sim.cc.o"
+  "CMakeFiles/bcc_sim.dir/broadcast_sim.cc.o.d"
+  "CMakeFiles/bcc_sim.dir/config.cc.o"
+  "CMakeFiles/bcc_sim.dir/config.cc.o.d"
+  "CMakeFiles/bcc_sim.dir/experiment.cc.o"
+  "CMakeFiles/bcc_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/bcc_sim.dir/metrics.cc.o"
+  "CMakeFiles/bcc_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/bcc_sim.dir/workload.cc.o"
+  "CMakeFiles/bcc_sim.dir/workload.cc.o.d"
+  "libbcc_sim.a"
+  "libbcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbcc_sim.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_sim_test.dir/broadcast_sim_test.cc.o"
+  "CMakeFiles/broadcast_sim_test.dir/broadcast_sim_test.cc.o.d"
+  "broadcast_sim_test"
+  "broadcast_sim_test.pdb"
+  "broadcast_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_update_sim_test.dir/client_update_sim_test.cc.o"
+  "CMakeFiles/client_update_sim_test.dir/client_update_sim_test.cc.o.d"
+  "client_update_sim_test"
+  "client_update_sim_test.pdb"
+  "client_update_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_update_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_serializability_test.dir/conflict_serializability_test.cc.o"
+  "CMakeFiles/conflict_serializability_test.dir/conflict_serializability_test.cc.o.d"
+  "conflict_serializability_test"
+  "conflict_serializability_test.pdb"
+  "conflict_serializability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_serializability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_stamp_test.dir/cycle_stamp_test.cc.o"
+  "CMakeFiles/cycle_stamp_test.dir/cycle_stamp_test.cc.o.d"
+  "cycle_stamp_test"
+  "cycle_stamp_test.pdb"
+  "cycle_stamp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_stamp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

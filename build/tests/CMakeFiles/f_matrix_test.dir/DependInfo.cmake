@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/f_matrix_test.cc" "tests/CMakeFiles/f_matrix_test.dir/f_matrix_test.cc.o" "gcc" "tests/CMakeFiles/f_matrix_test.dir/f_matrix_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/bcc_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bcc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/bcc_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/bcc_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/bcc_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/bcc_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/bcc_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f_matrix_test.dir/f_matrix_test.cc.o"
+  "CMakeFiles/f_matrix_test.dir/f_matrix_test.cc.o.d"
+  "f_matrix_test"
+  "f_matrix_test.pdb"
+  "f_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_parser_test.dir/history_parser_test.cc.o"
+  "CMakeFiles/history_parser_test.dir/history_parser_test.cc.o.d"
+  "history_parser_test"
+  "history_parser_test.pdb"
+  "history_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_vector_test.dir/mc_vector_test.cc.o"
+  "CMakeFiles/mc_vector_test.dir/mc_vector_test.cc.o.d"
+  "mc_vector_test"
+  "mc_vector_test.pdb"
+  "mc_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclient_sim_test.dir/multiclient_sim_test.cc.o"
+  "CMakeFiles/multiclient_sim_test.dir/multiclient_sim_test.cc.o.d"
+  "multiclient_sim_test"
+  "multiclient_sim_test.pdb"
+  "multiclient_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclient_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

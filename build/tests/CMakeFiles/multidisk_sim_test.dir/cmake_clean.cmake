@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidisk_sim_test.dir/multidisk_sim_test.cc.o"
+  "CMakeFiles/multidisk_sim_test.dir/multidisk_sim_test.cc.o.d"
+  "multidisk_sim_test"
+  "multidisk_sim_test.pdb"
+  "multidisk_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidisk_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polygraph_fuzz_test.dir/polygraph_fuzz_test.cc.o"
+  "CMakeFiles/polygraph_fuzz_test.dir/polygraph_fuzz_test.cc.o.d"
+  "polygraph_fuzz_test"
+  "polygraph_fuzz_test.pdb"
+  "polygraph_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polygraph_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

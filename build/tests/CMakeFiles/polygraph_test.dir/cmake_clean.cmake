@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polygraph_test.dir/polygraph_test.cc.o"
+  "CMakeFiles/polygraph_test.dir/polygraph_test.cc.o.d"
+  "polygraph_test"
+  "polygraph_test.pdb"
+  "polygraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polygraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_txn_test.dir/read_txn_test.cc.o"
+  "CMakeFiles/read_txn_test.dir/read_txn_test.cc.o.d"
+  "read_txn_test"
+  "read_txn_test.pdb"
+  "read_txn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

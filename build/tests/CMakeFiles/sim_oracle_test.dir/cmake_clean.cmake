@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_oracle_test.dir/sim_oracle_test.cc.o"
+  "CMakeFiles/sim_oracle_test.dir/sim_oracle_test.cc.o.d"
+  "sim_oracle_test"
+  "sim_oracle_test.pdb"
+  "sim_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_consistency_test.dir/update_consistency_test.cc.o"
+  "CMakeFiles/update_consistency_test.dir/update_consistency_test.cc.o.d"
+  "update_consistency_test"
+  "update_consistency_test.pdb"
+  "update_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

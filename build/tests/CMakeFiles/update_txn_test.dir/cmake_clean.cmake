@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_txn_test.dir/update_txn_test.cc.o"
+  "CMakeFiles/update_txn_test.dir/update_txn_test.cc.o.d"
+  "update_txn_test"
+  "update_txn_test.pdb"
+  "update_txn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

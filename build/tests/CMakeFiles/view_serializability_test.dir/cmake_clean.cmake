@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_serializability_test.dir/view_serializability_test.cc.o"
+  "CMakeFiles/view_serializability_test.dir/view_serializability_test.cc.o.d"
+  "view_serializability_test"
+  "view_serializability_test.pdb"
+  "view_serializability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_serializability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worst_case_test.dir/worst_case_test.cc.o"
+  "CMakeFiles/worst_case_test.dir/worst_case_test.cc.o.d"
+  "worst_case_test"
+  "worst_case_test.pdb"
+  "worst_case_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worst_case_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
