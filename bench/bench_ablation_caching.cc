@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
       return;
     }
     c->enable_cache = true;
-    c->cache_currency_bound = static_cast<SimTime>(x * static_cast<double>(c->Geometry().cycle_bits));
+    c->cache_currency_bound =
+        static_cast<SimTime>(x * static_cast<double>(c->Geometry().cycle_bits));
   };
   return bench::RunAndPrint(spec, flags);
 }

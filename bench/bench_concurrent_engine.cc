@@ -1,0 +1,102 @@
+// Concurrent-engine throughput harness: wall-clock scaling of the epoch
+// engine over client thread counts, against the single-threaded DES running
+// the identical seeded workload. Reports simulated cycles/s, client
+// transaction completions/s and server commits/s of wall time.
+//
+// Flags: --quick (shorter runs), --csv, --seed=N (see bench_common.h).
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sim/broadcast_sim.h"
+#include "sim/concurrent_sim.h"
+
+namespace bcc::bench {
+namespace {
+
+SimConfig EngineConfig(const BenchFlags& flags, uint32_t num_clients, uint64_t cycles) {
+  SimConfig config;
+  config.algorithm = Algorithm::kFMatrix;
+  config.num_objects = 64;
+  config.object_size_bits = 1024;
+  config.client_txn_length = 4;
+  config.server_txn_length = 8;
+  config.server_txn_interval = 30000;
+  config.mean_inter_op_delay = 4096;
+  config.mean_inter_txn_delay = 8192;
+  config.num_clients = num_clients;
+  config.seed = flags.seed;
+  config.stop_after_cycles = cycles;
+  config.num_client_txns = 1u << 30;
+  config.warmup_txns = 1;
+  return config;
+}
+
+struct Row {
+  const char* engine;
+  uint32_t clients;
+  double wall_s;
+  uint64_t cycles;
+  uint64_t completed;
+  uint64_t commits;
+};
+
+void Print(const Row& r, bool csv) {
+  if (csv) {
+    std::printf("csv,%s,%u,%.6f,%llu,%llu,%llu\n", r.engine, r.clients, r.wall_s,
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.completed),
+                static_cast<unsigned long long>(r.commits));
+    return;
+  }
+  std::printf("%-12s %8u %10.3f %12.0f %12.0f %12.0f\n", r.engine, r.clients, r.wall_s,
+              static_cast<double>(r.cycles) / r.wall_s,
+              static_cast<double>(r.completed) / r.wall_s,
+              static_cast<double>(r.commits) / r.wall_s);
+}
+
+int Main(int argc, char** argv) {
+  const BenchFlags flags = ParseFlags(argc, argv);
+  const uint64_t cycles = flags.quick ? 200 : 2000;
+
+  std::printf("%-12s %8s %10s %12s %12s %12s\n", "engine", "clients", "wall_s", "cycles/s",
+              "cli_txn/s", "commits/s");
+  for (const uint32_t clients : {1u, 2u, 4u, 8u}) {
+    const SimConfig config = EngineConfig(flags, clients, cycles);
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      BroadcastSim sim(config);
+      const auto summary = sim.Run();
+      const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - t0;
+      if (!summary.ok()) {
+        std::fprintf(stderr, "sequential run failed: %s\n",
+                     summary.status().ToString().c_str());
+        return 1;
+      }
+      Print({"sequential", clients, wall.count(), summary->cycles_elapsed,
+             summary->total_txns, summary->server_commits},
+            flags.csv);
+    }
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      ConcurrentSim sim(config);
+      const auto summary = sim.Run();
+      const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - t0;
+      if (!summary.ok()) {
+        std::fprintf(stderr, "concurrent run failed: %s\n",
+                     summary.status().ToString().c_str());
+        return 1;
+      }
+      Print({"concurrent", clients, wall.count(), summary->cycles,
+             summary->completed_txns, summary->server_commits},
+            flags.csv);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bcc::bench
+
+int main(int argc, char** argv) { return bcc::bench::Main(argc, argv); }

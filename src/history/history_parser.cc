@@ -71,8 +71,8 @@ StatusOr<ParsedHistory> ParseHistory(std::string_view text) {
       return Status::InvalidArgument(
           StrFormat("expected transaction number after '%c' at offset %zu", kind, num_start));
     }
-    const unsigned long txn = std::strtoul(std::string(text.substr(num_start, i - num_start)).c_str(),
-                                           nullptr, 10);
+    const unsigned long txn =
+        std::strtoul(std::string(text.substr(num_start, i - num_start)).c_str(), nullptr, 10);
     if (txn == 0) {
       return Status::InvalidArgument("transaction id 0 is reserved for t0");
     }

@@ -22,6 +22,7 @@ std::string_view AlgorithmName(Algorithm a) {
 FMatrix::FMatrix(uint32_t num_objects) : n_(num_objects) {
   data_.assign(static_cast<size_t>(n_) * n_, 0);
   dep_scratch_.assign(n_, 0);
+  ws_scratch_.assign(n_, 0);
 }
 
 std::span<const Cycle> FMatrix::Column(ObjectId j) const {
@@ -43,8 +44,8 @@ void FMatrix::ApplyCommit(std::span<const ObjectId> read_set,
   }
 
   // Membership mask for WS (write sets are tiny; a bitmap keeps this O(n)).
-  std::vector<bool> in_ws(n_, false);
-  for (ObjectId w : write_set) in_ws[w] = true;
+  // ws_scratch_ is a member so the per-commit hot path never allocates.
+  for (ObjectId w : write_set) ws_scratch_[w] = 1;
 
   // Rewrite every column j in WS from dep() and the commit cycle. The order
   // over j does not matter: all new columns derive from C_old via
@@ -52,9 +53,10 @@ void FMatrix::ApplyCommit(std::span<const ObjectId> read_set,
   for (ObjectId j : write_set) {
     Cycle* col = data_.data() + static_cast<size_t>(j) * n_;
     for (uint32_t i = 0; i < n_; ++i) {
-      col[i] = in_ws[i] ? commit_cycle : dep_scratch_[i];
+      col[i] = ws_scratch_[i] ? commit_cycle : dep_scratch_[i];
     }
   }
+  for (ObjectId w : write_set) ws_scratch_[w] = 0;
 }
 
 bool FMatrix::ReadCondition(std::span<const ReadRecord> reads, ObjectId j) const {

@@ -65,7 +65,8 @@ class FMatrix {
 
   uint32_t n_;
   std::vector<Cycle> data_;
-  std::vector<Cycle> dep_scratch_;  // reused per ApplyCommit
+  std::vector<Cycle> dep_scratch_;    // reused per ApplyCommit
+  std::vector<uint8_t> ws_scratch_;   // write-set mask, zeroed after each commit
 };
 
 /// From-definition construction (used to validate Theorem 2): replays the

@@ -15,20 +15,27 @@ void BroadcastServer::SetSchedule(BroadcastSchedule schedule) {
   schedule_ = std::move(schedule);
 }
 
+CycleSnapshot BroadcastServer::BuildSnapshot(Cycle cycle, SimTime start_time,
+                                             const ServerTxnManager& manager) const {
+  CycleSnapshot snap;
+  snap.cycle = cycle;
+  snap.start_time = start_time;
+  snap.values = manager.store().committed();
+  if (manager.f_matrix().num_objects() > 0) snap.f_matrix = manager.f_matrix();
+  if (manager.mc_vector().num_objects() > 0) snap.mc_vector = manager.mc_vector();
+  if (partition_.has_value() && manager.f_matrix().num_objects() > 0) {
+    snap.group_matrix.emplace(*partition_, manager.f_matrix());
+  }
+  return snap;
+}
+
 void BroadcastServer::BeginCycle(Cycle cycle, SimTime start_time,
                                  const ServerTxnManager& manager) {
   if (!started_) {
     first_start_ = start_time;
     started_ = true;
   }
-  snapshot_.cycle = cycle;
-  snapshot_.start_time = start_time;
-  snapshot_.values = manager.store().committed();
-  if (manager.f_matrix().num_objects() > 0) snapshot_.f_matrix = manager.f_matrix();
-  if (manager.mc_vector().num_objects() > 0) snapshot_.mc_vector = manager.mc_vector();
-  if (partition_.has_value() && manager.f_matrix().num_objects() > 0) {
-    snapshot_.group_matrix.emplace(*partition_, manager.f_matrix());
-  }
+  snapshot_ = BuildSnapshot(cycle, start_time, manager);
 }
 
 SimTime BroadcastServer::ObjectAvailableTime(ObjectId ob) const {

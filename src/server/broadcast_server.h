@@ -59,6 +59,15 @@ class BroadcastServer {
   /// GroupMatrix derived from the full matrix.
   void SetPartition(const ObjectPartition& partition) { partition_ = partition; }
 
+  /// Builds the beginning-of-cycle state that cycle `cycle` (starting at
+  /// `start_time`) puts on the air: committed values plus the control
+  /// information the configured algorithm broadcasts. Pure function of
+  /// `manager`'s committed state — it does not touch the server's current
+  /// snapshot, so a concurrent engine can materialize an immutable snapshot
+  /// of cycle k while cycle k+1 commits are already staging in `manager`.
+  CycleSnapshot BuildSnapshot(Cycle cycle, SimTime start_time,
+                              const ServerTxnManager& manager) const;
+
   /// Starts broadcast cycle `cycle` at `start_time`, snapshotting committed
   /// state and control information from `manager`.
   void BeginCycle(Cycle cycle, SimTime start_time, const ServerTxnManager& manager);

@@ -66,6 +66,7 @@ StatusOr<SimSummary> BroadcastSim::Run() {
   for (uint32_t c = 0; c < config_.num_clients; ++c) {
     clients_.push_back(std::make_unique<Client>(config_, root.Split(), codec));
   }
+  if (config_.record_decisions) decisions_.resize(config_.num_clients);
 
   // Prime the loop: cycle 1 begins at t = 0; the first server transaction
   // and each client's first submission follow their think times.
@@ -103,6 +104,10 @@ uint64_t BroadcastSim::TotalCacheMisses() const {
 void BroadcastSim::StartNextCycle() {
   if (done_) return;
   const Cycle next = server_->snapshot().cycle + 1;
+  if (config_.stop_after_cycles > 0 && next > config_.stop_after_cycles) {
+    done_ = true;
+    return;
+  }
   server_->BeginCycle(next, server_->CycleEndTime(), *manager_);
   queue_.ScheduleAt(server_->CycleEndTime(), [this] { StartNextCycle(); });
 }
@@ -241,6 +246,9 @@ void BroadcastSim::CompleteTxn(size_t c, bool censored) {
     oracle_client_txns_.push_back(ClientTxnLog{
         kClientTxnIdBase + static_cast<TxnId>(oracle_client_txns_.size()),
         client.protocol.reads(), client.protocol.values()});
+  }
+  if (config_.record_decisions) {
+    decisions_[c].push_back(TxnDecision{client.protocol.reads(), client.restarts, censored});
   }
   metrics_.RecordClientTxn(client.submit_time, queue_.now(), client.restarts, censored);
   ++completed_txns_;

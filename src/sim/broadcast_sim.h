@@ -52,6 +52,9 @@ class BroadcastSim {
 
   const SimConfig& config() const { return config_; }
   const ServerTxnManager& manager() const { return *manager_; }
+  /// Per-client transaction decision logs, in completion order (empty
+  /// unless config.record_decisions).
+  const std::vector<std::vector<TxnDecision>>& decisions() const { return decisions_; }
   /// Aggregate cache counters across clients (0s when caching is off).
   uint64_t TotalCacheHits() const;
   uint64_t TotalCacheMisses() const;
@@ -122,6 +125,9 @@ class BroadcastSim {
 
   // Oracle logs (committed read-only client transactions, all clients).
   std::vector<ClientTxnLog> oracle_client_txns_;
+
+  // Cross-check decision logs (config_.record_decisions only).
+  std::vector<std::vector<TxnDecision>> decisions_;
 };
 
 /// Convenience: run one configuration and return its summary.

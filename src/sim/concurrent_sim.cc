@@ -1,0 +1,335 @@
+#include "sim/concurrent_sim.h"
+
+#include <atomic>
+#include <barrier>
+#include <cassert>
+#include <limits>
+#include <thread>
+
+#include "client/read_txn.h"
+#include "common/format.h"
+#include "sim/broadcast_sim.h"
+
+namespace bcc {
+
+namespace {
+
+// The DES fires events in (time, insertion-order) order, which matters in
+// exactly one place: an event landing on a cycle boundary k*L fires before
+// the boundary's cycle-flip iff it was inserted before the flip was — and
+// the flip at k*L is inserted at (k-1)*L, by the previous flip's handler.
+// An event is inserted the moment its parent event fires, so the rule is
+// recursive in the parent's own boundary side. Replaying it per event keeps
+// every thread's private timeline bit-identical to the DES without a queue.
+bool FiresBeforeFlip(SimTime at, SimTime parent_time, bool parent_pre_flip, SimTime cycle_bits) {
+  if (at == 0 || at % cycle_bits != 0) return false;  // not on a boundary
+  const SimTime flip_inserted = at - cycle_bits;
+  return parent_time < flip_inserted ||
+         (parent_time == flip_inserted && parent_pre_flip);
+}
+
+// The broadcast cycle an event belongs to: events on a boundary fire in the
+// old cycle when they beat the flip, in the new cycle otherwise.
+Cycle PhaseOf(SimTime at, bool pre_flip, SimTime cycle_bits) {
+  return pre_flip ? at / cycle_bits : at / cycle_bits + 1;
+}
+
+}  // namespace
+
+/// Per-client thread state. Everything here is owned by one client thread
+/// for the duration of the run; the only cross-thread traffic is the
+/// published snapshot (read) and the completion counter (fetch_add).
+struct ConcurrentSim::ClientState {
+  enum class Kind { kSubmit, kBeginRead, kRead };
+  struct Event {
+    Kind kind;
+    SimTime time;
+    bool pre_flip;  // fires before the cycle flip at `time` (boundaries only)
+  };
+
+  ClientState(const SimConfig& config, Rng rng, std::optional<CycleStampCodec> codec)
+      : workload(config, rng), protocol(config.algorithm, codec) {}
+
+  ClientWorkload workload;
+  ReadOnlyTxnProtocol protocol;
+
+  std::vector<ObjectId> read_set;
+  size_t read_idx = 0;
+  uint32_t restarts = 0;
+  Event ev{Kind::kSubmit, 0, false};
+
+  std::vector<TxnDecision> decisions;
+  uint64_t completed = 0;
+  uint64_t censored = 0;
+  uint64_t total_restarts = 0;
+};
+
+ConcurrentSim::ConcurrentSim(SimConfig config)
+    : config_(std::move(config)), geometry_(config_.Geometry()) {}
+
+ConcurrentSim::~ConcurrentSim() = default;
+
+void ConcurrentSim::ProcessClientPhase(ClientState& cs, Cycle phase, const CycleSnapshot& snap) {
+  assert(snap.cycle == phase);
+  using Kind = ClientState::Kind;
+  const SimTime cycle_start = (phase - 1) * cycle_bits_;
+  const BroadcastSchedule& schedule = server_->schedule();
+
+  while (PhaseOf(cs.ev.time, cs.ev.pre_flip, cycle_bits_) == phase) {
+    const SimTime t = cs.ev.time;
+    const bool pre = cs.ev.pre_flip;
+    const auto schedule_next = [&](Kind kind, SimTime at) {
+      cs.ev = ClientState::Event{kind, at, FiresBeforeFlip(at, t, pre, cycle_bits_)};
+    };
+    const auto complete_txn = [&](bool censored) {
+      if (config_.record_decisions) {
+        cs.decisions.push_back(TxnDecision{cs.protocol.reads(), cs.restarts, censored});
+      }
+      ++cs.completed;
+      cs.censored += censored ? 1 : 0;
+      cs.total_restarts += cs.restarts;
+      completions_.fetch_add(1, std::memory_order_relaxed);
+      cs.protocol.Reset();
+      schedule_next(Kind::kSubmit, t + cs.workload.NextInterTxnDelay());
+    };
+
+    switch (cs.ev.kind) {
+      case Kind::kSubmit: {
+        cs.read_set = cs.workload.NextReadSet();
+        cs.read_idx = 0;
+        cs.restarts = 0;
+        cs.protocol.Reset();
+        schedule_next(Kind::kBeginRead, t + cs.workload.NextInterOpDelay());
+        break;
+      }
+      case Kind::kBeginRead: {
+        // Mirrors BroadcastServer::NextSlotEnd against this phase's window.
+        const ObjectId ob = cs.read_set[cs.read_idx];
+        const SimTime offset = t - cycle_start;
+        const SimTime slot_bits = geometry_.slot_bits;
+        const size_t min_slot =
+            offset <= slot_bits ? 0 : static_cast<size_t>((offset - 1) / slot_bits);
+        const int64_t slot = schedule.NextSlotOf(ob, min_slot);
+        if (slot >= 0) {
+          schedule_next(Kind::kRead,
+                        cycle_start + static_cast<SimTime>(slot + 1) * slot_bits);
+        } else {
+          // No appearance of `ob` remains this cycle: its first slot of the
+          // next one.
+          const uint32_t first_slot = schedule.SlotsOf(ob).front();
+          schedule_next(Kind::kRead, cycle_start + cycle_bits_ +
+                                         static_cast<SimTime>(first_slot + 1) * slot_bits);
+        }
+        break;
+      }
+      case Kind::kRead: {
+        const ObjectId ob = cs.read_set[cs.read_idx];
+        const auto value = cs.protocol.Read(snap, ob);
+        if (value.ok()) {
+          ++cs.read_idx;
+          if (cs.read_idx == cs.read_set.size()) {
+            complete_txn(/*censored=*/false);  // read-only commit is local, free
+          } else {
+            schedule_next(Kind::kBeginRead, t + cs.workload.NextInterOpDelay());
+          }
+        } else {
+          ++cs.restarts;
+          if (cs.restarts >= config_.max_restarts_per_txn) {
+            complete_txn(/*censored=*/true);
+          } else {
+            cs.protocol.Reset();
+            cs.read_idx = 0;
+            schedule_next(Kind::kBeginRead,
+                          t + config_.restart_delay + cs.workload.NextInterOpDelay());
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+void ConcurrentSim::ProcessServerPhase(Cycle phase) {
+  while (PhaseOf(next_commit_time_, next_commit_pre_flip_, cycle_bits_) == phase) {
+    const ServerTxn txn = server_workload_->NextTxn();
+    manager_->ExecuteAndCommit(txn, phase);
+    ++server_commits_;
+    const SimTime prev = next_commit_time_;
+    const bool prev_pre = next_commit_pre_flip_;
+    next_commit_time_ = prev + server_workload_->NextInterval();
+    next_commit_pre_flip_ = FiresBeforeFlip(next_commit_time_, prev, prev_pre, cycle_bits_);
+  }
+}
+
+StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
+  if (ran_) return Status::FailedPrecondition("ConcurrentSim::Run may only be called once");
+  ran_ = true;
+  BCC_RETURN_IF_ERROR(config_.Validate());
+  if (config_.enable_cache) {
+    return Status::InvalidArgument("ConcurrentSim does not support the client cache yet");
+  }
+  if (config_.client_update_fraction > 0.0) {
+    return Status::InvalidArgument(
+        "ConcurrentSim does not support client update transactions yet");
+  }
+
+  // Setup mirrors BroadcastSim::Run — the root RNG split order is part of
+  // the cross-engine contract.
+  const bool f_family = config_.algorithm == Algorithm::kFMatrix ||
+                        config_.algorithm == Algorithm::kFMatrixNo;
+  TxnManagerOptions manager_options;
+  manager_options.maintain_f_matrix = f_family || config_.record_history;
+  manager_options.maintain_mc_vector = true;
+  manager_options.record_history = config_.record_history;
+  manager_ = std::make_unique<ServerTxnManager>(config_.num_objects, manager_options);
+
+  server_ = std::make_unique<BroadcastServer>(config_.num_objects, geometry_);
+  if (config_.hot_set_size > 0 && config_.hot_broadcast_frequency > 1) {
+    std::vector<uint32_t> frequencies(config_.num_objects, 1);
+    for (uint32_t i = 0; i < config_.hot_set_size; ++i) {
+      frequencies[i] = config_.hot_broadcast_frequency;
+    }
+    BCC_ASSIGN_OR_RETURN(BroadcastSchedule schedule,
+                         BroadcastSchedule::FromFrequencies(frequencies));
+    server_->SetSchedule(std::move(schedule));
+  }
+  std::optional<ObjectPartition> partition;
+  if (f_family && config_.num_groups > 0 && config_.num_groups < config_.num_objects) {
+    partition = ObjectPartition::Blocks(config_.num_objects, config_.num_groups);
+    server_->SetPartition(*partition);
+  }
+
+  Rng root(config_.seed);
+  server_workload_ = std::make_unique<ServerWorkload>(config_, root.Split());
+
+  std::optional<CycleStampCodec> codec;
+  if (config_.use_wire_codec) codec.emplace(config_.timestamp_bits);
+
+  clients_.clear();
+  for (uint32_t c = 0; c < config_.num_clients; ++c) {
+    clients_.push_back(std::make_unique<ClientState>(config_, root.Split(), codec));
+  }
+
+  cycle_bits_ = server_->CycleLengthBits();
+  server_->BeginCycle(1, 0, *manager_);
+  published_ = std::make_shared<const CycleSnapshot>(server_->snapshot());
+
+  next_commit_time_ = server_workload_->NextInterval();
+  next_commit_pre_flip_ = FiresBeforeFlip(next_commit_time_, 0, false, cycle_bits_);
+  for (auto& cs : clients_) {
+    const SimTime at = cs->workload.NextInterTxnDelay();
+    cs->ev = ClientState::Event{ClientState::Kind::kSubmit, at,
+                                FiresBeforeFlip(at, 0, false, cycle_bits_)};
+  }
+
+  // Epoch loop. Per broadcast cycle k: client threads drain their cycle-k
+  // events against the immutable published snapshot while the server thread
+  // stages cycle-k commits; at the work barrier everyone is quiescent, the
+  // server publishes the cycle-(k+1) snapshot and the stop verdict, and the
+  // publish barrier releases the next epoch.
+  completions_.store(0, std::memory_order_relaxed);
+  std::barrier work_done(static_cast<std::ptrdiff_t>(config_.num_clients) + 1);
+  std::barrier publish_done(static_cast<std::ptrdiff_t>(config_.num_clients) + 1);
+  bool stop = false;
+
+  std::vector<std::jthread> threads;
+  threads.reserve(config_.num_clients);
+  for (uint32_t c = 0; c < config_.num_clients; ++c) {
+    threads.emplace_back([this, c, &work_done, &publish_done, &stop] {
+      ClientState& cs = *clients_[c];
+      for (Cycle phase = 1;; ++phase) {
+        const std::shared_ptr<const CycleSnapshot> snap = published_;
+        ProcessClientPhase(cs, phase, *snap);
+        work_done.arrive_and_wait();
+        publish_done.arrive_and_wait();
+        if (stop) break;
+      }
+    });
+  }
+
+  uint64_t cycles = 0;
+  for (Cycle phase = 1;; ++phase) {
+    ProcessServerPhase(phase);
+    work_done.arrive_and_wait();
+    // Exclusive section: every client thread is parked between the two
+    // barriers, so the snapshot swap and stop verdict are race-free.
+    cycles = phase;
+    stop = config_.stop_after_cycles > 0
+               ? phase >= config_.stop_after_cycles
+               : completions_.load(std::memory_order_relaxed) >= config_.num_client_txns;
+    if (!stop) {
+      server_->BeginCycle(phase + 1, phase * cycle_bits_, *manager_);
+      published_ = std::make_shared<const CycleSnapshot>(server_->snapshot());
+    }
+    publish_done.arrive_and_wait();
+    if (stop) break;
+  }
+  threads.clear();  // join
+
+  ConcurrentSummary summary;
+  summary.cycles = cycles;
+  summary.server_commits = server_commits_;
+  decisions_.clear();
+  for (auto& cs : clients_) {
+    summary.completed_txns += cs->completed;
+    summary.censored_txns += cs->censored;
+    summary.total_restarts += cs->total_restarts;
+    if (config_.record_decisions) decisions_.push_back(std::move(cs->decisions));
+  }
+  return summary;
+}
+
+Status CrossCheckEngines(SimConfig config) {
+  if (config.stop_after_cycles == 0) {
+    return Status::InvalidArgument("CrossCheckEngines requires stop_after_cycles > 0");
+  }
+  config.record_decisions = true;
+  // Both engines must run the full cycle window; the transaction-count
+  // cutoff would stop the DES at a timing-dependent point mid-cycle.
+  config.num_client_txns = std::numeric_limits<uint32_t>::max();
+
+  BroadcastSim sequential(config);
+  BCC_RETURN_IF_ERROR(sequential.Run().status());
+  ConcurrentSim concurrent(config);
+  BCC_RETURN_IF_ERROR(concurrent.Run().status());
+
+  const auto& seq = sequential.decisions();
+  const auto& conc = concurrent.decisions();
+  if (seq.size() != conc.size()) {
+    return Status::Internal(StrFormat("client count diverged: %zu vs %zu", seq.size(),
+                                      conc.size()));
+  }
+  for (size_t c = 0; c < seq.size(); ++c) {
+    if (seq[c].size() != conc[c].size()) {
+      return Status::Internal(StrFormat("client %zu: %zu sequential vs %zu concurrent txns",
+                                        c, seq[c].size(), conc[c].size()));
+    }
+    for (size_t i = 0; i < seq[c].size(); ++i) {
+      if (!(seq[c][i] == conc[c][i])) {
+        return Status::Internal(StrFormat(
+            "client %zu txn %zu diverged: restarts %u/%u, censored %d/%d, reads %zu/%zu",
+            c, i, seq[c][i].restarts, conc[c][i].restarts, seq[c][i].censored ? 1 : 0,
+            conc[c][i].censored ? 1 : 0, seq[c][i].reads.size(), conc[c][i].reads.size()));
+      }
+    }
+  }
+
+  const ServerTxnManager& a = sequential.manager();
+  const ServerTxnManager& b = concurrent.manager();
+  if (a.num_committed() != b.num_committed()) {
+    return Status::Internal(StrFormat("server commit count diverged: %zu vs %zu",
+                                      a.num_committed(), b.num_committed()));
+  }
+  if (!(a.f_matrix() == b.f_matrix())) {
+    return Status::Internal("final F-Matrix diverged between engines");
+  }
+  if (!(a.mc_vector() == b.mc_vector())) {
+    return Status::Internal("final MC vector diverged between engines");
+  }
+  if (!(a.store().committed() == b.store().committed())) {
+    return Status::Internal("final committed store diverged between engines");
+  }
+  return Status::OK();
+}
+
+}  // namespace bcc

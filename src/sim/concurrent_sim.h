@@ -1,0 +1,125 @@
+// Shared-memory concurrent broadcast engine.
+//
+// The DES in sim/broadcast_sim.h interleaves one server and N clients on a
+// single thread. This engine runs them on real threads using the epoch
+// structure the broadcast model already implies: a broadcast cycle is an
+// epoch. While client threads concurrently execute read-only transactions
+// against an immutable snapshot of cycle k (values + F-Matrix column per
+// read, validated with the paper's C(i, j) < cycle read condition), the
+// server thread applies cycle k's update commits to its private staging
+// state (two-version store + Theorem 2 incremental F-Matrix). At the cycle
+// boundary — a pair of std::barrier rendezvous — the server materializes
+// the staging state as the immutable snapshot of cycle k+1 and publishes
+// it. Readers never observe a half-updated matrix, so Theorem 1's
+// equivalence (read conditions pass iff the serialization graph is acyclic)
+// holds for every transaction exactly as in the sequential engine; see
+// DESIGN.md, "Concurrent engine".
+//
+// Determinism: client reads touch only the published snapshot and the
+// server touches only its staging state, so within an epoch no ordering
+// between threads is observable. Each client's event timeline (think
+// times, slot waits, restarts) is private and seeded, and the engine
+// reproduces the DES's event semantics per client — including its
+// (time, insertion-order) tie-breaking at cycle boundaries — so a run's
+// commit/abort decisions are a pure function of the SimConfig. The
+// cross-check below replays the same seeded workload through the
+// single-threaded BroadcastSim and demands identical per-client decision
+// logs and identical final server state.
+
+#ifndef BCC_SIM_CONCURRENT_SIM_H_
+#define BCC_SIM_CONCURRENT_SIM_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "server/broadcast_server.h"
+#include "server/txn_manager.h"
+#include "sim/config.h"
+#include "sim/metrics.h"
+#include "sim/workload.h"
+
+namespace bcc {
+
+/// Aggregate results of one concurrent run.
+struct ConcurrentSummary {
+  uint64_t cycles = 0;            ///< broadcast cycles fully executed
+  uint64_t server_commits = 0;    ///< update transactions committed
+  uint64_t completed_txns = 0;    ///< client transactions completed
+  uint64_t censored_txns = 0;     ///< force-completed by the restart guard
+  uint64_t total_restarts = 0;    ///< aborts across all completed txns
+};
+
+/// One concurrent run. Construct, Run() once, then inspect. Run() spawns
+/// config.num_clients client threads plus uses the calling thread as the
+/// server; it returns after all threads joined.
+///
+/// Config restrictions (InvalidArgument otherwise): client caching and
+/// client update transactions are not supported yet — both would reintroduce
+/// cross-thread feedback that needs its own design (quasi-cache currency is
+/// wall-clock based; uplink commits serialize through the validator).
+class ConcurrentSim {
+ public:
+  explicit ConcurrentSim(SimConfig config);
+  ~ConcurrentSim();
+
+  StatusOr<ConcurrentSummary> Run();
+
+  const SimConfig& config() const { return config_; }
+  /// Final server state (valid after Run).
+  const ServerTxnManager& manager() const { return *manager_; }
+  /// Per-client transaction decision logs, in completion order (empty
+  /// unless config.record_decisions).
+  const std::vector<std::vector<TxnDecision>>& decisions() const { return decisions_; }
+
+ private:
+  struct ClientState;
+
+  /// Executes every event of client `cs` belonging to broadcast cycle
+  /// `phase`, reading from the immutable `snap` (= cycle `phase`'s state).
+  void ProcessClientPhase(ClientState& cs, Cycle phase, const CycleSnapshot& snap);
+
+  /// Executes every server commit belonging to broadcast cycle `phase`
+  /// into the staging manager.
+  void ProcessServerPhase(Cycle phase);
+
+  SimConfig config_;
+  BroadcastGeometry geometry_;
+  SimTime cycle_bits_ = 0;
+
+  std::unique_ptr<ServerTxnManager> manager_;
+  std::unique_ptr<BroadcastServer> server_;
+  std::unique_ptr<ServerWorkload> server_workload_;
+  std::vector<std::unique_ptr<ClientState>> clients_;
+
+  /// The on-air snapshot of the current cycle. Written by the server thread
+  /// only between the phase-end and publish barriers (while every client
+  /// thread is blocked); read by client threads only during the work phase.
+  std::shared_ptr<const CycleSnapshot> published_;
+
+  // Server-side commit event state (mirrors the DES commit stream).
+  SimTime next_commit_time_ = 0;
+  bool next_commit_pre_flip_ = false;
+  uint64_t server_commits_ = 0;
+
+  /// Completed client transactions across all threads; drives the
+  /// transaction-count cutoff when stop_after_cycles is 0.
+  std::atomic<uint64_t> completions_{0};
+
+  std::vector<std::vector<TxnDecision>> decisions_;
+  bool ran_ = false;
+};
+
+/// Runs `config` through both the single-threaded BroadcastSim and the
+/// ConcurrentSim and verifies that they made identical commit/abort
+/// decisions and reached identical server state (store, F-Matrix, MC
+/// vector, commit count). Requires config.stop_after_cycles > 0 so both
+/// engines observe the same timing-independent cutoff; record_decisions is
+/// forced on and the transaction-count cutoff is disabled internally.
+/// Returns Internal with a description of the first divergence.
+Status CrossCheckEngines(SimConfig config);
+
+}  // namespace bcc
+
+#endif  // BCC_SIM_CONCURRENT_SIM_H_

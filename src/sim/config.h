@@ -80,6 +80,15 @@ struct SimConfig {
   /// Record the full update history plus client reads so the run can be
   /// replayed through the APPROX/legality oracles. Use small configs only.
   bool record_history = false;
+  /// Stop the run at the end of broadcast cycle `stop_after_cycles` instead
+  /// of after num_client_txns completions (0 = disabled). A cycle boundary
+  /// is a timing-independent cutoff, so two engines given the same seed
+  /// observe exactly the same prefix of every client's transaction stream —
+  /// the contract the sequential/concurrent cross-check relies on.
+  uint64_t stop_after_cycles = 0;
+  /// Keep a per-client log of TxnDecision records (sim/metrics.h) for
+  /// engine cross-checks. Use small configs only.
+  bool record_decisions = false;
 
   /// Parameter sanity checks.
   Status Validate() const;

@@ -29,7 +29,8 @@ TEST(McVectorTest, EqualsMaxColumnOfFullMatrix) {
   McVector mc(n);
   for (Cycle cycle = 1; cycle <= 40; ++cycle) {
     const auto reads = rng.SampleWithoutReplacement(n, static_cast<uint32_t>(rng.NextBounded(3)));
-    const auto writes = rng.SampleWithoutReplacement(n, 1 + static_cast<uint32_t>(rng.NextBounded(2)));
+    const auto writes =
+        rng.SampleWithoutReplacement(n, 1 + static_cast<uint32_t>(rng.NextBounded(2)));
     c.ApplyCommit(reads, writes, cycle);
     mc.ApplyCommit(writes, cycle);
     for (ObjectId i = 0; i < n; ++i) {
