@@ -37,6 +37,8 @@ void PrintHelp() {
       "  --groups=N                grouped-control columns     (0 = native)\n"
       "  --hot-set=N --hot-freq=N  multi-speed disk            (off)\n"
       "  --hot-access=F            client+server hot-set skew  (uniform)\n"
+      "  --delta                   snapshot+delta control mode (off)\n"
+      "  --delta-refresh=N         full refresh every N cycles (8)\n"
       "  --seed=N                  RNG seed                    (42)\n"
       "  --csv                     emit a machine-readable row\n");
 }
@@ -107,6 +109,10 @@ int main(int argc, char** argv) {
       config.hot_set_size = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (ParseFlag(argv[i], "--hot-freq", &v)) {
       config.hot_broadcast_frequency = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--delta") == 0) {
+      config.delta_broadcast = true;
+    } else if (ParseFlag(argv[i], "--delta-refresh", &v)) {
+      config.delta_refresh_period = std::strtoull(v, nullptr, 10);
     } else if (ParseFlag(argv[i], "--hot-access", &v)) {
       hot_access = std::strtod(v, nullptr);
     } else if (ParseFlag(argv[i], "--seed", &v)) {

@@ -1,0 +1,27 @@
+#include "client/delta_tracker.h"
+
+namespace bcc {
+
+DeltaMatrixTracker::DeltaMatrixTracker(uint32_t num_objects, CycleStampCodec codec)
+    : codec_(codec), matrix_(num_objects) {}
+
+void DeltaMatrixTracker::Observe(const DeltaControl& ctl, const FMatrix& on_air_matrix) {
+  if (ctl.full_refresh) {
+    matrix_ = on_air_matrix;
+    synced_ = true;
+    last_sync_ = ctl.cycle;
+    return;
+  }
+  // A delta is only meaningful on top of exactly its base matrix: the
+  // F-Matrix is not monotone, so skipping any block (or applying out of
+  // order) could silently yield a matrix that accepts reads the true one
+  // rejects. Anything but a contiguous continuation desyncs.
+  if (!synced_ || ctl.base_cycle != last_sync_ || ctl.cycle != last_sync_ + 1) {
+    synced_ = false;
+    return;
+  }
+  DeltaCodec::Apply(&matrix_, ctl.entries, codec_, ctl.cycle);
+  last_sync_ = ctl.cycle;
+}
+
+}  // namespace bcc

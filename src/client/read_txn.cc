@@ -28,8 +28,9 @@ bool ReadOnlyTxnProtocol::CheckFMatrix(const CycleSnapshot& snap, ObjectId ob) c
     return true;
   }
   // read-condition(ob_j): for all (ob_i, cycle) in R_t : C(i, j) < cycle.
+  const FMatrix& fm = control_override_ != nullptr ? *control_override_ : snap.f_matrix;
   for (const ReadRecord& r : reads_) {
-    if (Stamp(snap.f_matrix.At(r.object, ob), snap.cycle) >= r.cycle) return false;
+    if (Stamp(fm.At(r.object, ob), snap.cycle) >= r.cycle) return false;
   }
   return true;
 }
@@ -80,10 +81,13 @@ StatusOr<ObjectVersion> ReadOnlyTxnProtocol::Read(const CycleSnapshot& snap, Obj
   std::vector<Cycle> column;
   const bool f_family =
       algorithm_ == Algorithm::kFMatrix || algorithm_ == Algorithm::kFMatrixNo;
-  if (f_family && !snap.group_matrix.has_value() && snap.f_matrix.num_objects() > 0) {
-    const std::span<const Cycle> raw = snap.f_matrix.Column(ob);
-    column.reserve(raw.size());
-    for (Cycle c : raw) column.push_back(Stamp(c, snap.cycle));
+  if (f_family && !snap.group_matrix.has_value()) {
+    const FMatrix& fm = control_override_ != nullptr ? *control_override_ : snap.f_matrix;
+    if (fm.num_objects() > 0) {
+      const std::span<const Cycle> raw = fm.Column(ob);
+      column.reserve(raw.size());
+      for (Cycle c : raw) column.push_back(Stamp(c, snap.cycle));
+    }
   }
   Record(ob, snap.cycle, version, std::move(column));
   return version;

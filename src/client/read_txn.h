@@ -66,6 +66,18 @@ class ReadOnlyTxnProtocol {
   /// Clears all per-attempt state for a restart.
   void Reset();
 
+  /// Substitutes `matrix` for the snapshot's f_matrix in every F-family
+  /// check and column capture (nullptr restores the broadcast matrix). Used
+  /// in snapshot+delta mode, where the client validates against its locally
+  /// reconstructed matrix instead of an on-air full matrix. The caller owns
+  /// the matrix and must keep it in sync with the snapshot being read.
+  /// Decisions stay bit-identical to full-mode validation as long as the
+  /// reconstruction is congruent to the server matrix mod 2^ts: Stamp()
+  /// re-round-trips every entry through the codec, and Decode(Encode(x), c)
+  /// depends on x only through x mod 2^ts.
+  void set_control_override(const FMatrix* matrix) { control_override_ = matrix; }
+  const FMatrix* control_override() const { return control_override_; }
+
   const std::vector<ReadRecord>& reads() const { return reads_; }
   const std::vector<ObjectVersion>& values() const { return values_; }
   /// Cycle of the first successful read (R-Matrix's c1); 0 before any read.
@@ -84,6 +96,7 @@ class ReadOnlyTxnProtocol {
 
   Algorithm algorithm_;
   std::optional<CycleStampCodec> codec_;
+  const FMatrix* control_override_ = nullptr;
   std::vector<ReadRecord> reads_;
   std::vector<ObjectVersion> values_;
   /// Per read: the control column consulted (F-family, ungrouped only;

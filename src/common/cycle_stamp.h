@@ -42,6 +42,21 @@ class CycleStampCodec {
 
   /// Wire residue -> most recent absolute cycle <= `current` with that
   /// residue. Exact whenever current - absolute <= max_cycles().
+  ///
+  /// Safety invariant (regression-tested in cycle_stamp_test.cc): for every
+  /// true stamp c <= current, Decode(Encode(c), current) >= c. Out-of-window
+  /// stamps alias UPWARD — to c + k * modulus() for the largest k keeping the
+  /// result <= current. Because every read condition accepts only when the
+  /// control stamp is strictly BELOW a read cycle (FMatrix::ReadCondition,
+  /// DatacycleReadCondition, RMatrixReadCondition), overestimating a stamp
+  /// can only flip accept -> abort (spurious abort), never abort -> accept.
+  ///
+  /// The clamp-to-0 branch below is unreachable from any Encode(c) with
+  /// c <= current: the most recent matching candidate is c + k * modulus()
+  /// >= c >= 0, never "before cycle 0". It fires only for residues no valid
+  /// encode produced (possible while current < max_cycles(), where some
+  /// residues denote no cycle at all) and maps them to cycle 0, the
+  /// imaginary t0 write — i.e. well-formed broadcasts never take it.
   Cycle Decode(uint32_t residue, Cycle current) const;
 
  private:

@@ -57,6 +57,29 @@ void FMatrix::ApplyCommit(std::span<const ObjectId> read_set,
     }
   }
   for (ObjectId w : write_set) ws_scratch_[w] = 0;
+
+  if (track_dirty_) {
+    for (ObjectId j : write_set) {
+      if (!touched_mask_[j]) {
+        touched_mask_[j] = 1;
+        touched_cols_.push_back(j);
+      }
+    }
+  }
+}
+
+void FMatrix::EnableDirtyTracking() {
+  if (track_dirty_) return;
+  track_dirty_ = true;
+  touched_mask_.assign(n_, 0);
+}
+
+std::vector<ObjectId> FMatrix::TakeTouchedColumns() {
+  assert(track_dirty_);
+  std::vector<ObjectId> out = std::move(touched_cols_);
+  touched_cols_.clear();
+  for (ObjectId j : out) touched_mask_[j] = 0;
+  return out;
 }
 
 bool FMatrix::ReadCondition(std::span<const ReadRecord> reads, ObjectId j) const {

@@ -50,8 +50,28 @@ class FMatrix {
   ///   - C(i, j) = max_{k in RS} C(i, k)   for i not in WS, j in WS
   ///                                        (0 when RS is empty)
   ///   - unchanged                          otherwise
+  /// With dirty tracking enabled, the touched columns (= WS) are recorded so
+  /// a delta broadcaster can diff in O(n * touched) instead of O(n^2).
   void ApplyCommit(std::span<const ObjectId> read_set, std::span<const ObjectId> write_set,
                    Cycle commit_cycle);
+
+  /// Starts recording the set of columns ApplyCommit rewrites. Tracking is
+  /// column-granular on purpose: recording a column id is O(1) per written
+  /// object, so the per-commit emission cost is O(|WS|) — independent of n —
+  /// while entry-exact filtering is deferred to the once-per-cycle
+  /// DeltaCodec::DiffColumns pass. Direct Set() calls (wire decoding,
+  /// from-definition builders) are NOT tracked; tracking covers the server's
+  /// incremental maintenance path only.
+  void EnableDirtyTracking();
+  bool dirty_tracking_enabled() const { return track_dirty_; }
+
+  /// Columns rewritten by ApplyCommit since construction, EnableDirtyTracking
+  /// or the last TakeTouchedColumns — each column at most once, in first-touch
+  /// order.
+  std::span<const ObjectId> touched_columns() const { return touched_cols_; }
+
+  /// Drains the touched-column set (returns it and resets the tracker).
+  std::vector<ObjectId> TakeTouchedColumns();
 
   /// The F-Matrix read condition for reading ob_j given the reads so far.
   bool ReadCondition(std::span<const ReadRecord> reads, ObjectId j) const;
@@ -67,6 +87,12 @@ class FMatrix {
   std::vector<Cycle> data_;
   std::vector<Cycle> dep_scratch_;    // reused per ApplyCommit
   std::vector<uint8_t> ws_scratch_;   // write-set mask, zeroed after each commit
+
+  // Dirty-column tracker (EnableDirtyTracking): first-touch-ordered column
+  // ids plus a membership mask so duplicates cost O(1).
+  bool track_dirty_ = false;
+  std::vector<ObjectId> touched_cols_;
+  std::vector<uint8_t> touched_mask_;
 };
 
 /// From-definition construction (used to validate Theorem 2): replays the

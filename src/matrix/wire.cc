@@ -1,5 +1,6 @@
 #include "matrix/wire.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/bitstream.h"
@@ -55,6 +56,12 @@ std::vector<uint8_t> PackStamps(std::span<const Cycle> stamps, const CycleStampC
 
 StatusOr<std::vector<Cycle>> UnpackStamps(std::span<const uint8_t> bytes, size_t count,
                                           const CycleStampCodec& codec, Cycle current) {
+  // PackStamps emits exactly count * bits data bits zero-padded to a whole
+  // byte; anything else is framing corruption.
+  const size_t expected_bytes = (count * codec.bits() + 7) / 8;
+  if (bytes.size() > expected_bytes) {
+    return Status::InvalidArgument("UnpackStamps: buffer has trailing bytes");
+  }
   BitReader reader(bytes);
   std::vector<Cycle> out;
   out.reserve(count);
@@ -63,7 +70,18 @@ StatusOr<std::vector<Cycle>> UnpackStamps(std::span<const uint8_t> bytes, size_t
     BCC_RETURN_IF_ERROR(reader.Read(codec.bits(), &residue));
     out.push_back(codec.Decode(residue, current));
   }
+  if (const size_t pad = reader.bits_remaining(); pad > 0) {
+    uint32_t padding = 0;
+    BCC_RETURN_IF_ERROR(reader.Read(static_cast<unsigned>(pad), &padding));
+    if (padding != 0) {
+      return Status::InvalidArgument("UnpackStamps: nonzero padding bits");
+    }
+  }
   return out;
+}
+
+uint64_t FullMatrixControlBits(uint32_t num_objects, unsigned ts_bits) {
+  return static_cast<uint64_t>(num_objects) * num_objects * ts_bits;
 }
 
 std::vector<DeltaCodec::Entry> DeltaCodec::Diff(const FMatrix& prev, const FMatrix& cur,
@@ -71,6 +89,25 @@ std::vector<DeltaCodec::Entry> DeltaCodec::Diff(const FMatrix& prev, const FMatr
   std::vector<Entry> out;
   const uint32_t n = cur.num_objects();
   for (ObjectId j = 0; j < n; ++j) {
+    for (ObjectId i = 0; i < n; ++i) {
+      if (prev.At(i, j) != cur.At(i, j)) {
+        out.push_back({i, j, codec.Encode(cur.At(i, j))});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<DeltaCodec::Entry> DeltaCodec::DiffColumns(const FMatrix& prev, const FMatrix& cur,
+                                                       std::span<const ObjectId> touched_columns,
+                                                       const CycleStampCodec& codec) {
+  std::vector<ObjectId> cols(touched_columns.begin(), touched_columns.end());
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+
+  std::vector<Entry> out;
+  const uint32_t n = cur.num_objects();
+  for (ObjectId j : cols) {
     for (ObjectId i = 0; i < n; ++i) {
       if (prev.At(i, j) != cur.At(i, j)) {
         out.push_back({i, j, codec.Encode(cur.At(i, j))});
@@ -88,7 +125,10 @@ void DeltaCodec::Apply(FMatrix* base, std::span<const Entry> entries,
 }
 
 uint64_t DeltaCodec::EncodedBits(size_t num_entries, uint32_t num_objects, unsigned ts_bits) {
-  const unsigned index_bits = std::bit_width(num_objects > 1 ? num_objects - 1 : 1u);
+  // ceil(log2 n) bits address n indices; n == 1 needs zero (the only index is
+  // implicit), and exact powers of two need log2(n), not log2(n) + 1.
+  const unsigned index_bits =
+      num_objects > 1 ? static_cast<unsigned>(std::bit_width(num_objects - 1)) : 0u;
   return 32 + static_cast<uint64_t>(num_entries) * (2ull * index_bits + ts_bits);
 }
 

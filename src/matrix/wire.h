@@ -54,9 +54,15 @@ std::vector<Cycle> DecodeStamps(std::span<const uint32_t> residues, const CycleS
 std::vector<uint8_t> PackStamps(std::span<const Cycle> stamps, const CycleStampCodec& codec);
 
 /// Unpacks `count` stamps and decodes them anchored at `current`.
-/// OutOfRange when the buffer is too small.
+/// The buffer must be exactly the PackStamps framing: OutOfRange when it is
+/// too small, InvalidArgument when it carries trailing bytes or nonzero
+/// padding bits — wire-format corruption is rejected, not silently ignored.
 StatusOr<std::vector<Cycle>> UnpackStamps(std::span<const uint8_t> bytes, size_t count,
                                           const CycleStampCodec& codec, Cycle current);
+
+/// Bits of the standard full-matrix control broadcast for one cycle: n
+/// columns of n TS-bit stamps (the Section 4.1 layout).
+uint64_t FullMatrixControlBits(uint32_t num_objects, unsigned ts_bits);
 
 /// Delta transmission (Section 3.2.1 future work): encodes only entries that
 /// changed relative to the previous cycle's matrix.
@@ -69,9 +75,21 @@ class DeltaCodec {
     uint32_t residue;
   };
 
-  /// Changed entries between consecutive cycle snapshots.
+  /// Changed entries between consecutive cycle snapshots, by full O(n^2)
+  /// rescan. Kept as the test oracle for DiffColumns; production callers with
+  /// a dirty list (FMatrix::EnableDirtyTracking) should use DiffColumns.
   static std::vector<Entry> Diff(const FMatrix& prev, const FMatrix& cur,
                                  const CycleStampCodec& codec);
+
+  /// Diff restricted to `touched_columns` — O(n * |touched|) instead of
+  /// O(n^2). Correct whenever `touched_columns` covers every column that
+  /// differs between prev and cur (ApplyCommit only rewrites WS columns, so
+  /// the FMatrix dirty list satisfies this). Duplicate and unsorted column
+  /// ids are fine; output entries are emitted in ascending (col, row) order,
+  /// identical to Diff's.
+  static std::vector<Entry> DiffColumns(const FMatrix& prev, const FMatrix& cur,
+                                        std::span<const ObjectId> touched_columns,
+                                        const CycleStampCodec& codec);
 
   /// Applies a diff on top of `base` (decoding residues at `current`).
   static void Apply(FMatrix* base, std::span<const Entry> entries, const CycleStampCodec& codec,

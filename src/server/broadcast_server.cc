@@ -38,6 +38,19 @@ void BroadcastServer::BeginCycle(Cycle cycle, SimTime start_time,
   snapshot_ = BuildSnapshot(cycle, start_time, manager);
 }
 
+void BroadcastServer::EnableDeltaBroadcast(const CycleStampCodec& codec,
+                                           uint64_t refresh_period) {
+  assert(!started_ && "delta mode must be enabled before the first cycle");
+  delta_.emplace(num_objects_, codec, refresh_period);
+}
+
+void BroadcastServer::AttachDeltaControl(std::span<const ObjectId> touched_columns) {
+  assert(started_ && delta_.has_value());
+  assert(!snapshot_.delta.has_value() && "one AttachDeltaControl per BeginCycle");
+  snapshot_.delta =
+      delta_->BuildControl(snapshot_.f_matrix, touched_columns, snapshot_.cycle);
+}
+
 SimTime BroadcastServer::ObjectAvailableTime(ObjectId ob) const {
   assert(started_ && ob < num_objects_);
   const uint32_t slot = schedule_.SlotsOf(ob).front();

@@ -16,6 +16,7 @@
 #include "des/event_queue.h"
 #include "matrix/group_matrix.h"
 #include "matrix/wire.h"
+#include "server/delta_broadcast.h"
 #include "server/schedule.h"
 #include "server/txn_manager.h"
 
@@ -32,6 +33,11 @@ struct CycleSnapshot {
   McVector mc_vector{0};
   /// Present when a grouped partition is configured (Section 3.2.2 spectrum).
   std::optional<GroupMatrix> group_matrix;
+  /// Present in snapshot+delta mode: the sparse control block this cycle
+  /// puts on the air instead of (notionally) the full matrix. f_matrix is
+  /// still populated — it is what a refresh broadcasts and what tests
+  /// cross-check reconstruction against.
+  std::optional<DeltaControl> delta;
 };
 
 /// Broadcast scheduling and per-cycle snapshotting.
@@ -58,6 +64,17 @@ class BroadcastServer {
   /// Configures the grouped-control spectrum: snapshots will carry an n x g
   /// GroupMatrix derived from the full matrix.
   void SetPartition(const ObjectPartition& partition) { partition_ = partition; }
+
+  /// Switches control broadcasting to snapshot+delta mode: each BeginCycle
+  /// must be followed by AttachDeltaControl with the dirty columns drained
+  /// from the txn manager. Must be called before the first BeginCycle.
+  void EnableDeltaBroadcast(const CycleStampCodec& codec, uint64_t refresh_period);
+  bool delta_enabled() const { return delta_.has_value(); }
+
+  /// Builds this cycle's DeltaControl from the current snapshot's matrix and
+  /// the columns rewritten since the previous cycle, and attaches it to the
+  /// snapshot. Call exactly once per BeginCycle, in cycle order.
+  void AttachDeltaControl(std::span<const ObjectId> touched_columns);
 
   /// Builds the beginning-of-cycle state that cycle `cycle` (starting at
   /// `start_time`) puts on the air: committed values plus the control
@@ -96,6 +113,7 @@ class BroadcastServer {
   BroadcastSchedule schedule_;
   CycleSnapshot snapshot_;
   std::optional<ObjectPartition> partition_;
+  std::optional<DeltaBroadcaster> delta_;
   SimTime first_start_ = 0;
   bool started_ = false;
 };

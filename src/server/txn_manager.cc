@@ -8,7 +8,12 @@ ServerTxnManager::ServerTxnManager(uint32_t num_objects, TxnManagerOptions optio
     : options_(options),
       store_(num_objects),
       f_matrix_(options.maintain_f_matrix ? num_objects : 0),
-      mc_vector_(options.maintain_mc_vector ? num_objects : 0) {}
+      mc_vector_(options.maintain_mc_vector ? num_objects : 0) {
+  if (options_.track_dirty_columns) {
+    assert(options_.maintain_f_matrix && "dirty tracking requires the F-Matrix");
+    f_matrix_.EnableDirtyTracking();
+  }
+}
 
 std::vector<ObjectVersion> ServerTxnManager::ExecuteAndCommit(const ServerTxn& txn, Cycle cycle) {
   assert(txn.id != kInitTxn && txn.id != kNoTxn);

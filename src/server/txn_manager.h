@@ -39,6 +39,9 @@ struct TxnManagerOptions {
   bool maintain_f_matrix = true;
   bool maintain_mc_vector = true;
   bool record_history = false;
+  /// Record which F-Matrix columns commits rewrite (requires
+  /// maintain_f_matrix); drained via TakeTouchedColumns for delta broadcast.
+  bool track_dirty_columns = false;
 };
 
 /// Serial update-transaction executor.
@@ -56,6 +59,11 @@ class ServerTxnManager {
   const VersionedStore& store() const { return store_; }
   const FMatrix& f_matrix() const { return f_matrix_; }
   const McVector& mc_vector() const { return mc_vector_; }
+
+  /// Drains the F-Matrix columns rewritten by commits since the last drain
+  /// (options.track_dirty_columns must be set). Called once per broadcast
+  /// cycle by the delta broadcaster.
+  std::vector<ObjectId> TakeTouchedColumns() { return f_matrix_.TakeTouchedColumns(); }
 
   /// Commit cycle of every committed transaction (for oracles).
   const std::unordered_map<TxnId, Cycle>& commit_cycles() const { return commit_cycles_; }

@@ -1,6 +1,7 @@
 #include "sim/broadcast_sim.h"
 
 #include <cassert>
+#include <limits>
 
 #include "cc/approx.h"
 #include "cc/conflict_serializability.h"
@@ -13,6 +14,13 @@ BroadcastSim::Client::Client(const SimConfig& config, Rng rng,
     : workload(config, rng), protocol(config.algorithm, codec) {
   if (config.enable_cache) {
     cache = std::make_unique<QuasiCache>(config.cache_capacity, config.cache_currency_bound);
+  }
+  if (config.delta_broadcast) {
+    tracker = std::make_unique<DeltaMatrixTracker>(config.num_objects,
+                                                   CycleStampCodec(config.timestamp_bits));
+    // All F-family validation reads the locally reconstructed matrix from
+    // here on; the sim stalls reads while the tracker is unusable.
+    protocol.set_control_override(&tracker->matrix());
   }
 }
 
@@ -34,9 +42,14 @@ StatusOr<SimSummary> BroadcastSim::Run() {
   manager_options.maintain_f_matrix = f_family || config_.record_history;
   manager_options.maintain_mc_vector = true;
   manager_options.record_history = config_.record_history;
+  manager_options.track_dirty_columns = config_.delta_broadcast;
   manager_ = std::make_unique<ServerTxnManager>(config_.num_objects, manager_options);
 
   server_ = std::make_unique<BroadcastServer>(config_.num_objects, geometry_);
+  if (config_.delta_broadcast) {
+    server_->EnableDeltaBroadcast(CycleStampCodec(config_.timestamp_bits),
+                                  config_.delta_refresh_period);
+  }
   if (config_.hot_set_size > 0 && config_.hot_broadcast_frequency > 1) {
     // Multi-speed disk: hot objects several times per major cycle.
     std::vector<uint32_t> frequencies(config_.num_objects, 1);
@@ -71,6 +84,7 @@ StatusOr<SimSummary> BroadcastSim::Run() {
   // Prime the loop: cycle 1 begins at t = 0; the first server transaction
   // and each client's first submission follow their think times.
   server_->BeginCycle(1, 0, *manager_);
+  if (config_.delta_broadcast) AttachAndObserveDelta();
   queue_.ScheduleAt(server_->CycleEndTime(), [this] { StartNextCycle(); });
   queue_.ScheduleAfter(server_workload_->NextInterval(), [this] { ServerCommitEvent(); });
   for (size_t c = 0; c < clients_.size(); ++c) {
@@ -109,7 +123,22 @@ void BroadcastSim::StartNextCycle() {
     return;
   }
   server_->BeginCycle(next, server_->CycleEndTime(), *manager_);
+  if (config_.delta_broadcast) AttachAndObserveDelta();
   queue_.ScheduleAt(server_->CycleEndTime(), [this] { StartNextCycle(); });
+}
+
+void BroadcastSim::AttachAndObserveDelta() {
+  server_->AttachDeltaControl(manager_->TakeTouchedColumns());
+  const CycleSnapshot& snap = server_->snapshot();
+  const DeltaControl& ctl = *snap.delta;
+  metrics_.RecordDeltaCycle(ctl.full_refresh, ctl.control_bits, ctl.full_bits);
+  for (auto& client : clients_) {
+    client->tracker->Observe(ctl, snap.f_matrix);
+    // Test knob: model a client that missed this cycle's control block.
+    if (config_.delta_desync_at_cycle != 0 && snap.cycle == config_.delta_desync_at_cycle) {
+      client->tracker->ForceDesync();
+    }
+  }
 }
 
 void BroadcastSim::ServerCommitEvent() {
@@ -168,6 +197,18 @@ void BroadcastSim::PerformBroadcastRead(size_t c) {
   Client& client = *clients_[c];
   const ObjectId ob = client.read_set[client.read_idx];
   const CycleSnapshot& snap = server_->snapshot();
+  if (client.tracker && client.tracker->Unusable(snap.cycle)) {
+    // The reconstructed matrix cannot validate a read in this cycle (tracker
+    // desynced, or past the TS decode window): stall until the next cycle,
+    // whose block may be the resynchronizing full refresh. The cycle-start
+    // event was inserted earlier, so it fires before this retry.
+    metrics_.RecordDeltaStall();
+    const uint32_t first_slot = server_->schedule().SlotsOf(ob).front();
+    queue_.ScheduleAt(
+        server_->CycleEndTime() + static_cast<SimTime>(first_slot + 1) * geometry_.slot_bits,
+        [this, c] { PerformBroadcastRead(c); });
+    return;
+  }
   auto value = client.protocol.Read(snap, ob);
   if (!value.ok()) {
     OnReadAbort(c);
@@ -370,8 +411,102 @@ Status BroadcastSim::VerifyOracle() const {
   return Status::OK();
 }
 
+Status BroadcastSim::VerifyDeltaTrackers() const {
+  if (!config_.delta_broadcast) {
+    return Status::FailedPrecondition("run with config.delta_broadcast = true");
+  }
+  if (!ran_) return Status::FailedPrecondition("VerifyDeltaTrackers requires a completed Run");
+  const CycleStampCodec codec(config_.timestamp_bits);
+  const FMatrix& truth = server_->snapshot().f_matrix;
+  const Cycle cycle = server_->snapshot().cycle;
+  for (size_t c = 0; c < clients_.size(); ++c) {
+    const DeltaMatrixTracker& tracker = *clients_[c]->tracker;
+    if (!tracker.synced()) continue;  // possible only via the desync knob
+    if (tracker.last_sync() != cycle) {
+      return Status::Internal(StrFormat(
+          "client %zu tracker synced at cycle %llu but the broadcast is at %llu", c,
+          static_cast<unsigned long long>(tracker.last_sync()),
+          static_cast<unsigned long long>(cycle)));
+    }
+    for (ObjectId j = 0; j < config_.num_objects; ++j) {
+      for (ObjectId i = 0; i < config_.num_objects; ++i) {
+        if (codec.Encode(tracker.matrix().At(i, j)) != codec.Encode(truth.At(i, j))) {
+          return Status::Internal(StrFormat(
+              "client %zu reconstruction diverges at C(%u, %u): %llu !~ %llu (mod 2^%u)", c, i,
+              j, static_cast<unsigned long long>(tracker.matrix().At(i, j)),
+              static_cast<unsigned long long>(truth.At(i, j)), config_.timestamp_bits));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
 StatusOr<SimSummary> RunSimulation(const SimConfig& config) {
   return BroadcastSim(config).Run();
+}
+
+Status CrossCheckDeltaBroadcast(SimConfig config) {
+  if (config.stop_after_cycles == 0) {
+    return Status::InvalidArgument("CrossCheckDeltaBroadcast requires stop_after_cycles > 0");
+  }
+  config.record_decisions = true;
+  // The cycle cutoff is the only stop condition, so both runs see the same
+  // timing-independent prefix of every client's transaction stream.
+  config.num_client_txns = std::numeric_limits<uint32_t>::max();
+
+  SimConfig full = config;
+  full.delta_broadcast = false;
+  SimConfig delta = config;
+  delta.delta_broadcast = true;
+
+  BroadcastSim full_sim(full);
+  BCC_ASSIGN_OR_RETURN(const SimSummary full_summary, full_sim.Run());
+  BroadcastSim delta_sim(delta);
+  BCC_ASSIGN_OR_RETURN(const SimSummary delta_summary, delta_sim.Run());
+
+  BCC_RETURN_IF_ERROR(delta_sim.VerifyDeltaTrackers());
+  if (delta_summary.delta_control_bits > delta_summary.full_control_bits) {
+    return Status::Internal(
+        StrFormat("delta mode shipped more control than the full baseline: %llu > %llu",
+                  static_cast<unsigned long long>(delta_summary.delta_control_bits),
+                  static_cast<unsigned long long>(delta_summary.full_control_bits)));
+  }
+
+  // Server state must be identical: the delta pipeline is broadcast-side
+  // only and must not perturb the commit stream.
+  if (full_summary.server_commits != delta_summary.server_commits) {
+    return Status::Internal(StrFormat(
+        "server commit counts diverge: full=%llu delta=%llu",
+        static_cast<unsigned long long>(full_summary.server_commits),
+        static_cast<unsigned long long>(delta_summary.server_commits)));
+  }
+  if (!(full_sim.manager().f_matrix() == delta_sim.manager().f_matrix())) {
+    return Status::Internal("server F-Matrices diverge between full and delta runs");
+  }
+  if (!(full_sim.manager().store().committed() == delta_sim.manager().store().committed())) {
+    return Status::Internal("server stores diverge between full and delta runs");
+  }
+
+  // Per-client decision parity (the CrossCheckEngines contract).
+  if (full_sim.decisions().size() != delta_sim.decisions().size()) {
+    return Status::Internal("client counts diverge between full and delta runs");
+  }
+  for (size_t c = 0; c < full_sim.decisions().size(); ++c) {
+    const auto& a = full_sim.decisions()[c];
+    const auto& b = delta_sim.decisions()[c];
+    if (a.size() != b.size()) {
+      return Status::Internal(StrFormat("client %zu completed %zu txns full vs %zu delta", c,
+                                        a.size(), b.size()));
+    }
+    for (size_t k = 0; k < a.size(); ++k) {
+      if (!(a[k] == b[k])) {
+        return Status::Internal(
+            StrFormat("client %zu txn %zu decisions diverge between full and delta", c, k));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace bcc

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "client/cache.h"
+#include "client/delta_tracker.h"
 #include "client/read_txn.h"
 #include "common/statusor.h"
 #include "des/event_queue.h"
@@ -72,6 +73,14 @@ class BroadcastSim {
   ///   3. under Datacycle, the oracle history is conflict serializable.
   Status VerifyOracle() const;
 
+  /// Delta-mode audit (requires config.delta_broadcast, after Run): every
+  /// synced client tracker's reconstructed matrix must be entry-wise
+  /// congruent mod 2^ts to the server's unbounded-cycle matrix of the final
+  /// broadcast cycle — the invariant that makes delta-mode read decisions
+  /// bit-identical to full-matrix broadcast. Desynced trackers (possible
+  /// only via the delta_desync_at_cycle knob) are skipped.
+  Status VerifyDeltaTrackers() const;
+
  private:
   struct ClientTxnLog {
     TxnId id;
@@ -86,6 +95,9 @@ class BroadcastSim {
     ClientWorkload workload;
     ReadOnlyTxnProtocol protocol;
     std::unique_ptr<QuasiCache> cache;
+    /// Delta-broadcast reconstruction state (delta_broadcast mode only); the
+    /// protocol's control override points into it.
+    std::unique_ptr<DeltaMatrixTracker> tracker;
 
     std::vector<ObjectId> read_set;
     std::vector<ObjectId> write_set;
@@ -94,6 +106,10 @@ class BroadcastSim {
     uint32_t restarts = 0;
     bool is_update = false;
   };
+
+  // Delta-mode per-cycle plumbing: drains the dirty columns into this
+  // cycle's DeltaControl and feeds it to every client's tracker.
+  void AttachAndObserveDelta();
 
   // Event handlers (`c` = client index).
   void StartNextCycle();
@@ -132,6 +148,16 @@ class BroadcastSim {
 
 /// Convenience: run one configuration and return its summary.
 StatusOr<SimSummary> RunSimulation(const SimConfig& config);
+
+/// Runs `config` twice — once with full-matrix control broadcast, once in
+/// snapshot+delta mode — and verifies identical per-client commit/abort
+/// decisions, identical server state, and the delta run's reconstruction
+/// invariant (VerifyDeltaTrackers). Also checks the delta run never shipped
+/// more control bits than the full-matrix baseline. `config` is taken as the
+/// delta-mode run (delta_broadcast is forced on, record_decisions forced on);
+/// requires stop_after_cycles > 0 for a timing-independent cutoff. Returns
+/// Internal with a description of the first divergence.
+Status CrossCheckDeltaBroadcast(SimConfig config);
 
 }  // namespace bcc
 

@@ -172,6 +172,10 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
     return Status::InvalidArgument(
         "ConcurrentSim does not support client update transactions yet");
   }
+  if (config_.delta_broadcast) {
+    return Status::InvalidArgument(
+        "ConcurrentSim does not support the snapshot+delta control broadcast yet");
+  }
 
   // Setup mirrors BroadcastSim::Run — the root RNG split order is part of
   // the cross-engine contract.

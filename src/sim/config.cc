@@ -54,6 +54,25 @@ Status SimConfig::Validate() const {
       (hot_set_size == 0 || hot_set_size == num_objects)) {
     return Status::InvalidArgument("hot access skew requires 0 < hot_set_size < num_objects");
   }
+  if (delta_broadcast) {
+    if (algorithm != Algorithm::kFMatrix) {
+      return Status::InvalidArgument("delta_broadcast requires the F-Matrix algorithm");
+    }
+    if (num_groups != 0) {
+      return Status::InvalidArgument("delta_broadcast does not support grouped control");
+    }
+    if (!use_wire_codec) {
+      return Status::InvalidArgument("delta_broadcast requires use_wire_codec");
+    }
+    if (enable_cache) {
+      return Status::InvalidArgument("delta_broadcast does not support the client cache");
+    }
+    const uint64_t max_cycles = (uint64_t{1} << timestamp_bits) - 1;
+    if (delta_refresh_period < 1 || delta_refresh_period > max_cycles) {
+      return Status::InvalidArgument(
+          "delta_refresh_period must be in [1, 2^timestamp_bits - 1]");
+    }
+  }
   return Status::OK();
 }
 
@@ -64,11 +83,11 @@ BroadcastGeometry SimConfig::Geometry() const {
 std::string SimConfig::ToString() const {
   return StrFormat(
       "%s: clientLen=%u serverLen=%u serverInt=%llu n=%u objBits=%llu ts=%u groups=%u "
-      "cache=%d seed=%llu",
+      "cache=%d delta=%d seed=%llu",
       std::string(AlgorithmName(algorithm)).c_str(), client_txn_length, server_txn_length,
       static_cast<unsigned long long>(server_txn_interval), num_objects,
       static_cast<unsigned long long>(object_size_bits), timestamp_bits, num_groups,
-      enable_cache ? 1 : 0, static_cast<unsigned long long>(seed));
+      enable_cache ? 1 : 0, delta_broadcast ? 1 : 0, static_cast<unsigned long long>(seed));
 }
 
 }  // namespace bcc

@@ -75,6 +75,17 @@ struct SimConfig {
   bool enable_cache = false;
   size_t cache_capacity = 0;          ///< 0 = unbounded
   SimTime cache_currency_bound = 0;   ///< T in bit-units
+  /// Snapshot+delta control broadcast (Section 3.2.1 delta transmission):
+  /// the server ships per-cycle sparse deltas of the F-Matrix plus a full
+  /// refresh every delta_refresh_period cycles; clients validate against a
+  /// locally reconstructed matrix. Requires kFMatrix, ungrouped, the wire
+  /// codec, and no cache. Slot geometry (and hence all timing) is unchanged;
+  /// the control-bit savings are reported in the metrics.
+  bool delta_broadcast = false;
+  uint64_t delta_refresh_period = 8;   ///< in [1, 2^ts - 1]
+  /// Test knob: at the start of this cycle every client's tracker is forced
+  /// to desync, exercising the stall-until-refresh fallback (0 = never).
+  uint64_t delta_desync_at_cycle = 0;
 
   // ---- test instrumentation ----
   /// Record the full update history plus client reads so the run can be

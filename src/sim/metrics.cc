@@ -7,7 +7,7 @@
 namespace bcc {
 
 std::string SimSummary::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "response=%.3e +-%.2e (p50=%.3e p95=%.3e) restarts/txn=%.3f txns=%llu "
       "cycles=%llu serverCommits=%llu censored=%llu",
       mean_response_time, response_ci_half_width, response_p50, response_p95, restart_ratio,
@@ -15,6 +15,15 @@ std::string SimSummary::ToString() const {
       static_cast<unsigned long long>(cycles_elapsed),
       static_cast<unsigned long long>(server_commits),
       static_cast<unsigned long long>(censored_txns));
+  if (delta_cycles > 0) {
+    out += StrFormat(" deltaCycles=%llu refreshes=%llu deltaBits=%llu fullBits=%llu stalls=%llu",
+                     static_cast<unsigned long long>(delta_cycles),
+                     static_cast<unsigned long long>(delta_refresh_cycles),
+                     static_cast<unsigned long long>(delta_control_bits),
+                     static_cast<unsigned long long>(full_control_bits),
+                     static_cast<unsigned long long>(delta_stall_waits));
+  }
+  return out;
 }
 
 void SimMetrics::RecordClientTxn(SimTime submit, SimTime commit, uint32_t restarts,
@@ -46,6 +55,11 @@ SimSummary SimMetrics::Summarize(uint64_t cycles, SimTime end_time, uint64_t cac
   s.cache_misses = cache_misses;
   s.client_update_commits = client_update_commits_;
   s.client_update_rejects = client_update_rejects_;
+  s.delta_cycles = delta_cycles_;
+  s.delta_refresh_cycles = delta_refresh_cycles_;
+  s.delta_control_bits = delta_control_bits_;
+  s.full_control_bits = full_control_bits_;
+  s.delta_stall_waits = delta_stall_waits_;
   if (!responses_.empty()) {
     std::vector<double> sorted = responses_;
     std::sort(sorted.begin(), sorted.end());

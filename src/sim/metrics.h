@@ -59,6 +59,13 @@ struct SimSummary {
   uint64_t client_update_commits = 0;
   uint64_t client_update_rejects = 0;  ///< uplink validation failures
 
+  // Snapshot+delta control broadcast counters (delta_broadcast mode).
+  uint64_t delta_cycles = 0;           ///< cycles broadcast in delta mode
+  uint64_t delta_refresh_cycles = 0;   ///< of which full refreshes
+  uint64_t delta_control_bits = 0;     ///< control bits actually shipped
+  uint64_t full_control_bits = 0;      ///< full-matrix baseline (n^2*ts/cycle)
+  uint64_t delta_stall_waits = 0;      ///< reads stalled awaiting a refresh
+
   std::string ToString() const;
 };
 
@@ -74,6 +81,18 @@ class SimMetrics {
   void RecordClientUpdateCommit() { ++client_update_commits_; }
   void RecordClientUpdateReject() { ++client_update_rejects_; }
 
+  /// Accounts one delta-mode cycle's control block against the full-matrix
+  /// baseline.
+  void RecordDeltaCycle(bool refresh, uint64_t control_bits, uint64_t full_bits) {
+    ++delta_cycles_;
+    if (refresh) ++delta_refresh_cycles_;
+    delta_control_bits_ += control_bits;
+    full_control_bits_ += full_bits;
+  }
+  /// A client read stalled because its tracker was desynced (waiting for the
+  /// next full refresh).
+  void RecordDeltaStall() { ++delta_stall_waits_; }
+
   uint64_t committed_client_txns() const { return total_txns_; }
 
   /// Finalizes the summary. `cycles` and `end_time` come from the sim.
@@ -88,6 +107,11 @@ class SimMetrics {
   uint64_t total_restarts_measured_ = 0;
   uint64_t client_update_commits_ = 0;
   uint64_t client_update_rejects_ = 0;
+  uint64_t delta_cycles_ = 0;
+  uint64_t delta_refresh_cycles_ = 0;
+  uint64_t delta_control_bits_ = 0;
+  uint64_t full_control_bits_ = 0;
+  uint64_t delta_stall_waits_ = 0;
   StreamingStats response_;
   StreamingStats restarts_;
   // Response-time reservoir for quantiles (measured window only).

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "matrix/f_matrix.h"
+#include "matrix/mc_vector.h"
 
 namespace bcc {
 namespace {
@@ -54,6 +56,116 @@ TEST(CycleStampTest, NearEpochClampsAtZero) {
   // Residue 200 at current cycle 10: no absolute cycle <= 10 has residue
   // 200; the decoder clamps to 0 rather than inventing a future cycle.
   EXPECT_EQ(codec.Decode(200, 10), 0u);
+}
+
+TEST(CycleStampTest, ClampUnreachableFromValidEncodesAndNeverUnderestimates) {
+  // Regression for the clamp-to-0 path (`back > current`): exhaustively, for
+  // small codecs, (a) every residue some valid stamp c <= current produces
+  // decodes to a value >= c (never an underestimate, in particular never the
+  // 0 clamp unless c == 0 decodes exactly), and (b) the clamp fires only for
+  // residues NO valid encode can produce — i.e. a well-formed broadcast
+  // never reaches it.
+  for (unsigned bits : {2u, 3u, 8u}) {
+    const CycleStampCodec codec(bits);
+    const uint64_t m = codec.modulus();
+    for (Cycle current = 0; current < 3 * m + 2; ++current) {
+      // (a) valid stamps never decode below themselves.
+      for (Cycle c = 0; c <= current; ++c) {
+        const Cycle decoded = codec.Decode(codec.Encode(c), current);
+        ASSERT_GE(decoded, c) << "bits=" << bits << " current=" << current << " c=" << c;
+        ASSERT_LE(decoded, current);
+        ASSERT_EQ((decoded - c) % m, 0u);
+      }
+      // (b) the clamp (decode == 0 with a nonzero "back" distance, i.e.
+      // back > current) is hit only by residues unproducible at <= current.
+      for (uint32_t r = 0; r < m; ++r) {
+        const uint64_t back = (current - r) & (m - 1);
+        if (back <= current) continue;  // normal branch
+        bool producible = false;
+        for (Cycle c = 0; c <= current && !producible; ++c) {
+          producible = codec.Encode(c) == r;
+        }
+        ASSERT_FALSE(producible)
+            << "residue " << r << " takes the clamp at current=" << current
+            << " yet a valid stamp produces it";
+        ASSERT_EQ(codec.Decode(r, current), 0u);
+      }
+    }
+  }
+}
+
+TEST(CycleStampTest, WindowedDecodeCausesSpuriousAbortsOnlyThroughFMatrix) {
+  // End-to-end half of the satellite: run randomized control matrices and
+  // read sets through FMatrix::ReadCondition twice — once with the true
+  // (unbounded) stamps, once with stamps round-tripped through the windowed
+  // codec — and assert the decoded matrix accepts only reads the true matrix
+  // accepts. With ts = 2 most of the history is out of window, so the
+  // aliasing (and, for garbage-free inputs, the absence of the clamp) is
+  // exercised hard.
+  for (unsigned bits : {2u, 3u}) {
+    const CycleStampCodec codec(bits);
+    Rng rng(1234 + bits);
+    const uint32_t n = 6;
+    for (int trial = 0; trial < 2000; ++trial) {
+      const Cycle current = rng.NextBounded(40);
+      FMatrix true_m(n), decoded_m(n);
+      for (ObjectId j = 0; j < n; ++j) {
+        for (ObjectId i = 0; i < n; ++i) {
+          const Cycle c = rng.NextBounded(static_cast<uint64_t>(current) + 1);
+          true_m.Set(i, j, c);
+          decoded_m.Set(i, j, codec.Decode(codec.Encode(c), current));
+        }
+      }
+      std::vector<ReadRecord> reads;
+      const uint32_t num_reads = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+      for (uint32_t k = 0; k < num_reads; ++k) {
+        reads.push_back({static_cast<ObjectId>(rng.NextBounded(n)),
+                         rng.NextBounded(static_cast<uint64_t>(current) + 1)});
+      }
+      for (ObjectId j = 0; j < n; ++j) {
+        if (decoded_m.ReadCondition(reads, j)) {
+          ASSERT_TRUE(true_m.ReadCondition(reads, j))
+              << "bits=" << bits << " trial=" << trial
+              << ": decoded matrix accepted a read the true matrix rejects";
+        }
+      }
+    }
+  }
+}
+
+TEST(CycleStampTest, WindowedDecodeCausesSpuriousAbortsOnlyThroughMcVector) {
+  // Same property through the reduced-vector conditions (Datacycle and
+  // R-Matrix): decoded-acceptance must imply true-acceptance.
+  for (unsigned bits : {2u, 3u}) {
+    const CycleStampCodec codec(bits);
+    Rng rng(4321 + bits);
+    const uint32_t n = 6;
+    for (int trial = 0; trial < 2000; ++trial) {
+      const Cycle current = rng.NextBounded(40);
+      McVector true_mc(n), decoded_mc(n);
+      for (ObjectId i = 0; i < n; ++i) {
+        const Cycle c = rng.NextBounded(static_cast<uint64_t>(current) + 1);
+        true_mc.Set(i, c);
+        decoded_mc.Set(i, codec.Decode(codec.Encode(c), current));
+      }
+      std::vector<ReadRecord> reads;
+      const uint32_t num_reads = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+      for (uint32_t k = 0; k < num_reads; ++k) {
+        reads.push_back({static_cast<ObjectId>(rng.NextBounded(n)),
+                         rng.NextBounded(static_cast<uint64_t>(current) + 1)});
+      }
+      if (DatacycleReadCondition(decoded_mc, reads)) {
+        ASSERT_TRUE(DatacycleReadCondition(true_mc, reads))
+            << "bits=" << bits << " trial=" << trial;
+      }
+      const ObjectId j = static_cast<ObjectId>(rng.NextBounded(n));
+      const Cycle first = rng.NextBounded(static_cast<uint64_t>(current) + 1);
+      if (RMatrixReadCondition(decoded_mc, reads, j, first)) {
+        ASSERT_TRUE(RMatrixReadCondition(true_mc, reads, j, first))
+            << "bits=" << bits << " trial=" << trial;
+      }
+    }
+  }
 }
 
 TEST(CycleStampTest, EncodeMasksHighBits) {

@@ -88,8 +88,110 @@ TEST(DeltaCodecTest, EncodedBitsFormula) {
   // 300 objects: 9 index bits each for row/col, 8-bit stamp, 32-bit header.
   EXPECT_EQ(DeltaCodec::EncodedBits(0, 300, 8), 32u);
   EXPECT_EQ(DeltaCodec::EncodedBits(10, 300, 8), 32u + 10u * (9 + 9 + 8));
-  // Tiny database edge case.
-  EXPECT_EQ(DeltaCodec::EncodedBits(1, 1, 8), 32u + (1 + 1 + 8));
+}
+
+TEST(DeltaCodecTest, EncodedBitsSingleObjectNeedsNoIndexBits) {
+  // n = 1: the only (row, col) is implicit — charging bit_width(1) == 1 per
+  // index (the old formula) over-counted by 2 bits per entry.
+  EXPECT_EQ(DeltaCodec::EncodedBits(0, 1, 8), 32u);
+  EXPECT_EQ(DeltaCodec::EncodedBits(1, 1, 8), 32u + 8u);
+  EXPECT_EQ(DeltaCodec::EncodedBits(3, 1, 4), 32u + 3u * 4u);
+}
+
+TEST(DeltaCodecTest, EncodedBitsExactPowersOfTwo) {
+  // Indices 0..n-1 of an exact power of two need exactly log2(n) bits.
+  EXPECT_EQ(DeltaCodec::EncodedBits(1, 2, 8), 32u + (1 + 1 + 8));
+  EXPECT_EQ(DeltaCodec::EncodedBits(1, 4, 8), 32u + (2 + 2 + 8));
+  EXPECT_EQ(DeltaCodec::EncodedBits(1, 256, 8), 32u + (8 + 8 + 8));
+  EXPECT_EQ(DeltaCodec::EncodedBits(1, 1024, 8), 32u + (10 + 10 + 8));
+  // One past a power of two rounds up.
+  EXPECT_EQ(DeltaCodec::EncodedBits(1, 257, 8), 32u + (9 + 9 + 8));
+}
+
+TEST(DeltaCodecTest, DiffColumnsMatchesFullScanOracleOnRandomHistories) {
+  // The dirty-list path must produce exactly the oracle's output (same
+  // entries, same order) on randomized commit histories, including cycles
+  // with no commits and overlapping write sets.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const CycleStampCodec codec(8);
+    Rng rng(seed);
+    const uint32_t n = 5 + static_cast<uint32_t>(rng.NextBounded(8));
+    FMatrix server(n);
+    server.EnableDirtyTracking();
+    FMatrix prev(n);
+    Cycle cycle = 1;
+    for (int step = 0; step < 60; ++step, ++cycle) {
+      const uint32_t commits = static_cast<uint32_t>(rng.NextBounded(4));  // may be 0
+      for (uint32_t t = 0; t < commits; ++t) {
+        const auto reads =
+            rng.SampleWithoutReplacement(n, static_cast<uint32_t>(rng.NextBounded(3)));
+        const auto writes =
+            rng.SampleWithoutReplacement(n, 1 + static_cast<uint32_t>(rng.NextBounded(3)));
+        server.ApplyCommit(reads, writes, cycle);
+      }
+      const std::vector<ObjectId> touched = server.TakeTouchedColumns();
+      const auto fast = DeltaCodec::DiffColumns(prev, server, touched, codec);
+      const auto oracle = DeltaCodec::Diff(prev, server, codec);
+      ASSERT_EQ(fast.size(), oracle.size()) << "seed " << seed << " step " << step;
+      for (size_t k = 0; k < fast.size(); ++k) {
+        EXPECT_EQ(fast[k].row, oracle[k].row);
+        EXPECT_EQ(fast[k].col, oracle[k].col);
+        EXPECT_EQ(fast[k].residue, oracle[k].residue);
+      }
+      prev = server;
+    }
+  }
+}
+
+TEST(DeltaCodecTest, DiffColumnsToleratesDuplicateAndUnsortedColumns) {
+  const CycleStampCodec codec(8);
+  FMatrix prev(4), cur(4);
+  cur.ApplyCommit({}, std::vector<ObjectId>{1, 2}, 5);
+  const std::vector<ObjectId> touched = {2, 1, 2, 1, 1};
+  const auto fast = DeltaCodec::DiffColumns(prev, cur, touched, codec);
+  const auto oracle = DeltaCodec::Diff(prev, cur, codec);
+  ASSERT_EQ(fast.size(), oracle.size());
+  for (size_t k = 0; k < fast.size(); ++k) {
+    EXPECT_EQ(fast[k].row, oracle[k].row);
+    EXPECT_EQ(fast[k].col, oracle[k].col);
+  }
+}
+
+TEST(WireFormatTest, UnpackStampsRejectsTrailingBytes) {
+  const CycleStampCodec codec(8);
+  const std::vector<Cycle> stamps = {1, 2, 3};
+  std::vector<uint8_t> bytes = PackStamps(stamps, codec);
+  bytes.push_back(0x00);  // even zero-valued trailing bytes are corruption
+  const auto unpacked = UnpackStamps(bytes, stamps.size(), codec, 10);
+  ASSERT_FALSE(unpacked.ok());
+  EXPECT_TRUE(unpacked.status().IsInvalidArgument()) << unpacked.status().ToString();
+}
+
+TEST(WireFormatTest, UnpackStampsRejectsNonzeroPaddingBits) {
+  // 3 stamps x 3 bits = 9 bits -> 2 bytes with 7 padding bits in the last.
+  const CycleStampCodec codec(3);
+  const std::vector<Cycle> stamps = {1, 2, 3};
+  std::vector<uint8_t> bytes = PackStamps(stamps, codec);
+  ASSERT_EQ(bytes.size(), 2u);
+  bytes.back() |= 0x80;  // flip a padding bit only
+  const auto unpacked = UnpackStamps(bytes, stamps.size(), codec, 10);
+  ASSERT_FALSE(unpacked.ok());
+  EXPECT_TRUE(unpacked.status().IsInvalidArgument()) << unpacked.status().ToString();
+}
+
+TEST(WireFormatTest, UnpackStampsAcceptsExactFraming) {
+  const CycleStampCodec codec(3);
+  const std::vector<Cycle> stamps = {1, 2, 3, 4, 5};
+  const std::vector<uint8_t> bytes = PackStamps(stamps, codec);
+  const auto unpacked = UnpackStamps(bytes, stamps.size(), codec, 6);
+  ASSERT_TRUE(unpacked.ok()) << unpacked.status().ToString();
+  EXPECT_EQ(*unpacked, stamps);
+}
+
+TEST(WireFormatTest, FullMatrixControlBitsMatchesGeometry) {
+  EXPECT_EQ(FullMatrixControlBits(300, 8), 300u * 300u * 8u);
+  const auto g = ComputeGeometry(Algorithm::kFMatrix, 300, 8 * 1024, 8);
+  EXPECT_EQ(FullMatrixControlBits(300, 8), g.control_bits * 300u);
 }
 
 TEST(DeltaCodecTest, DeltaBeatsFullMatrixAtLowUpdateRates) {
