@@ -1,0 +1,171 @@
+// Lossy-channel sweep: read-only transaction cost vs frame loss rate, full
+// vs snapshot+delta control broadcast.
+//
+// For each (mode, loss rate) cell the closed-loop DES runs with the frame
+// channel enabled and reports the read-txn abort rate, how many of those
+// aborts followed a loss stall, stall events per committed transaction, the
+// mean response time in cycle units (the stall-latency curve), and the
+// control bits actually shipped per cycle. The interesting crossover: at
+// loss 0 a long refresh period ships the fewest control bits, but under
+// loss every delta between refreshes is a desync hazard — a lost delta
+// stalls the client until the NEXT refresh, so the long-period tracker pays
+// the highest stall latency. A short refresh period bounds the resync wait
+// and overtakes it as loss grows; full-matrix columns are immune to desync
+// (each column is self-contained) but ship the most bits.
+//
+// Flags (local; see bench_delta_broadcast.cc for the pattern):
+//   --smoke      tiny run for CI build sanity
+//   --csv        additionally dump machine-readable rows
+//   --seed=N     override the base seed
+//   --burst      use Gilbert-Elliott burst loss instead of Bernoulli
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "matrix/wire.h"
+#include "sim/broadcast_sim.h"
+
+namespace bcc::bench {
+namespace {
+
+struct Flags {
+  bool smoke = false;
+  bool csv = false;
+  bool burst = false;
+  uint64_t seed = 42;
+};
+
+Flags ParseChannelFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      flags.smoke = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      flags.csv = true;
+    } else if (std::strcmp(argv[i], "--burst") == 0) {
+      flags.burst = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      flags.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (known: --smoke --csv --seed=N --burst)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+struct Mode {
+  const char* name;
+  bool delta;
+  uint64_t refresh_period;  // delta mode only
+};
+
+int Main(int argc, char** argv) {
+  const Flags flags = ParseChannelFlags(argc, argv);
+  const uint32_t n = 60;
+  const unsigned ts = 8;
+  const uint64_t cycles = flags.smoke ? 20 : 400;
+
+  SimConfig base;
+  base.algorithm = Algorithm::kFMatrix;
+  base.num_objects = n;
+  base.object_size_bits = 512;
+  base.timestamp_bits = ts;
+  base.client_txn_length = 4;
+  base.server_txn_length = 4;
+  base.server_txn_interval = 40000;
+  base.mean_inter_op_delay = 4000;
+  base.mean_inter_txn_delay = 8000;
+  base.num_client_txns = 1u << 30;  // cutoff comes from stop_after_cycles
+  base.warmup_txns = flags.smoke ? 1 : 20;
+  base.stop_after_cycles = cycles;
+  base.channel_broadcast = true;
+  base.channel_frame_bits = 512;
+  base.channel_burst = flags.burst;
+  base.seed = flags.seed;
+
+  const Mode modes[] = {
+      {"full", false, 0},
+      {"delta/r16", true, 16},
+      {"delta/r4", true, 4},
+  };
+  const double losses[] = {0.0, 0.01, 0.05, 0.1, 0.2};
+
+  const uint64_t cycle_bits = base.Geometry().cycle_bits;
+  std::printf("== lossy channel sweep (n=%u, ts=%u, frame=%llu bits, %llu cycles, %s loss)\n", n,
+              ts, static_cast<unsigned long long>(base.channel_frame_bits),
+              static_cast<unsigned long long>(cycles), flags.burst ? "burst" : "bernoulli");
+  std::printf("%10s %6s %6s %9s %10s %10s %10s %9s %12s %8s %8s\n", "mode", "loss", "txns",
+              "rst/txn", "lossAborts", "stall/txn", "resp_cyc", "dropped%", "ctrlBits/cyc",
+              "desyncs", "resyncs");
+
+  bool ok = true;
+  for (const Mode& mode : modes) {
+    for (const double loss : losses) {
+      SimConfig config = base;
+      config.channel_loss_rate = loss;
+      config.channel_corrupt_rate = loss / 4;
+      if (mode.delta) {
+        config.delta_broadcast = true;
+        config.delta_refresh_period = mode.refresh_period;
+      }
+      BroadcastSim sim(config);
+      const auto summary = sim.Run();
+      if (!summary.ok()) {
+        std::fprintf(stderr, "%s loss=%g: %s\n", mode.name, loss,
+                     summary.status().ToString().c_str());
+        ok = false;
+        continue;
+      }
+      const ChannelStats& ch = summary->channel;
+      // A high-loss delta cell can legitimately complete zero transactions
+      // (a client that misses every refresh never syncs); keep ratios finite.
+      const double txns = static_cast<double>(std::max<uint64_t>(1, summary->total_txns));
+      const double drop_pct = ch.frames_sent == 0
+                                  ? 0.0
+                                  : 100.0 * static_cast<double>(ch.frames_dropped) /
+                                        static_cast<double>(ch.frames_sent);
+      // Control bits actually put on the air per cycle: the delta pipeline
+      // accounts for itself; full mode ships every column every cycle.
+      const uint64_t ctrl_bits_per_cycle =
+          mode.delta ? summary->delta_control_bits / std::max<uint64_t>(1, summary->delta_cycles)
+                     : FullMatrixControlBits(n, ts);
+      const double resp_cycles =
+          summary->mean_response_time / static_cast<double>(cycle_bits);
+      if (flags.csv) {
+        std::printf("csv,%s,%g,%llu,%.4f,%llu,%.4f,%.3f,%.3f,%llu,%llu,%llu\n", mode.name, loss,
+                    static_cast<unsigned long long>(summary->total_txns),
+                    static_cast<double>(summary->total_restarts) / txns,
+                    static_cast<unsigned long long>(ch.loss_attributed_aborts),
+                    static_cast<double>(ch.stalls) / txns, resp_cycles, drop_pct,
+                    static_cast<unsigned long long>(ctrl_bits_per_cycle),
+                    static_cast<unsigned long long>(ch.tracker_desyncs),
+                    static_cast<unsigned long long>(ch.resyncs));
+      } else {
+        std::printf("%10s %6g %6llu %9.4f %10llu %10.4f %10.3f %8.2f%% %12llu %8llu %8llu\n",
+                    mode.name, loss, static_cast<unsigned long long>(summary->total_txns),
+                    static_cast<double>(summary->total_restarts) / txns,
+                    static_cast<unsigned long long>(ch.loss_attributed_aborts),
+                    static_cast<double>(ch.stalls) / txns, resp_cycles, drop_pct,
+                    static_cast<unsigned long long>(ctrl_bits_per_cycle),
+                    static_cast<unsigned long long>(ch.tracker_desyncs),
+                    static_cast<unsigned long long>(ch.resyncs));
+      }
+      // Sanity: the channel must actually have carried the run.
+      if (ch.frames_sent == 0 || (loss > 0 && ch.frames_dropped == 0)) {
+        std::fprintf(stderr, "%s loss=%g: channel saw no traffic/faults\n", mode.name, loss);
+        ok = false;
+      }
+    }
+  }
+  if (!ok) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace bcc::bench
+
+int main(int argc, char** argv) { return bcc::bench::Main(argc, argv); }

@@ -39,6 +39,15 @@ void PrintHelp() {
       "  --hot-access=F            client+server hot-set skew  (uniform)\n"
       "  --delta                   snapshot+delta control mode (off)\n"
       "  --delta-refresh=N         full refresh every N cycles (8)\n"
+      "  --channel                 frame-level broadcast channel (off;\n"
+      "                            implied by any fault flag below)\n"
+      "  --frame-bits=N            channel frame size          (512)\n"
+      "  --loss=F                  per-frame loss rate         (0)\n"
+      "  --corrupt=F               per-frame bit-flip rate     (0)\n"
+      "  --truncate=F              per-frame truncation rate   (0)\n"
+      "  --burst                   Gilbert-Elliott burst loss  (off)\n"
+      "  --burst-loss=F            Bad-state loss rate         (0.9)\n"
+      "  --burst-in=F --burst-out=F  Good->Bad / Bad->Good     (0.02 / 0.25)\n"
       "  --seed=N                  RNG seed                    (42)\n"
       "  --csv                     emit a machine-readable row\n");
 }
@@ -113,6 +122,32 @@ int main(int argc, char** argv) {
       config.delta_broadcast = true;
     } else if (ParseFlag(argv[i], "--delta-refresh", &v)) {
       config.delta_refresh_period = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--channel") == 0) {
+      config.channel_broadcast = true;
+    } else if (ParseFlag(argv[i], "--frame-bits", &v)) {
+      config.channel_frame_bits = std::strtoull(v, nullptr, 10);
+      config.channel_broadcast = true;
+    } else if (ParseFlag(argv[i], "--loss", &v)) {
+      config.channel_loss_rate = std::strtod(v, nullptr);
+      config.channel_broadcast = true;
+    } else if (ParseFlag(argv[i], "--corrupt", &v)) {
+      config.channel_corrupt_rate = std::strtod(v, nullptr);
+      config.channel_broadcast = true;
+    } else if (ParseFlag(argv[i], "--truncate", &v)) {
+      config.channel_truncate_rate = std::strtod(v, nullptr);
+      config.channel_broadcast = true;
+    } else if (std::strcmp(argv[i], "--burst") == 0) {
+      config.channel_burst = true;
+      config.channel_broadcast = true;
+    } else if (ParseFlag(argv[i], "--burst-loss", &v)) {
+      config.channel_burst_loss_rate = std::strtod(v, nullptr);
+      config.channel_broadcast = true;
+    } else if (ParseFlag(argv[i], "--burst-in", &v)) {
+      config.channel_burst_enter_rate = std::strtod(v, nullptr);
+      config.channel_broadcast = true;
+    } else if (ParseFlag(argv[i], "--burst-out", &v)) {
+      config.channel_burst_exit_rate = std::strtod(v, nullptr);
+      config.channel_broadcast = true;
     } else if (ParseFlag(argv[i], "--hot-access", &v)) {
       hot_access = std::strtod(v, nullptr);
     } else if (ParseFlag(argv[i], "--seed", &v)) {
@@ -148,6 +183,21 @@ int main(int argc, char** argv) {
     std::printf("cache: %llu hits / %llu lookups\n",
                 static_cast<unsigned long long>(summary->cache_hits),
                 static_cast<unsigned long long>(summary->cache_hits + summary->cache_misses));
+  }
+  if (summary->channel.frames_sent > 0) {
+    const ChannelStats& ch = summary->channel;
+    std::printf(
+        "channel: %llu/%llu frames delivered (%llu dropped, %llu damaged, %llu rejected), "
+        "%llu stalls, %llu loss-attributed aborts, %llu desyncs / %llu resyncs\n",
+        static_cast<unsigned long long>(ch.frames_delivered),
+        static_cast<unsigned long long>(ch.frames_sent),
+        static_cast<unsigned long long>(ch.frames_dropped),
+        static_cast<unsigned long long>(ch.frames_corrupted + ch.frames_truncated),
+        static_cast<unsigned long long>(ch.frames_rejected),
+        static_cast<unsigned long long>(ch.stalls),
+        static_cast<unsigned long long>(ch.loss_attributed_aborts),
+        static_cast<unsigned long long>(ch.tracker_desyncs),
+        static_cast<unsigned long long>(ch.resyncs));
   }
   if (csv) {
     std::printf("csv,%s,%.6e,%.6e,%.4f,%llu,%llu\n",

@@ -1,0 +1,290 @@
+#include "channel/frame.h"
+
+#include <array>
+#include <cassert>
+
+#include "common/bitstream.h"
+#include "common/format.h"
+#include "matrix/wire.h"
+
+namespace bcc {
+
+namespace {
+
+/// Copies `nbits` bits from `reader` into `writer` in 32-bit chunks.
+Status CopyBits(BitReader* reader, BitWriter* writer, uint64_t nbits) {
+  while (nbits > 0) {
+    const unsigned chunk = static_cast<unsigned>(nbits < 32 ? nbits : 32);
+    uint32_t value = 0;
+    BCC_RETURN_IF_ERROR(reader->Read(chunk, &value));
+    writer->Write(value, chunk);
+    nbits -= chunk;
+  }
+  return Status::OK();
+}
+
+void AppendPayloadBits(BitWriter* writer, const Payload& payload) {
+  BitReader reader(payload.bytes);
+  const Status s = CopyBits(&reader, writer, payload.bits);
+  assert(s.ok());
+  (void)s;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> bytes) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const uint8_t b : bytes) crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status FrameCodec::ValidateGeometry(unsigned ts_bits, uint64_t frame_bits) {
+  if (ts_bits < 1 || ts_bits > 32) {
+    return Status::InvalidArgument("frame geometry: ts_bits must be in [1, 32]");
+  }
+  if (frame_bits % 8 != 0) {
+    return Status::InvalidArgument("frame geometry: frame_bits must be a whole number of bytes");
+  }
+  const uint64_t header =
+      ts_bits + kKindBits + kStreamIdBits + kSeqBits + kLastBits + kPayloadLenBits;
+  if (frame_bits < header + kCrcBits + 32) {
+    return Status::InvalidArgument(
+        StrFormat("frame geometry: frame_bits=%llu leaves no useful payload capacity "
+                  "(header %llu + crc %u + 32 minimum payload bits)",
+                  static_cast<unsigned long long>(frame_bits),
+                  static_cast<unsigned long long>(header), kCrcBits));
+  }
+  if (frame_bits - header - kCrcBits > 0xFFFFull) {
+    return Status::InvalidArgument(
+        "frame geometry: payload capacity exceeds the 16-bit payload-length field");
+  }
+  return Status::OK();
+}
+
+FrameCodec::FrameCodec(CycleStampCodec stamp_codec, uint64_t frame_bits)
+    : stamp_codec_(stamp_codec), frame_bits_(frame_bits) {
+  assert(ValidateGeometry(stamp_codec_.bits(), frame_bits_).ok());
+}
+
+std::vector<Frame> FrameCodec::EncodeStream(FrameKind kind, uint32_t stream_id, Cycle cycle,
+                                            const Payload& payload) const {
+  assert(stream_id < (1u << kStreamIdBits));
+  assert(payload.bits <= payload.bytes.size() * 8);
+  const uint64_t capacity = payload_capacity_bits();
+  const uint64_t num_frames = payload.bits == 0 ? 1 : (payload.bits + capacity - 1) / capacity;
+  assert(num_frames <= (1ull << kSeqBits));
+
+  std::vector<Frame> out;
+  out.reserve(static_cast<size_t>(num_frames));
+  BitReader reader(payload.bytes);
+  uint64_t remaining = payload.bits;
+  for (uint64_t seq = 0; seq < num_frames; ++seq) {
+    const uint64_t chunk = remaining < capacity ? remaining : capacity;
+    const bool last = seq + 1 == num_frames;
+
+    BitWriter w;
+    w.Write(stamp_codec_.Encode(cycle), stamp_codec_.bits());
+    w.Write(static_cast<uint32_t>(kind), kKindBits);
+    w.Write(stream_id, kStreamIdBits);
+    w.Write(static_cast<uint32_t>(seq), kSeqBits);
+    w.Write(last ? 1u : 0u, kLastBits);
+    w.Write(static_cast<uint32_t>(chunk), kPayloadLenBits);
+    const Status copied = CopyBits(&reader, &w, chunk);
+    assert(copied.ok());
+    (void)copied;
+    remaining -= chunk;
+    // Zero-pad to the CRC position, then seal the frame.
+    uint64_t pad = frame_bits_ - kCrcBits - w.bit_size();
+    while (pad > 0) {
+      const unsigned step = static_cast<unsigned>(pad < 32 ? pad : 32);
+      w.Write(0, step);
+      pad -= step;
+    }
+    const uint32_t crc = Crc32(w.bytes());
+    w.Write(crc, kCrcBits);
+    out.push_back(Frame{w.bytes()});
+  }
+  return out;
+}
+
+StatusOr<DecodedFrame> FrameCodec::Decode(const Frame& frame) const {
+  if (frame.bytes.size() != frame_bytes()) {
+    return Status::InvalidArgument(StrFormat("frame is %zu bytes, expected %zu",
+                                             frame.bytes.size(), frame_bytes()));
+  }
+  const std::span<const uint8_t> body(frame.bytes.data(), frame.bytes.size() - kCrcBits / 8);
+  BitReader crc_reader(
+      std::span<const uint8_t>(frame.bytes.data() + body.size(), kCrcBits / 8));
+  uint32_t stored_crc = 0;
+  BCC_RETURN_IF_ERROR(crc_reader.Read(kCrcBits, &stored_crc));
+  if (stored_crc != Crc32(body)) return Status::InvalidArgument("frame CRC mismatch");
+
+  BitReader r(body);
+  DecodedFrame out;
+  uint32_t v = 0;
+  BCC_RETURN_IF_ERROR(r.Read(stamp_codec_.bits(), &v));
+  out.header.cycle_residue = v;
+  BCC_RETURN_IF_ERROR(r.Read(kKindBits, &v));
+  if (v > kMaxFrameKind) return Status::InvalidArgument("unknown frame kind");
+  out.header.kind = static_cast<FrameKind>(v);
+  BCC_RETURN_IF_ERROR(r.Read(kStreamIdBits, &v));
+  out.header.stream_id = v;
+  BCC_RETURN_IF_ERROR(r.Read(kSeqBits, &v));
+  out.header.seq = v;
+  BCC_RETURN_IF_ERROR(r.Read(kLastBits, &v));
+  out.header.last = v != 0;
+  BCC_RETURN_IF_ERROR(r.Read(kPayloadLenBits, &v));
+  if (v > payload_capacity_bits()) {
+    return Status::InvalidArgument("frame payload length exceeds capacity");
+  }
+  out.header.payload_bits = v;
+
+  BitWriter payload;
+  BCC_RETURN_IF_ERROR(CopyBits(&r, &payload, v));
+  out.payload.bytes = payload.bytes();
+  out.payload.bits = v;
+  return out;
+}
+
+void StreamReassembler::Add(const DecodedFrame& frame) {
+  if (broken_) return;
+  if (saw_last_ || frame.header.seq != next_seq_) {
+    broken_ = true;
+    return;
+  }
+  BitWriter w;
+  AppendPayloadBits(&w, Payload{bytes_, bits_});
+  AppendPayloadBits(&w, frame.payload);
+  bytes_ = w.bytes();
+  bits_ += frame.header.payload_bits;
+  ++next_seq_;
+  saw_last_ = frame.header.last;
+}
+
+Payload StreamReassembler::Take() { return Payload{std::move(bytes_), bits_}; }
+
+Payload EncodeIndexPayload(const CycleIndex& index) {
+  BitWriter w;
+  w.Write(0xBCC1u, 16);  // magic
+  w.Write(index.control_mode, 2);
+  w.Write(index.num_objects, FrameCodec::kStreamIdBits);
+  w.Write(index.cycle_low, 32);
+  return Payload{w.bytes(), w.bit_size()};
+}
+
+StatusOr<CycleIndex> DecodeIndexPayload(const Payload& payload) {
+  const uint64_t expected = 16 + 2 + FrameCodec::kStreamIdBits + 32;
+  if (payload.bits != expected) {
+    return Status::InvalidArgument("index payload has the wrong size");
+  }
+  BitReader r(payload.bytes);
+  uint32_t v = 0;
+  BCC_RETURN_IF_ERROR(r.Read(16, &v));
+  if (v != 0xBCC1u) return Status::InvalidArgument("index payload magic mismatch");
+  CycleIndex index;
+  BCC_RETURN_IF_ERROR(r.Read(2, &v));
+  if (v > CycleIndex::kControlRefresh) {
+    return Status::InvalidArgument("index payload has an unknown control mode");
+  }
+  index.control_mode = static_cast<uint8_t>(v);
+  BCC_RETURN_IF_ERROR(r.Read(FrameCodec::kStreamIdBits, &v));
+  index.num_objects = v;
+  BCC_RETURN_IF_ERROR(r.Read(32, &v));
+  index.cycle_low = v;
+  return index;
+}
+
+Payload EncodeObjectPayload(const ObjectVersion& version, uint64_t object_size_bits) {
+  BitWriter w;
+  w.Write(static_cast<uint32_t>(version.value & 0xFFFFFFFFull), 32);
+  w.Write(static_cast<uint32_t>(version.value >> 32), 32);
+  w.Write(version.writer, 32);
+  w.Write(static_cast<uint32_t>(version.cycle & 0xFFFFFFFFull), 32);
+  w.Write(static_cast<uint32_t>(version.cycle >> 32), 32);
+  uint64_t pad =
+      object_size_bits > kObjectVersionBits ? object_size_bits - kObjectVersionBits : 0;
+  while (pad > 0) {
+    const unsigned step = static_cast<unsigned>(pad < 32 ? pad : 32);
+    w.Write(0, step);
+    pad -= step;
+  }
+  return Payload{w.bytes(), w.bit_size()};
+}
+
+StatusOr<ObjectVersion> DecodeObjectPayload(const Payload& payload) {
+  if (payload.bits < kObjectVersionBits) {
+    return Status::InvalidArgument("object payload shorter than an ObjectVersion");
+  }
+  BitReader r(payload.bytes);
+  uint32_t lo = 0, hi = 0;
+  ObjectVersion version;
+  BCC_RETURN_IF_ERROR(r.Read(32, &lo));
+  BCC_RETURN_IF_ERROR(r.Read(32, &hi));
+  version.value = (static_cast<uint64_t>(hi) << 32) | lo;
+  BCC_RETURN_IF_ERROR(r.Read(32, &lo));
+  version.writer = lo;
+  BCC_RETURN_IF_ERROR(r.Read(32, &lo));
+  BCC_RETURN_IF_ERROR(r.Read(32, &hi));
+  version.cycle = (static_cast<uint64_t>(hi) << 32) | lo;
+  return version;
+}
+
+std::vector<Frame> EncodeCycleFrames(const CycleSnapshot& snap, const FrameCodec& codec,
+                                     uint64_t object_size_bits) {
+  const CycleStampCodec& sc = codec.stamp_codec();
+  const uint32_t n = static_cast<uint32_t>(snap.values.size());
+  std::vector<Frame> out;
+
+  const auto emit = [&](FrameKind kind, uint32_t stream_id, const Payload& payload) {
+    std::vector<Frame> frames = codec.EncodeStream(kind, stream_id, snap.cycle, payload);
+    out.insert(out.end(), std::make_move_iterator(frames.begin()),
+               std::make_move_iterator(frames.end()));
+  };
+
+  CycleIndex index;
+  index.num_objects = n;
+  index.cycle_low = static_cast<uint32_t>(snap.cycle & 0xFFFFFFFFull);
+  index.control_mode = !snap.delta.has_value() ? CycleIndex::kControlColumns
+                       : snap.delta->full_refresh ? CycleIndex::kControlRefresh
+                                                  : CycleIndex::kControlDelta;
+  emit(FrameKind::kIndex, 0, EncodeIndexPayload(index));
+
+  if (snap.delta.has_value()) {
+    // Snapshot+delta mode: the control segment rides in one block right
+    // after the index.
+    if (snap.delta->full_refresh) {
+      emit(FrameKind::kControlRefresh, 0,
+           Payload{PackMatrix(snap.f_matrix, sc),
+                   FullMatrixControlBits(n, sc.bits())});
+    } else {
+      emit(FrameKind::kControlDelta, 0,
+           Payload{DeltaCodec::Pack(snap.delta->entries, n, sc),
+                   DeltaCodec::EncodedBits(snap.delta->entries.size(), n, sc.bits())});
+    }
+    for (uint32_t j = 0; j < n; ++j) {
+      emit(FrameKind::kData, j, EncodeObjectPayload(snap.values[j], object_size_bits));
+    }
+    return out;
+  }
+
+  // Full mode: the on-air slot layout — each object's data page immediately
+  // followed by its control column.
+  for (uint32_t j = 0; j < n; ++j) {
+    emit(FrameKind::kData, j, EncodeObjectPayload(snap.values[j], object_size_bits));
+    emit(FrameKind::kControlColumn, j,
+         Payload{PackStamps(snap.f_matrix.Column(j), sc),
+                 static_cast<uint64_t>(n) * sc.bits()});
+  }
+  return out;
+}
+
+}  // namespace bcc

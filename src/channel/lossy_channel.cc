@@ -1,0 +1,116 @@
+#include "channel/lossy_channel.h"
+
+#include "common/format.h"
+
+namespace bcc {
+
+namespace {
+
+Status ValidateRate(double rate, const char* name) {
+  if (rate < 0 || rate > 1) {
+    return Status::InvalidArgument(StrFormat("channel %s must be in [0, 1], got %g", name, rate));
+  }
+  return Status::OK();
+}
+
+/// Per-client channel seed: expands (sim seed, client index) through SplitMix64
+/// with a salt so channel streams never collide with the workload streams that
+/// `Rng::Split` derives from the same simulation seed.
+uint64_t ChannelSeed(uint64_t seed, uint32_t client) {
+  uint64_t state = seed ^ 0xC4A11E1DULL;
+  SplitMix64(&state);
+  state ^= 0x9E3779B97F4A7C15ULL * (client + 1);
+  return SplitMix64(&state);
+}
+
+}  // namespace
+
+Status ChannelFaultConfig::Validate() const {
+  BCC_RETURN_IF_ERROR(ValidateRate(loss_rate, "loss_rate"));
+  BCC_RETURN_IF_ERROR(ValidateRate(corrupt_rate, "corrupt_rate"));
+  BCC_RETURN_IF_ERROR(ValidateRate(truncate_rate, "truncate_rate"));
+  BCC_RETURN_IF_ERROR(ValidateRate(burst_loss_rate, "burst_loss_rate"));
+  BCC_RETURN_IF_ERROR(ValidateRate(burst_enter_rate, "burst_enter_rate"));
+  BCC_RETURN_IF_ERROR(ValidateRate(burst_exit_rate, "burst_exit_rate"));
+  return Status::OK();
+}
+
+std::string ChannelFaultConfig::ToString() const {
+  std::string out = StrFormat("loss=%g corrupt=%g truncate=%g", loss_rate, corrupt_rate,
+                              truncate_rate);
+  if (burst) {
+    out += StrFormat(" burst(loss=%g enter=%g exit=%g)", burst_loss_rate, burst_enter_rate,
+                     burst_exit_rate);
+  }
+  return out;
+}
+
+void ChannelStats::Accumulate(const ChannelStats& other) {
+  frames_sent += other.frames_sent;
+  frames_dropped += other.frames_dropped;
+  frames_corrupted += other.frames_corrupted;
+  frames_truncated += other.frames_truncated;
+  frames_delivered += other.frames_delivered;
+  frames_rejected += other.frames_rejected;
+  frames_delivered_corrupt += other.frames_delivered_corrupt;
+  control_losses += other.control_losses;
+  data_losses += other.data_losses;
+  stalls += other.stalls;
+  resyncs += other.resyncs;
+  tracker_desyncs += other.tracker_desyncs;
+  loss_attributed_aborts += other.loss_attributed_aborts;
+}
+
+LossyChannel::LossyChannel(const ChannelFaultConfig& faults, uint64_t seed, uint32_t num_clients)
+    : faults_(faults) {
+  clients_.reserve(num_clients);
+  for (uint32_t i = 0; i < num_clients; ++i) clients_.emplace_back(ChannelSeed(seed, i));
+}
+
+Transmission LossyChannel::Transmit(uint32_t client, std::span<const Frame> frames) {
+  Transmission out;
+  out.sent = frames.size();
+  out.frames.reserve(frames.size());
+  if (!faults_.AnyFaults()) {
+    // Fault-free fast path: deliver everything, draw no randomness, so a
+    // rate-0 channel is byte-identical to the direct handoff.
+    for (const Frame& f : frames) out.frames.push_back(Delivery{f, false});
+    return out;
+  }
+
+  ClientLink& link = clients_[client];
+  for (const Frame& f : frames) {
+    if (faults_.burst) {
+      // Advance the Gilbert–Elliott state once per frame, then draw the loss
+      // at the new state's rate.
+      if (link.in_burst) {
+        if (link.rng.NextBernoulli(faults_.burst_exit_rate)) link.in_burst = false;
+      } else {
+        if (link.rng.NextBernoulli(faults_.burst_enter_rate)) link.in_burst = true;
+      }
+    }
+    const double loss = link.in_burst ? faults_.burst_loss_rate : faults_.loss_rate;
+    if (link.rng.NextBernoulli(loss)) {
+      ++out.dropped;
+      continue;
+    }
+    Delivery d{f, false};
+    if (link.rng.NextBernoulli(faults_.corrupt_rate)) {
+      const uint64_t flips = 1 + link.rng.NextBounded(8);
+      for (uint64_t k = 0; k < flips; ++k) {
+        const uint64_t bit = link.rng.NextBounded(d.frame.bytes.size() * 8);
+        d.frame.bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      }
+      d.corrupted = true;
+      ++out.corrupted;
+    } else if (link.rng.NextBernoulli(faults_.truncate_rate)) {
+      d.frame.bytes.resize(link.rng.NextBounded(d.frame.bytes.size()));
+      d.corrupted = true;
+      ++out.truncated;
+    }
+    out.frames.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace bcc

@@ -1,0 +1,122 @@
+// Fault-injecting broadcast channel.
+//
+// The server transmits one cycle's frame sequence; each client receives its
+// own independently-faulted copy (broadcast loss is per-receiver: different
+// clients miss different frames of the same transmission). Faults are frame
+// drops, bit flips, and truncations, drawn from a per-client RNG that is
+// seeded from `SimConfig::seed` independently of the workload streams — so
+// enabling the channel at fault rate 0 leaves every workload draw untouched,
+// and the DES and concurrent engines see identical fault schedules.
+//
+// Burst loss uses a two-state Gilbert–Elliott model: a Good state losing at
+// `loss_rate` and a Bad state losing at `burst_loss_rate`, with geometric
+// transitions (`burst_enter_rate` Good->Bad, `burst_exit_rate` Bad->Good)
+// advanced once per frame. With `burst = false` the channel is Bernoulli.
+
+#ifndef BCC_CHANNEL_LOSSY_CHANNEL_H_
+#define BCC_CHANNEL_LOSSY_CHANNEL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "channel/frame.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace bcc {
+
+/// Fault rates for the lossy channel. All rates are probabilities in [0, 1],
+/// applied per frame in the order: loss, corruption, truncation.
+struct ChannelFaultConfig {
+  double loss_rate = 0;      ///< P(frame dropped) in the Good state
+  double corrupt_rate = 0;   ///< P(bit flips) given the frame survived
+  double truncate_rate = 0;  ///< P(truncation) given survived and not flipped
+
+  bool burst = false;            ///< enable the Gilbert–Elliott Bad state
+  double burst_loss_rate = 0.9;  ///< P(frame dropped) in the Bad state
+  double burst_enter_rate = 0.02;  ///< P(Good -> Bad) per frame
+  double burst_exit_rate = 0.25;   ///< P(Bad -> Good) per frame
+
+  /// True when any fault can occur (the fault-free path draws no randomness).
+  bool AnyFaults() const {
+    return loss_rate > 0 || corrupt_rate > 0 || truncate_rate > 0 ||
+           (burst && burst_loss_rate > 0 && burst_enter_rate > 0);
+  }
+
+  /// All rates must lie in [0, 1].
+  Status Validate() const;
+
+  std::string ToString() const;
+
+  bool operator==(const ChannelFaultConfig&) const = default;
+};
+
+/// Per-client channel/receiver counters. Accumulated across clients into
+/// `SimSummary::channel`. Invariant: sent == dropped + delivered.
+struct ChannelStats {
+  uint64_t frames_sent = 0;       ///< frames transmitted to this client
+  uint64_t frames_dropped = 0;    ///< erased by the channel (never arrive)
+  uint64_t frames_corrupted = 0;  ///< delivered with flipped bits
+  uint64_t frames_truncated = 0;  ///< delivered shorter than sent
+  uint64_t frames_delivered = 0;  ///< arrived at the receiver (damaged or not)
+  uint64_t frames_rejected = 0;   ///< arrived but failed CRC / framing checks
+  uint64_t frames_delivered_corrupt = 0;  ///< damaged yet passed CRC (counted)
+
+  uint64_t control_losses = 0;   ///< cycles x objects with unusable control info
+  uint64_t data_losses = 0;      ///< cycles x objects with unusable data pages
+  uint64_t stalls = 0;           ///< reads deferred to a later cycle by loss
+  uint64_t resyncs = 0;          ///< recoveries from a desynchronized state
+  uint64_t tracker_desyncs = 0;  ///< delta-tracker losses of sync due to loss
+  uint64_t loss_attributed_aborts = 0;  ///< aborts on reads that stalled first
+
+  void Accumulate(const ChannelStats& other);
+
+  bool operator==(const ChannelStats&) const = default;
+};
+
+/// One frame as it arrives at a client (possibly damaged in transit).
+struct Delivery {
+  Frame frame;
+  bool corrupted = false;  ///< bits flipped or truncated on the air
+};
+
+/// Everything one client receives from one cycle's transmission.
+struct Transmission {
+  std::vector<Delivery> frames;
+  uint64_t sent = 0;
+  uint64_t dropped = 0;
+  uint64_t corrupted = 0;
+  uint64_t truncated = 0;
+};
+
+/// Broadcast channel with per-client fault injection. Deterministic: the
+/// fault schedule of client i is a pure function of (seed, i) and the frame
+/// count sequence, independent of other clients and of workload RNG draws.
+class LossyChannel {
+ public:
+  /// `faults` must Validate(). `seed` is the simulation seed; `num_clients`
+  /// receivers get independent fault streams.
+  LossyChannel(const ChannelFaultConfig& faults, uint64_t seed, uint32_t num_clients);
+
+  const ChannelFaultConfig& faults() const { return faults_; }
+  uint32_t num_clients() const { return static_cast<uint32_t>(clients_.size()); }
+
+  /// Transmits `frames` to client `client`, applying that client's faults.
+  Transmission Transmit(uint32_t client, std::span<const Frame> frames);
+
+ private:
+  struct ClientLink {
+    Rng rng;
+    bool in_burst = false;
+    explicit ClientLink(uint64_t seed) : rng(seed) {}
+  };
+
+  ChannelFaultConfig faults_;
+  std::vector<ClientLink> clients_;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_CHANNEL_LOSSY_CHANNEL_H_

@@ -7,11 +7,20 @@ DeltaMatrixTracker::DeltaMatrixTracker(uint32_t num_objects, CycleStampCodec cod
 
 void DeltaMatrixTracker::Observe(const DeltaControl& ctl, const FMatrix& on_air_matrix) {
   if (ctl.full_refresh) {
+    // A refresh OLDER than the sync point would regress entries below their
+    // current values — and lower stamps can only ever accept more reads, so
+    // applying it could fabricate false acceptance. Ignore it; the current
+    // reconstruction is strictly fresher.
+    if (synced_ && ctl.cycle < last_sync_) return;
     matrix_ = on_air_matrix;
     synced_ = true;
     last_sync_ = ctl.cycle;
     return;
   }
+  // A duplicated or stale delta (at or before the sync point) is already
+  // incorporated in the reconstruction: re-applying could regress entries
+  // (deltas are not idempotent across cycles), so ignore it and stay synced.
+  if (synced_ && ctl.cycle <= last_sync_) return;
   // A delta is only meaningful on top of exactly its base matrix: the
   // F-Matrix is not monotone, so skipping any block (or applying out of
   // order) could silently yield a matrix that accepts reads the true one

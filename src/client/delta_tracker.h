@@ -11,6 +11,10 @@
 //     is not monotone (ApplyCommit can lower entries), so applying a delta
 //     over any gap could fabricate a matrix that accepts reads the true one
 //     rejects. Desync-and-wait is the only safe recovery.
+//   - duplicated or stale blocks (cycle at or before the sync point, as a
+//     faulty or replayed channel can deliver) are ignored while synced: their
+//     content is already incorporated, and re-applying old stamps could only
+//     regress entries toward false acceptance. A FORWARD gap still desyncs.
 //
 // Staleness guard: even a synced tracker is only usable while
 // current - last_sync <= codec.max_cycles(); past the window the TS-bit

@@ -75,7 +75,8 @@ StatusOr<ObjectVersion> ReadOnlyTxnProtocol::Read(const CycleSnapshot& snap, Obj
     return Status::Aborted(StrFormat("read-condition(ob%u) failed at cycle %llu", ob,
                                      static_cast<unsigned long long>(snap.cycle)));
   }
-  const ObjectVersion version = snap.values[ob];
+  const ObjectVersion version =
+      value_override_ != nullptr ? (*value_override_)[ob] : snap.values[ob];
   // Keep the consulted column (as the client decoded it) so that later
   // stale cached reads can be validated against it.
   std::vector<Cycle> column;

@@ -78,6 +78,16 @@ class ReadOnlyTxnProtocol {
   void set_control_override(const FMatrix* matrix) { control_override_ = matrix; }
   const FMatrix* control_override() const { return control_override_; }
 
+  /// Substitutes `values` for the snapshot's object array in Read (nullptr
+  /// restores the broadcast values). Used in channel mode, where the client
+  /// reads data pages from its receiver's reassembled frames instead of the
+  /// in-process snapshot; the caller owns the vector, keeps it sized to the
+  /// database, and gates reads on the page having been received this cycle.
+  void set_value_override(const std::vector<ObjectVersion>* values) {
+    value_override_ = values;
+  }
+  const std::vector<ObjectVersion>* value_override() const { return value_override_; }
+
   const std::vector<ReadRecord>& reads() const { return reads_; }
   const std::vector<ObjectVersion>& values() const { return values_; }
   /// Cycle of the first successful read (R-Matrix's c1); 0 before any read.
@@ -97,6 +107,7 @@ class ReadOnlyTxnProtocol {
   Algorithm algorithm_;
   std::optional<CycleStampCodec> codec_;
   const FMatrix* control_override_ = nullptr;
+  const std::vector<ObjectVersion>* value_override_ = nullptr;
   std::vector<ReadRecord> reads_;
   std::vector<ObjectVersion> values_;
   /// Per read: the control column consulted (F-family, ungrouped only;

@@ -132,4 +132,107 @@ uint64_t DeltaCodec::EncodedBits(size_t num_entries, uint32_t num_objects, unsig
   return 32 + static_cast<uint64_t>(num_entries) * (2ull * index_bits + ts_bits);
 }
 
+namespace {
+
+unsigned IndexBits(uint32_t num_objects) {
+  return num_objects > 1 ? static_cast<unsigned>(std::bit_width(num_objects - 1)) : 0u;
+}
+
+}  // namespace
+
+std::vector<uint8_t> DeltaCodec::Pack(std::span<const Entry> entries, uint32_t num_objects,
+                                      const CycleStampCodec& codec) {
+  const unsigned index_bits = IndexBits(num_objects);
+  BitWriter writer;
+  writer.Write(static_cast<uint32_t>(entries.size()), 32);
+  for (const Entry& e : entries) {
+    // n == 1: the only index is implicit, and BitWriter rejects zero-width
+    // writes, so indices are simply omitted.
+    if (index_bits > 0) {
+      writer.Write(e.row, index_bits);
+      writer.Write(e.col, index_bits);
+    }
+    writer.Write(e.residue, codec.bits());
+  }
+  return writer.bytes();
+}
+
+StatusOr<std::vector<DeltaCodec::Entry>> DeltaCodec::Unpack(std::span<const uint8_t> bytes,
+                                                            uint32_t num_objects,
+                                                            const CycleStampCodec& codec) {
+  const unsigned index_bits = IndexBits(num_objects);
+  BitReader reader(bytes);
+  uint32_t count = 0;
+  BCC_RETURN_IF_ERROR(reader.Read(32, &count));
+  const uint64_t max_entries = static_cast<uint64_t>(num_objects) * num_objects;
+  if (count > max_entries) {
+    return Status::InvalidArgument("DeltaCodec::Unpack: entry count exceeds n^2");
+  }
+  const size_t expected_bytes = (EncodedBits(count, num_objects, codec.bits()) + 7) / 8;
+  if (bytes.size() > expected_bytes) {
+    return Status::InvalidArgument("DeltaCodec::Unpack: buffer has trailing bytes");
+  }
+  std::vector<Entry> out;
+  out.reserve(count);
+  for (uint32_t k = 0; k < count; ++k) {
+    Entry e{0, 0, 0};
+    if (index_bits > 0) {
+      uint32_t v = 0;
+      BCC_RETURN_IF_ERROR(reader.Read(index_bits, &v));
+      if (v >= num_objects) return Status::InvalidArgument("DeltaCodec::Unpack: row out of range");
+      e.row = v;
+      BCC_RETURN_IF_ERROR(reader.Read(index_bits, &v));
+      if (v >= num_objects) {
+        return Status::InvalidArgument("DeltaCodec::Unpack: column out of range");
+      }
+      e.col = v;
+    }
+    BCC_RETURN_IF_ERROR(reader.Read(codec.bits(), &e.residue));
+    out.push_back(e);
+  }
+  if (const size_t pad = reader.bits_remaining(); pad > 0) {
+    uint32_t padding = 0;
+    BCC_RETURN_IF_ERROR(reader.Read(static_cast<unsigned>(pad), &padding));
+    if (padding != 0) {
+      return Status::InvalidArgument("DeltaCodec::Unpack: nonzero padding bits");
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> PackMatrix(const FMatrix& matrix, const CycleStampCodec& codec) {
+  BitWriter writer;
+  const uint32_t n = matrix.num_objects();
+  for (ObjectId j = 0; j < n; ++j) {
+    for (const Cycle c : matrix.Column(j)) writer.Write(codec.Encode(c), codec.bits());
+  }
+  return writer.bytes();
+}
+
+StatusOr<FMatrix> UnpackMatrix(std::span<const uint8_t> bytes, uint32_t num_objects,
+                               const CycleStampCodec& codec, Cycle current) {
+  const size_t expected_bytes =
+      (FullMatrixControlBits(num_objects, codec.bits()) + 7) / 8;
+  if (bytes.size() > expected_bytes) {
+    return Status::InvalidArgument("UnpackMatrix: buffer has trailing bytes");
+  }
+  BitReader reader(bytes);
+  FMatrix matrix(num_objects);
+  for (ObjectId j = 0; j < num_objects; ++j) {
+    for (ObjectId i = 0; i < num_objects; ++i) {
+      uint32_t residue = 0;
+      BCC_RETURN_IF_ERROR(reader.Read(codec.bits(), &residue));
+      matrix.Set(i, j, codec.Decode(residue, current));
+    }
+  }
+  if (const size_t pad = reader.bits_remaining(); pad > 0) {
+    uint32_t padding = 0;
+    BCC_RETURN_IF_ERROR(reader.Read(static_cast<unsigned>(pad), &padding));
+    if (padding != 0) {
+      return Status::InvalidArgument("UnpackMatrix: nonzero padding bits");
+    }
+  }
+  return matrix;
+}
+
 }  // namespace bcc

@@ -98,7 +98,30 @@ class DeltaCodec {
   /// Wire size of a diff: a count header (32 bits) plus, per entry, row and
   /// column indices (ceil(log2 n) bits each) and the TS-bit stamp.
   static uint64_t EncodedBits(size_t num_entries, uint32_t num_objects, unsigned ts_bits);
+
+  /// Packs a diff into the on-air bitstream with exactly the EncodedBits
+  /// framing (32-bit count, then per entry row, column, residue), zero-padded
+  /// to whole bytes. Requires num_entries <= 2^32 - 1 and indices < n.
+  static std::vector<uint8_t> Pack(std::span<const Entry> entries, uint32_t num_objects,
+                                   const CycleStampCodec& codec);
+
+  /// Inverse of Pack. Strict framing like UnpackStamps: OutOfRange when the
+  /// buffer is too small, InvalidArgument on trailing bytes, nonzero padding,
+  /// a count above n^2, or an out-of-range index — wire corruption that slips
+  /// past the frame CRC is still rejected here.
+  static StatusOr<std::vector<Entry>> Unpack(std::span<const uint8_t> bytes, uint32_t num_objects,
+                                             const CycleStampCodec& codec);
 };
+
+/// Packs a full matrix into the on-air bitstream: n^2 TS-bit residues,
+/// column-major and contiguous (no per-column padding), zero-padded to whole
+/// bytes — exactly FullMatrixControlBits(n, ts) data bits.
+std::vector<uint8_t> PackMatrix(const FMatrix& matrix, const CycleStampCodec& codec);
+
+/// Inverse of PackMatrix, decoding every residue anchored at `current`, with
+/// the same strict framing rules as UnpackStamps.
+StatusOr<FMatrix> UnpackMatrix(std::span<const uint8_t> bytes, uint32_t num_objects,
+                               const CycleStampCodec& codec, Cycle current);
 
 }  // namespace bcc
 

@@ -22,6 +22,16 @@ BroadcastSim::Client::Client(const SimConfig& config, Rng rng,
     // here on; the sim stalls reads while the tracker is unusable.
     protocol.set_control_override(&tracker->matrix());
   }
+  if (config.channel_broadcast) {
+    receiver = std::make_unique<ChannelReceiver>(
+        config.num_objects,
+        FrameCodec(CycleStampCodec(config.timestamp_bits), config.channel_frame_bits),
+        tracker.get());
+    // Data pages now come off the reassembled frames; the sim stalls reads
+    // whose page (or, in full mode, control column) was lost this cycle.
+    protocol.set_value_override(&receiver->values());
+    if (!tracker) protocol.set_control_override(&receiver->matrix());
+  }
 }
 
 BroadcastSim::BroadcastSim(SimConfig config)
@@ -81,10 +91,21 @@ StatusOr<SimSummary> BroadcastSim::Run() {
   }
   if (config_.record_decisions) decisions_.resize(config_.num_clients);
 
+  if (config_.channel_broadcast) {
+    frame_codec_.emplace(CycleStampCodec(config_.timestamp_bits), config_.channel_frame_bits);
+    // The channel draws from its own salted streams (never from root), so
+    // workload RNG draws — and hence the rate-0 decision logs — are
+    // untouched by enabling the channel.
+    channel_ =
+        std::make_unique<LossyChannel>(config_.ChannelFaults(), config_.seed,
+                                       config_.num_clients);
+  }
+
   // Prime the loop: cycle 1 begins at t = 0; the first server transaction
   // and each client's first submission follow their think times.
   server_->BeginCycle(1, 0, *manager_);
   if (config_.delta_broadcast) AttachAndObserveDelta();
+  if (channel_) TransmitCycle();
   queue_.ScheduleAt(server_->CycleEndTime(), [this] { StartNextCycle(); });
   queue_.ScheduleAfter(server_workload_->NextInterval(), [this] { ServerCommitEvent(); });
   for (size_t c = 0; c < clients_.size(); ++c) {
@@ -95,6 +116,9 @@ StatusOr<SimSummary> BroadcastSim::Run() {
   while (!done_ && queue_.Step()) {
   }
 
+  for (const auto& client : clients_) {
+    if (client->receiver) metrics_.AccumulateChannel(client->receiver->stats());
+  }
   return metrics_.Summarize(server_->snapshot().cycle, queue_.now(), TotalCacheHits(),
                             TotalCacheMisses());
 }
@@ -124,6 +148,7 @@ void BroadcastSim::StartNextCycle() {
   }
   server_->BeginCycle(next, server_->CycleEndTime(), *manager_);
   if (config_.delta_broadcast) AttachAndObserveDelta();
+  if (channel_) TransmitCycle();
   queue_.ScheduleAt(server_->CycleEndTime(), [this] { StartNextCycle(); });
 }
 
@@ -132,11 +157,30 @@ void BroadcastSim::AttachAndObserveDelta() {
   const CycleSnapshot& snap = server_->snapshot();
   const DeltaControl& ctl = *snap.delta;
   metrics_.RecordDeltaCycle(ctl.full_refresh, ctl.control_bits, ctl.full_bits);
+  // In channel mode the trackers are fed from each client's reassembled
+  // frames (TransmitCycle), not from the in-process control block.
+  if (config_.channel_broadcast) return;
   for (auto& client : clients_) {
     client->tracker->Observe(ctl, snap.f_matrix);
     // Test knob: model a client that missed this cycle's control block.
     if (config_.delta_desync_at_cycle != 0 && snap.cycle == config_.delta_desync_at_cycle) {
       client->tracker->ForceDesync();
+    }
+  }
+}
+
+void BroadcastSim::TransmitCycle() {
+  const CycleSnapshot& snap = server_->snapshot();
+  const std::vector<Frame> frames =
+      EncodeCycleFrames(snap, *frame_codec_, config_.object_size_bits);
+  for (size_t c = 0; c < clients_.size(); ++c) {
+    Client& client = *clients_[c];
+    const Transmission tx = channel_->Transmit(static_cast<uint32_t>(c), frames);
+    client.receiver->IngestCycle(snap.cycle, tx);
+    // The desync knob still works in channel mode (on top of real loss).
+    if (client.tracker && config_.delta_desync_at_cycle != 0 &&
+        snap.cycle == config_.delta_desync_at_cycle) {
+      client.tracker->ForceDesync();
     }
   }
 }
@@ -159,6 +203,7 @@ void BroadcastSim::SubmitClientTxn(size_t c) {
       client.is_update ? client.workload.NextWriteSet() : std::vector<ObjectId>{};
   client.read_idx = 0;
   client.restarts = 0;
+  client.stalled_this_attempt = false;
   client.protocol.Reset();
   queue_.ScheduleAfter(client.workload.NextInterOpDelay(), [this, c] { BeginReadOp(c); });
 }
@@ -197,12 +242,31 @@ void BroadcastSim::PerformBroadcastRead(size_t c) {
   Client& client = *clients_[c];
   const ObjectId ob = client.read_set[client.read_idx];
   const CycleSnapshot& snap = server_->snapshot();
+  bool stall = false;
   if (client.tracker && client.tracker->Unusable(snap.cycle)) {
     // The reconstructed matrix cannot validate a read in this cycle (tracker
-    // desynced, or past the TS decode window): stall until the next cycle,
-    // whose block may be the resynchronizing full refresh. The cycle-start
-    // event was inserted earlier, so it fires before this retry.
+    // desynced, stale after a lost control block, or past the TS decode
+    // window): stall until the next cycle, whose block may be the
+    // resynchronizing full refresh.
     metrics_.RecordDeltaStall();
+    stall = true;
+  }
+  if (!stall && client.receiver) {
+    // Missed-cycle rule: validate only against control info and data
+    // received in THIS cycle. A stale column could carry lower stamps than
+    // the current matrix and falsely accept a read, so loss means stalling,
+    // never substituting older control info.
+    const bool control_missing =
+        client.tracker == nullptr && !client.receiver->ControlUsable(ob, snap.cycle);
+    stall = control_missing || !client.receiver->DataUsable(ob, snap.cycle);
+  }
+  if (stall) {
+    // The cycle-start event was inserted earlier, so it fires before this
+    // retry at the object's first slot of the next cycle.
+    if (client.receiver) {
+      client.receiver->RecordStall();
+      client.stalled_this_attempt = true;
+    }
     const uint32_t first_slot = server_->schedule().SlotsOf(ob).front();
     queue_.ScheduleAt(
         server_->CycleEndTime() + static_cast<SimTime>(first_slot + 1) * geometry_.slot_bits,
@@ -248,6 +312,12 @@ void BroadcastSim::OnReadSuccess(size_t c) {
 
 void BroadcastSim::OnReadAbort(size_t c) {
   Client& client = *clients_[c];
+  if (client.receiver && client.stalled_this_attempt) {
+    // The attempt both stalled on loss and then failed validation: the extra
+    // cycles it was forced to span raise the abort odds, so attribute it.
+    client.receiver->RecordLossAttributedAbort();
+  }
+  client.stalled_this_attempt = false;
   ++client.restarts;
   if (client.restarts >= config_.max_restarts_per_txn) {
     CompleteTxn(c, /*censored=*/true);
@@ -421,8 +491,12 @@ Status BroadcastSim::VerifyDeltaTrackers() const {
   const Cycle cycle = server_->snapshot().cycle;
   for (size_t c = 0; c < clients_.size(); ++c) {
     const DeltaMatrixTracker& tracker = *clients_[c]->tracker;
-    if (!tracker.synced()) continue;  // possible only via the desync knob
+    if (!tracker.synced()) continue;  // desync knob, or real loss in channel mode
     if (tracker.last_sync() != cycle) {
+      // Channel mode: a lost final control block legitimately leaves the
+      // tracker synced to an earlier cycle; its matrix reflects that cycle,
+      // not the current truth, so the congruence check does not apply.
+      if (config_.channel_broadcast) continue;
       return Status::Internal(StrFormat(
           "client %zu tracker synced at cycle %llu but the broadcast is at %llu", c,
           static_cast<unsigned long long>(tracker.last_sync()),
@@ -503,6 +577,107 @@ Status CrossCheckDeltaBroadcast(SimConfig config) {
       if (!(a[k] == b[k])) {
         return Status::Internal(
             StrFormat("client %zu txn %zu decisions diverge between full and delta", c, k));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Field-by-field equality of every non-channel summary field (doubles are
+/// compared bit-exactly: identical event sequences must produce identical
+/// arithmetic).
+Status CompareSummaries(const SimSummary& a, const SimSummary& b) {
+  const auto check = [](const char* field, auto x, auto y) -> Status {
+    if (x == y) return Status::OK();
+    return Status::Internal(StrFormat("summary field %s diverges: direct=%s channel=%s", field,
+                                      StrFormat("%g", static_cast<double>(x)).c_str(),
+                                      StrFormat("%g", static_cast<double>(y)).c_str()));
+  };
+  BCC_RETURN_IF_ERROR(check("mean_response_time", a.mean_response_time, b.mean_response_time));
+  BCC_RETURN_IF_ERROR(
+      check("response_ci_half_width", a.response_ci_half_width, b.response_ci_half_width));
+  BCC_RETURN_IF_ERROR(check("response_p50", a.response_p50, b.response_p50));
+  BCC_RETURN_IF_ERROR(check("response_p95", a.response_p95, b.response_p95));
+  BCC_RETURN_IF_ERROR(check("restart_ratio", a.restart_ratio, b.restart_ratio));
+  BCC_RETURN_IF_ERROR(check("measured_txns", a.measured_txns, b.measured_txns));
+  BCC_RETURN_IF_ERROR(check("total_txns", a.total_txns, b.total_txns));
+  BCC_RETURN_IF_ERROR(check("total_restarts", a.total_restarts, b.total_restarts));
+  BCC_RETURN_IF_ERROR(check("cycles_elapsed", a.cycles_elapsed, b.cycles_elapsed));
+  BCC_RETURN_IF_ERROR(check("server_commits", a.server_commits, b.server_commits));
+  BCC_RETURN_IF_ERROR(check("sim_end_time", a.sim_end_time, b.sim_end_time));
+  BCC_RETURN_IF_ERROR(check("censored_txns", a.censored_txns, b.censored_txns));
+  BCC_RETURN_IF_ERROR(check("delta_cycles", a.delta_cycles, b.delta_cycles));
+  BCC_RETURN_IF_ERROR(
+      check("delta_refresh_cycles", a.delta_refresh_cycles, b.delta_refresh_cycles));
+  BCC_RETURN_IF_ERROR(check("delta_control_bits", a.delta_control_bits, b.delta_control_bits));
+  BCC_RETURN_IF_ERROR(check("full_control_bits", a.full_control_bits, b.full_control_bits));
+  BCC_RETURN_IF_ERROR(check("delta_stall_waits", a.delta_stall_waits, b.delta_stall_waits));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CrossCheckLossless(SimConfig config) {
+  if (config.stop_after_cycles == 0) {
+    return Status::InvalidArgument("CrossCheckLossless requires stop_after_cycles > 0");
+  }
+  config.record_decisions = true;
+  // The cycle cutoff is the only stop condition, so both runs see the same
+  // timing-independent prefix of every client's transaction stream.
+  config.num_client_txns = std::numeric_limits<uint32_t>::max();
+  config.channel_loss_rate = 0;
+  config.channel_corrupt_rate = 0;
+  config.channel_truncate_rate = 0;
+  config.channel_burst = false;
+
+  SimConfig direct = config;
+  direct.channel_broadcast = false;
+  SimConfig channel = config;
+  channel.channel_broadcast = true;
+
+  BroadcastSim direct_sim(direct);
+  BCC_ASSIGN_OR_RETURN(const SimSummary direct_summary, direct_sim.Run());
+  BroadcastSim channel_sim(channel);
+  BCC_ASSIGN_OR_RETURN(const SimSummary channel_summary, channel_sim.Run());
+
+  // A rate-0 channel must deliver every frame undamaged...
+  if (channel_summary.channel.frames_sent == 0) {
+    return Status::Internal("channel run transmitted no frames");
+  }
+  if (channel_summary.channel.frames_dropped != 0 ||
+      channel_summary.channel.frames_rejected != 0 ||
+      channel_summary.channel.frames_delivered != channel_summary.channel.frames_sent ||
+      channel_summary.channel.control_losses != 0 ||
+      channel_summary.channel.data_losses != 0 || channel_summary.channel.stalls != 0) {
+    return Status::Internal("rate-0 channel run reported losses or stalls");
+  }
+
+  // ...and reproduce the direct path bit-exactly: summary, server state, and
+  // every client's decision log.
+  BCC_RETURN_IF_ERROR(CompareSummaries(direct_summary, channel_summary));
+  if (!(direct_sim.manager().f_matrix() == channel_sim.manager().f_matrix())) {
+    return Status::Internal("server F-Matrices diverge between direct and channel runs");
+  }
+  if (!(direct_sim.manager().store().committed() ==
+        channel_sim.manager().store().committed())) {
+    return Status::Internal("server stores diverge between direct and channel runs");
+  }
+  if (direct_sim.decisions().size() != channel_sim.decisions().size()) {
+    return Status::Internal("client counts diverge between direct and channel runs");
+  }
+  for (size_t c = 0; c < direct_sim.decisions().size(); ++c) {
+    const auto& a = direct_sim.decisions()[c];
+    const auto& b = channel_sim.decisions()[c];
+    if (a.size() != b.size()) {
+      return Status::Internal(StrFormat("client %zu completed %zu txns direct vs %zu channel",
+                                        c, a.size(), b.size()));
+    }
+    for (size_t k = 0; k < a.size(); ++k) {
+      if (!(a[k] == b[k])) {
+        return Status::Internal(
+            StrFormat("client %zu txn %zu decisions diverge between direct and channel", c, k));
       }
     }
   }

@@ -21,9 +21,11 @@
 #include <optional>
 #include <vector>
 
+#include "channel/lossy_channel.h"
 #include "client/cache.h"
 #include "client/delta_tracker.h"
 #include "client/read_txn.h"
+#include "client/receiver.h"
 #include "common/statusor.h"
 #include "des/event_queue.h"
 #include "history/history.h"
@@ -78,8 +80,15 @@ class BroadcastSim {
   /// congruent mod 2^ts to the server's unbounded-cycle matrix of the final
   /// broadcast cycle — the invariant that makes delta-mode read decisions
   /// bit-identical to full-matrix broadcast. Desynced trackers (possible
-  /// only via the delta_desync_at_cycle knob) are skipped.
+  /// only via the delta_desync_at_cycle knob, or through real loss in
+  /// channel mode) are skipped, as are channel-mode trackers whose final
+  /// cycle's control block was lost.
   Status VerifyDeltaTrackers() const;
+
+  /// One client's channel/receiver counters (requires channel_broadcast).
+  const ChannelStats& ClientChannelStats(size_t c) const {
+    return clients_[c]->receiver->stats();
+  }
 
  private:
   struct ClientTxnLog {
@@ -98,6 +107,10 @@ class BroadcastSim {
     /// Delta-broadcast reconstruction state (delta_broadcast mode only); the
     /// protocol's control override points into it.
     std::unique_ptr<DeltaMatrixTracker> tracker;
+    /// Channel-mode frame reassembly (channel_broadcast only). Feeds the
+    /// tracker in delta mode; its matrix/values back the protocol's control
+    /// and value overrides otherwise.
+    std::unique_ptr<ChannelReceiver> receiver;
 
     std::vector<ObjectId> read_set;
     std::vector<ObjectId> write_set;
@@ -105,11 +118,19 @@ class BroadcastSim {
     SimTime submit_time = 0;
     uint32_t restarts = 0;
     bool is_update = false;
+    /// Channel mode: did the current transaction attempt stall on loss? An
+    /// abort of such an attempt is counted as loss-attributed.
+    bool stalled_this_attempt = false;
   };
 
   // Delta-mode per-cycle plumbing: drains the dirty columns into this
-  // cycle's DeltaControl and feeds it to every client's tracker.
+  // cycle's DeltaControl and feeds it to every client's tracker (directly,
+  // or through the receivers in channel mode).
   void AttachAndObserveDelta();
+
+  // Channel-mode per-cycle plumbing: packetizes the cycle's broadcast and
+  // delivers each client its independently-faulted copy.
+  void TransmitCycle();
 
   // Event handlers (`c` = client index).
   void StartNextCycle();
@@ -132,6 +153,8 @@ class BroadcastSim {
   std::unique_ptr<ServerWorkload> server_workload_;
   std::unique_ptr<UpdateValidator> validator_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::optional<FrameCodec> frame_codec_;   // channel mode
+  std::unique_ptr<LossyChannel> channel_;   // channel mode
   SimMetrics metrics_;
 
   uint32_t completed_txns_ = 0;
@@ -158,6 +181,16 @@ StatusOr<SimSummary> RunSimulation(const SimConfig& config);
 /// requires stop_after_cycles > 0 for a timing-independent cutoff. Returns
 /// Internal with a description of the first divergence.
 Status CrossCheckDeltaBroadcast(SimConfig config);
+
+/// Runs `config` twice — once with the direct in-process handoff, once with
+/// the broadcast channel at all fault rates forced to 0 — and verifies that
+/// the channel path is bit-exact with the direct path: identical per-client
+/// decision logs, identical server state, and an identical summary in every
+/// non-channel field. Works for both full and delta control modes (set
+/// config.delta_broadcast accordingly). record_decisions is forced on;
+/// requires stop_after_cycles > 0 for a timing-independent cutoff. Returns
+/// Internal with a description of the first divergence.
+Status CrossCheckLossless(SimConfig config);
 
 }  // namespace bcc
 

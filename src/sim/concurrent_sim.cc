@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "client/read_txn.h"
+#include "client/receiver.h"
 #include "common/format.h"
 #include "sim/broadcast_sim.h"
 
@@ -48,14 +49,29 @@ struct ConcurrentSim::ClientState {
   };
 
   ClientState(const SimConfig& config, Rng rng, std::optional<CycleStampCodec> codec)
-      : workload(config, rng), protocol(config.algorithm, codec) {}
+      : workload(config, rng), protocol(config.algorithm, codec) {
+    if (config.channel_broadcast) {
+      // Full control mode only (Run rejects delta): the receiver's matrix
+      // and values back the protocol, exactly as in the DES.
+      receiver = std::make_unique<ChannelReceiver>(
+          config.num_objects,
+          FrameCodec(CycleStampCodec(config.timestamp_bits), config.channel_frame_bits),
+          /*tracker=*/nullptr);
+      protocol.set_value_override(&receiver->values());
+      protocol.set_control_override(&receiver->matrix());
+    }
+  }
 
   ClientWorkload workload;
   ReadOnlyTxnProtocol protocol;
+  /// Channel-mode frame reassembly; owned and touched by this thread only.
+  std::unique_ptr<ChannelReceiver> receiver;
 
   std::vector<ObjectId> read_set;
   size_t read_idx = 0;
   uint32_t restarts = 0;
+  /// Channel mode: did the current transaction attempt stall on loss?
+  bool stalled_this_attempt = false;
   Event ev{Kind::kSubmit, 0, false};
 
   std::vector<TxnDecision> decisions;
@@ -98,6 +114,7 @@ void ConcurrentSim::ProcessClientPhase(ClientState& cs, Cycle phase, const Cycle
         cs.read_set = cs.workload.NextReadSet();
         cs.read_idx = 0;
         cs.restarts = 0;
+        cs.stalled_this_attempt = false;
         cs.protocol.Reset();
         schedule_next(Kind::kBeginRead, t + cs.workload.NextInterOpDelay());
         break;
@@ -124,6 +141,20 @@ void ConcurrentSim::ProcessClientPhase(ClientState& cs, Cycle phase, const Cycle
       }
       case Kind::kRead: {
         const ObjectId ob = cs.read_set[cs.read_idx];
+        if (cs.receiver != nullptr &&
+            (!cs.receiver->ControlUsable(ob, phase) || !cs.receiver->DataUsable(ob, phase))) {
+          // The slot's data page or control column was lost this cycle:
+          // missed cycle. Stall until the object's first slot of the next
+          // cycle (mirrors the DES's stall retry); never validate against a
+          // stale snapshot.
+          cs.receiver->RecordStall();
+          cs.stalled_this_attempt = true;
+          const uint32_t first_slot = schedule.SlotsOf(ob).front();
+          schedule_next(Kind::kRead, cycle_start + cycle_bits_ +
+                                         static_cast<SimTime>(first_slot + 1) *
+                                             geometry_.slot_bits);
+          break;
+        }
         const auto value = cs.protocol.Read(snap, ob);
         if (value.ok()) {
           ++cs.read_idx;
@@ -133,6 +164,10 @@ void ConcurrentSim::ProcessClientPhase(ClientState& cs, Cycle phase, const Cycle
             schedule_next(Kind::kBeginRead, t + cs.workload.NextInterOpDelay());
           }
         } else {
+          if (cs.receiver != nullptr && cs.stalled_this_attempt) {
+            cs.receiver->RecordLossAttributedAbort();
+          }
+          cs.stalled_this_attempt = false;
           ++cs.restarts;
           if (cs.restarts >= config_.max_restarts_per_txn) {
             complete_txn(/*censored=*/true);
@@ -213,10 +248,22 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
   for (uint32_t c = 0; c < config_.num_clients; ++c) {
     clients_.push_back(std::make_unique<ClientState>(config_, root.Split(), codec));
   }
+  if (config_.channel_broadcast) {
+    // Channel fault streams are seeded independently of the root RNG (see
+    // LossyChannel), so client c's fault sequence here is bit-identical to
+    // its sequence in the DES — the lossy cross-engine check depends on it.
+    frame_codec_.emplace(CycleStampCodec(config_.timestamp_bits), config_.channel_frame_bits);
+    channel_ = std::make_unique<LossyChannel>(config_.ChannelFaults(), config_.seed,
+                                              config_.num_clients);
+  }
 
   cycle_bits_ = server_->CycleLengthBits();
   server_->BeginCycle(1, 0, *manager_);
   published_ = std::make_shared<const CycleSnapshot>(server_->snapshot());
+  if (channel_ != nullptr) {
+    published_frames_ = std::make_shared<const std::vector<Frame>>(
+        EncodeCycleFrames(*published_, *frame_codec_, config_.object_size_bits));
+  }
 
   next_commit_time_ = server_workload_->NextInterval();
   next_commit_pre_flip_ = FiresBeforeFlip(next_commit_time_, 0, false, cycle_bits_);
@@ -243,6 +290,12 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
       ClientState& cs = *clients_[c];
       for (Cycle phase = 1;; ++phase) {
         const std::shared_ptr<const CycleSnapshot> snap = published_;
+        if (cs.receiver != nullptr) {
+          // Per-client fault link and receiver are thread-local; Transmit
+          // only touches this client's RNG/burst state inside channel_.
+          const std::shared_ptr<const std::vector<Frame>> frames = published_frames_;
+          cs.receiver->IngestCycle(phase, channel_->Transmit(c, *frames));
+        }
         ProcessClientPhase(cs, phase, *snap);
         work_done.arrive_and_wait();
         publish_done.arrive_and_wait();
@@ -264,6 +317,10 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
     if (!stop) {
       server_->BeginCycle(phase + 1, phase * cycle_bits_, *manager_);
       published_ = std::make_shared<const CycleSnapshot>(server_->snapshot());
+      if (channel_ != nullptr) {
+        published_frames_ = std::make_shared<const std::vector<Frame>>(
+            EncodeCycleFrames(*published_, *frame_codec_, config_.object_size_bits));
+      }
     }
     publish_done.arrive_and_wait();
     if (stop) break;
@@ -278,6 +335,7 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
     summary.completed_txns += cs->completed;
     summary.censored_txns += cs->censored;
     summary.total_restarts += cs->total_restarts;
+    if (cs->receiver != nullptr) summary.channel.Accumulate(cs->receiver->stats());
     if (config_.record_decisions) decisions_.push_back(std::move(cs->decisions));
   }
   return summary;

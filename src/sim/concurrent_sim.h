@@ -33,6 +33,8 @@
 #include <memory>
 #include <vector>
 
+#include "channel/frame.h"
+#include "channel/lossy_channel.h"
 #include "common/statusor.h"
 #include "server/broadcast_server.h"
 #include "server/txn_manager.h"
@@ -49,6 +51,8 @@ struct ConcurrentSummary {
   uint64_t completed_txns = 0;    ///< client transactions completed
   uint64_t censored_txns = 0;     ///< force-completed by the restart guard
   uint64_t total_restarts = 0;    ///< aborts across all completed txns
+  /// Channel counters summed over all clients (channel_broadcast mode).
+  ChannelStats channel;
 };
 
 /// One concurrent run. Construct, Run() once, then inspect. Run() spawns
@@ -59,6 +63,12 @@ struct ConcurrentSummary {
 /// client update transactions are not supported yet — both would reintroduce
 /// cross-thread feedback that needs its own design (quasi-cache currency is
 /// wall-clock based; uplink commits serialize through the validator).
+/// channel_broadcast is supported in full control mode: the server thread
+/// packetizes each cycle's broadcast in the exclusive section and every
+/// client thread runs its own fault channel + receiver (thread-local state,
+/// independent per-client RNG streams, so the lossy run is as deterministic
+/// — and as TSan-clean — as the lossless one). channel + delta is rejected
+/// along with delta itself.
 class ConcurrentSim {
  public:
   explicit ConcurrentSim(SimConfig config);
@@ -97,6 +107,12 @@ class ConcurrentSim {
   /// only between the phase-end and publish barriers (while every client
   /// thread is blocked); read by client threads only during the work phase.
   std::shared_ptr<const CycleSnapshot> published_;
+  /// Channel mode: the current cycle's frame sequence, published alongside
+  /// the snapshot under the same barrier discipline. Clients transmit it
+  /// through their own fault links (disjoint LossyChannel per-client state).
+  std::shared_ptr<const std::vector<Frame>> published_frames_;
+  std::optional<FrameCodec> frame_codec_;  // channel mode
+  std::unique_ptr<LossyChannel> channel_;  // channel mode
 
   // Server-side commit event state (mirrors the DES commit stream).
   SimTime next_commit_time_ = 0;

@@ -1,5 +1,8 @@
 #include "sim/config.h"
 
+#include <algorithm>
+
+#include "channel/frame.h"
 #include "common/format.h"
 
 namespace bcc {
@@ -73,7 +76,58 @@ Status SimConfig::Validate() const {
           "delta_refresh_period must be in [1, 2^timestamp_bits - 1]");
     }
   }
+  if (channel_broadcast) {
+    if (algorithm != Algorithm::kFMatrix) {
+      return Status::InvalidArgument("channel_broadcast requires the F-Matrix algorithm");
+    }
+    if (num_groups != 0) {
+      return Status::InvalidArgument("channel_broadcast does not support grouped control");
+    }
+    if (!use_wire_codec) {
+      return Status::InvalidArgument("channel_broadcast requires use_wire_codec");
+    }
+    if (enable_cache) {
+      return Status::InvalidArgument("channel_broadcast does not support the client cache");
+    }
+    if (client_update_fraction > 0.0) {
+      return Status::InvalidArgument("channel_broadcast supports read-only clients only");
+    }
+    BCC_RETURN_IF_ERROR(ChannelFaults().Validate());
+    BCC_RETURN_IF_ERROR(FrameCodec::ValidateGeometry(timestamp_bits, channel_frame_bits));
+    if (num_objects >= (1u << FrameCodec::kStreamIdBits)) {
+      return Status::InvalidArgument("channel_broadcast: num_objects exceeds the stream id space");
+    }
+    // Every payload stream must fit the 16-bit frame sequence space. The
+    // widest streams are a full-matrix refresh (n^2 * ts bits), an object
+    // data page, and the degenerate all-entries delta block.
+    const uint64_t header_bits = timestamp_bits + FrameCodec::kKindBits +
+                                 FrameCodec::kStreamIdBits + FrameCodec::kSeqBits +
+                                 FrameCodec::kLastBits + FrameCodec::kPayloadLenBits;
+    const uint64_t capacity = channel_frame_bits - header_bits - FrameCodec::kCrcBits;
+    const uint64_t n2 = static_cast<uint64_t>(num_objects) * num_objects;
+    const uint64_t widest = std::max(
+        {FullMatrixControlBits(num_objects, timestamp_bits),
+         std::max<uint64_t>(kObjectVersionBits, object_size_bits),
+         DeltaCodec::EncodedBits(n2, num_objects, timestamp_bits)});
+    if ((widest + capacity - 1) / capacity > (uint64_t{1} << FrameCodec::kSeqBits)) {
+      return Status::InvalidArgument(
+          "channel_broadcast: a payload stream would overflow the 16-bit frame sequence "
+          "space; raise channel_frame_bits or shrink the database");
+    }
+  }
   return Status::OK();
+}
+
+ChannelFaultConfig SimConfig::ChannelFaults() const {
+  ChannelFaultConfig faults;
+  faults.loss_rate = channel_loss_rate;
+  faults.corrupt_rate = channel_corrupt_rate;
+  faults.truncate_rate = channel_truncate_rate;
+  faults.burst = channel_burst;
+  faults.burst_loss_rate = channel_burst_loss_rate;
+  faults.burst_enter_rate = channel_burst_enter_rate;
+  faults.burst_exit_rate = channel_burst_exit_rate;
+  return faults;
 }
 
 BroadcastGeometry SimConfig::Geometry() const {
@@ -81,13 +135,19 @@ BroadcastGeometry SimConfig::Geometry() const {
 }
 
 std::string SimConfig::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "%s: clientLen=%u serverLen=%u serverInt=%llu n=%u objBits=%llu ts=%u groups=%u "
       "cache=%d delta=%d seed=%llu",
       std::string(AlgorithmName(algorithm)).c_str(), client_txn_length, server_txn_length,
       static_cast<unsigned long long>(server_txn_interval), num_objects,
       static_cast<unsigned long long>(object_size_bits), timestamp_bits, num_groups,
       enable_cache ? 1 : 0, delta_broadcast ? 1 : 0, static_cast<unsigned long long>(seed));
+  if (channel_broadcast) {
+    out += StrFormat(" channel(frame=%llu %s)",
+                     static_cast<unsigned long long>(channel_frame_bits),
+                     ChannelFaults().ToString().c_str());
+  }
+  return out;
 }
 
 }  // namespace bcc

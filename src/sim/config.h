@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "channel/lossy_channel.h"
 #include "common/status.h"
 #include "des/event_queue.h"
 #include "matrix/wire.h"
@@ -86,6 +87,27 @@ struct SimConfig {
   /// Test knob: at the start of this cycle every client's tracker is forced
   /// to desync, exercising the stall-until-refresh fallback (0 = never).
   uint64_t delta_desync_at_cycle = 0;
+  /// Lossy broadcast channel (src/channel/): packetize every cycle's
+  /// broadcast into CRC-framed fixed-size frames and deliver them to each
+  /// client through a per-client fault-injecting channel; clients read data
+  /// pages and control info from their receiver's reassembly instead of the
+  /// in-process snapshot. Requires kFMatrix, ungrouped, the wire codec, no
+  /// cache, and read-only clients. With all fault rates 0 the decision logs
+  /// are bit-exact with the direct path (CrossCheckLossless).
+  bool channel_broadcast = false;
+  uint64_t channel_frame_bits = 512;  ///< frame size incl. header + CRC
+  double channel_loss_rate = 0.0;
+  double channel_corrupt_rate = 0.0;
+  double channel_truncate_rate = 0.0;
+  /// Gilbert–Elliott burst loss: while in the Bad state frames drop at
+  /// channel_burst_loss_rate instead of channel_loss_rate.
+  bool channel_burst = false;
+  double channel_burst_loss_rate = 0.9;
+  double channel_burst_enter_rate = 0.02;
+  double channel_burst_exit_rate = 0.25;
+
+  /// The channel knobs above as a ChannelFaultConfig.
+  ChannelFaultConfig ChannelFaults() const;
 
   // ---- test instrumentation ----
   /// Record the full update history plus client reads so the run can be

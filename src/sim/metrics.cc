@@ -23,6 +23,19 @@ std::string SimSummary::ToString() const {
                      static_cast<unsigned long long>(full_control_bits),
                      static_cast<unsigned long long>(delta_stall_waits));
   }
+  if (channel.frames_sent > 0) {
+    out += StrFormat(
+        " channel(sent=%llu dropped=%llu corrupted=%llu rejected=%llu stalls=%llu "
+        "resyncs=%llu desyncs=%llu lossAborts=%llu)",
+        static_cast<unsigned long long>(channel.frames_sent),
+        static_cast<unsigned long long>(channel.frames_dropped),
+        static_cast<unsigned long long>(channel.frames_corrupted + channel.frames_truncated),
+        static_cast<unsigned long long>(channel.frames_rejected),
+        static_cast<unsigned long long>(channel.stalls),
+        static_cast<unsigned long long>(channel.resyncs),
+        static_cast<unsigned long long>(channel.tracker_desyncs),
+        static_cast<unsigned long long>(channel.loss_attributed_aborts));
+  }
   return out;
 }
 
@@ -60,6 +73,7 @@ SimSummary SimMetrics::Summarize(uint64_t cycles, SimTime end_time, uint64_t cac
   s.delta_control_bits = delta_control_bits_;
   s.full_control_bits = full_control_bits_;
   s.delta_stall_waits = delta_stall_waits_;
+  s.channel = channel_;
   if (!responses_.empty()) {
     std::vector<double> sorted = responses_;
     std::sort(sorted.begin(), sorted.end());

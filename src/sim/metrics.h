@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "channel/lossy_channel.h"
 #include "common/stats.h"
 #include "des/event_queue.h"
 #include "matrix/control_info.h"
@@ -66,6 +67,10 @@ struct SimSummary {
   uint64_t full_control_bits = 0;      ///< full-matrix baseline (n^2*ts/cycle)
   uint64_t delta_stall_waits = 0;      ///< reads stalled awaiting a refresh
 
+  /// Lossy-channel counters summed over all clients (channel_broadcast mode;
+  /// all-zero otherwise).
+  ChannelStats channel;
+
   std::string ToString() const;
 };
 
@@ -93,6 +98,9 @@ class SimMetrics {
   /// next full refresh).
   void RecordDeltaStall() { ++delta_stall_waits_; }
 
+  /// Folds one client's channel/receiver counters into the run totals.
+  void AccumulateChannel(const ChannelStats& stats) { channel_.Accumulate(stats); }
+
   uint64_t committed_client_txns() const { return total_txns_; }
 
   /// Finalizes the summary. `cycles` and `end_time` come from the sim.
@@ -112,6 +120,7 @@ class SimMetrics {
   uint64_t delta_control_bits_ = 0;
   uint64_t full_control_bits_ = 0;
   uint64_t delta_stall_waits_ = 0;
+  ChannelStats channel_;
   StreamingStats response_;
   StreamingStats restarts_;
   // Response-time reservoir for quantiles (measured window only).

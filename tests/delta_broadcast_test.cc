@@ -179,6 +179,78 @@ TEST(DeltaMatrixTrackerTest, AppliesContiguousDeltasAndDesyncsOnGaps) {
   EXPECT_EQ(tracker.last_sync(), 6u);
 }
 
+TEST(DeltaMatrixTrackerTest, DuplicatedAndStaleDeltasAreIgnoredWhileSynced) {
+  // A lossy channel can replay control blocks the tracker already absorbed
+  // (e.g. a client that stalls and re-ingests a cycle boundary). Anything at
+  // or before last_sync must be dropped without desyncing — and without
+  // re-applying stamps, which could only move them backwards.
+  const CycleStampCodec codec(8);
+  DeltaMatrixTracker tracker(3, codec);
+  FMatrix on_air(3);
+  tracker.Observe(MakeRefresh(4, 3, 8), on_air);
+
+  DeltaControl delta;
+  delta.cycle = 5;
+  delta.base_cycle = 4;
+  delta.entries = {{1, 2, codec.Encode(5)}};
+  tracker.Observe(delta, on_air);
+  ASSERT_TRUE(tracker.synced());
+  ASSERT_EQ(tracker.last_sync(), 5u);
+  ASSERT_EQ(tracker.matrix().At(1, 2), 5u);
+
+  // Exact duplicate of the delta just applied: ignored, still synced.
+  tracker.Observe(delta, on_air);
+  EXPECT_TRUE(tracker.synced());
+  EXPECT_EQ(tracker.last_sync(), 5u);
+  EXPECT_EQ(tracker.matrix().At(1, 2), 5u);
+
+  // A stale delta from an older cycle (would regress the stamp): ignored.
+  DeltaControl stale;
+  stale.cycle = 3;
+  stale.base_cycle = 2;
+  stale.entries = {{1, 2, codec.Encode(2)}};
+  tracker.Observe(stale, on_air);
+  EXPECT_TRUE(tracker.synced());
+  EXPECT_EQ(tracker.last_sync(), 5u);
+  EXPECT_EQ(tracker.matrix().At(1, 2), 5u) << "a stale delta must never lower a stamp";
+
+  // The contiguous next delta still applies after the noise.
+  DeltaControl next;
+  next.cycle = 6;
+  next.base_cycle = 5;
+  next.entries = {{0, 0, codec.Encode(6)}};
+  tracker.Observe(next, on_air);
+  EXPECT_TRUE(tracker.synced());
+  EXPECT_EQ(tracker.last_sync(), 6u);
+  EXPECT_EQ(tracker.matrix().At(0, 0), 6u);
+}
+
+TEST(DeltaMatrixTrackerTest, StaleRefreshWhileSyncedIsIgnored) {
+  const CycleStampCodec codec(8);
+  DeltaMatrixTracker tracker(3, codec);
+  FMatrix current(3);
+  current.Set(0, 1, 7);
+  tracker.Observe(MakeRefresh(7, 3, 8), current);
+  ASSERT_TRUE(tracker.synced());
+  ASSERT_EQ(tracker.matrix().At(0, 1), 7u);
+
+  // A replayed refresh from cycle 2 carries older stamps; applying it would
+  // be exactly the false-acceptance hazard. It must be dropped.
+  FMatrix old(3);
+  tracker.Observe(MakeRefresh(2, 3, 8), old);
+  EXPECT_TRUE(tracker.synced());
+  EXPECT_EQ(tracker.last_sync(), 7u);
+  EXPECT_EQ(tracker.matrix().At(0, 1), 7u);
+
+  // A fresh refresh still wins.
+  FMatrix newer(3);
+  newer.Set(0, 1, 9);
+  tracker.Observe(MakeRefresh(9, 3, 8), newer);
+  EXPECT_TRUE(tracker.synced());
+  EXPECT_EQ(tracker.last_sync(), 9u);
+  EXPECT_EQ(tracker.matrix().At(0, 1), 9u);
+}
+
 TEST(DeltaMatrixTrackerTest, BeyondDecodeWindowGuard) {
   DeltaMatrixTracker tracker(2, CycleStampCodec(3));  // window: 7 cycles
   FMatrix on_air(2);

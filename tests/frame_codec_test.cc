@@ -1,0 +1,305 @@
+// Tests for the lossy-channel frame codec: geometry validation, header
+// round-trips, stream segmentation/reassembly, CRC and framing rejection of
+// damaged frames, and the per-cycle payload encodings.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "channel/frame.h"
+#include "common/rng.h"
+#include "matrix/wire.h"
+
+namespace bcc {
+namespace {
+
+FrameCodec SmallCodec(unsigned ts_bits = 8, uint64_t frame_bits = 512) {
+  return FrameCodec(CycleStampCodec(ts_bits), frame_bits);
+}
+
+Payload BytePayload(std::vector<uint8_t> bytes) {
+  Payload p;
+  p.bits = 8 * static_cast<uint64_t>(bytes.size());
+  p.bytes = std::move(bytes);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The classic IEEE 802.3 check value for "123456789".
+  const std::vector<uint8_t> check = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(check), 0xCBF43926u);
+  EXPECT_EQ(Crc32({}), 0u);
+}
+
+TEST(Crc32Test, SensitiveToEverySingleBitFlip) {
+  std::vector<uint8_t> bytes = {0xDE, 0xAD, 0xBE, 0xEF, 0x01};
+  const uint32_t base = Crc32(bytes);
+  for (size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_NE(Crc32(bytes), base) << "flip of bit " << bit << " went unnoticed";
+    bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------------
+
+TEST(FrameCodecTest, GeometryValidation) {
+  EXPECT_TRUE(FrameCodec::ValidateGeometry(8, 512).ok());
+  EXPECT_TRUE(FrameCodec::ValidateGeometry(2, 128).ok());
+  EXPECT_FALSE(FrameCodec::ValidateGeometry(8, 500).ok()) << "not byte aligned";
+  EXPECT_FALSE(FrameCodec::ValidateGeometry(8, 96).ok()) << "no useful payload capacity";
+  EXPECT_FALSE(FrameCodec::ValidateGeometry(0, 512).ok());
+  EXPECT_FALSE(FrameCodec::ValidateGeometry(33, 512).ok());
+  // Capacity must stay addressable by the 16-bit payload-length field.
+  EXPECT_FALSE(FrameCodec::ValidateGeometry(8, 1u << 17).ok());
+}
+
+TEST(FrameCodecTest, GeometryAccessors) {
+  const FrameCodec codec = SmallCodec(8, 512);
+  EXPECT_EQ(codec.frame_bits(), 512u);
+  EXPECT_EQ(codec.frame_bytes(), 64u);
+  EXPECT_EQ(codec.header_bits(), 8u + 56u);
+  EXPECT_EQ(codec.payload_capacity_bits(), 512u - 64u - 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Encode / Decode round-trips
+// ---------------------------------------------------------------------------
+
+TEST(FrameCodecTest, HeaderRoundTripsThroughTheWire) {
+  const FrameCodec codec = SmallCodec();
+  const Payload payload = BytePayload({0x12, 0x34, 0x56});
+  const std::vector<Frame> frames =
+      codec.EncodeStream(FrameKind::kData, /*stream_id=*/77, /*cycle=*/300, payload);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].bytes.size(), codec.frame_bytes());
+
+  const auto decoded = codec.Decode(frames[0]);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->header.cycle_residue, codec.stamp_codec().Encode(300));
+  EXPECT_EQ(decoded->header.kind, FrameKind::kData);
+  EXPECT_EQ(decoded->header.stream_id, 77u);
+  EXPECT_EQ(decoded->header.seq, 0u);
+  EXPECT_TRUE(decoded->header.last);
+  EXPECT_EQ(decoded->payload.bits, payload.bits);
+  EXPECT_EQ(decoded->payload.bytes, payload.bytes);
+}
+
+TEST(FrameCodecTest, EmptyPayloadStillYieldsOneFrame) {
+  const FrameCodec codec = SmallCodec();
+  const std::vector<Frame> frames =
+      codec.EncodeStream(FrameKind::kIndex, /*stream_id=*/0, /*cycle=*/1, Payload{});
+  ASSERT_EQ(frames.size(), 1u);
+  const auto decoded = codec.Decode(frames[0]);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->header.last);
+  EXPECT_EQ(decoded->payload.bits, 0u);
+}
+
+TEST(FrameCodecTest, LongPayloadSegmentsAndReassembles) {
+  const FrameCodec codec = SmallCodec(8, 128);  // tiny frames -> many segments
+  Rng rng(42);
+  Payload payload;
+  payload.bytes.resize(200);
+  for (auto& b : payload.bytes) b = static_cast<uint8_t>(rng.NextBounded(256));
+  payload.bits = 8 * 200;
+
+  const std::vector<Frame> frames =
+      codec.EncodeStream(FrameKind::kControlRefresh, /*stream_id=*/0, /*cycle=*/9, payload);
+  const uint64_t capacity = codec.payload_capacity_bits();
+  EXPECT_EQ(frames.size(), (payload.bits + capacity - 1) / capacity);
+  ASSERT_GT(frames.size(), 3u);
+
+  StreamReassembler reassembler;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    const auto decoded = codec.Decode(frames[i]);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->header.seq, i);
+    EXPECT_EQ(decoded->header.last, i + 1 == frames.size());
+    reassembler.Add(*decoded);
+  }
+  ASSERT_TRUE(reassembler.complete());
+  const Payload out = reassembler.Take();
+  EXPECT_EQ(out.bits, payload.bits);
+  EXPECT_EQ(out.bytes, payload.bytes);
+}
+
+TEST(FrameCodecTest, NonByteAlignedPayloadRoundTrips) {
+  const FrameCodec codec = SmallCodec(8, 128);
+  Payload payload;
+  payload.bytes = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x07};
+  payload.bits = 75;  // not a multiple of 8, spans two 37/38-bit-ish chunks
+  const std::vector<Frame> frames =
+      codec.EncodeStream(FrameKind::kControlDelta, /*stream_id=*/0, /*cycle=*/4, payload);
+  StreamReassembler reassembler;
+  for (const Frame& f : frames) {
+    const auto decoded = codec.Decode(f);
+    ASSERT_TRUE(decoded.ok());
+    reassembler.Add(*decoded);
+  }
+  ASSERT_TRUE(reassembler.complete());
+  const Payload out = reassembler.Take();
+  EXPECT_EQ(out.bits, payload.bits);
+  EXPECT_EQ(out.bytes, payload.bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Damage rejection
+// ---------------------------------------------------------------------------
+
+TEST(FrameCodecTest, CrcCatchesEverySingleBitFlip) {
+  const FrameCodec codec = SmallCodec(8, 128);
+  const std::vector<Frame> frames = codec.EncodeStream(FrameKind::kData, /*stream_id=*/5,
+                                                       /*cycle=*/12, BytePayload({1, 2, 3, 4}));
+  ASSERT_EQ(frames.size(), 1u);
+  for (size_t bit = 0; bit < codec.frame_bits(); ++bit) {
+    Frame damaged = frames[0];
+    damaged.bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(codec.Decode(damaged).ok()) << "flip of bit " << bit << " accepted";
+  }
+}
+
+TEST(FrameCodecTest, TruncatedFramesAreRejected) {
+  const FrameCodec codec = SmallCodec();
+  const std::vector<Frame> frames =
+      codec.EncodeStream(FrameKind::kData, /*stream_id=*/5, /*cycle=*/12, BytePayload({1, 2}));
+  ASSERT_EQ(frames.size(), 1u);
+  for (size_t len : {0u, 1u, 31u, 63u}) {
+    Frame truncated = frames[0];
+    truncated.bytes.resize(len);
+    EXPECT_FALSE(codec.Decode(truncated).ok()) << "length " << len;
+  }
+}
+
+TEST(StreamReassemblerTest, GapDuplicateAndPostLastBreakTheStream) {
+  const FrameCodec codec = SmallCodec(8, 128);
+  Payload payload;
+  payload.bytes.assign(60, 0xAB);
+  payload.bits = 8 * 60;
+  const std::vector<Frame> frames =
+      codec.EncodeStream(FrameKind::kData, /*stream_id=*/1, /*cycle=*/2, payload);
+  ASSERT_GE(frames.size(), 3u);
+  std::vector<DecodedFrame> decoded;
+  for (const Frame& f : frames) {
+    const auto d = codec.Decode(f);
+    ASSERT_TRUE(d.ok());
+    decoded.push_back(*d);
+  }
+
+  {  // gap: frame 1 lost
+    StreamReassembler r;
+    r.Add(decoded[0]);
+    r.Add(decoded[2]);
+    EXPECT_TRUE(r.broken());
+    EXPECT_FALSE(r.complete());
+  }
+  {  // duplicate
+    StreamReassembler r;
+    r.Add(decoded[0]);
+    r.Add(decoded[0]);
+    EXPECT_TRUE(r.broken());
+  }
+  {  // anything after last
+    StreamReassembler r;
+    for (const auto& d : decoded) r.Add(d);
+    ASSERT_TRUE(r.complete());
+    r.Add(decoded[0]);
+    EXPECT_TRUE(r.broken());
+    EXPECT_FALSE(r.complete());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cycle payloads
+// ---------------------------------------------------------------------------
+
+TEST(CyclePayloadTest, IndexRoundTrip) {
+  CycleIndex index;
+  index.control_mode = CycleIndex::kControlDelta;
+  index.num_objects = 777;
+  index.cycle_low = 0xDEADBEEF;
+  const Payload payload = EncodeIndexPayload(index);
+  const auto out = DecodeIndexPayload(payload);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->control_mode, index.control_mode);
+  EXPECT_EQ(out->num_objects, index.num_objects);
+  EXPECT_EQ(out->cycle_low, index.cycle_low);
+
+  Payload bad = payload;
+  bad.bytes[0] ^= 0xFF;  // magic damaged
+  EXPECT_FALSE(DecodeIndexPayload(bad).ok());
+  Payload wrong_size = payload;
+  wrong_size.bits -= 1;
+  EXPECT_FALSE(DecodeIndexPayload(wrong_size).ok());
+}
+
+TEST(CyclePayloadTest, ObjectVersionRoundTripsAtAnySimulatedSize) {
+  const ObjectVersion version{0x0123456789ABCDEFull, 4242, 0x00000001FFFFFFFEull};
+  for (const uint64_t size_bits : {uint64_t{64}, kObjectVersionBits, uint64_t{4096}}) {
+    const Payload payload = EncodeObjectPayload(version, size_bits);
+    EXPECT_EQ(payload.bits, std::max(kObjectVersionBits, size_bits));
+    const auto out = DecodeObjectPayload(payload);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(*out, version);
+  }
+  EXPECT_FALSE(DecodeObjectPayload(Payload{}).ok());
+}
+
+TEST(CyclePayloadTest, FullModeCycleFramesCarryIndexDataAndColumns) {
+  const uint32_t n = 5;
+  const FrameCodec codec = SmallCodec(8, 512);
+  CycleSnapshot snap;
+  snap.cycle = 17;
+  snap.values.resize(n);
+  for (uint32_t j = 0; j < n; ++j) snap.values[j].value = 100 + j;
+  snap.f_matrix = FMatrix(n);
+  snap.f_matrix.Set(2, 3, 9);
+
+  const std::vector<Frame> frames = EncodeCycleFrames(snap, codec, /*object_size_bits=*/64);
+  size_t index_frames = 0, data_streams = 0, column_streams = 0;
+  for (const Frame& f : frames) {
+    const auto d = codec.Decode(f);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d->header.cycle_residue, codec.stamp_codec().Encode(snap.cycle));
+    switch (d->header.kind) {
+      case FrameKind::kIndex: {
+        ++index_frames;
+        const auto index = DecodeIndexPayload(d->payload);
+        ASSERT_TRUE(index.ok());
+        EXPECT_EQ(index->control_mode, CycleIndex::kControlColumns);
+        EXPECT_EQ(index->num_objects, n);
+        break;
+      }
+      case FrameKind::kData: {
+        ++data_streams;
+        const auto version = DecodeObjectPayload(d->payload);
+        ASSERT_TRUE(version.ok());
+        EXPECT_EQ(version->value, 100u + d->header.stream_id);
+        break;
+      }
+      case FrameKind::kControlColumn: {
+        ++column_streams;
+        const auto stamps = UnpackStamps(d->payload.bytes, n, codec.stamp_codec(), snap.cycle);
+        ASSERT_TRUE(stamps.ok()) << stamps.status().ToString();
+        if (d->header.stream_id == 3) {
+          EXPECT_EQ((*stamps)[2], 9u);
+        }
+        break;
+      }
+      default:
+        FAIL() << "unexpected kind in full mode";
+    }
+  }
+  EXPECT_EQ(index_frames, 1u);
+  EXPECT_EQ(data_streams, n);
+  EXPECT_EQ(column_streams, n);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,213 @@
+// Tests for the fault-injecting channel: rate validation, determinism,
+// statistical behavior of loss/corruption/truncation, Gilbert–Elliott
+// burstiness, and per-client stream independence.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "channel/lossy_channel.h"
+
+namespace bcc {
+namespace {
+
+std::vector<Frame> MakeFrames(size_t count, size_t bytes_per_frame = 64) {
+  std::vector<Frame> frames(count);
+  for (size_t i = 0; i < count; ++i) {
+    frames[i].bytes.assign(bytes_per_frame, static_cast<uint8_t>(i));
+  }
+  return frames;
+}
+
+TEST(ChannelFaultConfigTest, ValidatesRates) {
+  ChannelFaultConfig faults;
+  EXPECT_TRUE(faults.Validate().ok());
+  EXPECT_FALSE(faults.AnyFaults());
+
+  faults.loss_rate = 1.5;
+  EXPECT_FALSE(faults.Validate().ok());
+  faults.loss_rate = -0.1;
+  EXPECT_FALSE(faults.Validate().ok());
+  faults.loss_rate = 0.2;
+  EXPECT_TRUE(faults.Validate().ok());
+  EXPECT_TRUE(faults.AnyFaults());
+
+  faults.burst_exit_rate = 7;
+  EXPECT_FALSE(faults.Validate().ok());
+}
+
+TEST(LossyChannelTest, FaultFreeChannelDeliversEverythingUntouched) {
+  LossyChannel channel(ChannelFaultConfig{}, /*seed=*/1, /*num_clients=*/2);
+  const std::vector<Frame> frames = MakeFrames(10);
+  const Transmission tx = channel.Transmit(0, frames);
+  EXPECT_EQ(tx.sent, 10u);
+  EXPECT_EQ(tx.dropped, 0u);
+  EXPECT_EQ(tx.corrupted, 0u);
+  EXPECT_EQ(tx.truncated, 0u);
+  ASSERT_EQ(tx.frames.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_FALSE(tx.frames[i].corrupted);
+    EXPECT_EQ(tx.frames[i].frame.bytes, frames[i].bytes);
+  }
+}
+
+TEST(LossyChannelTest, SameSeedSameFaultSchedule) {
+  ChannelFaultConfig faults;
+  faults.loss_rate = 0.3;
+  faults.corrupt_rate = 0.2;
+  faults.truncate_rate = 0.1;
+  const std::vector<Frame> frames = MakeFrames(50);
+
+  LossyChannel a(faults, /*seed=*/99, /*num_clients=*/3);
+  LossyChannel b(faults, /*seed=*/99, /*num_clients=*/3);
+  for (uint32_t client = 0; client < 3; ++client) {
+    for (int cycle = 0; cycle < 5; ++cycle) {
+      const Transmission ta = a.Transmit(client, frames);
+      const Transmission tb = b.Transmit(client, frames);
+      EXPECT_EQ(ta.dropped, tb.dropped);
+      EXPECT_EQ(ta.corrupted, tb.corrupted);
+      EXPECT_EQ(ta.truncated, tb.truncated);
+      ASSERT_EQ(ta.frames.size(), tb.frames.size());
+      for (size_t i = 0; i < ta.frames.size(); ++i) {
+        EXPECT_EQ(ta.frames[i].frame.bytes, tb.frames[i].frame.bytes);
+        EXPECT_EQ(ta.frames[i].corrupted, tb.frames[i].corrupted);
+      }
+    }
+  }
+}
+
+TEST(LossyChannelTest, ClientFaultStreamIndependentOfTransmitOrder) {
+  // Transmitting to other clients in between must not perturb client 2's
+  // fault stream — the property the DES/concurrent cross-check relies on.
+  ChannelFaultConfig faults;
+  faults.loss_rate = 0.25;
+  const std::vector<Frame> frames = MakeFrames(40);
+
+  LossyChannel interleaved(faults, /*seed=*/7, /*num_clients=*/3);
+  LossyChannel solo(faults, /*seed=*/7, /*num_clients=*/3);
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    interleaved.Transmit(0, frames);
+    interleaved.Transmit(1, frames);
+    const Transmission ti = interleaved.Transmit(2, frames);
+    const Transmission ts = solo.Transmit(2, frames);
+    EXPECT_EQ(ti.dropped, ts.dropped);
+    ASSERT_EQ(ti.frames.size(), ts.frames.size());
+    for (size_t i = 0; i < ti.frames.size(); ++i) {
+      EXPECT_EQ(ti.frames[i].frame.bytes, ts.frames[i].frame.bytes);
+    }
+  }
+}
+
+TEST(LossyChannelTest, DifferentClientsSeeDifferentFaults) {
+  ChannelFaultConfig faults;
+  faults.loss_rate = 0.5;
+  const std::vector<Frame> frames = MakeFrames(64);
+  LossyChannel channel(faults, /*seed=*/3, /*num_clients=*/2);
+  const Transmission t0 = channel.Transmit(0, frames);
+  const Transmission t1 = channel.Transmit(1, frames);
+  // With 64 frames at 50% loss, identical loss patterns are astronomically
+  // unlikely; compare the surviving first-byte sequences.
+  std::vector<uint8_t> s0, s1;
+  for (const auto& d : t0.frames) s0.push_back(d.frame.bytes[0]);
+  for (const auto& d : t1.frames) s1.push_back(d.frame.bytes[0]);
+  EXPECT_NE(s0, s1);
+}
+
+TEST(LossyChannelTest, LossRateIsRoughlyHonored) {
+  ChannelFaultConfig faults;
+  faults.loss_rate = 0.1;
+  LossyChannel channel(faults, /*seed=*/11, /*num_clients=*/1);
+  const std::vector<Frame> frames = MakeFrames(100);
+  uint64_t sent = 0, dropped = 0;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    const Transmission tx = channel.Transmit(0, frames);
+    sent += tx.sent;
+    dropped += tx.dropped;
+    EXPECT_EQ(tx.sent, tx.dropped + tx.frames.size());
+  }
+  const double rate = static_cast<double>(dropped) / static_cast<double>(sent);
+  EXPECT_NEAR(rate, 0.1, 0.02);
+}
+
+TEST(LossyChannelTest, CorruptionFlipsBitsAndMarksDelivery) {
+  ChannelFaultConfig faults;
+  faults.corrupt_rate = 1.0;  // every surviving frame damaged
+  LossyChannel channel(faults, /*seed=*/5, /*num_clients=*/1);
+  const std::vector<Frame> frames = MakeFrames(20);
+  const Transmission tx = channel.Transmit(0, frames);
+  EXPECT_EQ(tx.corrupted, 20u);
+  ASSERT_EQ(tx.frames.size(), 20u);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(tx.frames[i].corrupted);
+    EXPECT_NE(tx.frames[i].frame.bytes, frames[i].bytes);
+    EXPECT_EQ(tx.frames[i].frame.bytes.size(), frames[i].bytes.size()) << "flips keep length";
+  }
+}
+
+TEST(LossyChannelTest, TruncationShortensFramesAndMarksDelivery) {
+  ChannelFaultConfig faults;
+  faults.truncate_rate = 1.0;
+  LossyChannel channel(faults, /*seed=*/5, /*num_clients=*/1);
+  const std::vector<Frame> frames = MakeFrames(20);
+  const Transmission tx = channel.Transmit(0, frames);
+  EXPECT_EQ(tx.truncated, 20u);
+  for (const auto& d : tx.frames) {
+    EXPECT_TRUE(d.corrupted);
+    EXPECT_LT(d.frame.bytes.size(), frames[0].bytes.size());
+  }
+}
+
+TEST(LossyChannelTest, GilbertElliottProducesBurstierLossThanBernoulli) {
+  // Same marginal-ish loss volume, very different clustering: measure the
+  // mean run length of consecutive losses.
+  const std::vector<Frame> frames = MakeFrames(200);
+  const auto mean_loss_run = [&frames](const ChannelFaultConfig& faults) {
+    LossyChannel channel(faults, /*seed=*/17, /*num_clients=*/1);
+    uint64_t runs = 0, losses = 0;
+    for (int cycle = 0; cycle < 50; ++cycle) {
+      const Transmission tx = channel.Transmit(0, frames);
+      // Reconstruct the loss pattern from surviving frame tags.
+      std::vector<bool> lost(frames.size(), true);
+      for (const auto& d : tx.frames) lost[d.frame.bytes[0]] = false;
+      bool in_run = false;
+      for (bool l : lost) {
+        losses += l;
+        runs += l && !in_run;
+        in_run = l;
+      }
+    }
+    return runs == 0 ? 0.0 : static_cast<double>(losses) / static_cast<double>(runs);
+  };
+
+  ChannelFaultConfig bernoulli;
+  bernoulli.loss_rate = 0.08;
+  ChannelFaultConfig bursty;
+  bursty.burst = true;  // Good state lossless, Bad state loses 90%
+  bursty.burst_enter_rate = 0.02;
+  bursty.burst_exit_rate = 0.25;
+  const double bernoulli_run = mean_loss_run(bernoulli);
+  const double bursty_run = mean_loss_run(bursty);
+  EXPECT_GT(bursty_run, 1.5 * bernoulli_run);
+}
+
+TEST(ChannelStatsTest, AccumulateSumsEveryCounter) {
+  ChannelStats a;
+  a.frames_sent = 10;
+  a.frames_dropped = 2;
+  a.stalls = 1;
+  a.loss_attributed_aborts = 4;
+  ChannelStats b;
+  b.frames_sent = 5;
+  b.resyncs = 3;
+  b.tracker_desyncs = 2;
+  a.Accumulate(b);
+  EXPECT_EQ(a.frames_sent, 15u);
+  EXPECT_EQ(a.frames_dropped, 2u);
+  EXPECT_EQ(a.stalls, 1u);
+  EXPECT_EQ(a.resyncs, 3u);
+  EXPECT_EQ(a.tracker_desyncs, 2u);
+  EXPECT_EQ(a.loss_attributed_aborts, 4u);
+}
+
+}  // namespace
+}  // namespace bcc
