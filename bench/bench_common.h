@@ -3,9 +3,10 @@
 // Every binary prints the paper's series as response-time and restart-ratio
 // tables (mean +- 95% CI over the steady-state window, Table 1 defaults).
 // Flags:
-//   --quick      reduced transaction counts (CI sanity runs)
-//   --csv        additionally dump machine-readable rows
-//   --seed=N     override the base seed
+//   --quick           reduced transaction counts (CI sanity runs)
+//   --csv             additionally dump machine-readable rows
+//   --seed=N          override the base seed
+//   --metrics-json=F  dump every grid cell's full summary as JSON to F
 
 #ifndef BCC_BENCH_BENCH_COMMON_H_
 #define BCC_BENCH_BENCH_COMMON_H_
@@ -16,6 +17,8 @@
 #include <iostream>
 #include <string>
 
+#include "obs/json.h"
+#include "obs/trace_export.h"
 #include "sim/experiment.h"
 
 namespace bcc::bench {
@@ -24,6 +27,7 @@ struct BenchFlags {
   bool quick = false;
   bool csv = false;
   uint64_t seed = 42;
+  std::string metrics_json;  ///< empty = no JSON dump
 };
 
 inline BenchFlags ParseFlags(int argc, char** argv) {
@@ -35,12 +39,43 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       flags.csv = true;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       flags.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+      flags.metrics_json = argv[i] + 15;
     } else {
-      std::fprintf(stderr, "unknown flag: %s (known: --quick --csv --seed=N)\n", argv[i]);
+      std::fprintf(stderr, "unknown flag: %s (known: --quick --csv --seed=N --metrics-json=F)\n",
+                   argv[i]);
       std::exit(2);
     }
   }
   return flags;
+}
+
+/// The full result grid as one JSON document: experiment metadata plus one
+/// cell object per (algorithm, x) pair, each embedding the cell's complete
+/// SimSummary::ToJson (including the per-cause abort breakdown).
+inline std::string ExperimentToJson(const ExperimentResult& result) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("title")
+      .Value(result.spec.title)
+      .Key("xLabel")
+      .Value(result.spec.x_label)
+      .Key("cells")
+      .BeginArray();
+  for (size_t a = 0; a < result.spec.algorithms.size(); ++a) {
+    for (size_t x = 0; x < result.spec.x_values.size(); ++x) {
+      w.BeginObject()
+          .Key("algorithm")
+          .Value(AlgorithmName(result.spec.algorithms[a]))
+          .Key("x")
+          .Value(result.spec.x_values[x])
+          .Key("summary")
+          .RawValue(result.At(a, x).ToJson())
+          .EndObject();
+    }
+  }
+  w.EndArray().EndObject();
+  return std::move(w).Take() + "\n";
 }
 
 /// Table 1 defaults adjusted for the run mode.
@@ -66,6 +101,14 @@ inline int RunAndPrint(const ExperimentSpec& spec, const BenchFlags& flags,
   PrintResponseTable(*result, std::cout);
   if (print_restarts) PrintRestartTable(*result, std::cout);
   if (flags.csv) PrintCsv(*result, std::cout);
+  if (!flags.metrics_json.empty()) {
+    const Status written = WriteTextFile(flags.metrics_json, ExperimentToJson(*result));
+    if (!written.ok()) {
+      std::fprintf(stderr, "metrics dump failed: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics: %s\n", flags.metrics_json.c_str());
+  }
   return 0;
 }
 

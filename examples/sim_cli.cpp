@@ -11,8 +11,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "obs/trace_export.h"
 #include "sim/broadcast_sim.h"
 
 namespace {
@@ -49,7 +51,11 @@ void PrintHelp() {
       "  --burst-loss=F            Bad-state loss rate         (0.9)\n"
       "  --burst-in=F --burst-out=F  Good->Bad / Bad->Good     (0.02 / 0.25)\n"
       "  --seed=N                  RNG seed                    (42)\n"
-      "  --csv                     emit a machine-readable row\n");
+      "  --csv                     emit a machine-readable row\n"
+      "  --trace-out=FILE          write a Chrome trace_event JSON trace\n"
+      "                            (load in ui.perfetto.dev or chrome://tracing)\n"
+      "  --trace-capacity=N        events kept per track       (4096)\n"
+      "  --metrics-json=FILE       dump the full summary as JSON\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -68,6 +74,8 @@ int main(int argc, char** argv) {
   bool csv = false;
   double cache_cycles = 0;
   double hot_access = -1;
+  std::string trace_out;
+  std::string metrics_json;
 
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -152,6 +160,12 @@ int main(int argc, char** argv) {
       hot_access = std::strtod(v, nullptr);
     } else if (ParseFlag(argv[i], "--seed", &v)) {
       config.seed = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--trace-out", &v)) {
+      trace_out = v;
+    } else if (ParseFlag(argv[i], "--trace-capacity", &v)) {
+      config.trace_capacity = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--metrics-json", &v)) {
+      metrics_json = v;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", argv[i]);
       return 2;
@@ -168,10 +182,32 @@ int main(int argc, char** argv) {
   }
 
   std::printf("config: %s\n", config.ToString().c_str());
-  auto summary = RunSimulation(config);
+  std::unique_ptr<Tracer> tracer;
+  if (!trace_out.empty()) tracer = std::make_unique<Tracer>(config.trace_capacity);
+  BroadcastSim sim(config);
+  if (tracer) sim.set_tracer(tracer.get());
+  auto summary = sim.Run();
   if (!summary.ok()) {
     std::fprintf(stderr, "error: %s\n", summary.status().ToString().c_str());
     return 1;
+  }
+  if (tracer) {
+    const Status written = WriteTextFile(trace_out, ExportChromeTrace(*tracer));
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %s (%llu events recorded, %llu dropped)\n", trace_out.c_str(),
+                static_cast<unsigned long long>(tracer->TotalRecorded()),
+                static_cast<unsigned long long>(tracer->TotalDropped()));
+  }
+  if (!metrics_json.empty()) {
+    const Status written = WriteTextFile(metrics_json, summary->ToJson() + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics: %s\n", metrics_json.c_str());
   }
   std::printf("%s\n", summary->ToString().c_str());
   if (summary->client_update_commits + summary->client_update_rejects > 0) {

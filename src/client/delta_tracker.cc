@@ -12,6 +12,7 @@ void DeltaMatrixTracker::Observe(const DeltaControl& ctl, const FMatrix& on_air_
     // applying it could fabricate false acceptance. Ignore it; the current
     // reconstruction is strictly fresher.
     if (synced_ && ctl.cycle < last_sync_) return;
+    if (!synced_) EmitSyncEvent(TraceEventType::kResync, ctl.cycle);
     matrix_ = on_air_matrix;
     synced_ = true;
     last_sync_ = ctl.cycle;
@@ -26,6 +27,7 @@ void DeltaMatrixTracker::Observe(const DeltaControl& ctl, const FMatrix& on_air_
   // order) could silently yield a matrix that accepts reads the true one
   // rejects. Anything but a contiguous continuation desyncs.
   if (!synced_ || ctl.base_cycle != last_sync_ || ctl.cycle != last_sync_ + 1) {
+    if (synced_) EmitSyncEvent(TraceEventType::kDesync, ctl.cycle);
     synced_ = false;
     return;
   }

@@ -36,6 +36,7 @@
 #define BCC_CLIENT_DELTA_TRACKER_H_
 
 #include "matrix/f_matrix.h"
+#include "obs/trace.h"
 #include "server/delta_broadcast.h"
 
 namespace bcc {
@@ -74,13 +75,34 @@ class DeltaMatrixTracker {
   }
 
   /// Test hook: force a desync (models a client missing a cycle's block).
-  void ForceDesync() { synced_ = false; }
+  void ForceDesync() {
+    if (synced_) EmitSyncEvent(TraceEventType::kDesync, last_sync_);
+    synced_ = false;
+  }
+
+  /// Optional trace sink (not owned; nullptr disables). Emits kDesync /
+  /// kResync whenever the synced() flag transitions.
+  void set_trace_ring(TraceRing* ring) { trace_ = ring; }
+  /// Simulation time stamped onto trace events (set by the receiver before
+  /// each Observe; purely observational).
+  void set_trace_now(SimTime now) { trace_now_ = now; }
 
  private:
+  void EmitSyncEvent(TraceEventType type, Cycle cycle) {
+    if (trace_ == nullptr) return;
+    TraceEvent e;
+    e.type = type;
+    e.time = trace_now_;
+    e.cycle = cycle;
+    trace_->Record(e);
+  }
+
   CycleStampCodec codec_;
   FMatrix matrix_;
   bool synced_ = false;
   Cycle last_sync_ = 0;
+  TraceRing* trace_ = nullptr;
+  SimTime trace_now_ = 0;
 };
 
 }  // namespace bcc

@@ -17,36 +17,51 @@ Cycle ReadOnlyTxnProtocol::Stamp(Cycle raw, Cycle current) const {
   return codec_->Decode(codec_->Encode(raw), current);
 }
 
-bool ReadOnlyTxnProtocol::CheckFMatrix(const CycleSnapshot& snap, ObjectId ob) const {
+bool ReadOnlyTxnProtocol::CheckFMatrix(const CycleSnapshot& snap, ObjectId ob) {
   if (snap.group_matrix.has_value()) {
     // Grouped spectrum (Section 3.2.2): MC(i, group(j)) < cycle.
     const GroupMatrix& gm = *snap.group_matrix;
     const uint32_t s = gm.partition().GroupOf(ob);
     for (const ReadRecord& r : reads_) {
-      if (Stamp(gm.At(r.object, s), snap.cycle) >= r.cycle) return false;
+      const Cycle c = Stamp(gm.At(r.object, s), snap.cycle);
+      if (c >= r.cycle) {
+        last_abort_ = {AbortCause::kControlConflict, r.object, ob, r.cycle, c};
+        return false;
+      }
     }
     return true;
   }
   // read-condition(ob_j): for all (ob_i, cycle) in R_t : C(i, j) < cycle.
   const FMatrix& fm = control_override_ != nullptr ? *control_override_ : snap.f_matrix;
   for (const ReadRecord& r : reads_) {
-    if (Stamp(fm.At(r.object, ob), snap.cycle) >= r.cycle) return false;
+    const Cycle c = Stamp(fm.At(r.object, ob), snap.cycle);
+    if (c >= r.cycle) {
+      last_abort_ = {AbortCause::kControlConflict, r.object, ob, r.cycle, c};
+      return false;
+    }
   }
   return true;
 }
 
-bool ReadOnlyTxnProtocol::CheckDatacycle(const CycleSnapshot& snap) const {
+bool ReadOnlyTxnProtocol::CheckDatacycle(const CycleSnapshot& snap, ObjectId ob) {
   for (const ReadRecord& r : reads_) {
-    if (Stamp(snap.mc_vector.At(r.object), snap.cycle) >= r.cycle) return false;
+    const Cycle c = Stamp(snap.mc_vector.At(r.object), snap.cycle);
+    if (c >= r.cycle) {
+      last_abort_ = {AbortCause::kMcConflict, r.object, ob, r.cycle, c};
+      return false;
+    }
   }
   return true;
 }
 
-bool ReadOnlyTxnProtocol::CheckRMatrix(const CycleSnapshot& snap, ObjectId ob) const {
-  if (CheckDatacycle(snap)) return true;
+bool ReadOnlyTxnProtocol::CheckRMatrix(const CycleSnapshot& snap, ObjectId ob) {
+  if (CheckDatacycle(snap, ob)) return true;
   // Weakened disjunct: the object now being read is unchanged since the
   // transaction's first read.
-  return Stamp(snap.mc_vector.At(ob), snap.cycle) < first_read_cycle_;
+  const Cycle c = Stamp(snap.mc_vector.At(ob), snap.cycle);
+  if (c < first_read_cycle_) return true;
+  last_abort_ = {AbortCause::kMcConflict, ob, ob, first_read_cycle_, c};
+  return false;
 }
 
 void ReadOnlyTxnProtocol::Record(ObjectId ob, Cycle cycle, const ObjectVersion& version,
@@ -68,7 +83,7 @@ StatusOr<ObjectVersion> ReadOnlyTxnProtocol::Read(const CycleSnapshot& snap, Obj
       ok = CheckRMatrix(snap, ob);
       break;
     case Algorithm::kDatacycle:
-      ok = CheckDatacycle(snap);
+      ok = CheckDatacycle(snap, ob);
       break;
   }
   if (!ok) {
@@ -148,6 +163,7 @@ void ReadOnlyTxnProtocol::Reset() {
   values_.clear();
   columns_.clear();
   first_read_cycle_ = 0;
+  last_abort_ = {};
 }
 
 }  // namespace bcc

@@ -20,6 +20,7 @@
 
 #include "common/statusor.h"
 #include "matrix/control_info.h"
+#include "obs/trace.h"
 #include "server/broadcast_server.h"
 
 namespace bcc {
@@ -93,13 +94,19 @@ class ReadOnlyTxnProtocol {
   /// Cycle of the first successful read (R-Matrix's c1); 0 before any read.
   Cycle first_read_cycle() const { return first_read_cycle_; }
 
+  /// Structured cause of the most recent failed Read: which pair
+  /// (ob_i, ob_j) fired, the read cycle, and the conflicting stamp —
+  /// captured at the exact check that failed. Meaningful only immediately
+  /// after Read returned Aborted; cleared by Reset.
+  const AbortInfo& last_abort() const { return last_abort_; }
+
  private:
   /// Control-entry view with optional wire-codec round trip.
   Cycle Stamp(Cycle raw, Cycle current) const;
 
-  bool CheckFMatrix(const CycleSnapshot& snap, ObjectId ob) const;
-  bool CheckRMatrix(const CycleSnapshot& snap, ObjectId ob) const;
-  bool CheckDatacycle(const CycleSnapshot& snap) const;
+  bool CheckFMatrix(const CycleSnapshot& snap, ObjectId ob);
+  bool CheckRMatrix(const CycleSnapshot& snap, ObjectId ob);
+  bool CheckDatacycle(const CycleSnapshot& snap, ObjectId ob);
 
   void Record(ObjectId ob, Cycle cycle, const ObjectVersion& version,
               std::vector<Cycle> column);
@@ -114,6 +121,7 @@ class ReadOnlyTxnProtocol {
   /// empty otherwise). Needed to validate later *stale* cached reads.
   std::vector<std::vector<Cycle>> columns_;
   Cycle first_read_cycle_ = 0;
+  AbortInfo last_abort_;
 };
 
 }  // namespace bcc

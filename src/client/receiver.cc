@@ -24,12 +24,20 @@ ChannelReceiver::ChannelReceiver(uint32_t num_objects, FrameCodec codec,
       values_(num_objects),
       data_cycle_(num_objects, 0) {}
 
-void ChannelReceiver::IngestCycle(Cycle cycle, const Transmission& tx) {
+void ChannelReceiver::IngestCycle(Cycle cycle, const Transmission& tx, SimTime now) {
   stats_.frames_sent += tx.sent;
   stats_.frames_dropped += tx.dropped;
   stats_.frames_corrupted += tx.corrupted;
   stats_.frames_truncated += tx.truncated;
   stats_.frames_delivered += tx.frames.size();
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.type = TraceEventType::kFrameRx;
+    e.time = now;
+    e.cycle = cycle;
+    e.value = tx.frames.size();
+    trace_->Record(e);
+  }
 
   const uint32_t residue = codec_.stamp_codec().Encode(cycle);
   std::map<uint64_t, StreamReassembler> streams;
@@ -83,10 +91,18 @@ void ChannelReceiver::IngestCycle(Cycle cycle, const Transmission& tx) {
         all_ok = false;
       }
     }
+    if (all_ok != prev_control_ok_ && trace_ != nullptr) {
+      TraceEvent e;
+      e.type = all_ok ? TraceEventType::kResync : TraceEventType::kDesync;
+      e.time = now;
+      e.cycle = cycle;
+      trace_->Record(e);
+    }
     if (all_ok && !prev_control_ok_) ++stats_.resyncs;
     prev_control_ok_ = all_ok;
     return;
   }
+  tracker_->set_trace_now(now);
 
   // Snapshot+delta mode: the index segment is load-bearing — it names the
   // control mode for the cycle. Losing it (or the control block itself)

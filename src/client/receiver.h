@@ -30,6 +30,7 @@
 #include "channel/lossy_channel.h"
 #include "client/delta_tracker.h"
 #include "matrix/f_matrix.h"
+#include "obs/trace.h"
 
 namespace bcc {
 
@@ -42,7 +43,9 @@ class ChannelReceiver {
   ChannelReceiver(uint32_t num_objects, FrameCodec codec, DeltaMatrixTracker* tracker);
 
   /// Ingests everything the client received from cycle `cycle`'s broadcast.
-  void IngestCycle(Cycle cycle, const Transmission& tx);
+  /// `now` is the simulation time of the broadcast, used only to timestamp
+  /// trace events (harmless to omit when tracing is off).
+  void IngestCycle(Cycle cycle, const Transmission& tx, SimTime now = 0);
 
   /// True when object `ob`'s control info is usable for a read in `cycle`:
   /// full mode only — column ob was received in exactly that cycle. (Delta
@@ -66,6 +69,11 @@ class ChannelReceiver {
 
   const ChannelStats& stats() const { return stats_; }
 
+  /// Optional trace sink (not owned; nullptr disables). Emits kFrameRx per
+  /// ingested cycle and, in full mode, kDesync/kResync on control-continuity
+  /// transitions. Delta-mode sync transitions are emitted by the tracker.
+  void set_trace_ring(TraceRing* ring) { trace_ = ring; }
+
  private:
   /// Decodes a delta-mode control block and feeds it to the tracker; false
   /// when the payload fails wire validation (treated as a lost segment).
@@ -83,6 +91,7 @@ class ChannelReceiver {
   bool prev_control_ok_ = true;  // full mode: was last cycle's control complete?
   bool ever_synced_ = false;     // delta mode: has the tracker ever synced?
   ChannelStats stats_;
+  TraceRing* trace_ = nullptr;
 };
 
 }  // namespace bcc

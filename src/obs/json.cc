@@ -1,0 +1,290 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/format.h"
+
+namespace bcc {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::Comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (first_.empty()) return;
+  if (first_.back()) {
+    first_.back() = false;
+  } else {
+    out_ += ',';
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Comma();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  Comma();
+  out_ += JsonEscape(key);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view s) {
+  Comma();
+  out_ += JsonEscape(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool b) {
+  Comma();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double d) {
+  Comma();
+  if (!std::isfinite(d)) {
+    out_ += "null";  // JSON has no NaN/Inf literals
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  Comma();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  Comma();
+  out_ += StrFormat("%lld", static_cast<long long>(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::RawValue(std::string_view json) {
+  Comma();
+  out_ += json;
+  return *this;
+}
+
+namespace {
+
+/// Recursive-descent JSON syntax checker (RFC 8259).
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  Status Check() {
+    SkipWs();
+    BCC_RETURN_IF_ERROR(Value(0));
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing characters after document");
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(StrFormat("invalid JSON at byte %zu: %s", pos_, what));
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!Eof()) {
+      const char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (Eof() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return Error("bad literal");
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  Status String() {
+    if (!Consume('"')) return Error("expected string");
+    while (true) {
+      if (Eof()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') return Status::OK();
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c != '\\') continue;
+      if (Eof()) return Error("unterminated escape");
+      const char e = text_[pos_++];
+      if (e == 'u') {
+        for (int i = 0; i < 4; ++i) {
+          if (Eof() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+            return Error("bad \\u escape");
+          }
+          ++pos_;
+        }
+      } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+                 e != 'r' && e != 't') {
+        return Error("bad escape character");
+      }
+    }
+  }
+
+  Status Number() {
+    Consume('-');
+    if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Error("expected digit");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Consume('.')) {
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("expected fraction digit");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("expected exponent digit");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return Status::OK();
+  }
+
+  Status Value(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (Eof()) return Error("expected value");
+    switch (Peek()) {
+      case '{': {
+        ++pos_;
+        SkipWs();
+        if (Consume('}')) return Status::OK();
+        while (true) {
+          SkipWs();
+          BCC_RETURN_IF_ERROR(String());
+          SkipWs();
+          if (!Consume(':')) return Error("expected ':'");
+          SkipWs();
+          BCC_RETURN_IF_ERROR(Value(depth + 1));
+          SkipWs();
+          if (Consume('}')) return Status::OK();
+          if (!Consume(',')) return Error("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++pos_;
+        SkipWs();
+        if (Consume(']')) return Status::OK();
+        while (true) {
+          SkipWs();
+          BCC_RETURN_IF_ERROR(Value(depth + 1));
+          SkipWs();
+          if (Consume(']')) return Status::OK();
+          if (!Consume(',')) return Error("expected ',' or ']'");
+        }
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(std::string_view text) { return JsonChecker(text).Check(); }
+
+}  // namespace bcc

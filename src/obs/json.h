@@ -1,0 +1,71 @@
+// Minimal JSON emission and validation for the observability exporters.
+//
+// JsonWriter builds syntactically valid JSON incrementally (comma and
+// nesting management, string escaping, NaN/Inf mapped to null so the output
+// always parses). ValidateJson is a strict recursive-descent syntax checker
+// used by tests and smoke jobs to assert exporter output is well-formed
+// without an external parser.
+
+#ifndef BCC_OBS_JSON_H_
+#define BCC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bcc {
+
+/// Incremental JSON writer. Usage:
+///   JsonWriter w;
+///   w.BeginObject().Key("a").Value(1).Key("b").BeginArray().Value(2.5)
+///       .EndArray().EndObject();
+///   std::string json = std::move(w).Take();
+/// The caller is responsible for well-formed call sequences (a Key before
+/// every object member, balanced Begin/End); the writer handles commas,
+/// escaping, and non-finite doubles.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view s);
+  JsonWriter& Value(const char* s) { return Value(std::string_view(s)); }
+  JsonWriter& Value(bool b);
+  JsonWriter& Value(double d);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint32_t v) { return Value(static_cast<uint64_t>(v)); }
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  /// Splices pre-rendered JSON in value position (caller guarantees
+  /// validity; used to embed one document in another).
+  JsonWriter& RawValue(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  void Comma();
+
+  std::string out_;
+  /// One entry per open container: true until its first element was written.
+  std::vector<bool> first_;
+  bool after_key_ = false;
+};
+
+/// Escapes `s` as a JSON string literal including the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
+/// Strict syntax check of a complete JSON document (single value, RFC 8259
+/// grammar, no trailing garbage). Returns InvalidArgument naming the byte
+/// offset of the first error.
+Status ValidateJson(std::string_view text);
+
+}  // namespace bcc
+
+#endif  // BCC_OBS_JSON_H_

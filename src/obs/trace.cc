@@ -1,0 +1,114 @@
+#include "obs/trace.h"
+
+#include <cassert>
+
+#include "common/format.h"
+
+namespace bcc {
+
+std::string_view TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kCycleStart:
+      return "cycle";
+    case TraceEventType::kBroadcastTx:
+      return "broadcast_tx";
+    case TraceEventType::kFrameRx:
+      return "frame_rx";
+    case TraceEventType::kRead:
+      return "read";
+    case TraceEventType::kValidation:
+      return "validation";
+    case TraceEventType::kCommit:
+      return "commit";
+    case TraceEventType::kAbort:
+      return "abort";
+    case TraceEventType::kDesync:
+      return "desync";
+    case TraceEventType::kResync:
+      return "resync";
+    case TraceEventType::kStall:
+      return "stall";
+  }
+  return "unknown";
+}
+
+std::string_view AbortCauseName(AbortCause cause) {
+  switch (cause) {
+    case AbortCause::kNone:
+      return "none";
+    case AbortCause::kControlConflict:
+      return "control_conflict";
+    case AbortCause::kMcConflict:
+      return "mc_conflict";
+    case AbortCause::kChannelLoss:
+      return "channel_loss";
+    case AbortCause::kDesyncStall:
+      return "desync_stall";
+    case AbortCause::kUplinkReject:
+      return "uplink_reject";
+    case AbortCause::kCensored:
+      return "censored";
+  }
+  return "unknown";
+}
+
+uint64_t AbortBreakdown::TotalAborts() const {
+  uint64_t total = 0;
+  for (size_t i = 1; i < kNumAbortCauses; ++i) {
+    if (static_cast<AbortCause>(i) == AbortCause::kCensored) continue;
+    total += counts[i];
+  }
+  return total;
+}
+
+void AbortBreakdown::Accumulate(const AbortBreakdown& other) {
+  for (size_t i = 0; i < kNumAbortCauses; ++i) counts[i] += other.counts[i];
+}
+
+std::string AbortBreakdown::ToString() const {
+  return StrFormat(
+      "control=%llu mc=%llu loss=%llu desync=%llu uplink=%llu censored=%llu",
+      static_cast<unsigned long long>(Count(AbortCause::kControlConflict)),
+      static_cast<unsigned long long>(Count(AbortCause::kMcConflict)),
+      static_cast<unsigned long long>(Count(AbortCause::kChannelLoss)),
+      static_cast<unsigned long long>(Count(AbortCause::kDesyncStall)),
+      static_cast<unsigned long long>(Count(AbortCause::kUplinkReject)),
+      static_cast<unsigned long long>(Count(AbortCause::kCensored)));
+}
+
+TraceRing::TraceRing(size_t capacity) : buf_(capacity == 0 ? 1 : capacity) {}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::vector<TraceEvent> out;
+  const size_t n = buf_.size();
+  const size_t kept = count_ < n ? static_cast<size_t>(count_) : n;
+  out.reserve(kept);
+  const uint64_t first = count_ - kept;
+  for (uint64_t i = first; i < count_; ++i) {
+    out.push_back(buf_[static_cast<size_t>(i % n)]);
+  }
+  return out;
+}
+
+Tracer::Tracer(size_t capacity_per_track)
+    : capacity_(capacity_per_track == 0 ? 1 : capacity_per_track) {}
+
+TraceRing* Tracer::AddTrack(std::string name) {
+  rings_.push_back(std::make_unique<TraceRing>(capacity_));
+  names_.push_back(std::move(name));
+  return rings_.back().get();
+}
+
+uint64_t Tracer::TotalDropped() const {
+  uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+uint64_t Tracer::TotalRecorded() const {
+  uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->recorded();
+  return total;
+}
+
+}  // namespace bcc

@@ -1,0 +1,102 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+
+#include "common/format.h"
+#include "obs/json.h"
+
+namespace bcc {
+
+namespace {
+
+void EmitEvent(JsonWriter& w, size_t track, const TraceEvent& e) {
+  w.BeginObject()
+      .Key("name")
+      .Value(TraceEventTypeName(e.type))
+      .Key("cat")
+      .Value("sim")
+      .Key("pid")
+      .Value(1)
+      .Key("tid")
+      .Value(static_cast<uint64_t>(track))
+      .Key("ts")
+      .Value(e.time);
+  if (e.duration > 0) {
+    w.Key("ph").Value("X").Key("dur").Value(e.duration);
+  } else {
+    // Thread-scoped instant.
+    w.Key("ph").Value("i").Key("s").Value("t");
+  }
+  w.Key("args").BeginObject().Key("cycle").Value(e.cycle);
+  if (e.type == TraceEventType::kRead || e.type == TraceEventType::kStall ||
+      e.type == TraceEventType::kAbort) {
+    w.Key("object").Value(e.object);
+  }
+  w.Key("value").Value(e.value);
+  if (e.type == TraceEventType::kAbort) {
+    w.Key("cause")
+        .Value(AbortCauseName(e.abort.cause))
+        .Key("ob_i")
+        .Value(e.abort.ob_i)
+        .Key("ob_j")
+        .Value(e.abort.ob_j)
+        .Key("read_cycle")
+        .Value(e.abort.read_cycle)
+        .Key("c_ij")
+        .Value(e.abort.c_ij);
+  }
+  w.EndObject().EndObject();
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const Tracer& tracer) {
+  JsonWriter w;
+  w.BeginObject().Key("displayTimeUnit").Value("ms").Key("traceEvents").BeginArray();
+  for (size_t t = 0; t < tracer.num_tracks(); ++t) {
+    // Track naming metadata first, so viewers label the row before any event.
+    w.BeginObject()
+        .Key("name")
+        .Value("thread_name")
+        .Key("ph")
+        .Value("M")
+        .Key("pid")
+        .Value(1)
+        .Key("tid")
+        .Value(static_cast<uint64_t>(t))
+        .Key("args")
+        .BeginObject()
+        .Key("name")
+        .Value(tracer.track_name(t))
+        .EndObject()
+        .EndObject();
+  }
+  for (size_t t = 0; t < tracer.num_tracks(); ++t) {
+    for (const TraceEvent& e : tracer.track(t).Snapshot()) EmitEvent(w, t, e);
+  }
+  w.EndArray()
+      .Key("metadata")
+      .BeginObject()
+      .Key("events_recorded")
+      .Value(tracer.TotalRecorded())
+      .Key("events_dropped")
+      .Value(tracer.TotalDropped())
+      .Key("ring_capacity_per_track")
+      .Value(static_cast<uint64_t>(tracer.capacity_per_track()))
+      .EndObject()
+      .EndObject();
+  return std::move(w).Take();
+}
+
+Status WriteTextFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal(StrFormat("cannot open %s", path.c_str()));
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return Status::Internal(StrFormat("short write to %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace bcc

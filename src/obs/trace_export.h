@@ -1,0 +1,31 @@
+// Exporters for the tracing subsystem.
+//
+// ExportChromeTrace renders a Tracer as Chrome trace_event JSON (the
+// "JSON Array Format" wrapped in an object), loadable in Perfetto
+// (ui.perfetto.dev) and chrome://tracing: one named track per registered
+// ring (thread_name metadata), cycle slices as complete events, everything
+// else as instants. Timestamps are simulator bit-units reported in the
+// trace's microsecond field — absolute magnitudes are meaningless, relative
+// layout is exact.
+
+#ifndef BCC_OBS_TRACE_EXPORT_H_
+#define BCC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace bcc {
+
+/// Renders every track of `tracer` as a Chrome trace_event JSON document.
+std::string ExportChromeTrace(const Tracer& tracer);
+
+/// Writes `content` to `path` atomically enough for CLI use (truncate +
+/// write + close). Returns Internal on I/O failure.
+Status WriteTextFile(const std::string& path, std::string_view content);
+
+}  // namespace bcc
+
+#endif  // BCC_OBS_TRACE_EXPORT_H_

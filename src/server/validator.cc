@@ -13,6 +13,7 @@ StatusOr<Cycle> UpdateValidator::ValidateAndCommit(const ClientUpdateRequest& re
     const Cycle last_write = manager_->mc_vector().At(r.object);
     if (last_write >= r.cycle) {
       ++num_rejected_;
+      last_reject_ = {AbortCause::kUplinkReject, r.object, r.object, r.cycle, last_write};
       return Status::Aborted(
           StrFormat("ob%u read at cycle %llu was overwritten at cycle %llu", r.object,
                     static_cast<unsigned long long>(r.cycle),

@@ -19,6 +19,7 @@
 
 #include "common/statusor.h"
 #include "matrix/control_info.h"
+#include "obs/trace.h"
 #include "server/txn_manager.h"
 
 namespace bcc {
@@ -46,10 +47,16 @@ class UpdateValidator {
   size_t num_validated() const { return num_validated_; }
   size_t num_rejected() const { return num_rejected_; }
 
+  /// Structured cause of the most recent rejection: the stale read (ob,
+  /// read_cycle) and the conflicting commit stamp. Meaningful only
+  /// immediately after ValidateAndCommit returned Aborted.
+  const AbortInfo& last_reject() const { return last_reject_; }
+
  private:
   ServerTxnManager* manager_;
   size_t num_validated_ = 0;
   size_t num_rejected_ = 0;
+  AbortInfo last_reject_;
 };
 
 }  // namespace bcc

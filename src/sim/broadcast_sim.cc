@@ -91,6 +91,18 @@ StatusOr<SimSummary> BroadcastSim::Run() {
   }
   if (config_.record_decisions) decisions_.resize(config_.num_clients);
 
+  if (tracer_ != nullptr) {
+    // One single-writer ring per simulated actor; registered before any
+    // event fires, never resized afterwards.
+    server_trace_ = tracer_->AddTrack("server");
+    for (size_t c = 0; c < clients_.size(); ++c) {
+      Client& client = *clients_[c];
+      client.trace = tracer_->AddTrack(StrFormat("client%zu", c));
+      if (client.receiver) client.receiver->set_trace_ring(client.trace);
+      if (client.tracker) client.tracker->set_trace_ring(client.trace);
+    }
+  }
+
   if (config_.channel_broadcast) {
     frame_codec_.emplace(CycleStampCodec(config_.timestamp_bits), config_.channel_frame_bits);
     // The channel draws from its own salted streams (never from root), so
@@ -104,6 +116,7 @@ StatusOr<SimSummary> BroadcastSim::Run() {
   // Prime the loop: cycle 1 begins at t = 0; the first server transaction
   // and each client's first submission follow their think times.
   server_->BeginCycle(1, 0, *manager_);
+  TraceCycleStart();
   if (config_.delta_broadcast) AttachAndObserveDelta();
   if (channel_) TransmitCycle();
   queue_.ScheduleAt(server_->CycleEndTime(), [this] { StartNextCycle(); });
@@ -147,9 +160,28 @@ void BroadcastSim::StartNextCycle() {
     return;
   }
   server_->BeginCycle(next, server_->CycleEndTime(), *manager_);
+  TraceCycleStart();
   if (config_.delta_broadcast) AttachAndObserveDelta();
   if (channel_) TransmitCycle();
   queue_.ScheduleAt(server_->CycleEndTime(), [this] { StartNextCycle(); });
+}
+
+void BroadcastSim::TraceCycleStart() {
+  if (server_trace_ == nullptr) return;
+  const CycleSnapshot& snap = server_->snapshot();
+  const SimTime length = server_->CycleLengthBits();
+  TraceEvent cycle;
+  cycle.type = TraceEventType::kCycleStart;
+  cycle.time = server_->CycleEndTime() - length;
+  cycle.duration = length;
+  cycle.cycle = snap.cycle;
+  server_trace_->Record(cycle);
+  TraceEvent tx;
+  tx.type = TraceEventType::kBroadcastTx;
+  tx.time = cycle.time;
+  tx.cycle = snap.cycle;
+  tx.value = config_.num_objects;
+  server_trace_->Record(tx);
 }
 
 void BroadcastSim::AttachAndObserveDelta() {
@@ -176,7 +208,7 @@ void BroadcastSim::TransmitCycle() {
   for (size_t c = 0; c < clients_.size(); ++c) {
     Client& client = *clients_[c];
     const Transmission tx = channel_->Transmit(static_cast<uint32_t>(c), frames);
-    client.receiver->IngestCycle(snap.cycle, tx);
+    client.receiver->IngestCycle(snap.cycle, tx, queue_.now());
     // The desync knob still works in channel mode (on top of real loss).
     if (client.tracker && config_.delta_desync_at_cycle != 0 &&
         snap.cycle == config_.delta_desync_at_cycle) {
@@ -190,6 +222,14 @@ void BroadcastSim::ServerCommitEvent() {
   const ServerTxn txn = server_workload_->NextTxn();
   manager_->ExecuteAndCommit(txn, server_->snapshot().cycle);
   metrics_.RecordServerCommit();
+  if (server_trace_ != nullptr) {
+    TraceEvent e;
+    e.type = TraceEventType::kCommit;
+    e.time = queue_.now();
+    e.cycle = server_->snapshot().cycle;
+    e.value = txn.id;
+    server_trace_->Record(e);
+  }
   queue_.ScheduleAfter(server_workload_->NextInterval(), [this] { ServerCommitEvent(); });
 }
 
@@ -204,6 +244,7 @@ void BroadcastSim::SubmitClientTxn(size_t c) {
   client.read_idx = 0;
   client.restarts = 0;
   client.stalled_this_attempt = false;
+  client.delta_stalled_this_attempt = false;
   client.protocol.Reset();
   queue_.ScheduleAfter(client.workload.NextInterOpDelay(), [this, c] { BeginReadOp(c); });
 }
@@ -217,6 +258,15 @@ void BroadcastSim::BeginReadOp(size_t c) {
     if (std::optional<CacheEntry> entry = client.cache->Lookup(ob, queue_.now())) {
       auto value = client.protocol.ReadFromCache(*entry, ob, server_->snapshot());
       if (value.ok()) {
+        if (client.trace != nullptr) {
+          TraceEvent e;
+          e.type = TraceEventType::kRead;
+          e.time = queue_.now();
+          e.cycle = server_->snapshot().cycle;
+          e.object = ob;
+          e.value = value->value;
+          client.trace->Record(e);
+        }
         OnReadSuccess(c);
         return;
       }
@@ -243,6 +293,7 @@ void BroadcastSim::PerformBroadcastRead(size_t c) {
   const ObjectId ob = client.read_set[client.read_idx];
   const CycleSnapshot& snap = server_->snapshot();
   bool stall = false;
+  bool delta_stall = false;
   if (client.tracker && client.tracker->Unusable(snap.cycle)) {
     // The reconstructed matrix cannot validate a read in this cycle (tracker
     // desynced, stale after a lost control block, or past the TS decode
@@ -250,6 +301,7 @@ void BroadcastSim::PerformBroadcastRead(size_t c) {
     // resynchronizing full refresh.
     metrics_.RecordDeltaStall();
     stall = true;
+    delta_stall = true;
   }
   if (!stall && client.receiver) {
     // Missed-cycle rule: validate only against control info and data
@@ -261,12 +313,22 @@ void BroadcastSim::PerformBroadcastRead(size_t c) {
     stall = control_missing || !client.receiver->DataUsable(ob, snap.cycle);
   }
   if (stall) {
+    if (client.trace != nullptr) {
+      TraceEvent e;
+      e.type = TraceEventType::kStall;
+      e.time = queue_.now();
+      e.cycle = snap.cycle;
+      e.object = ob;
+      e.value = delta_stall ? kStallDeltaDesync : kStallChannelLoss;
+      client.trace->Record(e);
+    }
     // The cycle-start event was inserted earlier, so it fires before this
     // retry at the object's first slot of the next cycle.
     if (client.receiver) {
       client.receiver->RecordStall();
       client.stalled_this_attempt = true;
     }
+    if (delta_stall) client.delta_stalled_this_attempt = true;
     const uint32_t first_slot = server_->schedule().SlotsOf(ob).front();
     queue_.ScheduleAt(
         server_->CycleEndTime() + static_cast<SimTime>(first_slot + 1) * geometry_.slot_bits,
@@ -274,9 +336,27 @@ void BroadcastSim::PerformBroadcastRead(size_t c) {
     return;
   }
   auto value = client.protocol.Read(snap, ob);
+  if (client.trace != nullptr) {
+    TraceEvent e;
+    e.type = TraceEventType::kValidation;
+    e.time = queue_.now();
+    e.cycle = snap.cycle;
+    e.object = ob;
+    e.value = value.ok() ? 1 : 0;
+    client.trace->Record(e);
+  }
   if (!value.ok()) {
     OnReadAbort(c);
     return;
+  }
+  if (client.trace != nullptr) {
+    TraceEvent e;
+    e.type = TraceEventType::kRead;
+    e.time = queue_.now();
+    e.cycle = snap.cycle;
+    e.object = ob;
+    e.value = value->value;
+    client.trace->Record(e);
   }
   if (client.cache) {
     CacheEntry entry;
@@ -312,12 +392,38 @@ void BroadcastSim::OnReadSuccess(size_t c) {
 
 void BroadcastSim::OnReadAbort(size_t c) {
   Client& client = *clients_[c];
+  // Attribution precedence: an attempt that stalled on channel loss before
+  // failing validation spanned extra cycles precisely because of the loss,
+  // so the loss outranks the raw protocol cause; a delta-desync stall
+  // likewise. Otherwise the cause is the exact check that fired.
+  AbortInfo info = client.protocol.last_abort();
+  if (client.receiver && client.stalled_this_attempt) {
+    info.cause = AbortCause::kChannelLoss;
+  } else if (client.delta_stalled_this_attempt) {
+    info.cause = AbortCause::kDesyncStall;
+  }
+  OnAbort(c, info);
+}
+
+void BroadcastSim::OnAbort(size_t c, AbortInfo info) {
+  Client& client = *clients_[c];
+  metrics_.RecordAbort(info.cause);
+  if (client.trace != nullptr) {
+    TraceEvent e;
+    e.type = TraceEventType::kAbort;
+    e.time = queue_.now();
+    e.cycle = server_->snapshot().cycle;
+    e.object = info.ob_j;
+    e.abort = info;
+    client.trace->Record(e);
+  }
   if (client.receiver && client.stalled_this_attempt) {
     // The attempt both stalled on loss and then failed validation: the extra
     // cycles it was forced to span raise the abort odds, so attribute it.
     client.receiver->RecordLossAttributedAbort();
   }
   client.stalled_this_attempt = false;
+  client.delta_stalled_this_attempt = false;
   ++client.restarts;
   if (client.restarts >= config_.max_restarts_per_txn) {
     CompleteTxn(c, /*censored=*/true);
@@ -337,6 +443,14 @@ void BroadcastSim::SendUplinkCommit(size_t c) {
   request.reads = client.protocol.reads();
   request.writes = client.write_set;
   const auto verdict = validator_->ValidateAndCommit(request, server_->snapshot().cycle);
+  if (client.trace != nullptr) {
+    TraceEvent e;
+    e.type = TraceEventType::kValidation;
+    e.time = queue_.now();
+    e.cycle = server_->snapshot().cycle;
+    e.value = verdict.ok() ? 1 : 0;
+    client.trace->Record(e);
+  }
   // The client learns the outcome one uplink delay later.
   if (verdict.ok()) {
     metrics_.RecordServerCommit();  // it is also a committed update txn
@@ -344,7 +458,10 @@ void BroadcastSim::SendUplinkCommit(size_t c) {
     queue_.ScheduleAfter(config_.uplink_delay, [this, c] { CompleteTxn(c, false); });
   } else {
     metrics_.RecordClientUpdateReject();
-    queue_.ScheduleAfter(config_.uplink_delay, [this, c] { OnReadAbort(c); });
+    // Capture the validator's structured cause now — by the time the abort
+    // fires, another client's rejection may have overwritten last_reject().
+    const AbortInfo reject = validator_->last_reject();
+    queue_.ScheduleAfter(config_.uplink_delay, [this, c, reject] { OnAbort(c, reject); });
   }
 }
 
@@ -360,6 +477,18 @@ void BroadcastSim::CompleteTxn(size_t c, bool censored) {
   }
   if (config_.record_decisions) {
     decisions_[c].push_back(TxnDecision{client.protocol.reads(), client.restarts, censored});
+  }
+  // Censoring is counted in ADDITION to the final attempt's abort cause
+  // (recorded by OnAbort), so breakdown[kCensored] == censored_txns.
+  if (censored) metrics_.RecordAbort(AbortCause::kCensored);
+  if (client.trace != nullptr) {
+    TraceEvent e;
+    e.type = censored ? TraceEventType::kAbort : TraceEventType::kCommit;
+    e.time = queue_.now();
+    e.cycle = server_->snapshot().cycle;
+    e.value = client.protocol.reads().size();
+    if (censored) e.abort.cause = AbortCause::kCensored;
+    client.trace->Record(e);
   }
   metrics_.RecordClientTxn(client.submit_time, queue_.now(), client.restarts, censored);
   ++completed_txns_;
@@ -555,6 +684,11 @@ Status CrossCheckDeltaBroadcast(SimConfig config) {
         static_cast<unsigned long long>(full_summary.server_commits),
         static_cast<unsigned long long>(delta_summary.server_commits)));
   }
+  if (!(full_summary.abort_causes == delta_summary.abort_causes)) {
+    return Status::Internal(StrFormat("abort breakdowns diverge: full=(%s) delta=(%s)",
+                                      full_summary.abort_causes.ToString().c_str(),
+                                      delta_summary.abort_causes.ToString().c_str()));
+  }
   if (!(full_sim.manager().f_matrix() == delta_sim.manager().f_matrix())) {
     return Status::Internal("server F-Matrices diverge between full and delta runs");
   }
@@ -614,6 +748,11 @@ Status CompareSummaries(const SimSummary& a, const SimSummary& b) {
   BCC_RETURN_IF_ERROR(check("delta_control_bits", a.delta_control_bits, b.delta_control_bits));
   BCC_RETURN_IF_ERROR(check("full_control_bits", a.full_control_bits, b.full_control_bits));
   BCC_RETURN_IF_ERROR(check("delta_stall_waits", a.delta_stall_waits, b.delta_stall_waits));
+  if (!(a.abort_causes == b.abort_causes)) {
+    return Status::Internal(StrFormat("abort breakdowns diverge: direct=(%s) channel=(%s)",
+                                      a.abort_causes.ToString().c_str(),
+                                      b.abort_causes.ToString().c_str()));
+  }
   return Status::OK();
 }
 

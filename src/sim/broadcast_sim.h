@@ -30,6 +30,7 @@
 #include "des/event_queue.h"
 #include "history/history.h"
 #include "matrix/group_matrix.h"
+#include "obs/trace.h"
 #include "server/broadcast_server.h"
 #include "server/validator.h"
 #include "sim/config.h"
@@ -90,6 +91,12 @@ class BroadcastSim {
     return clients_[c]->receiver->stats();
   }
 
+  /// Attaches an event tracer (not owned; must outlive the sim). Call before
+  /// Run: tracks — "server" plus one per client — are registered during
+  /// setup. Tracing is purely observational: it consumes no RNG draws and
+  /// schedules no events, so enabling it never changes any decision.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct ClientTxnLog {
     TxnId id;
@@ -121,6 +128,11 @@ class BroadcastSim {
     /// Channel mode: did the current transaction attempt stall on loss? An
     /// abort of such an attempt is counted as loss-attributed.
     bool stalled_this_attempt = false;
+    /// Delta mode: did the current attempt stall on a desynced tracker? An
+    /// abort of such an attempt is attributed to kDesyncStall.
+    bool delta_stalled_this_attempt = false;
+    /// This client's trace ring (null when tracing is off).
+    TraceRing* trace = nullptr;
   };
 
   // Delta-mode per-cycle plumbing: drains the dirty columns into this
@@ -140,8 +152,14 @@ class BroadcastSim {
   void PerformBroadcastRead(size_t c);
   void OnReadSuccess(size_t c);
   void OnReadAbort(size_t c);
+  /// Shared abort path: records the attributed cause, traces it, and either
+  /// restarts the transaction or censors it.
+  void OnAbort(size_t c, AbortInfo info);
   void SendUplinkCommit(size_t c);     // client update txn: ship reads+writes
   void CompleteTxn(size_t c, bool censored);
+  /// Emits the cycle-start slice (and broadcast-tx instant) for the cycle
+  /// just begun on the server track; no-op when tracing is off.
+  void TraceCycleStart();
 
   SimConfig config_;
   BroadcastGeometry geometry_;
@@ -156,6 +174,8 @@ class BroadcastSim {
   std::optional<FrameCodec> frame_codec_;   // channel mode
   std::unique_ptr<LossyChannel> channel_;   // channel mode
   SimMetrics metrics_;
+  Tracer* tracer_ = nullptr;        // not owned; null = tracing off
+  TraceRing* server_trace_ = nullptr;
 
   uint32_t completed_txns_ = 0;
   TxnId next_client_update_id_ = 2 * kClientTxnIdBase;  // disjoint id range

@@ -73,11 +73,15 @@ struct ConcurrentSim::ClientState {
   /// Channel mode: did the current transaction attempt stall on loss?
   bool stalled_this_attempt = false;
   Event ev{Kind::kSubmit, 0, false};
+  /// This thread's trace ring (null when tracing is off); single-writer.
+  TraceRing* trace = nullptr;
 
   std::vector<TxnDecision> decisions;
   uint64_t completed = 0;
   uint64_t censored = 0;
   uint64_t total_restarts = 0;
+  /// Per-thread abort attribution, merged into the summary after join.
+  AbortBreakdown abort_causes;
 };
 
 ConcurrentSim::ConcurrentSim(SimConfig config)
@@ -100,6 +104,18 @@ void ConcurrentSim::ProcessClientPhase(ClientState& cs, Cycle phase, const Cycle
     const auto complete_txn = [&](bool censored) {
       if (config_.record_decisions) {
         cs.decisions.push_back(TxnDecision{cs.protocol.reads(), cs.restarts, censored});
+      }
+      // Censoring is counted in ADDITION to the final attempt's abort cause,
+      // mirroring the sequential engine's accounting exactly.
+      if (censored) cs.abort_causes.Record(AbortCause::kCensored);
+      if (cs.trace != nullptr) {
+        TraceEvent e;
+        e.type = censored ? TraceEventType::kAbort : TraceEventType::kCommit;
+        e.time = t;
+        e.cycle = phase;
+        e.value = cs.protocol.reads().size();
+        if (censored) e.abort.cause = AbortCause::kCensored;
+        cs.trace->Record(e);
       }
       ++cs.completed;
       cs.censored += censored ? 1 : 0;
@@ -149,6 +165,15 @@ void ConcurrentSim::ProcessClientPhase(ClientState& cs, Cycle phase, const Cycle
           // stale snapshot.
           cs.receiver->RecordStall();
           cs.stalled_this_attempt = true;
+          if (cs.trace != nullptr) {
+            TraceEvent e;
+            e.type = TraceEventType::kStall;
+            e.time = t;
+            e.cycle = phase;
+            e.object = ob;
+            e.value = kStallChannelLoss;
+            cs.trace->Record(e);
+          }
           const uint32_t first_slot = schedule.SlotsOf(ob).front();
           schedule_next(Kind::kRead, cycle_start + cycle_bits_ +
                                          static_cast<SimTime>(first_slot + 1) *
@@ -156,7 +181,25 @@ void ConcurrentSim::ProcessClientPhase(ClientState& cs, Cycle phase, const Cycle
           break;
         }
         const auto value = cs.protocol.Read(snap, ob);
+        if (cs.trace != nullptr) {
+          TraceEvent e;
+          e.type = TraceEventType::kValidation;
+          e.time = t;
+          e.cycle = phase;
+          e.object = ob;
+          e.value = value.ok() ? 1 : 0;
+          cs.trace->Record(e);
+        }
         if (value.ok()) {
+          if (cs.trace != nullptr) {
+            TraceEvent e;
+            e.type = TraceEventType::kRead;
+            e.time = t;
+            e.cycle = phase;
+            e.object = ob;
+            e.value = value->value;
+            cs.trace->Record(e);
+          }
           ++cs.read_idx;
           if (cs.read_idx == cs.read_set.size()) {
             complete_txn(/*censored=*/false);  // read-only commit is local, free
@@ -164,8 +207,23 @@ void ConcurrentSim::ProcessClientPhase(ClientState& cs, Cycle phase, const Cycle
             schedule_next(Kind::kBeginRead, t + cs.workload.NextInterOpDelay());
           }
         } else {
+          // Same attribution precedence as BroadcastSim::OnReadAbort: a
+          // loss-stalled attempt's abort is the channel's fault; otherwise
+          // the protocol's captured cause stands.
+          AbortInfo info = cs.protocol.last_abort();
           if (cs.receiver != nullptr && cs.stalled_this_attempt) {
+            info.cause = AbortCause::kChannelLoss;
             cs.receiver->RecordLossAttributedAbort();
+          }
+          cs.abort_causes.Record(info.cause);
+          if (cs.trace != nullptr) {
+            TraceEvent e;
+            e.type = TraceEventType::kAbort;
+            e.time = t;
+            e.cycle = phase;
+            e.object = info.ob_j;
+            e.abort = info;
+            cs.trace->Record(e);
           }
           cs.stalled_this_attempt = false;
           ++cs.restarts;
@@ -189,6 +247,14 @@ void ConcurrentSim::ProcessServerPhase(Cycle phase) {
     const ServerTxn txn = server_workload_->NextTxn();
     manager_->ExecuteAndCommit(txn, phase);
     ++server_commits_;
+    if (server_trace_ != nullptr) {
+      TraceEvent e;
+      e.type = TraceEventType::kCommit;
+      e.time = next_commit_time_;
+      e.cycle = phase;
+      e.value = txn.id;
+      server_trace_->Record(e);
+    }
     const SimTime prev = next_commit_time_;
     const bool prev_pre = next_commit_pre_flip_;
     next_commit_time_ = prev + server_workload_->NextInterval();
@@ -248,6 +314,17 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
   for (uint32_t c = 0; c < config_.num_clients; ++c) {
     clients_.push_back(std::make_unique<ClientState>(config_, root.Split(), codec));
   }
+  if (tracer_ != nullptr) {
+    // Track registration happens strictly before any thread spawns; after
+    // this point each ring has exactly one writer for the whole run.
+    server_trace_ = tracer_->AddTrack("server");
+    for (size_t c = 0; c < clients_.size(); ++c) {
+      clients_[c]->trace = tracer_->AddTrack(StrFormat("client%zu", c));
+      if (clients_[c]->receiver != nullptr) {
+        clients_[c]->receiver->set_trace_ring(clients_[c]->trace);
+      }
+    }
+  }
   if (config_.channel_broadcast) {
     // Channel fault streams are seeded independently of the root RNG (see
     // LossyChannel), so client c's fault sequence here is bit-identical to
@@ -258,7 +335,23 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
   }
 
   cycle_bits_ = server_->CycleLengthBits();
+  const auto trace_cycle_start = [this](Cycle cycle) {
+    if (server_trace_ == nullptr) return;
+    TraceEvent slice;
+    slice.type = TraceEventType::kCycleStart;
+    slice.time = (cycle - 1) * cycle_bits_;
+    slice.duration = cycle_bits_;
+    slice.cycle = cycle;
+    server_trace_->Record(slice);
+    TraceEvent tx;
+    tx.type = TraceEventType::kBroadcastTx;
+    tx.time = slice.time;
+    tx.cycle = cycle;
+    tx.value = config_.num_objects;
+    server_trace_->Record(tx);
+  };
   server_->BeginCycle(1, 0, *manager_);
+  trace_cycle_start(1);
   published_ = std::make_shared<const CycleSnapshot>(server_->snapshot());
   if (channel_ != nullptr) {
     published_frames_ = std::make_shared<const std::vector<Frame>>(
@@ -294,7 +387,8 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
           // Per-client fault link and receiver are thread-local; Transmit
           // only touches this client's RNG/burst state inside channel_.
           const std::shared_ptr<const std::vector<Frame>> frames = published_frames_;
-          cs.receiver->IngestCycle(phase, channel_->Transmit(c, *frames));
+          cs.receiver->IngestCycle(phase, channel_->Transmit(c, *frames),
+                                   (phase - 1) * cycle_bits_);
         }
         ProcessClientPhase(cs, phase, *snap);
         work_done.arrive_and_wait();
@@ -316,6 +410,7 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
                : completions_.load(std::memory_order_relaxed) >= config_.num_client_txns;
     if (!stop) {
       server_->BeginCycle(phase + 1, phase * cycle_bits_, *manager_);
+      trace_cycle_start(phase + 1);
       published_ = std::make_shared<const CycleSnapshot>(server_->snapshot());
       if (channel_ != nullptr) {
         published_frames_ = std::make_shared<const std::vector<Frame>>(
@@ -335,6 +430,7 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
     summary.completed_txns += cs->completed;
     summary.censored_txns += cs->censored;
     summary.total_restarts += cs->total_restarts;
+    summary.abort_causes.Accumulate(cs->abort_causes);
     if (cs->receiver != nullptr) summary.channel.Accumulate(cs->receiver->stats());
     if (config_.record_decisions) decisions_.push_back(std::move(cs->decisions));
   }
@@ -351,9 +447,20 @@ Status CrossCheckEngines(SimConfig config) {
   config.num_client_txns = std::numeric_limits<uint32_t>::max();
 
   BroadcastSim sequential(config);
-  BCC_RETURN_IF_ERROR(sequential.Run().status());
+  BCC_ASSIGN_OR_RETURN(const SimSummary seq_summary, sequential.Run());
   ConcurrentSim concurrent(config);
-  BCC_RETURN_IF_ERROR(concurrent.Run().status());
+  BCC_ASSIGN_OR_RETURN(const ConcurrentSummary conc_summary, concurrent.Run());
+
+  // The abort-attribution tables must agree cause-by-cause: both engines
+  // classify every abort at the same failing check, and neither filters by
+  // warmup, so the breakdowns are bit-identical, not just statistically
+  // close.
+  if (!(seq_summary.abort_causes == conc_summary.abort_causes)) {
+    return Status::Internal(StrFormat(
+        "abort breakdowns diverged: sequential=(%s) concurrent=(%s)",
+        seq_summary.abort_causes.ToString().c_str(),
+        conc_summary.abort_causes.ToString().c_str()));
+  }
 
   const auto& seq = sequential.decisions();
   const auto& conc = concurrent.decisions();

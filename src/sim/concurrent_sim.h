@@ -36,6 +36,7 @@
 #include "channel/frame.h"
 #include "channel/lossy_channel.h"
 #include "common/statusor.h"
+#include "obs/trace.h"
 #include "server/broadcast_server.h"
 #include "server/txn_manager.h"
 #include "sim/config.h"
@@ -53,6 +54,10 @@ struct ConcurrentSummary {
   uint64_t total_restarts = 0;    ///< aborts across all completed txns
   /// Channel counters summed over all clients (channel_broadcast mode).
   ChannelStats channel;
+  /// Per-cause abort breakdown, accumulated per client thread and merged
+  /// after join. Bit-identical to the sequential engine's on cross-check
+  /// configurations (counts commute, so merge order is irrelevant).
+  AbortBreakdown abort_causes;
 };
 
 /// One concurrent run. Construct, Run() once, then inspect. Run() spawns
@@ -82,6 +87,12 @@ class ConcurrentSim {
   /// Per-client transaction decision logs, in completion order (empty
   /// unless config.record_decisions).
   const std::vector<std::vector<TxnDecision>>& decisions() const { return decisions_; }
+
+  /// Attaches an event tracer (not owned; must outlive the sim). Call before
+  /// Run. Tracks — "server" plus one per client — are registered before any
+  /// thread spawns, and each ring is written by exactly one thread for the
+  /// whole run (single-writer, lock-free, TSan-clean). Purely observational.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
   struct ClientState;
@@ -124,6 +135,8 @@ class ConcurrentSim {
   std::atomic<uint64_t> completions_{0};
 
   std::vector<std::vector<TxnDecision>> decisions_;
+  Tracer* tracer_ = nullptr;         // not owned; null = tracing off
+  TraceRing* server_trace_ = nullptr;
   bool ran_ = false;
 };
 

@@ -44,6 +44,9 @@ Status SimConfig::Validate() const {
   if (num_clients == 0) {
     return Status::InvalidArgument("num_clients must be >= 1");
   }
+  if (trace_capacity == 0) {
+    return Status::InvalidArgument("trace_capacity must be > 0");
+  }
   if (hot_set_size > num_objects) {
     return Status::InvalidArgument("hot_set_size exceeds num_objects");
   }

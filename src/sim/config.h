@@ -122,6 +122,10 @@ struct SimConfig {
   /// Keep a per-client log of TxnDecision records (sim/metrics.h) for
   /// engine cross-checks. Use small configs only.
   bool record_decisions = false;
+  /// Per-track ring capacity used when a Tracer is attached to an engine
+  /// (sim_cli --trace-capacity). Purely observational — changing it never
+  /// changes decisions; when no tracer is attached it is unused.
+  size_t trace_capacity = 4096;
 
   /// Parameter sanity checks.
   Status Validate() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/format.h"
+#include "obs/json.h"
 
 namespace bcc {
 
@@ -15,6 +16,19 @@ std::string SimSummary::ToString() const {
       static_cast<unsigned long long>(cycles_elapsed),
       static_cast<unsigned long long>(server_commits),
       static_cast<unsigned long long>(censored_txns));
+  if (cache_hits > 0 || cache_misses > 0) {
+    out += StrFormat(" cacheHits=%llu cacheMisses=%llu",
+                     static_cast<unsigned long long>(cache_hits),
+                     static_cast<unsigned long long>(cache_misses));
+  }
+  if (client_update_commits > 0 || client_update_rejects > 0) {
+    out += StrFormat(" clientUpdateCommits=%llu clientUpdateRejects=%llu",
+                     static_cast<unsigned long long>(client_update_commits),
+                     static_cast<unsigned long long>(client_update_rejects));
+  }
+  if (abort_causes.TotalAborts() > 0 || abort_causes.Count(AbortCause::kCensored) > 0) {
+    out += StrFormat(" aborts(%s)", abort_causes.ToString().c_str());
+  }
   if (delta_cycles > 0) {
     out += StrFormat(" deltaCycles=%llu refreshes=%llu deltaBits=%llu fullBits=%llu stalls=%llu",
                      static_cast<unsigned long long>(delta_cycles),
@@ -46,7 +60,17 @@ void SimMetrics::RecordClientTxn(SimTime submit, SimTime commit, uint32_t restar
   if (total_txns_ <= warmup_txns_) return;
   const double response = static_cast<double>(commit - submit);
   response_.Add(response);
-  responses_.push_back(response);
+  // Algorithm R reservoir: exact while under capacity, then each later
+  // response replaces a uniformly random slot with probability cap/seen. The
+  // RNG is fixed-seeded and consumed only on the over-capacity path, so runs
+  // that never exceed the reservoir are bit-identical to the old exact sort.
+  ++reservoir_seen_;
+  if (responses_.size() < kReservoirCapacity) {
+    responses_.push_back(response);
+  } else {
+    const uint64_t slot = reservoir_rng_.NextBounded(reservoir_seen_);
+    if (slot < kReservoirCapacity) responses_[slot] = response;
+  }
   restarts_.Add(static_cast<double>(restarts));
   total_restarts_measured_ += restarts;
 }
@@ -74,6 +98,7 @@ SimSummary SimMetrics::Summarize(uint64_t cycles, SimTime end_time, uint64_t cac
   s.full_control_bits = full_control_bits_;
   s.delta_stall_waits = delta_stall_waits_;
   s.channel = channel_;
+  s.abort_causes = abort_causes_;
   if (!responses_.empty()) {
     std::vector<double> sorted = responses_;
     std::sort(sorted.begin(), sorted.end());
@@ -85,6 +110,89 @@ SimSummary SimMetrics::Summarize(uint64_t cycles, SimTime end_time, uint64_t cac
     s.response_p95 = quantile(0.95);
   }
   return s;
+}
+
+std::string SimSummary::ToJson() const {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("mean_response_time")
+      .Value(mean_response_time)
+      .Key("response_ci_half_width")
+      .Value(response_ci_half_width)
+      .Key("response_p50")
+      .Value(response_p50)
+      .Key("response_p95")
+      .Value(response_p95)
+      .Key("restart_ratio")
+      .Value(restart_ratio)
+      .Key("measured_txns")
+      .Value(measured_txns)
+      .Key("total_txns")
+      .Value(total_txns)
+      .Key("total_restarts")
+      .Value(total_restarts)
+      .Key("cycles_elapsed")
+      .Value(cycles_elapsed)
+      .Key("server_commits")
+      .Value(server_commits)
+      .Key("sim_end_time")
+      .Value(sim_end_time)
+      .Key("censored_txns")
+      .Value(censored_txns)
+      .Key("cache_hits")
+      .Value(cache_hits)
+      .Key("cache_misses")
+      .Value(cache_misses)
+      .Key("client_update_commits")
+      .Value(client_update_commits)
+      .Key("client_update_rejects")
+      .Value(client_update_rejects)
+      .Key("delta_cycles")
+      .Value(delta_cycles)
+      .Key("delta_refresh_cycles")
+      .Value(delta_refresh_cycles)
+      .Key("delta_control_bits")
+      .Value(delta_control_bits)
+      .Key("full_control_bits")
+      .Value(full_control_bits)
+      .Key("delta_stall_waits")
+      .Value(delta_stall_waits);
+  w.Key("abort_causes").BeginObject();
+  for (size_t c = 1; c < kNumAbortCauses; ++c) {
+    w.Key(AbortCauseName(static_cast<AbortCause>(c))).Value(abort_causes.counts[c]);
+  }
+  w.Key("total").Value(abort_causes.TotalAborts()).EndObject();
+  w.Key("channel")
+      .BeginObject()
+      .Key("frames_sent")
+      .Value(channel.frames_sent)
+      .Key("frames_dropped")
+      .Value(channel.frames_dropped)
+      .Key("frames_corrupted")
+      .Value(channel.frames_corrupted)
+      .Key("frames_truncated")
+      .Value(channel.frames_truncated)
+      .Key("frames_delivered")
+      .Value(channel.frames_delivered)
+      .Key("frames_rejected")
+      .Value(channel.frames_rejected)
+      .Key("frames_delivered_corrupt")
+      .Value(channel.frames_delivered_corrupt)
+      .Key("data_losses")
+      .Value(channel.data_losses)
+      .Key("control_losses")
+      .Value(channel.control_losses)
+      .Key("stalls")
+      .Value(channel.stalls)
+      .Key("resyncs")
+      .Value(channel.resyncs)
+      .Key("tracker_desyncs")
+      .Value(channel.tracker_desyncs)
+      .Key("loss_attributed_aborts")
+      .Value(channel.loss_attributed_aborts)
+      .EndObject();
+  w.EndObject();
+  return std::move(w).Take();
 }
 
 }  // namespace bcc

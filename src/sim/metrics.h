@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "channel/lossy_channel.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "des/event_queue.h"
 #include "matrix/control_info.h"
+#include "obs/trace.h"
 
 namespace bcc {
 
@@ -71,7 +73,14 @@ struct SimSummary {
   /// all-zero otherwise).
   ChannelStats channel;
 
+  /// Per-cause abort breakdown over the whole run (not warmup-filtered, so
+  /// two engines replaying the same decisions report identical tables).
+  AbortBreakdown abort_causes;
+
   std::string ToString() const;
+  /// Serializes every field (including the abort breakdown and channel
+  /// counters) as a JSON object, for sim_cli --metrics-json.
+  std::string ToJson() const;
 };
 
 /// Streaming collector fed by the simulator.
@@ -101,6 +110,17 @@ class SimMetrics {
   /// Folds one client's channel/receiver counters into the run totals.
   void AccumulateChannel(const ChannelStats& stats) { channel_.Accumulate(stats); }
 
+  /// Records one abort (or censoring) with its structured cause. Counted for
+  /// every attempt of every transaction — never warmup-filtered — so the
+  /// breakdown is part of the cross-engine bit-exactness contract.
+  void RecordAbort(AbortCause cause) { abort_causes_.Record(cause); }
+  const AbortBreakdown& abort_causes() const { return abort_causes_; }
+
+  /// Quantile reservoir size: below this many measured transactions the
+  /// p50/p95 are exact; beyond it they come from a deterministic
+  /// fixed-seed Algorithm R sample (O(1) memory, engine-independent).
+  static constexpr size_t kReservoirCapacity = 4096;
+
   uint64_t committed_client_txns() const { return total_txns_; }
 
   /// Finalizes the summary. `cycles` and `end_time` come from the sim.
@@ -121,10 +141,17 @@ class SimMetrics {
   uint64_t full_control_bits_ = 0;
   uint64_t delta_stall_waits_ = 0;
   ChannelStats channel_;
+  AbortBreakdown abort_causes_;
   StreamingStats response_;
   StreamingStats restarts_;
-  // Response-time reservoir for quantiles (measured window only).
+  // Response-time reservoir for quantiles (measured window only). Bounded at
+  // kReservoirCapacity via Algorithm R; the replacement stream is seeded by a
+  // fixed constant (never the workload seed) so the sample — and therefore
+  // the reported quantiles — depend only on the sequence of recorded
+  // responses, which both engines produce identically.
   std::vector<double> responses_;
+  uint64_t reservoir_seen_ = 0;
+  Rng reservoir_rng_{0x9d2c5680cafef00dull};
 };
 
 }  // namespace bcc

@@ -35,6 +35,85 @@ TEST(SimMetricsTest, QuantilesFromMeasuredWindow) {
   EXPECT_NEAR(s.response_p95, 950.0, 20.0);
 }
 
+TEST(SimMetricsTest, ReservoirQuantilesTrackExactOnLargeStreams) {
+  // Way past kReservoirCapacity: quantiles come from the Algorithm R sample
+  // and must stay close to the exact stream quantiles.
+  const uint64_t n = 8 * SimMetrics::kReservoirCapacity;
+  SimMetrics m(0);
+  for (uint64_t i = 0; i < n; ++i) {
+    // A fixed pseudo-random permutation pattern of [10, 10 + n): exact
+    // p50 = 10 + n/2, exact p95 = 10 + 0.95 n.
+    const uint64_t v = (i * 7919 + 13) % n;
+    m.RecordClientTxn(0, static_cast<SimTime>(10 + v), 0, false);
+  }
+  const SimSummary s = m.Summarize(1, 1, 0, 0);
+  EXPECT_EQ(s.measured_txns, n);
+  // 5% relative tolerance: ~6x the sampling standard error of a 4096-element
+  // reservoir, so this never flakes, but unbounded drift would fail.
+  EXPECT_NEAR(s.response_p50, 10.0 + 0.50 * static_cast<double>(n), 0.05 * n);
+  EXPECT_NEAR(s.response_p95, 10.0 + 0.95 * static_cast<double>(n), 0.05 * n);
+}
+
+TEST(SimMetricsTest, ReservoirIsDeterministic) {
+  // The replacement RNG is seeded by a fixed constant, never the workload
+  // seed: two collectors fed the same stream report bit-identical quantiles.
+  auto run = [] {
+    SimMetrics m(0);
+    for (uint64_t i = 0; i < 3 * SimMetrics::kReservoirCapacity; ++i) {
+      m.RecordClientTxn(0, static_cast<SimTime>(1 + (i * 2654435761u) % 100000), 0, false);
+    }
+    return m.Summarize(1, 1, 0, 0);
+  };
+  const SimSummary a = run();
+  const SimSummary b = run();
+  EXPECT_EQ(a.response_p50, b.response_p50);
+  EXPECT_EQ(a.response_p95, b.response_p95);
+}
+
+TEST(SimMetricsTest, BelowCapacityQuantilesAreExact) {
+  // Under the capacity the reservoir is just the full sample: quantiles
+  // match the closed-form values with no sampling error at all.
+  SimMetrics m(0);
+  for (int i = 1; i <= 1000; ++i) m.RecordClientTxn(0, static_cast<SimTime>(i), 0, false);
+  const SimSummary s = m.Summarize(1, 1, 0, 0);
+  EXPECT_NEAR(s.response_p50, 500.0, 2.0);
+  EXPECT_NEAR(s.response_p95, 950.0, 2.0);
+}
+
+TEST(SimMetricsTest, AbortCausesFlowIntoSummary) {
+  SimMetrics m(0);
+  m.RecordAbort(AbortCause::kControlConflict);
+  m.RecordAbort(AbortCause::kControlConflict);
+  m.RecordAbort(AbortCause::kUplinkReject);
+  m.RecordClientTxn(0, 100, 3, false);
+  const SimSummary s = m.Summarize(1, 100, 0, 0);
+  EXPECT_EQ(s.abort_causes.Count(AbortCause::kControlConflict), 2u);
+  EXPECT_EQ(s.abort_causes.Count(AbortCause::kUplinkReject), 1u);
+  EXPECT_EQ(s.abort_causes.TotalAborts(), 3u);
+  EXPECT_NE(s.ToString().find("aborts("), std::string::npos);
+}
+
+TEST(SimSummaryTest, ToStringOmitsZeroExtensionCounters) {
+  SimMetrics m(0);
+  m.RecordClientTxn(0, 100, 0, false);
+  const std::string str = m.Summarize(1, 100, 0, 0).ToString();
+  EXPECT_EQ(str.find("cacheHits="), std::string::npos);
+  EXPECT_EQ(str.find("clientUpdateCommits="), std::string::npos);
+  EXPECT_EQ(str.find("aborts("), std::string::npos);
+}
+
+TEST(SimSummaryTest, ToStringEmitsNonzeroExtensionCounters) {
+  SimMetrics m(0);
+  m.RecordClientUpdateCommit();
+  m.RecordClientUpdateReject();
+  m.RecordClientTxn(0, 100, 0, false);
+  const std::string str = m.Summarize(1, 100, 5, 2).ToString();
+  EXPECT_NE(str.find("cacheHits=5"), std::string::npos);
+  EXPECT_NE(str.find("cacheMisses=2"), std::string::npos);
+  EXPECT_NE(str.find("clientUpdateCommits=1"), std::string::npos);
+  EXPECT_NE(str.find("clientUpdateRejects=1"), std::string::npos);
+}
+
 TEST(SimMetricsTest, ServerCommitsTracked) {
   SimMetrics m(0);
   m.RecordServerCommit();

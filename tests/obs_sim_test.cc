@@ -1,0 +1,218 @@
+// Engine-level observability tests: the zero-observer-effect contract
+// (tracing never changes a decision), abort-cause attribution invariants,
+// cross-engine breakdown identity, and end-to-end trace export validity.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "sim/broadcast_sim.h"
+#include "sim/concurrent_sim.h"
+
+namespace bcc {
+namespace {
+
+// Contended single-client configuration: frequent server commits over a
+// small database force read-condition aborts.
+SimConfig ContendedConfig(Algorithm a, uint64_t seed = 42) {
+  SimConfig c;
+  c.algorithm = a;
+  c.num_objects = 12;
+  c.object_size_bits = 256;
+  c.client_txn_length = 4;
+  c.server_txn_length = 4;
+  c.server_txn_interval = 6000;
+  c.mean_inter_op_delay = 2000;
+  c.mean_inter_txn_delay = 4000;
+  c.num_client_txns = 80;
+  c.warmup_txns = 20;
+  c.seed = seed;
+  return c;
+}
+
+// The concurrent engine's cross-check shape (multi-client, cycle cutoff).
+SimConfig EpochConfig(uint64_t seed) {
+  SimConfig config;
+  config.algorithm = Algorithm::kFMatrix;
+  config.num_objects = 16;
+  config.object_size_bits = 256;
+  config.client_txn_length = 3;
+  config.server_txn_length = 4;
+  config.server_txn_interval = 1500;
+  config.mean_inter_op_delay = 512;
+  config.mean_inter_txn_delay = 1024;
+  config.num_clients = 4;
+  config.seed = seed;
+  config.stop_after_cycles = 40;
+  config.num_client_txns = 100000;
+  config.warmup_txns = 1;
+  return config;
+}
+
+TEST(ObsSimTest, TracingHasZeroObserverEffect) {
+  for (Algorithm a : kAllAlgorithms) {
+    SimConfig config = ContendedConfig(a);
+    config.record_decisions = true;
+
+    BroadcastSim plain(config);
+    const auto plain_summary = plain.Run();
+    ASSERT_TRUE(plain_summary.ok()) << plain_summary.status().ToString();
+
+    Tracer tracer(/*capacity_per_track=*/256);
+    BroadcastSim traced(config);
+    traced.set_tracer(&tracer);
+    const auto traced_summary = traced.Run();
+    ASSERT_TRUE(traced_summary.ok()) << traced_summary.status().ToString();
+
+    // Identical decision streams and identical metrics: tracing is invisible.
+    EXPECT_EQ(plain.decisions(), traced.decisions()) << AlgorithmName(a);
+    EXPECT_EQ(plain_summary->sim_end_time, traced_summary->sim_end_time);
+    EXPECT_EQ(plain_summary->total_restarts, traced_summary->total_restarts);
+    EXPECT_EQ(plain_summary->mean_response_time, traced_summary->mean_response_time);
+    EXPECT_TRUE(plain_summary->abort_causes == traced_summary->abort_causes)
+        << AlgorithmName(a) << ": " << plain_summary->abort_causes.ToString() << " vs "
+        << traced_summary->abort_causes.ToString();
+    EXPECT_GT(tracer.TotalRecorded(), 0u);
+  }
+}
+
+TEST(ObsSimTest, EveryAbortIsAttributed) {
+  // Single client: the run ends exactly when its last transaction completes,
+  // so the per-cause tally must account for every recorded restart.
+  SimConfig config = ContendedConfig(Algorithm::kFMatrix);
+  config.record_decisions = true;
+  BroadcastSim sim(config);
+  const auto summary = sim.Run();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+
+  uint64_t restarts = 0;
+  for (const auto& log : sim.decisions()) {
+    for (const TxnDecision& d : log) restarts += d.restarts;
+  }
+  EXPECT_GT(restarts, 0u) << "configuration not contended enough to abort";
+  EXPECT_EQ(summary->abort_causes.TotalAborts(), restarts);
+  // A lossless, full-matrix, read-only run can only abort on control checks.
+  EXPECT_EQ(summary->abort_causes.Count(AbortCause::kControlConflict),
+            summary->abort_causes.TotalAborts());
+  EXPECT_EQ(summary->abort_causes.Count(AbortCause::kCensored), summary->censored_txns);
+}
+
+TEST(ObsSimTest, DatacycleAbortsAttributeToMcConflict) {
+  SimConfig config = ContendedConfig(Algorithm::kDatacycle);
+  const auto summary = RunSimulation(config);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  ASSERT_GT(summary->abort_causes.TotalAborts(), 0u);
+  EXPECT_EQ(summary->abort_causes.Count(AbortCause::kMcConflict),
+            summary->abort_causes.TotalAborts());
+  EXPECT_EQ(summary->abort_causes.Count(AbortCause::kControlConflict), 0u);
+}
+
+TEST(ObsSimTest, ChannelLossAbortsAttributedToLoss) {
+  SimConfig config = ContendedConfig(Algorithm::kFMatrix, 7);
+  config.channel_broadcast = true;
+  config.channel_loss_rate = 0.05;
+  const auto summary = RunSimulation(config);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  // The kChannelLoss tally and the channel's loss-attributed abort counter
+  // are two views of the same classification.
+  EXPECT_EQ(summary->abort_causes.Count(AbortCause::kChannelLoss),
+            summary->channel.loss_attributed_aborts);
+}
+
+TEST(ObsSimTest, AbortBreakdownSurvivesSummaryToString) {
+  SimConfig config = ContendedConfig(Algorithm::kFMatrix);
+  const auto summary = RunSimulation(config);
+  ASSERT_TRUE(summary.ok());
+  ASSERT_GT(summary->abort_causes.TotalAborts(), 0u);
+  EXPECT_NE(summary->ToString().find("aborts("), std::string::npos);
+}
+
+TEST(ObsSimTest, MetricsJsonIsValidAndComplete) {
+  SimConfig config = ContendedConfig(Algorithm::kFMatrix);
+  const auto summary = RunSimulation(config);
+  ASSERT_TRUE(summary.ok());
+  const std::string json = summary->ToJson();
+  EXPECT_EQ(ValidateJson(json), Status::OK()) << json;
+  EXPECT_NE(json.find("\"abort_causes\""), std::string::npos);
+  EXPECT_NE(json.find("\"control_conflict\""), std::string::npos);
+  EXPECT_NE(json.find("\"channel\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_response_time\""), std::string::npos);
+}
+
+TEST(ObsSimTest, TraceExportFromRunIsValidChromeTrace) {
+  SimConfig config = ContendedConfig(Algorithm::kFMatrix);
+  Tracer tracer(/*capacity_per_track=*/512);
+  BroadcastSim sim(config);
+  sim.set_tracer(&tracer);
+  ASSERT_TRUE(sim.Run().ok());
+
+  ASSERT_EQ(tracer.num_tracks(), 2u);  // server + one client
+  EXPECT_EQ(tracer.track_name(0), "server");
+  EXPECT_EQ(tracer.track_name(1), "client0");
+
+  const std::string json = ExportChromeTrace(tracer);
+  EXPECT_EQ(ValidateJson(json), Status::OK());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);  // cycle slices present
+  EXPECT_NE(json.find("\"abort\""), std::string::npos);
+}
+
+TEST(ObsSimTest, CrossEngineAbortBreakdownsAreIdentical) {
+  for (const uint64_t seed : {7ull, 1234ull}) {
+    SimConfig config = EpochConfig(seed);
+    config.record_decisions = true;
+    // Cycle cutoff only (the cross-check's shape): make the count unreachable.
+    config.num_client_txns = std::numeric_limits<uint32_t>::max();
+
+    BroadcastSim sequential(config);
+    const auto seq = sequential.Run();
+    ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+
+    ConcurrentSim concurrent(config);
+    const auto conc = concurrent.Run();
+    ASSERT_TRUE(conc.ok()) << conc.status().ToString();
+
+    EXPECT_GT(seq->abort_causes.TotalAborts(), 0u) << "seed " << seed;
+    EXPECT_TRUE(seq->abort_causes == conc->abort_causes)
+        << "seed " << seed << ": " << seq->abort_causes.ToString() << " vs "
+        << conc->abort_causes.ToString();
+  }
+}
+
+// Named ConcurrentSim* so the TSan CI job (ctest -R 'ConcurrentSim') also
+// exercises the tracing paths under the race detector.
+TEST(ConcurrentSimTraceTest, TracingIsRaceFreeAndZeroEffect) {
+  SimConfig config = EpochConfig(11);
+  config.record_decisions = true;
+
+  ConcurrentSim plain(config);
+  const auto plain_summary = plain.Run();
+  ASSERT_TRUE(plain_summary.ok()) << plain_summary.status().ToString();
+
+  Tracer tracer(/*capacity_per_track=*/256);
+  ConcurrentSim traced(config);
+  traced.set_tracer(&tracer);
+  const auto traced_summary = traced.Run();
+  ASSERT_TRUE(traced_summary.ok()) << traced_summary.status().ToString();
+
+  EXPECT_EQ(plain.decisions(), traced.decisions());
+  EXPECT_EQ(plain_summary->completed_txns, traced_summary->completed_txns);
+  EXPECT_EQ(plain_summary->total_restarts, traced_summary->total_restarts);
+  EXPECT_TRUE(plain_summary->abort_causes == traced_summary->abort_causes);
+  EXPECT_EQ(tracer.num_tracks(), 1u + config.num_clients);
+  EXPECT_GT(tracer.TotalRecorded(), 0u);
+  EXPECT_EQ(ValidateJson(ExportChromeTrace(tracer)), Status::OK());
+}
+
+TEST(ConcurrentSimTraceTest, CrossCheckStillHoldsWithContention) {
+  SimConfig config = EpochConfig(3);
+  config.server_txn_interval = 800;  // heavier write traffic, more aborts
+  EXPECT_EQ(CrossCheckEngines(config), Status::OK());
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,208 @@
+// Unit tests for the observability layer: trace rings, abort breakdowns,
+// the JSON writer/validator, and the Chrome trace_event exporter.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/trace_export.h"
+
+namespace bcc {
+namespace {
+
+TraceEvent Ev(TraceEventType type, SimTime time, uint64_t value = 0) {
+  TraceEvent e;
+  e.type = type;
+  e.time = time;
+  e.value = value;
+  return e;
+}
+
+TEST(TraceRingTest, BelowCapacityKeepsEverythingInOrder) {
+  TraceRing ring(8);
+  for (SimTime t = 0; t < 5; ++t) ring.Record(Ev(TraceEventType::kRead, t, t * 10));
+  EXPECT_EQ(ring.recorded(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].time, i);
+    EXPECT_EQ(events[i].value, i * 10);
+  }
+}
+
+TEST(TraceRingTest, WrapsOverwritingOldestFirst) {
+  TraceRing ring(4);
+  for (SimTime t = 0; t < 10; ++t) ring.Record(Ev(TraceEventType::kRead, t));
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Survivors are the last four events, oldest first.
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].time, 6 + i);
+}
+
+TEST(TraceRingTest, TraceToIsNullSafe) {
+  TraceTo(nullptr, Ev(TraceEventType::kAbort, 1));  // must not crash
+  TraceRing ring(2);
+  TraceTo(&ring, Ev(TraceEventType::kAbort, 1));
+  EXPECT_EQ(ring.recorded(), 1u);
+}
+
+TEST(AbortBreakdownTest, RecordCountAndTotal) {
+  AbortBreakdown b;
+  b.Record(AbortCause::kControlConflict);
+  b.Record(AbortCause::kControlConflict);
+  b.Record(AbortCause::kChannelLoss);
+  b.Record(AbortCause::kCensored);
+  EXPECT_EQ(b.Count(AbortCause::kControlConflict), 2u);
+  EXPECT_EQ(b.Count(AbortCause::kChannelLoss), 1u);
+  EXPECT_EQ(b.Count(AbortCause::kMcConflict), 0u);
+  // Censored completions are a marker, not a transaction-attempt abort.
+  EXPECT_EQ(b.TotalAborts(), 3u);
+}
+
+TEST(AbortBreakdownTest, AccumulateIsElementwise) {
+  AbortBreakdown a, b;
+  a.Record(AbortCause::kMcConflict);
+  b.Record(AbortCause::kMcConflict);
+  b.Record(AbortCause::kUplinkReject);
+  a.Accumulate(b);
+  EXPECT_EQ(a.Count(AbortCause::kMcConflict), 2u);
+  EXPECT_EQ(a.Count(AbortCause::kUplinkReject), 1u);
+  EXPECT_EQ(a.TotalAborts(), 3u);
+}
+
+TEST(AbortBreakdownTest, ToStringNamesEveryCause) {
+  AbortBreakdown b;
+  b.Record(AbortCause::kDesyncStall);
+  const std::string s = b.ToString();
+  EXPECT_NE(s.find("control=0"), std::string::npos);
+  EXPECT_NE(s.find("desync=1"), std::string::npos);
+  EXPECT_NE(s.find("censored=0"), std::string::npos);
+}
+
+TEST(AbortInfoTest, EqualityIsFieldwise) {
+  const AbortInfo a{AbortCause::kControlConflict, 3, 7, 12, 15};
+  AbortInfo b = a;
+  EXPECT_EQ(a, b);
+  b.c_ij = 16;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(JsonWriterTest, ObjectsArraysAndEscaping) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("name")
+      .Value("a \"quoted\"\nvalue")
+      .Key("list")
+      .BeginArray()
+      .Value(uint64_t{1})
+      .Value(2.5)
+      .Value(true)
+      .EndArray()
+      .EndObject();
+  const std::string json = std::move(w).Take();
+  EXPECT_EQ(ValidateJson(json), Status::OK()) << json;
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray()
+      .Value(std::numeric_limits<double>::quiet_NaN())
+      .Value(std::numeric_limits<double>::infinity())
+      .EndArray();
+  const std::string json = std::move(w).Take();
+  EXPECT_EQ(json, "[null,null]");
+  EXPECT_EQ(ValidateJson(json), Status::OK());
+}
+
+TEST(JsonWriterTest, RawValueSplicesDocument) {
+  JsonWriter inner;
+  inner.BeginObject().Key("x").Value(uint64_t{1}).EndObject();
+  JsonWriter outer;
+  outer.BeginObject().Key("inner").RawValue(inner.str()).Key("y").Value(uint64_t{2}).EndObject();
+  const std::string json = std::move(outer).Take();
+  EXPECT_EQ(ValidateJson(json), Status::OK()) << json;
+}
+
+TEST(ValidateJsonTest, AcceptsValidDocuments) {
+  EXPECT_EQ(ValidateJson("{}"), Status::OK());
+  EXPECT_EQ(ValidateJson("[1, 2.5e-3, -4]"), Status::OK());
+  EXPECT_EQ(ValidateJson(R"({"a": [true, false, null], "b": "é"})"), Status::OK());
+}
+
+TEST(ValidateJsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ValidateJson("").ok());
+  EXPECT_FALSE(ValidateJson("{").ok());
+  EXPECT_FALSE(ValidateJson("[1,]").ok());
+  EXPECT_FALSE(ValidateJson("{} trailing").ok());
+  EXPECT_FALSE(ValidateJson("{'single': 1}").ok());
+  EXPECT_FALSE(ValidateJson("[01]").ok());
+  EXPECT_FALSE(ValidateJson("nul").ok());
+}
+
+TEST(TracerTest, TracksAreStableAndCounted) {
+  Tracer tracer(/*capacity_per_track=*/2);
+  TraceRing* server = tracer.AddTrack("server");
+  TraceRing* client = tracer.AddTrack("client0");
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(client, nullptr);
+  for (SimTime t = 0; t < 3; ++t) server->Record(Ev(TraceEventType::kCommit, t));
+  client->Record(Ev(TraceEventType::kRead, 9));
+  EXPECT_EQ(tracer.num_tracks(), 2u);
+  EXPECT_EQ(tracer.track_name(0), "server");
+  EXPECT_EQ(tracer.TotalRecorded(), 4u);
+  EXPECT_EQ(tracer.TotalDropped(), 1u);
+}
+
+TEST(ExportChromeTraceTest, OutputIsValidAndCarriesTrackNames) {
+  Tracer tracer(16);
+  TraceRing* server = tracer.AddTrack("server");
+  TraceRing* client = tracer.AddTrack("client0");
+
+  TraceEvent cycle = Ev(TraceEventType::kCycleStart, 0);
+  cycle.duration = 1000;
+  cycle.cycle = 1;
+  server->Record(cycle);
+
+  TraceEvent abort = Ev(TraceEventType::kAbort, 420);
+  abort.cycle = 1;
+  abort.object = 7;
+  abort.abort = {AbortCause::kControlConflict, 3, 7, 1, 2};
+  client->Record(abort);
+
+  const std::string json = ExportChromeTrace(tracer);
+  EXPECT_EQ(ValidateJson(json), Status::OK()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("client0"), std::string::npos);
+  // The cycle renders as a complete slice, the abort as an instant with its
+  // structured cause in args.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("control_conflict"), std::string::npos);
+}
+
+TEST(WriteTextFileTest, RoundTripsAndReportsFailure) {
+  const std::string path = ::testing::TempDir() + "/obs_write_test.json";
+  ASSERT_EQ(WriteTextFile(path, "{\"ok\": true}\n"), Status::OK());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "{\"ok\": true}\n");
+  EXPECT_FALSE(WriteTextFile("/nonexistent-dir/x/y.json", "x").ok());
+}
+
+}  // namespace
+}  // namespace bcc

@@ -45,6 +45,28 @@ TEST(StreamingStatsTest, MergeEqualsSequential) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(StreamingStatsTest, MergeManyUnequalShardsMatchesSingleStream) {
+  // Parallel Welford: splitting a stream into shards of very different sizes
+  // and merging in arbitrary order must reproduce the single-stream moments.
+  Rng rng(99);
+  StreamingStats all;
+  StreamingStats shards[4];
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.NextExponential(3.0);
+    all.Add(x);
+    // Heavily skewed shard assignment: ~1/8, 1/8, 1/4, 1/2.
+    shards[i % 8 == 0 ? 0 : i % 8 == 1 ? 1 : i % 4 == 1 ? 2 : 3].Add(x);
+  }
+  StreamingStats merged;
+  for (const StreamingStats& s : {shards[2], shards[0], shards[3], shards[1]}) merged.Merge(s);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-6);
+  EXPECT_NEAR(merged.sum(), all.sum(), 1e-6);
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+}
+
 TEST(StreamingStatsTest, MergeWithEmptySides) {
   StreamingStats a, b;
   a.Add(1.0);
@@ -97,6 +119,46 @@ TEST(HistogramTest, QuantileInterpolates) {
   EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
   EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.5);
   EXPECT_NEAR(h.Quantile(0.0), 0.0, 1.5);
+}
+
+TEST(HistogramTest, QuantileOfEmptyIsZero) {
+  Histogram h(0.0, 10.0, 4);
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileSingleBucketInterpolatesWithinRange) {
+  Histogram h(0.0, 8.0, 1);
+  for (int i = 0; i < 4; ++i) h.Add(3.0);
+  // All mass in the one bucket: every quantile lies within [lo, hi].
+  for (double p : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    const double q = h.Quantile(p);
+    EXPECT_GE(q, 0.0) << p;
+    EXPECT_LE(q, 8.0) << p;
+  }
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.9));
+}
+
+TEST(HistogramTest, QuantileExtremesOfClampedValues) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-100.0);  // clamped into the first bucket
+  h.Add(100.0);   // clamped into the last bucket
+  EXPECT_GE(h.Quantile(0.0), 0.0);
+  EXPECT_LE(h.Quantile(1.0), 10.0);
+  EXPECT_LE(h.Quantile(0.0), h.Quantile(1.0));
+}
+
+TEST(HistogramTest, QuantileIsMonotoneInP) {
+  Histogram h(0.0, 50.0, 25);
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) h.Add(rng.NextExponential(12.0));
+  double prev = h.Quantile(0.0);
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double q = h.Quantile(p);
+    EXPECT_GE(q, prev) << "p=" << p;
+    prev = q;
+  }
 }
 
 TEST(HistogramTest, AsciiRenderingNonEmpty) {
