@@ -1,13 +1,25 @@
 // Microbenchmarks (google-benchmark) for the server-side control-matrix
-// hot paths: Theorem 2 incremental maintenance, client read-condition
-// checks, per-cycle snapshotting, group-matrix derivation and delta diffs.
+// hot paths: Theorem 2 incremental maintenance (per-commit and cycle-fused),
+// client read-condition checks, per-cycle snapshotting (full copy and CoW),
+// group-matrix derivation and delta diffs.
+//
+// Besides google-benchmark's own console output, `--json_out=F` emits every
+// result row as JSON through obs/json.h (same bcc.perf_trajectory.v1 row
+// shape as bench_perf_trajectory), so micro rows can land in the BENCH_5.json
+// trajectory file without depending on --benchmark_format.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "matrix/group_matrix.h"
 #include "matrix/mc_vector.h"
 #include "matrix/wire.h"
+#include "obs/json.h"
+#include "obs/trace_export.h"
 
 namespace bcc {
 namespace {
@@ -38,6 +50,51 @@ void BM_FMatrixApplyCommit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FMatrixApplyCommit)->Arg(100)->Arg(300)->Arg(1000);
+
+// A saturated broadcast cycle's commit queue: one commit per object slot
+// (the Fig. 4a regime at large n), Table 1-shaped read/write sets.
+std::vector<CommitSets> CycleBatch(uint32_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CommitSets> batch(n);
+  for (CommitSets& c : batch) {
+    c.read_set = rng.SampleWithoutReplacement(n, n < 2 ? n : 2);
+    c.write_set = rng.SampleWithoutReplacement(n, n < 8 ? n : 8);
+  }
+  return batch;
+}
+
+// The per-commit oracle: one ApplyCommit per queued commit. Throughput is
+// items/sec over COMMITS, directly comparable to BM_FMatrixApplyCommitBatch.
+void BM_FMatrixApplyCommitOracle(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  FMatrix c = WarmMatrix(n);
+  const std::vector<CommitSets> batch = CycleBatch(n, 21);
+  Cycle cycle = 1000;
+  for (auto _ : state) {
+    for (const CommitSets& commit : batch) {
+      c.ApplyCommit(commit.read_set, commit.write_set, cycle);
+    }
+    ++cycle;
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size());
+}
+BENCHMARK(BM_FMatrixApplyCommitOracle)->Arg(100)->Arg(300)->Arg(1000);
+
+// The cycle-fused path on the identical commit queue (bit-identical result;
+// commit_batch_property_test enforces it).
+void BM_FMatrixApplyCommitBatch(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  FMatrix c = WarmMatrix(n);
+  const std::vector<CommitSets> batch = CycleBatch(n, 21);
+  Cycle cycle = 1000;
+  for (auto _ : state) {
+    c.ApplyCommitBatch(batch, cycle++);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size());
+}
+BENCHMARK(BM_FMatrixApplyCommitBatch)->Arg(100)->Arg(300)->Arg(1000);
 
 void BM_FMatrixReadCondition(benchmark::State& state) {
   const uint32_t n = 300;
@@ -80,6 +137,29 @@ void BM_CycleSnapshotCopy(benchmark::State& state) {
 }
 BENCHMARK(BM_CycleSnapshotCopy)->Arg(100)->Arg(300)->Arg(500);
 
+// The CoW per-cycle snapshot the engines now take instead of the full copy
+// above: each iteration commits a handful of transactions (touching a bounded
+// column set) and snapshots. Bytes/sec counts only the bytes physically
+// copied, which scale with touched columns rather than n^2.
+void BM_CycleSnapshotCoW(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  FMatrix c = WarmMatrix(n);
+  Rng rng(5);
+  (void)c.Snapshot();  // pay the one-time full copy outside the loop
+  const uint64_t copied_before = c.snapshot_columns_copied();
+  Cycle cycle = 1000;
+  FMatrixSnapshot held;  // the engines hold the published snapshot one cycle
+  for (auto _ : state) {
+    c.ApplyCommit(rng.SampleWithoutReplacement(n, 4), rng.SampleWithoutReplacement(n, 4),
+                  cycle++);
+    held = c.Snapshot();
+    benchmark::DoNotOptimize(held);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>((c.snapshot_columns_copied() - copied_before) * n * sizeof(Cycle)));
+}
+BENCHMARK(BM_CycleSnapshotCoW)->Arg(100)->Arg(300)->Arg(500)->Arg(1000);
+
 void BM_GroupMatrixDerivation(benchmark::State& state) {
   const uint32_t n = 300;
   const FMatrix c = WarmMatrix(n);
@@ -105,7 +185,116 @@ void BM_DeltaDiff(benchmark::State& state) {
 }
 BENCHMARK(BM_DeltaDiff);
 
+// Tees every per-iteration result to the console reporter AND collects it as
+// a (name, ns/op, counters) row for the trajectory file. Format-independent
+// by construction: rows are rendered by obs/json.h, not --benchmark_format.
+class JsonRowTee : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    return console_.ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    console_.ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = static_cast<uint64_t>(run.iterations);
+      row.ns_per_op = run.iterations > 0
+                          ? run.real_accumulated_time * 1e9 / static_cast<double>(run.iterations)
+                          : 0;
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) row.items_per_second = items->second;
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) row.bytes_per_second = bytes->second;
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  void Finalize() override { console_.Finalize(); }
+
+  /// The collected rows in bcc.perf_trajectory.v1 shape.
+  std::string ToJson() const {
+    JsonWriter w;
+    w.BeginObject()
+        .Key("schema")
+        .Value("bcc.perf_trajectory.v1")
+        .Key("bench")
+        .Value("BENCH_5")
+        .Key("source")
+        .Value("bench_micro_matrix")
+        .Key("rows")
+        .BeginArray();
+    for (const Row& row : rows_) {
+      w.BeginObject()
+          .Key("section")
+          .Value("micro")
+          .Key("name")
+          .Value(row.name)
+          .Key("iterations")
+          .Value(row.iterations)
+          .Key("ns_per_op")
+          .Value(row.ns_per_op);
+      if (row.items_per_second > 0) w.Key("items_per_second").Value(row.items_per_second);
+      if (row.bytes_per_second > 0) w.Key("bytes_per_second").Value(row.bytes_per_second);
+      w.EndObject();
+    }
+    w.EndArray().EndObject();
+    return std::move(w).Take() + "\n";
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    uint64_t iterations = 0;
+    double ns_per_op = 0;
+    double items_per_second = 0;
+    double bytes_per_second = 0;
+  };
+
+  benchmark::ConsoleReporter console_;
+  std::vector<Row> rows_;
+};
+
+int Main(int argc, char** argv) {
+  // Strip --json_out=F before google-benchmark sees (and rejects) it.
+  std::string json_out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonRowTee tee;
+  benchmark::RunSpecifiedBenchmarks(&tee);
+  benchmark::Shutdown();
+
+  if (!json_out.empty()) {
+    const std::string json = tee.ToJson();
+    const Status valid = ValidateJson(json);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "FATAL: emitted JSON fails validation: %s\n",
+                   valid.ToString().c_str());
+      return 1;
+    }
+    const Status written = WriteTextFile(json_out, json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("json rows: %s\n", json_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace bcc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return bcc::Main(argc, argv); }

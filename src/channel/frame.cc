@@ -77,14 +77,21 @@ FrameCodec::FrameCodec(CycleStampCodec stamp_codec, uint64_t frame_bits)
 
 std::vector<Frame> FrameCodec::EncodeStream(FrameKind kind, uint32_t stream_id, Cycle cycle,
                                             const Payload& payload) const {
+  std::vector<Frame> out;
+  size_t used = 0;
+  EncodeStreamInto(kind, stream_id, cycle, payload, out, used);
+  return out;
+}
+
+void FrameCodec::EncodeStreamInto(FrameKind kind, uint32_t stream_id, Cycle cycle,
+                                  const Payload& payload, std::vector<Frame>& out,
+                                  size_t& used) const {
   assert(stream_id < (1u << kStreamIdBits));
   assert(payload.bits <= payload.bytes.size() * 8);
   const uint64_t capacity = payload_capacity_bits();
   const uint64_t num_frames = payload.bits == 0 ? 1 : (payload.bits + capacity - 1) / capacity;
   assert(num_frames <= (1ull << kSeqBits));
 
-  std::vector<Frame> out;
-  out.reserve(static_cast<size_t>(num_frames));
   BitReader reader(payload.bytes);
   uint64_t remaining = payload.bits;
   for (uint64_t seq = 0; seq < num_frames; ++seq) {
@@ -111,9 +118,13 @@ std::vector<Frame> FrameCodec::EncodeStream(FrameKind kind, uint32_t stream_id, 
     }
     const uint32_t crc = Crc32(w.bytes());
     w.Write(crc, kCrcBits);
-    out.push_back(Frame{w.bytes()});
+    if (used < out.size()) {
+      out[used].bytes.assign(w.bytes().begin(), w.bytes().end());
+    } else {
+      out.push_back(Frame{w.bytes()});
+    }
+    ++used;
   }
-  return out;
 }
 
 StatusOr<DecodedFrame> FrameCodec::Decode(const Frame& frame) const {
@@ -240,14 +251,19 @@ StatusOr<ObjectVersion> DecodeObjectPayload(const Payload& payload) {
 
 std::vector<Frame> EncodeCycleFrames(const CycleSnapshot& snap, const FrameCodec& codec,
                                      uint64_t object_size_bits) {
+  std::vector<Frame> out;
+  EncodeCycleFramesInto(snap, codec, object_size_bits, out);
+  return out;
+}
+
+void EncodeCycleFramesInto(const CycleSnapshot& snap, const FrameCodec& codec,
+                           uint64_t object_size_bits, std::vector<Frame>& out) {
   const CycleStampCodec& sc = codec.stamp_codec();
   const uint32_t n = static_cast<uint32_t>(snap.values.size());
-  std::vector<Frame> out;
+  size_t used = 0;
 
   const auto emit = [&](FrameKind kind, uint32_t stream_id, const Payload& payload) {
-    std::vector<Frame> frames = codec.EncodeStream(kind, stream_id, snap.cycle, payload);
-    out.insert(out.end(), std::make_move_iterator(frames.begin()),
-               std::make_move_iterator(frames.end()));
+    codec.EncodeStreamInto(kind, stream_id, snap.cycle, payload, out, used);
   };
 
   CycleIndex index;
@@ -273,7 +289,8 @@ std::vector<Frame> EncodeCycleFrames(const CycleSnapshot& snap, const FrameCodec
     for (uint32_t j = 0; j < n; ++j) {
       emit(FrameKind::kData, j, EncodeObjectPayload(snap.values[j], object_size_bits));
     }
-    return out;
+    out.resize(used);
+    return;
   }
 
   // Full mode: the on-air slot layout — each object's data page immediately
@@ -284,7 +301,7 @@ std::vector<Frame> EncodeCycleFrames(const CycleSnapshot& snap, const FrameCodec
          Payload{PackStamps(snap.f_matrix.Column(j), sc),
                  static_cast<uint64_t>(n) * sc.bits()});
   }
-  return out;
+  out.resize(used);
 }
 
 }  // namespace bcc

@@ -108,6 +108,13 @@ class FrameCodec {
   std::vector<Frame> EncodeStream(FrameKind kind, uint32_t stream_id, Cycle cycle,
                                   const Payload& payload) const;
 
+  /// Appends the stream's frames into `out` starting at index `*used`
+  /// (advancing it), overwriting existing elements in place. Frames are
+  /// fixed-size, so a caller cycling one vector re-fills the same byte
+  /// buffers every cycle instead of reallocating them.
+  void EncodeStreamInto(FrameKind kind, uint32_t stream_id, Cycle cycle, const Payload& payload,
+                        std::vector<Frame>& out, size_t& used) const;
+
   /// Validates size, CRC, and header fields; returns the header plus the
   /// frame's payload slice. InvalidArgument on any framing violation.
   StatusOr<DecodedFrame> Decode(const Frame& frame) const;
@@ -167,6 +174,12 @@ StatusOr<ObjectVersion> DecodeObjectPayload(const Payload& payload);
 /// hit adjacent slots exactly as they would on a real channel.
 std::vector<Frame> EncodeCycleFrames(const CycleSnapshot& snap, const FrameCodec& codec,
                                      uint64_t object_size_bits);
+
+/// Capacity-preserving variant: encodes into `out` (resized to the frame
+/// count), reusing its vector storage and per-frame byte buffers across
+/// cycles. The engines call this once per cycle with a long-lived buffer.
+void EncodeCycleFramesInto(const CycleSnapshot& snap, const FrameCodec& codec,
+                           uint64_t object_size_bits, std::vector<Frame>& out);
 
 }  // namespace bcc
 

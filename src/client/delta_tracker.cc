@@ -5,7 +5,22 @@ namespace bcc {
 DeltaMatrixTracker::DeltaMatrixTracker(uint32_t num_objects, CycleStampCodec codec)
     : codec_(codec), matrix_(num_objects) {}
 
-void DeltaMatrixTracker::Observe(const DeltaControl& ctl, const FMatrix& on_air_matrix) {
+namespace {
+
+void CopyMatrix(FMatrix& dst, const FMatrix& src) { dst = src; }
+
+void CopyMatrix(FMatrix& dst, const FMatrixSnapshot& src) {
+  const uint32_t n = src.num_objects();
+  for (ObjectId j = 0; j < n; ++j) {
+    const std::span<const Cycle> col = src.Column(j);
+    for (ObjectId i = 0; i < n; ++i) dst.Set(i, j, col[i]);
+  }
+}
+
+}  // namespace
+
+template <typename OnAirMatrix>
+void DeltaMatrixTracker::ObserveImpl(const DeltaControl& ctl, const OnAirMatrix& on_air_matrix) {
   if (ctl.full_refresh) {
     // A refresh OLDER than the sync point would regress entries below their
     // current values — and lower stamps can only ever accept more reads, so
@@ -13,7 +28,7 @@ void DeltaMatrixTracker::Observe(const DeltaControl& ctl, const FMatrix& on_air_
     // reconstruction is strictly fresher.
     if (synced_ && ctl.cycle < last_sync_) return;
     if (!synced_) EmitSyncEvent(TraceEventType::kResync, ctl.cycle);
-    matrix_ = on_air_matrix;
+    CopyMatrix(matrix_, on_air_matrix);
     synced_ = true;
     last_sync_ = ctl.cycle;
     return;
@@ -33,6 +48,14 @@ void DeltaMatrixTracker::Observe(const DeltaControl& ctl, const FMatrix& on_air_
   }
   DeltaCodec::Apply(&matrix_, ctl.entries, codec_, ctl.cycle);
   last_sync_ = ctl.cycle;
+}
+
+void DeltaMatrixTracker::Observe(const DeltaControl& ctl, const FMatrix& on_air_matrix) {
+  ObserveImpl(ctl, on_air_matrix);
+}
+
+void DeltaMatrixTracker::Observe(const DeltaControl& ctl, const FMatrixSnapshot& on_air_matrix) {
+  ObserveImpl(ctl, on_air_matrix);
 }
 
 }  // namespace bcc

@@ -51,6 +51,8 @@ class DeltaMatrixTracker {
   /// read when ctl.full_refresh. Cycles may be skipped (a client that tuned
   /// out misses blocks); any gap desyncs until the next refresh.
   void Observe(const DeltaControl& ctl, const FMatrix& on_air_matrix);
+  /// Same, reading the refresh matrix straight from the CoW cycle snapshot.
+  void Observe(const DeltaControl& ctl, const FMatrixSnapshot& on_air_matrix);
 
   /// Tracker is reconstructing successfully (saw a refresh and every delta
   /// since).
@@ -88,6 +90,9 @@ class DeltaMatrixTracker {
   void set_trace_now(SimTime now) { trace_now_ = now; }
 
  private:
+  template <typename OnAirMatrix>
+  void ObserveImpl(const DeltaControl& ctl, const OnAirMatrix& on_air_matrix);
+
   void EmitSyncEvent(TraceEventType type, Cycle cycle) {
     if (trace_ == nullptr) return;
     TraceEvent e;

@@ -4,6 +4,7 @@
 
 #include "client/cache.h"
 #include "common/format.h"
+#include "matrix/kernels.h"
 #include "matrix/mc_vector.h"
 
 namespace bcc {
@@ -32,9 +33,21 @@ bool ReadOnlyTxnProtocol::CheckFMatrix(const CycleSnapshot& snap, ObjectId ob) {
     return true;
   }
   // read-condition(ob_j): for all (ob_i, cycle) in R_t : C(i, j) < cycle.
-  const FMatrix& fm = control_override_ != nullptr ? *control_override_ : snap.f_matrix;
+  // The column base is hoisted out of the per-read loop (it used to be
+  // re-derived from (r.object, ob) on every read record).
+  const std::span<const Cycle> col =
+      control_override_ != nullptr ? control_override_->Column(ob) : snap.f_matrix.Column(ob);
+  if (!codec_.has_value()) {
+    // No wire round trip: the raw scan early-exits at the first failing
+    // read, exactly like the loop below.
+    const size_t fail = KernelReadConditionScan(col.data(), reads_.data(), reads_.size());
+    if (fail == kReadConditionPass) return true;
+    const ReadRecord& r = reads_[fail];
+    last_abort_ = {AbortCause::kControlConflict, r.object, ob, r.cycle, col[r.object]};
+    return false;
+  }
   for (const ReadRecord& r : reads_) {
-    const Cycle c = Stamp(fm.At(r.object, ob), snap.cycle);
+    const Cycle c = Stamp(col[r.object], snap.cycle);
     if (c >= r.cycle) {
       last_abort_ = {AbortCause::kControlConflict, r.object, ob, r.cycle, c};
       return false;
@@ -98,9 +111,12 @@ StatusOr<ObjectVersion> ReadOnlyTxnProtocol::Read(const CycleSnapshot& snap, Obj
   const bool f_family =
       algorithm_ == Algorithm::kFMatrix || algorithm_ == Algorithm::kFMatrixNo;
   if (f_family && !snap.group_matrix.has_value()) {
-    const FMatrix& fm = control_override_ != nullptr ? *control_override_ : snap.f_matrix;
-    if (fm.num_objects() > 0) {
-      const std::span<const Cycle> raw = fm.Column(ob);
+    const uint32_t fm_n = control_override_ != nullptr ? control_override_->num_objects()
+                                                       : snap.f_matrix.num_objects();
+    if (fm_n > 0) {
+      const std::span<const Cycle> raw = control_override_ != nullptr
+                                             ? control_override_->Column(ob)
+                                             : snap.f_matrix.Column(ob);
       column.reserve(raw.size());
       for (Cycle c : raw) column.push_back(Stamp(c, snap.cycle));
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "matrix/kernels.h"
+
 namespace bcc {
 
 std::string_view AlgorithmName(Algorithm a) {
@@ -19,15 +21,48 @@ std::string_view AlgorithmName(Algorithm a) {
   return "?";
 }
 
+bool FMatrixSnapshot::ReadCondition(std::span<const ReadRecord> reads, ObjectId j) const {
+  return KernelReadConditionScan(cols_[j]->data(), reads.data(), reads.size()) ==
+         kReadConditionPass;
+}
+
+FMatrix FMatrixSnapshot::Materialize() const {
+  FMatrix m(n_);
+  for (ObjectId j = 0; j < n_; ++j) {
+    for (ObjectId i = 0; i < n_; ++i) m.Set(i, j, (*cols_[j])[i]);
+  }
+  return m;
+}
+
+bool operator==(const FMatrixSnapshot& a, const FMatrixSnapshot& b) {
+  if (a.n_ != b.n_) return false;
+  for (ObjectId j = 0; j < a.n_; ++j) {
+    if (a.cols_[j] == b.cols_[j]) continue;  // shared page: trivially equal
+    if (*a.cols_[j] != *b.cols_[j]) return false;
+  }
+  return true;
+}
+
+bool operator==(const FMatrixSnapshot& s, const FMatrix& m) {
+  if (s.num_objects() != m.num_objects()) return false;
+  for (ObjectId j = 0; j < s.num_objects(); ++j) {
+    const std::span<const Cycle> a = s.Column(j);
+    const std::span<const Cycle> b = m.Column(j);
+    if (!std::equal(a.begin(), a.end(), b.begin())) return false;
+  }
+  return true;
+}
+
 FMatrix::FMatrix(uint32_t num_objects) : n_(num_objects) {
   data_.assign(static_cast<size_t>(n_) * n_, 0);
   dep_scratch_.assign(n_, 0);
   ws_scratch_.assign(n_, 0);
+  col_version_.assign(n_, 0);
 }
 
 std::span<const Cycle> FMatrix::Column(ObjectId j) const {
   assert(j < n_);
-  return {data_.data() + static_cast<size_t>(j) * n_, n_};
+  return {ColumnPtr(j), n_};
 }
 
 void FMatrix::ApplyCommit(std::span<const ObjectId> read_set,
@@ -35,11 +70,13 @@ void FMatrix::ApplyCommit(std::span<const ObjectId> read_set,
   if (write_set.empty()) return;  // read-only: no entry changes
 
   // dep(i) = max_{k in RS} C_old(i, k); 0 when the read set is empty.
-  std::fill(dep_scratch_.begin(), dep_scratch_.end(), Cycle{0});
-  for (ObjectId k : read_set) {
-    const std::span<const Cycle> col = Column(k);
-    for (uint32_t i = 0; i < n_; ++i) {
-      dep_scratch_[i] = std::max(dep_scratch_[i], col[i]);
+  Cycle* dep = dep_scratch_.data();
+  if (read_set.empty()) {
+    KernelColumnFill(dep, 0, n_);
+  } else {
+    KernelColumnCopy(dep, ColumnPtr(read_set[0]), n_);
+    for (size_t k = 1; k < read_set.size(); ++k) {
+      KernelColumnMaxMerge(dep, ColumnPtr(read_set[k]), n_);
     }
   }
 
@@ -51,10 +88,8 @@ void FMatrix::ApplyCommit(std::span<const ObjectId> read_set,
   // over j does not matter: all new columns derive from C_old via
   // dep_scratch_, which was captured before any column is overwritten.
   for (ObjectId j : write_set) {
-    Cycle* col = data_.data() + static_cast<size_t>(j) * n_;
-    for (uint32_t i = 0; i < n_; ++i) {
-      col[i] = ws_scratch_[i] ? commit_cycle : dep_scratch_[i];
-    }
+    KernelColumnSelectFill(ColumnPtr(j), ws_scratch_.data(), dep, commit_cycle, n_);
+    ++col_version_[j];
   }
   for (ObjectId w : write_set) ws_scratch_[w] = 0;
 
@@ -68,6 +103,163 @@ void FMatrix::ApplyCommit(std::span<const ObjectId> read_set,
   }
 }
 
+void FMatrix::ApplyCommitBatch(std::span<const CommitSets> commits, Cycle commit_cycle) {
+  const size_t m = commits.size();
+  if (m == 0) return;
+  if (m == 1) {
+    ApplyCommit(commits[0].read_set, commits[0].write_set, commit_cycle);
+    return;
+  }
+
+  // Pass 1 — analysis, O(n + sum(|RS| + |WS|)). Resolve each read to its
+  // source (the pre-batch matrix column, or the virtual column of the last
+  // earlier in-batch writer), build the union write set in first-touch order
+  // (matching the sequential dirty-tracking order exactly), and find the
+  // final writer of every union column.
+  batch_writer_.assign(n_, -1);
+  if (batch_union_mask_.size() != n_) batch_union_mask_.assign(n_, 0);
+  batch_union_cols_.clear();
+  batch_sources_.clear();
+  batch_src_begin_.assign(m + 1, 0);
+  for (size_t t = 0; t < m; ++t) {
+    const CommitSets& cs = commits[t];
+    if (cs.write_set.empty()) {  // read-only: no effect, never a source
+      batch_src_begin_[t + 1] = batch_sources_.size();
+      continue;
+    }
+    // Reads resolve against the state BEFORE this commit's own writes, so
+    // sources point strictly backward (src_commit < t).
+    for (ObjectId k : cs.read_set) {
+      batch_sources_.push_back({batch_writer_[k], k});
+    }
+    batch_src_begin_[t + 1] = batch_sources_.size();
+    for (ObjectId j : cs.write_set) {
+      if (!batch_union_mask_[j]) {
+        batch_union_mask_[j] = 1;
+        batch_union_cols_.push_back(j);
+      }
+      batch_writer_[j] = static_cast<int32_t>(t);
+    }
+  }
+
+  // A commit's dependency vector is needed iff it is the final writer of
+  // some column, or a needed later commit reads a column it last wrote.
+  // Read edges point strictly backward, so one reverse pass closes the set.
+  batch_need_.assign(m, 0);
+  for (ObjectId j : batch_union_cols_) batch_need_[batch_writer_[j]] = 1;
+  for (size_t t = m; t-- > 0;) {
+    if (!batch_need_[t]) continue;
+    for (size_t s = batch_src_begin_[t]; s < batch_src_begin_[t + 1]; ++s) {
+      if (batch_sources_[s].src_commit >= 0) batch_need_[batch_sources_[s].src_commit] = 1;
+    }
+  }
+
+  // Pass 2 — dependency vectors for needed commits only, oldest first so
+  // every in-batch source is already computed. The virtual column of an
+  // in-batch source s is (i in WS_s ? commit_cycle : dep_s(i)); because
+  // every entry involved is <= commit_cycle (the precondition), merging it
+  // is a max-merge of dep_s followed by overwriting the WS_s rows with the
+  // cycle stamp. No matrix column is modified until pass 3, so pre-batch
+  // columns read here are still C_old.
+  batch_dep_idx_.assign(m, -1);
+  size_t pool_used = 0;
+  for (size_t t = 0; t < m; ++t) {
+    if (!batch_need_[t]) continue;
+    if (pool_used == dep_pool_.size()) dep_pool_.emplace_back(n_);
+    std::vector<Cycle>& slot = dep_pool_[pool_used];
+    if (slot.size() != n_) slot.assign(n_, 0);
+    Cycle* dep = slot.data();
+    batch_dep_idx_[t] = static_cast<int32_t>(pool_used++);
+
+    const size_t begin = batch_src_begin_[t];
+    const size_t end = batch_src_begin_[t + 1];
+    if (begin == end) {
+      KernelColumnFill(dep, 0, n_);
+    } else {
+      for (size_t s = begin; s < end; ++s) {
+        const BatchSource& src = batch_sources_[s];
+        const bool first = (s == begin);
+        if (src.src_commit < 0) {
+          if (first) {
+            KernelColumnCopy(dep, ColumnPtr(src.col), n_);
+          } else {
+            KernelColumnMaxMerge(dep, ColumnPtr(src.col), n_);
+          }
+        } else {
+          const Cycle* sdep = dep_pool_[batch_dep_idx_[src.src_commit]].data();
+          if (first) {
+            KernelColumnCopy(dep, sdep, n_);
+          } else {
+            KernelColumnMaxMerge(dep, sdep, n_);
+          }
+          for (ObjectId w : commits[src.src_commit].write_set) dep[w] = commit_cycle;
+        }
+      }
+    }
+  }
+
+  // Pass 3 — one store per union column, grouped by final writer so each
+  // writer's WS mask is built once. Store order across columns is
+  // irrelevant: every new column derives only from dep vectors and masks
+  // captured above.
+  for (size_t t = 0; t < m; ++t) {
+    if (batch_dep_idx_[t] < 0) continue;
+    const CommitSets& cs = commits[t];
+    bool owns_any = false;
+    for (ObjectId j : cs.write_set) {
+      if (batch_writer_[j] == static_cast<int32_t>(t)) {
+        owns_any = true;
+        break;
+      }
+    }
+    if (!owns_any) continue;
+    const Cycle* dep = dep_pool_[batch_dep_idx_[t]].data();
+    for (ObjectId w : cs.write_set) ws_scratch_[w] = 1;
+    for (ObjectId j : cs.write_set) {
+      if (batch_writer_[j] != static_cast<int32_t>(t)) continue;
+      KernelColumnSelectFill(ColumnPtr(j), ws_scratch_.data(), dep, commit_cycle, n_);
+      ++col_version_[j];
+      batch_writer_[j] = -1;  // guard against duplicate write-set entries
+    }
+    for (ObjectId w : cs.write_set) ws_scratch_[w] = 0;
+  }
+
+  if (track_dirty_) {
+    for (ObjectId j : batch_union_cols_) {
+      if (!touched_mask_[j]) {
+        touched_mask_[j] = 1;
+        touched_cols_.push_back(j);
+      }
+    }
+  }
+  for (ObjectId j : batch_union_cols_) batch_union_mask_[j] = 0;
+}
+
+FMatrixSnapshot FMatrix::Snapshot() const {
+  if (snapshot_cache_.size() != n_) {
+    snapshot_cache_.assign(n_, nullptr);
+    snapshot_cache_version_.assign(n_, 0);
+  }
+  FMatrixSnapshot s;
+  s.n_ = n_;
+  s.cols_.resize(n_);
+  for (ObjectId j = 0; j < n_; ++j) {
+    std::shared_ptr<std::vector<Cycle>>& page = snapshot_cache_[j];
+    if (!page || snapshot_cache_version_[j] != col_version_[j]) {
+      if (page && page.use_count() == 1) {
+        // Only the cache still references the old page: overwrite in place.
+        KernelColumnCopy(page->data(), ColumnPtr(j), n_);
+      } else {
+        page = std::make_shared<std::vector<Cycle>>(Column(j).begin(), Column(j).end());
+      }
+      snapshot_cache_version_[j] = col_version_[j];
+      ++snapshot_columns_copied_;
+    }
+    s.cols_[j] = page;
+  }
+  return s;
+}
+
 void FMatrix::EnableDirtyTracking() {
   if (track_dirty_) return;
   track_dirty_ = true;
@@ -75,19 +267,21 @@ void FMatrix::EnableDirtyTracking() {
 }
 
 std::vector<ObjectId> FMatrix::TakeTouchedColumns() {
-  assert(track_dirty_);
-  std::vector<ObjectId> out = std::move(touched_cols_);
-  touched_cols_.clear();
-  for (ObjectId j : out) touched_mask_[j] = 0;
+  std::vector<ObjectId> out;
+  DrainTouchedColumns(out);
   return out;
 }
 
+void FMatrix::DrainTouchedColumns(std::vector<ObjectId>& out) {
+  assert(track_dirty_);
+  out.clear();
+  out.swap(touched_cols_);  // tracker keeps out's old capacity for next cycle
+  for (ObjectId j : out) touched_mask_[j] = 0;
+}
+
 bool FMatrix::ReadCondition(std::span<const ReadRecord> reads, ObjectId j) const {
-  const std::span<const Cycle> col = Column(j);
-  for (const ReadRecord& r : reads) {
-    if (col[r.object] >= r.cycle) return false;
-  }
-  return true;
+  return KernelReadConditionScan(ColumnPtr(j), reads.data(), reads.size()) ==
+         kReadConditionPass;
 }
 
 FMatrix FMatrixFromDefinition(const History& history,

@@ -14,6 +14,7 @@
 #ifndef BCC_MATRIX_F_MATRIX_H_
 #define BCC_MATRIX_F_MATRIX_H_
 
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,57 @@
 #include "matrix/control_info.h"
 
 namespace bcc {
+
+class FMatrix;
+
+/// An immutable copy-on-write view of the F-Matrix at one broadcast cycle.
+///
+/// Produced by FMatrix::Snapshot(): columns untouched since the previous
+/// snapshot are SHARED (shared_ptr to the same buffer), so the per-cycle
+/// snapshot cost is O(n * touched_columns) instead of the O(n^2) full-matrix
+/// copy. A snapshot stays valid — and bit-identical to the matrix state it
+/// captured — for as long as it is held, regardless of later commits.
+class FMatrixSnapshot {
+ public:
+  /// Empty snapshot (num_objects() == 0); what a cycle snapshot holds when
+  /// the server does not maintain an F-Matrix.
+  FMatrixSnapshot() = default;
+
+  uint32_t num_objects() const { return n_; }
+
+  /// C(i, j) at snapshot time.
+  Cycle At(ObjectId i, ObjectId j) const { return (*cols_[j])[i]; }
+
+  /// Column j as a contiguous span of n entries (C(0..n-1, j)).
+  std::span<const Cycle> Column(ObjectId j) const { return {cols_[j]->data(), n_}; }
+
+  /// The F-Matrix read condition against this snapshot.
+  bool ReadCondition(std::span<const ReadRecord> reads, ObjectId j) const;
+
+  /// Deep copy into a standalone FMatrix (used when a client adopts an
+  /// on-air matrix as its local reconstruction base).
+  FMatrix Materialize() const;
+
+  /// Value comparison (entry-wise, shared or not).
+  friend bool operator==(const FMatrixSnapshot& a, const FMatrixSnapshot& b);
+
+ private:
+  friend class FMatrix;
+
+  uint32_t n_ = 0;
+  std::vector<std::shared_ptr<const std::vector<Cycle>>> cols_;
+};
+
+/// Entry-wise comparison between a snapshot and a live matrix (test use).
+bool operator==(const FMatrixSnapshot& s, const FMatrix& m);
+inline bool operator==(const FMatrix& m, const FMatrixSnapshot& s) { return s == m; }
+
+/// The read/write sets of one committed update transaction, as queued for a
+/// cycle-fused FMatrix::ApplyCommitBatch.
+struct CommitSets {
+  std::vector<ObjectId> read_set;
+  std::vector<ObjectId> write_set;
+};
 
 /// The server-side control matrix, column-major (column j is the unit
 /// broadcast right after object j).
@@ -39,7 +91,10 @@ class FMatrix {
 
   /// Direct entry assignment; used by from-definition builders and by wire
   /// decoding. Normal maintenance goes through ApplyCommit.
-  void Set(ObjectId i, ObjectId j, Cycle c) { data_[Index(i, j)] = c; }
+  void Set(ObjectId i, ObjectId j, Cycle c) {
+    data_[Index(i, j)] = c;
+    ++col_version_[j];
+  }
 
   /// Column j as a contiguous span of n entries (C(0..n-1, j)).
   std::span<const Cycle> Column(ObjectId j) const;
@@ -54,6 +109,30 @@ class FMatrix {
   /// a delta broadcaster can diff in O(n * touched) instead of O(n^2).
   void ApplyCommit(std::span<const ObjectId> read_set, std::span<const ObjectId> write_set,
                    Cycle commit_cycle);
+
+  /// Cycle-fused maintenance: applies every commit of one broadcast cycle
+  /// (they all carry the same `commit_cycle`) in one fused pass, bit-identical
+  /// to calling ApplyCommit for each element of `commits` in order (the
+  /// argument is in DESIGN.md §4g; commit_batch_test enforces it against the
+  /// sequential oracle). Columns written by several commits of the batch are
+  /// stored once, from the final writer's dependency vector; dependency
+  /// vectors are computed only for commits that still influence the final
+  /// matrix. Precondition (trivially true on the server path, where stamps
+  /// are past commit cycles): commit_cycle >= every entry currently in the
+  /// matrix.
+  void ApplyCommitBatch(std::span<const CommitSets> commits, Cycle commit_cycle);
+
+  /// Copy-on-write snapshot of the current matrix. Columns unchanged since
+  /// the previous Snapshot() call are shared with it; only changed columns
+  /// are copied (O(n * touched) per cycle in steady state). Logically const:
+  /// the internal page cache it refreshes is mutable and the caller must not
+  /// invoke it concurrently with mutation (the engines snapshot inside the
+  /// server's exclusive phase).
+  FMatrixSnapshot Snapshot() const;
+
+  /// Cumulative number of columns physically copied by Snapshot() calls —
+  /// the O(n * touched) claim is asserted against this counter.
+  uint64_t snapshot_columns_copied() const { return snapshot_columns_copied_; }
 
   /// Starts recording the set of columns ApplyCommit rewrites. Tracking is
   /// column-granular on purpose: recording a column id is O(1) per written
@@ -73,6 +152,12 @@ class FMatrix {
   /// Drains the touched-column set (returns it and resets the tracker).
   std::vector<ObjectId> TakeTouchedColumns();
 
+  /// Capacity-preserving drain: fills `out` with the touched columns (same
+  /// contents/order as TakeTouchedColumns) and leaves the tracker holding
+  /// `out`'s old — cleared — buffer, so a caller cycling one reusable vector
+  /// never re-allocates on the steady-state path.
+  void DrainTouchedColumns(std::vector<ObjectId>& out);
+
   /// The F-Matrix read condition for reading ob_j given the reads so far.
   bool ReadCondition(std::span<const ReadRecord> reads, ObjectId j) const;
 
@@ -82,11 +167,37 @@ class FMatrix {
 
  private:
   size_t Index(ObjectId i, ObjectId j) const { return static_cast<size_t>(j) * n_ + i; }
+  Cycle* ColumnPtr(ObjectId j) { return data_.data() + static_cast<size_t>(j) * n_; }
+  const Cycle* ColumnPtr(ObjectId j) const { return data_.data() + static_cast<size_t>(j) * n_; }
 
   uint32_t n_;
   std::vector<Cycle> data_;
   std::vector<Cycle> dep_scratch_;    // reused per ApplyCommit
   std::vector<uint8_t> ws_scratch_;   // write-set mask, zeroed after each commit
+
+  // Per-column modification counters driving the copy-on-write snapshot
+  // cache: every column rewrite (Set, ApplyCommit, ApplyCommitBatch) bumps
+  // the column's counter; Snapshot() re-copies a column iff its counter
+  // moved since the cached page was taken.
+  std::vector<uint64_t> col_version_;
+  mutable std::vector<std::shared_ptr<std::vector<Cycle>>> snapshot_cache_;
+  mutable std::vector<uint64_t> snapshot_cache_version_;
+  mutable uint64_t snapshot_columns_copied_ = 0;
+
+  // Batch scratch (ApplyCommitBatch); members so the per-cycle hot path
+  // allocates only while warming up.
+  struct BatchSource {
+    int32_t src_commit;  // -1: pre-batch matrix column `col`; else commit idx
+    ObjectId col;
+  };
+  std::vector<int32_t> batch_writer_;       // last in-batch writer per column
+  std::vector<uint8_t> batch_union_mask_;   // union-write-set membership
+  std::vector<ObjectId> batch_union_cols_;  // union write set, first-touch order
+  std::vector<BatchSource> batch_sources_;  // resolved read sources, flattened
+  std::vector<size_t> batch_src_begin_;     // per-commit ranges into batch_sources_
+  std::vector<uint8_t> batch_need_;         // commit still influences the result
+  std::vector<int32_t> batch_dep_idx_;      // commit -> dep_pool_ slot (-1: none)
+  std::vector<std::vector<Cycle>> dep_pool_;
 
   // Dirty-column tracker (EnableDirtyTracking): first-touch-ordered column
   // ids plus a membership mask so duplicates cost O(1).

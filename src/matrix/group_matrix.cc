@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/format.h"
+#include "matrix/kernels.h"
 
 namespace bcc {
 
@@ -34,18 +35,14 @@ GroupMatrix::GroupMatrix(const ObjectPartition& partition, const FMatrix& full)
   for (ObjectId j = 0; j < n_; ++j) {
     const uint32_t s = partition_.GroupOf(j);
     Cycle* col = data_.data() + static_cast<size_t>(s) * n_;
-    const std::span<const Cycle> full_col = full.Column(j);
-    for (uint32_t i = 0; i < n_; ++i) col[i] = std::max(col[i], full_col[i]);
+    KernelColumnMaxMerge(col, full.Column(j).data(), n_);
   }
 }
 
 bool GroupMatrix::ReadCondition(std::span<const ReadRecord> reads, ObjectId j) const {
   const uint32_t s = partition_.GroupOf(j);
   const Cycle* col = data_.data() + static_cast<size_t>(s) * n_;
-  for (const ReadRecord& r : reads) {
-    if (col[r.object] >= r.cycle) return false;
-  }
-  return true;
+  return KernelReadConditionScan(col, reads.data(), reads.size()) == kReadConditionPass;
 }
 
 }  // namespace bcc

@@ -1,0 +1,44 @@
+#include "matrix/kernels.h"
+
+#include <algorithm>
+
+namespace bcc {
+
+// The loop bodies below are branch-free (max/select via conditional moves)
+// and index with the induction variable only, so gcc and clang vectorize
+// them at the flags this file is built with (see src/matrix/CMakeLists.txt).
+
+void KernelColumnFill(Cycle* dst, Cycle value, uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) dst[i] = value;
+}
+
+void KernelColumnCopy(Cycle* dst, const Cycle* src, uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+
+void KernelColumnMaxMerge(Cycle* dst, const Cycle* src, uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) dst[i] = std::max(dst[i], src[i]);
+}
+
+void KernelColumnSelectFill(Cycle* dst, const uint8_t* mask, const Cycle* dep, Cycle stamp,
+                            uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) dst[i] = mask[i] ? stamp : dep[i];
+}
+
+uint32_t KernelColumnDiffIndices(const Cycle* a, const Cycle* b, uint32_t n, ObjectId* out) {
+  uint32_t count = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    out[count] = i;
+    count += (a[i] != b[i]) ? 1u : 0u;
+  }
+  return count;
+}
+
+size_t KernelReadConditionScan(const Cycle* column, const ReadRecord* reads, size_t count) {
+  for (size_t k = 0; k < count; ++k) {
+    if (column[reads[k].object] >= reads[k].cycle) return k;
+  }
+  return kReadConditionPass;
+}
+
+}  // namespace bcc

@@ -1,12 +1,12 @@
 #include "matrix/mc_vector.h"
 
+#include "matrix/kernels.h"
+
 namespace bcc {
 
 bool DatacycleReadCondition(const McVector& mc, std::span<const ReadRecord> reads) {
-  for (const ReadRecord& r : reads) {
-    if (mc.At(r.object) >= r.cycle) return false;
-  }
-  return true;
+  return KernelReadConditionScan(mc.entries().data(), reads.data(), reads.size()) ==
+         kReadConditionPass;
 }
 
 bool RMatrixReadCondition(const McVector& mc, std::span<const ReadRecord> reads, ObjectId j,

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/bitstream.h"
+#include "matrix/kernels.h"
 
 namespace bcc {
 
@@ -98,23 +99,45 @@ std::vector<DeltaCodec::Entry> DeltaCodec::Diff(const FMatrix& prev, const FMatr
   return out;
 }
 
-std::vector<DeltaCodec::Entry> DeltaCodec::DiffColumns(const FMatrix& prev, const FMatrix& cur,
-                                                       std::span<const ObjectId> touched_columns,
-                                                       const CycleStampCodec& codec) {
+namespace {
+
+// `cur` is any column-provider (FMatrix or FMatrixSnapshot); emission stays
+// in ascending (col, row) order, identical to Diff's.
+template <typename CurMatrix>
+std::vector<DeltaCodec::Entry> DiffColumnsImpl(const FMatrix& prev, const CurMatrix& cur,
+                                               std::span<const ObjectId> touched_columns,
+                                               const CycleStampCodec& codec) {
   std::vector<ObjectId> cols(touched_columns.begin(), touched_columns.end());
   std::sort(cols.begin(), cols.end());
   cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
 
-  std::vector<Entry> out;
+  std::vector<DeltaCodec::Entry> out;
   const uint32_t n = cur.num_objects();
+  std::vector<ObjectId> rows(n);
   for (ObjectId j : cols) {
-    for (ObjectId i = 0; i < n; ++i) {
-      if (prev.At(i, j) != cur.At(i, j)) {
-        out.push_back({i, j, codec.Encode(cur.At(i, j))});
-      }
+    const Cycle* a = prev.Column(j).data();
+    const Cycle* b = cur.Column(j).data();
+    const uint32_t changed = KernelColumnDiffIndices(a, b, n, rows.data());
+    for (uint32_t k = 0; k < changed; ++k) {
+      out.push_back({rows[k], j, codec.Encode(b[rows[k]])});
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<DeltaCodec::Entry> DeltaCodec::DiffColumns(const FMatrix& prev, const FMatrix& cur,
+                                                       std::span<const ObjectId> touched_columns,
+                                                       const CycleStampCodec& codec) {
+  return DiffColumnsImpl(prev, cur, touched_columns, codec);
+}
+
+std::vector<DeltaCodec::Entry> DeltaCodec::DiffColumns(const FMatrix& prev,
+                                                       const FMatrixSnapshot& cur,
+                                                       std::span<const ObjectId> touched_columns,
+                                                       const CycleStampCodec& codec) {
+  return DiffColumnsImpl(prev, cur, touched_columns, codec);
 }
 
 void DeltaCodec::Apply(FMatrix* base, std::span<const Entry> entries,
@@ -200,13 +223,26 @@ StatusOr<std::vector<DeltaCodec::Entry>> DeltaCodec::Unpack(std::span<const uint
   return out;
 }
 
-std::vector<uint8_t> PackMatrix(const FMatrix& matrix, const CycleStampCodec& codec) {
+namespace {
+
+template <typename AnyMatrix>
+std::vector<uint8_t> PackMatrixImpl(const AnyMatrix& matrix, const CycleStampCodec& codec) {
   BitWriter writer;
   const uint32_t n = matrix.num_objects();
   for (ObjectId j = 0; j < n; ++j) {
     for (const Cycle c : matrix.Column(j)) writer.Write(codec.Encode(c), codec.bits());
   }
   return writer.bytes();
+}
+
+}  // namespace
+
+std::vector<uint8_t> PackMatrix(const FMatrix& matrix, const CycleStampCodec& codec) {
+  return PackMatrixImpl(matrix, codec);
+}
+
+std::vector<uint8_t> PackMatrix(const FMatrixSnapshot& matrix, const CycleStampCodec& codec) {
+  return PackMatrixImpl(matrix, codec);
 }
 
 StatusOr<FMatrix> UnpackMatrix(std::span<const uint8_t> bytes, uint32_t num_objects,

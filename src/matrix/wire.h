@@ -91,6 +91,12 @@ class DeltaCodec {
                                         std::span<const ObjectId> touched_columns,
                                         const CycleStampCodec& codec);
 
+  /// Same, with the current matrix given as a cycle snapshot (the engines'
+  /// per-cycle control state is an FMatrixSnapshot since the CoW change).
+  static std::vector<Entry> DiffColumns(const FMatrix& prev, const FMatrixSnapshot& cur,
+                                        std::span<const ObjectId> touched_columns,
+                                        const CycleStampCodec& codec);
+
   /// Applies a diff on top of `base` (decoding residues at `current`).
   static void Apply(FMatrix* base, std::span<const Entry> entries, const CycleStampCodec& codec,
                     Cycle current);
@@ -117,6 +123,7 @@ class DeltaCodec {
 /// column-major and contiguous (no per-column padding), zero-padded to whole
 /// bytes — exactly FullMatrixControlBits(n, ts) data bits.
 std::vector<uint8_t> PackMatrix(const FMatrix& matrix, const CycleStampCodec& codec);
+std::vector<uint8_t> PackMatrix(const FMatrixSnapshot& matrix, const CycleStampCodec& codec);
 
 /// Inverse of PackMatrix, decoding every residue anchored at `current`, with
 /// the same strict framing rules as UnpackStamps.

@@ -21,7 +21,7 @@ CycleSnapshot BroadcastServer::BuildSnapshot(Cycle cycle, SimTime start_time,
   snap.cycle = cycle;
   snap.start_time = start_time;
   snap.values = manager.store().committed();
-  if (manager.f_matrix().num_objects() > 0) snap.f_matrix = manager.f_matrix();
+  if (manager.f_matrix().num_objects() > 0) snap.f_matrix = manager.SnapshotFMatrix();
   if (manager.mc_vector().num_objects() > 0) snap.mc_vector = manager.mc_vector();
   if (partition_.has_value() && manager.f_matrix().num_objects() > 0) {
     snap.group_matrix.emplace(*partition_, manager.f_matrix());

@@ -27,8 +27,11 @@ struct CycleSnapshot {
   Cycle cycle = 0;
   SimTime start_time = 0;
   std::vector<ObjectVersion> values;
-  /// Present when the serving algorithm needs the full matrix.
-  FMatrix f_matrix{0};
+  /// Present when the serving algorithm needs the full matrix. A
+  /// copy-on-write view: columns untouched since the previous cycle are
+  /// shared with that cycle's snapshot, so materializing a cycle snapshot is
+  /// O(n * touched) instead of O(n^2).
+  FMatrixSnapshot f_matrix;
   /// Present when the serving algorithm needs the reduced vector.
   McVector mc_vector{0};
   /// Present when a grouped partition is configured (Section 3.2.2 spectrum).

@@ -12,9 +12,10 @@ DeltaBroadcaster::DeltaBroadcaster(uint32_t num_objects, CycleStampCodec codec,
   assert(refresh_period_ <= codec_.max_cycles());
 }
 
-DeltaControl DeltaBroadcaster::BuildControl(const FMatrix& current,
-                                            std::span<const ObjectId> touched_columns,
-                                            Cycle cycle) {
+template <typename CurMatrix>
+DeltaControl DeltaBroadcaster::BuildControlImpl(const CurMatrix& current,
+                                                std::span<const ObjectId> touched_columns,
+                                                Cycle cycle) {
   assert(!started_ || cycle == last_cycle_ + 1);
 
   DeltaControl ctl;
@@ -42,8 +43,10 @@ DeltaControl DeltaBroadcaster::BuildControl(const FMatrix& current,
     ctl.base_cycle = cycle;
     ctl.control_bits = ctl.full_bits;
     last_refresh_cycle_ = cycle;
-    // Refresh resets the diff base wholesale.
-    prev_ = current;
+    // Refresh resets the diff base wholesale (O(n^2), refresh cycles only).
+    for (ObjectId j = 0; j < n_; ++j) {
+      for (uint32_t i = 0; i < n_; ++i) prev_.Set(i, j, current.At(i, j));
+    }
   } else {
     // Fold only the touched columns into the diff base: O(n * touched).
     for (ObjectId j : touched_columns) {
@@ -54,6 +57,18 @@ DeltaControl DeltaBroadcaster::BuildControl(const FMatrix& current,
   started_ = true;
   last_cycle_ = cycle;
   return ctl;
+}
+
+DeltaControl DeltaBroadcaster::BuildControl(const FMatrix& current,
+                                            std::span<const ObjectId> touched_columns,
+                                            Cycle cycle) {
+  return BuildControlImpl(current, touched_columns, cycle);
+}
+
+DeltaControl DeltaBroadcaster::BuildControl(const FMatrixSnapshot& current,
+                                            std::span<const ObjectId> touched_columns,
+                                            Cycle cycle) {
+  return BuildControlImpl(current, touched_columns, cycle);
 }
 
 }  // namespace bcc

@@ -88,7 +88,16 @@ class DeltaBroadcaster {
   DeltaControl BuildControl(const FMatrix& current, std::span<const ObjectId> touched_columns,
                             Cycle cycle);
 
+  /// Same, with the beginning-of-cycle matrix given as the CoW cycle
+  /// snapshot the server already built.
+  DeltaControl BuildControl(const FMatrixSnapshot& current,
+                            std::span<const ObjectId> touched_columns, Cycle cycle);
+
  private:
+  template <typename CurMatrix>
+  DeltaControl BuildControlImpl(const CurMatrix& current,
+                                std::span<const ObjectId> touched_columns, Cycle cycle);
+
   uint32_t n_;
   CycleStampCodec codec_;
   uint64_t refresh_period_;

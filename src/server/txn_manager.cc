@@ -37,9 +37,20 @@ std::vector<ObjectVersion> ServerTxnManager::ExecuteAndCommit(const ServerTxn& t
   store_.CommitStaged(cycle);
   if (options_.record_history) history_.AppendCommit(txn.id);
 
-  // Control information (Theorem 2 incremental maintenance).
+  // Control information (Theorem 2 incremental maintenance). With batching
+  // enabled the F-Matrix work is queued and fused per cycle
+  // (FMatrix::ApplyCommitBatch); a cycle change flushes the previous batch.
   if (options_.maintain_f_matrix) {
-    f_matrix_.ApplyCommit(txn.read_set, txn.write_set, cycle);
+    if (options_.batch_commit_maintenance) {
+      if (batch_size_ > 0 && cycle != batch_cycle_) FlushCommitBatch();
+      batch_cycle_ = cycle;
+      if (batch_size_ == batch_.size()) batch_.emplace_back();
+      CommitSets& slot = batch_[batch_size_++];
+      slot.read_set.assign(txn.read_set.begin(), txn.read_set.end());
+      slot.write_set.assign(txn.write_set.begin(), txn.write_set.end());
+    } else {
+      f_matrix_.ApplyCommit(txn.read_set, txn.write_set, cycle);
+    }
   }
   if (options_.maintain_mc_vector) {
     mc_vector_.ApplyCommit(txn.write_set, cycle);
@@ -48,6 +59,13 @@ std::vector<ObjectVersion> ServerTxnManager::ExecuteAndCommit(const ServerTxn& t
   commit_cycles_[txn.id] = cycle;
   ++num_committed_;
   return values_read;
+}
+
+void ServerTxnManager::FlushCommitBatch() {
+  if (batch_size_ == 0) return;
+  const size_t count = batch_size_;
+  batch_size_ = 0;  // reset first: ApplyCommitBatch must not re-enter anyway
+  f_matrix_.ApplyCommitBatch(std::span<const CommitSets>(batch_.data(), count), batch_cycle_);
 }
 
 }  // namespace bcc

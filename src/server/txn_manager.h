@@ -42,6 +42,14 @@ struct TxnManagerOptions {
   /// Record which F-Matrix columns commits rewrite (requires
   /// maintain_f_matrix); drained via TakeTouchedColumns for delta broadcast.
   bool track_dirty_columns = false;
+  /// Fuse each broadcast cycle's F-Matrix maintenance into one
+  /// FMatrix::ApplyCommitBatch call (bit-identical to the per-commit path;
+  /// DESIGN.md §4g). Commits queue until the cycle advances or the matrix is
+  /// observed (f_matrix(), SnapshotFMatrix(), TakeTouchedColumns), so every
+  /// reader still sees exactly the sequential-maintenance state. The MC
+  /// vector is always maintained eagerly — the uplink validator reads it
+  /// mid-cycle. Disable to force the per-commit oracle path.
+  bool batch_commit_maintenance = true;
 };
 
 /// Serial update-transaction executor.
@@ -57,13 +65,37 @@ class ServerTxnManager {
   std::vector<ObjectVersion> ExecuteAndCommit(const ServerTxn& txn, Cycle cycle);
 
   const VersionedStore& store() const { return store_; }
-  const FMatrix& f_matrix() const { return f_matrix_; }
+
+  /// The F-Matrix after every commit so far. Logically const: with commit
+  /// batching enabled this flushes the pending cycle batch first (observing
+  /// the matrix forces the queued maintenance), which is why the accessor
+  /// const_casts internally; callers must not invoke it concurrently with
+  /// ExecuteAndCommit (the engines only read it in the server's exclusive
+  /// phase).
+  const FMatrix& f_matrix() const {
+    const_cast<ServerTxnManager*>(this)->FlushCommitBatch();
+    return f_matrix_;
+  }
   const McVector& mc_vector() const { return mc_vector_; }
+
+  /// Copy-on-write snapshot of the F-Matrix after every commit so far
+  /// (flushes the pending batch like f_matrix()). O(n * touched columns)
+  /// per cycle in steady state.
+  FMatrixSnapshot SnapshotFMatrix() const { return f_matrix().Snapshot(); }
 
   /// Drains the F-Matrix columns rewritten by commits since the last drain
   /// (options.track_dirty_columns must be set). Called once per broadcast
   /// cycle by the delta broadcaster.
-  std::vector<ObjectId> TakeTouchedColumns() { return f_matrix_.TakeTouchedColumns(); }
+  std::vector<ObjectId> TakeTouchedColumns() {
+    FlushCommitBatch();
+    return f_matrix_.TakeTouchedColumns();
+  }
+
+  /// Capacity-preserving variant (see FMatrix::DrainTouchedColumns).
+  void DrainTouchedColumns(std::vector<ObjectId>& out) {
+    FlushCommitBatch();
+    f_matrix_.DrainTouchedColumns(out);
+  }
 
   /// Commit cycle of every committed transaction (for oracles).
   const std::unordered_map<TxnId, Cycle>& commit_cycles() const { return commit_cycles_; }
@@ -74,6 +106,9 @@ class ServerTxnManager {
   size_t num_committed() const { return num_committed_; }
 
  private:
+  /// Applies the queued cycle batch to the F-Matrix (no-op when empty).
+  void FlushCommitBatch();
+
   TxnManagerOptions options_;
   VersionedStore store_;
   FMatrix f_matrix_;
@@ -82,6 +117,14 @@ class ServerTxnManager {
   std::unordered_map<TxnId, Cycle> commit_cycles_;
   size_t num_committed_ = 0;
   Cycle last_cycle_ = 0;
+
+  // Pending cycle batch (options.batch_commit_maintenance): the first
+  // `batch_size_` elements of `batch_` hold the read/write sets of this
+  // cycle's not-yet-applied commits; slots are reused across cycles so the
+  // steady-state path does not allocate.
+  std::vector<CommitSets> batch_;
+  size_t batch_size_ = 0;
+  Cycle batch_cycle_ = 0;
 };
 
 }  // namespace bcc

@@ -185,7 +185,8 @@ void BroadcastSim::TraceCycleStart() {
 }
 
 void BroadcastSim::AttachAndObserveDelta() {
-  server_->AttachDeltaControl(manager_->TakeTouchedColumns());
+  manager_->DrainTouchedColumns(touched_scratch_);
+  server_->AttachDeltaControl(touched_scratch_);
   const CycleSnapshot& snap = server_->snapshot();
   const DeltaControl& ctl = *snap.delta;
   metrics_.RecordDeltaCycle(ctl.full_refresh, ctl.control_bits, ctl.full_bits);
@@ -203,11 +204,10 @@ void BroadcastSim::AttachAndObserveDelta() {
 
 void BroadcastSim::TransmitCycle() {
   const CycleSnapshot& snap = server_->snapshot();
-  const std::vector<Frame> frames =
-      EncodeCycleFrames(snap, *frame_codec_, config_.object_size_bits);
+  EncodeCycleFramesInto(snap, *frame_codec_, config_.object_size_bits, frame_scratch_);
   for (size_t c = 0; c < clients_.size(); ++c) {
     Client& client = *clients_[c];
-    const Transmission tx = channel_->Transmit(static_cast<uint32_t>(c), frames);
+    const Transmission tx = channel_->Transmit(static_cast<uint32_t>(c), frame_scratch_);
     client.receiver->IngestCycle(snap.cycle, tx, queue_.now());
     // The desync knob still works in channel mode (on top of real loss).
     if (client.tracker && config_.delta_desync_at_cycle != 0 &&
@@ -616,7 +616,7 @@ Status BroadcastSim::VerifyDeltaTrackers() const {
   }
   if (!ran_) return Status::FailedPrecondition("VerifyDeltaTrackers requires a completed Run");
   const CycleStampCodec codec(config_.timestamp_bits);
-  const FMatrix& truth = server_->snapshot().f_matrix;
+  const FMatrixSnapshot& truth = server_->snapshot().f_matrix;
   const Cycle cycle = server_->snapshot().cycle;
   for (size_t c = 0; c < clients_.size(); ++c) {
     const DeltaMatrixTracker& tracker = *clients_[c]->tracker;

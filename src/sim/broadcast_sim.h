@@ -173,6 +173,11 @@ class BroadcastSim {
   std::vector<std::unique_ptr<Client>> clients_;
   std::optional<FrameCodec> frame_codec_;   // channel mode
   std::unique_ptr<LossyChannel> channel_;   // channel mode
+  // Per-cycle scratch reused across cycles so steady-state cycles allocate
+  // nothing: drained dirty columns (delta mode) and the encoded frame vector
+  // with its per-frame byte buffers (channel mode).
+  std::vector<ObjectId> touched_scratch_;
+  std::vector<Frame> frame_scratch_;
   SimMetrics metrics_;
   Tracer* tracer_ = nullptr;        // not owned; null = tracing off
   TraceRing* server_trace_ = nullptr;

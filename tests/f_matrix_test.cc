@@ -6,9 +6,38 @@
 
 #include "common/rng.h"
 #include "history/history.h"
+#include "matrix/kernels.h"
 
 namespace bcc {
 namespace {
+
+TEST(KernelTest, ReadConditionScanReturnsFirstFailureIndex) {
+  // The scan early-exits: with several failing reads it must report the
+  // first one in record order, and a passing prefix must not mask it.
+  const std::vector<Cycle> column = {0, 9, 9, 0};
+  const std::vector<ReadRecord> reads = {{0, 5}, {1, 5}, {2, 5}, {3, 5}};
+  EXPECT_EQ(KernelReadConditionScan(column.data(), reads.data(), reads.size()), 1u);
+  EXPECT_EQ(KernelReadConditionScan(column.data(), reads.data() + 2, 2), 0u);
+}
+
+TEST(KernelTest, ReadConditionScanPassesCleanColumn) {
+  const std::vector<Cycle> column = {1, 2, 3};
+  const std::vector<ReadRecord> reads = {{0, 5}, {2, 4}};
+  EXPECT_EQ(KernelReadConditionScan(column.data(), reads.data(), reads.size()),
+            kReadConditionPass);
+  EXPECT_EQ(KernelReadConditionScan(column.data(), reads.data(), 0), kReadConditionPass);
+}
+
+TEST(KernelTest, ColumnDiffIndicesFindsEveryMismatch) {
+  const std::vector<Cycle> a = {1, 2, 3, 4, 5};
+  const std::vector<Cycle> b = {1, 9, 3, 9, 5};
+  std::vector<ObjectId> out(a.size());
+  const uint32_t count =
+      KernelColumnDiffIndices(a.data(), b.data(), static_cast<uint32_t>(a.size()), out.data());
+  ASSERT_EQ(count, 2u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 3u);
+}
 
 TEST(FMatrixTest, StartsAllZero) {
   FMatrix c(4);

@@ -258,8 +258,9 @@ TEST(CyclePayloadTest, FullModeCycleFramesCarryIndexDataAndColumns) {
   snap.cycle = 17;
   snap.values.resize(n);
   for (uint32_t j = 0; j < n; ++j) snap.values[j].value = 100 + j;
-  snap.f_matrix = FMatrix(n);
-  snap.f_matrix.Set(2, 3, 9);
+  FMatrix control(n);
+  control.Set(2, 3, 9);
+  snap.f_matrix = control.Snapshot();
 
   const std::vector<Frame> frames = EncodeCycleFrames(snap, codec, /*object_size_bits=*/64);
   size_t index_frames = 0, data_streams = 0, column_streams = 0;

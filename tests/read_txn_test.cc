@@ -193,6 +193,29 @@ TEST_F(ReadTxnTest, CommitReturnsReadCount) {
   EXPECT_EQ(p.Commit(), 2u);
 }
 
+TEST_F(ReadTxnTest, FMatrixAbortReportsFirstFailingReadInRecordOrder) {
+  // Early-exit regression for the vectorized read-condition scan: when
+  // several recorded reads fail against the same column, the abort must be
+  // attributed to the FIRST failing read in record order — the scan may not
+  // run to the end and report a later conflict.
+  ReadOnlyTxnProtocol p(Algorithm::kFMatrix);
+  const CycleSnapshot& first = Snap(1);
+  ASSERT_TRUE(p.Read(first, 0).ok());
+  ASSERT_TRUE(p.Read(first, 1).ok());
+  ASSERT_TRUE(p.Read(first, 2).ok());
+  // Three same-cycle commits make ob4's value depend on overwrites of ob1
+  // AND ob2 (reads 1 and 2 both fail); ob0 stays clean (read 0 passes).
+  Commit(1, {}, {1}, 1);
+  Commit(2, {}, {2}, 1);
+  Commit(3, {1, 2}, {4}, 1);
+  EXPECT_TRUE(p.Read(Snap(2), 4).status().IsAborted());
+  EXPECT_EQ(p.last_abort().cause, AbortCause::kControlConflict);
+  EXPECT_EQ(p.last_abort().ob_i, 1u) << "must be the first failing read, not a later one";
+  EXPECT_EQ(p.last_abort().ob_j, 4u);
+  EXPECT_EQ(p.last_abort().read_cycle, 1u);
+  EXPECT_EQ(p.last_abort().c_ij, 1u);
+}
+
 TEST_F(ReadTxnTest, SameCycleReadsAlwaysConsistent) {
   // All reads within one cycle observe one atomic snapshot: no condition can
   // fail (matrix entries are < the current cycle).
