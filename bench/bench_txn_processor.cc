@@ -1,0 +1,219 @@
+// Throughput of the thread-pooled server update engine (PR 6), swept over
+// concurrency-control scheme x worker count x contention, emitted as
+// BENCH_6.json in the bcc.perf_trajectory.v1 schema so CI can track the
+// numbers across PRs.
+//
+// Each transaction's operations pay a fixed service time (a blocking sleep
+// standing in for backing-store access), so worker scaling comes from
+// latency overlap and the sweep is meaningful even on a single-core CI
+// runner. Before any cell's timing is trusted, its full committed history is
+// re-checked against the serializability oracle (VerifySerializable); a
+// violation aborts the bench.
+//
+// Rows (section "txn_processor"): one per scheme x workers x contention
+// cell with committed counts, retries, txns/sec, and the speedup relative
+// to the same scheme's 1-worker cell.
+//
+// Flags: --out=F (default BENCH_6.json), --quick (CI smoke: fewer cells,
+// smaller batches), --seed=N.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/json.h"
+#include "obs/trace_export.h"
+#include "server/exec/txn_processor.h"
+
+namespace bcc {
+namespace {
+
+struct Flags {
+  uint64_t seed = 42;
+  bool quick = false;
+  std::string out = "BENCH_6.json";
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      flags.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      flags.out = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      flags.quick = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (known: --seed=N --out=F --quick)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+struct Contention {
+  const char* name;
+  uint32_t num_objects;
+};
+
+struct Cell {
+  UpdateScheme scheme;
+  uint32_t workers = 1;
+  Contention contention;
+  uint64_t committed = 0;
+  uint64_t retries = 0;
+  double seconds = 0;
+  double txns_per_sec = 0;
+  double speedup_vs_1w = 0;
+};
+
+// The Table 1 server-transaction shape: a couple of reads then a couple of
+// writes, sampled uniformly. Contention is set purely by the object-space
+// size.
+std::vector<std::vector<ServerTxn>> MakeBatches(Rng& rng, uint32_t num_objects, uint32_t batches,
+                                                uint32_t txns_per_batch) {
+  std::vector<std::vector<ServerTxn>> out(batches);
+  TxnId next_id = 1;
+  for (auto& batch : out) {
+    batch.resize(txns_per_batch);
+    for (ServerTxn& t : batch) {
+      t.id = next_id++;
+      t.read_set = rng.SampleWithoutReplacement(num_objects, 2);
+      t.write_set = rng.SampleWithoutReplacement(num_objects, 2);
+    }
+  }
+  return out;
+}
+
+Cell RunCell(UpdateScheme scheme, uint32_t workers, Contention contention, uint32_t batches,
+             uint32_t txns_per_batch, uint64_t op_service_us, uint64_t seed) {
+  Rng rng(seed);
+  const auto workload = MakeBatches(rng, contention.num_objects, batches, txns_per_batch);
+
+  TxnProcessor::Options options;
+  options.op_service_us = op_service_us;
+  TxnProcessor proc(contention.num_objects, scheme, workers, options);
+
+  std::vector<CommittedServerTxn> all;
+  all.reserve(static_cast<size_t>(batches) * txns_per_batch);
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& batch : workload) {
+    auto committed = proc.ExecuteBatch(batch);
+    all.insert(all.end(), std::make_move_iterator(committed.begin()),
+               std::make_move_iterator(committed.end()));
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  const Status serializable = VerifySerializable(contention.num_objects, all);
+  if (!serializable.ok()) {
+    std::fprintf(stderr, "FATAL: %s x%u (%s) produced a non-serializable history: %s\n",
+                 std::string(UpdateSchemeName(scheme)).c_str(), workers, contention.name,
+                 serializable.ToString().c_str());
+    std::exit(1);
+  }
+
+  Cell cell;
+  cell.scheme = scheme;
+  cell.workers = workers;
+  cell.contention = contention;
+  cell.committed = proc.stats().committed;
+  cell.retries = proc.stats().lock_die_aborts + proc.stats().occ_validation_aborts +
+                 proc.stats().mvcc_write_aborts;
+  cell.seconds = seconds;
+  cell.txns_per_sec = seconds > 0 ? static_cast<double>(cell.committed) / seconds : 0;
+  return cell;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+
+  const UpdateScheme schemes[] = {UpdateScheme::kTwoPhaseLocking, UpdateScheme::kOcc,
+                                  UpdateScheme::kMvcc};
+  const Contention contentions[] = {{"low", 256}, {"high", 8}};
+  const std::vector<uint32_t> worker_counts =
+      flags.quick ? std::vector<uint32_t>{1, 4} : std::vector<uint32_t>{1, 2, 4, 8};
+  const uint32_t batches = flags.quick ? 2 : 4;
+  const uint32_t txns_per_batch = flags.quick ? 24 : 48;
+  const uint64_t op_service_us = 200;
+
+  JsonWriter w;
+  w.BeginObject()
+      .Key("schema")
+      .Value("bcc.perf_trajectory.v1")
+      .Key("bench")
+      .Value("BENCH_6")
+      .Key("seed")
+      .Value(flags.seed)
+      .Key("quick")
+      .Value(flags.quick)
+      .Key("rows")
+      .BeginArray();
+
+  for (const UpdateScheme scheme : schemes) {
+    for (const Contention contention : contentions) {
+      double one_worker_tps = 0;
+      for (const uint32_t workers : worker_counts) {
+        Cell cell = RunCell(scheme, workers, contention, batches, txns_per_batch, op_service_us,
+                            flags.seed);
+        if (workers == 1) one_worker_tps = cell.txns_per_sec;
+        cell.speedup_vs_1w = one_worker_tps > 0 ? cell.txns_per_sec / one_worker_tps : 0;
+        std::printf("txn_processor %-4s x%u %-4s: %6.0f txns/sec (%.2fx vs 1w), "
+                    "%llu committed, %llu retries\n",
+                    std::string(UpdateSchemeName(scheme)).c_str(), workers, contention.name,
+                    cell.txns_per_sec, cell.speedup_vs_1w,
+                    static_cast<unsigned long long>(cell.committed),
+                    static_cast<unsigned long long>(cell.retries));
+        w.BeginObject()
+            .Key("section")
+            .Value("txn_processor")
+            .Key("scheme")
+            .Value(UpdateSchemeName(scheme))
+            .Key("workers")
+            .Value(cell.workers)
+            .Key("contention")
+            .Value(contention.name)
+            .Key("num_objects")
+            .Value(contention.num_objects)
+            .Key("txns")
+            .Value(static_cast<uint64_t>(batches) * txns_per_batch)
+            .Key("op_service_us")
+            .Value(op_service_us)
+            .Key("committed")
+            .Value(cell.committed)
+            .Key("retries")
+            .Value(cell.retries)
+            .Key("seconds")
+            .Value(cell.seconds)
+            .Key("txns_per_sec")
+            .Value(cell.txns_per_sec)
+            .Key("speedup_vs_1w")
+            .Value(cell.speedup_vs_1w)
+            .EndObject();
+      }
+    }
+  }
+
+  w.EndArray().EndObject();
+  const std::string json = std::move(w).Take() + "\n";
+  const Status valid = ValidateJson(json);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "FATAL: emitted JSON fails validation: %s\n", valid.ToString().c_str());
+    return 1;
+  }
+  const Status written = WriteTextFile(flags.out, json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("trajectory: %s\n", flags.out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bcc
+
+int main(int argc, char** argv) { return bcc::Main(argc, argv); }

@@ -50,6 +50,9 @@ void PrintHelp() {
       "  --burst                   Gilbert-Elliott burst loss  (off)\n"
       "  --burst-loss=F            Bad-state loss rate         (0.9)\n"
       "  --burst-in=F --burst-out=F  Good->Bad / Bad->Good     (0.02 / 0.25)\n"
+      "  --update-scheme=seq|2pl|occ|mvcc  server update engine (seq;\n"
+      "                            non-seq = thread-pooled TxnProcessor)\n"
+      "  --update-workers=N        pooled engine worker threads (4)\n"
       "  --seed=N                  RNG seed                    (42)\n"
       "  --csv                     emit a machine-readable row\n"
       "  --trace-out=FILE          write a Chrome trace_event JSON trace\n"
@@ -158,6 +161,15 @@ int main(int argc, char** argv) {
       config.channel_broadcast = true;
     } else if (ParseFlag(argv[i], "--hot-access", &v)) {
       hot_access = std::strtod(v, nullptr);
+    } else if (ParseFlag(argv[i], "--update-scheme", &v)) {
+      const StatusOr<UpdateScheme> scheme = ParseUpdateScheme(v);
+      if (!scheme.ok()) {
+        std::fprintf(stderr, "%s\n", scheme.status().ToString().c_str());
+        return 2;
+      }
+      config.update_scheme = *scheme;
+    } else if (ParseFlag(argv[i], "--update-workers", &v)) {
+      config.update_workers = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (ParseFlag(argv[i], "--seed", &v)) {
       config.seed = std::strtoull(v, nullptr, 10);
     } else if (ParseFlag(argv[i], "--trace-out", &v)) {

@@ -1,0 +1,60 @@
+#include "server/exec/lock_manager.h"
+
+#include <cassert>
+
+namespace bcc {
+
+LockManager::LockManager(uint32_t num_stripes) : stripes_(num_stripes == 0 ? 1 : num_stripes) {}
+
+LockOutcome LockManager::Acquire(ObjectId ob, LockMode mode, uint64_t ts) {
+  Stripe& stripe = StripeOf(ob);
+  std::unique_lock<std::mutex> lock(stripe.mu);
+  bool waited = false;
+  for (;;) {
+    LockState& state = stripe.table[ob];
+    const bool compatible = [&] {
+      if (state.holders.empty()) return true;
+      if (mode == LockMode::kExclusive) return false;
+      for (const Holder& h : state.holders) {
+        if (h.mode == LockMode::kExclusive) return false;
+      }
+      return true;
+    }();
+    if (compatible) {
+      state.holders.push_back(Holder{ts, mode});
+      if (waited) wait_count_.fetch_add(1, std::memory_order_relaxed);
+      return LockOutcome::kGranted;
+    }
+    // Wait-die: wait only when older than every holder; die otherwise.
+    for (const Holder& h : state.holders) {
+      assert(h.ts != ts && "a transaction may not request the same object twice");
+      if (h.ts < ts) {
+        die_count_.fetch_add(1, std::memory_order_relaxed);
+        return LockOutcome::kDie;
+      }
+    }
+    waited = true;
+    stripe.cv.wait(lock);
+  }
+}
+
+void LockManager::Release(ObjectId ob, uint64_t ts) {
+  Stripe& stripe = StripeOf(ob);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.table.find(ob);
+    assert(it != stripe.table.end() && "release of an unheld lock");
+    auto& holders = it->second.holders;
+    for (size_t i = 0; i < holders.size(); ++i) {
+      if (holders[i].ts == ts) {
+        holders[i] = holders.back();
+        holders.pop_back();
+        break;
+      }
+    }
+    if (holders.empty()) stripe.table.erase(it);
+  }
+  stripe.cv.notify_all();
+}
+
+}  // namespace bcc

@@ -1,0 +1,32 @@
+// Pluggable concurrency-control schemes for the server's parallel update
+// engine (DESIGN.md §4h). The paper assumes server update transactions are
+// serialized by *some* local scheme before their commits are folded into the
+// control-information broadcast; this enum names the schemes the
+// TxnProcessor implements.
+
+#ifndef BCC_SERVER_EXEC_SCHEME_H_
+#define BCC_SERVER_EXEC_SCHEME_H_
+
+#include <string_view>
+
+#include "common/statusor.h"
+
+namespace bcc {
+
+/// How the server serializes its update transactions.
+enum class UpdateScheme {
+  kSequential,       ///< the classic single-path ServerTxnManager ordering
+  kTwoPhaseLocking,  ///< strict 2PL with a key-striped wait-die lock manager
+  kOcc,              ///< optimistic execution, backward validation at commit
+  kMvcc,             ///< multiversion timestamp ordering over a version store
+};
+
+/// Short stable name ("seq", "2pl", "occ", "mvcc") for flags and JSON rows.
+std::string_view UpdateSchemeName(UpdateScheme scheme);
+
+/// Inverse of UpdateSchemeName; InvalidArgument on unknown names.
+StatusOr<UpdateScheme> ParseUpdateScheme(std::string_view name);
+
+}  // namespace bcc
+
+#endif  // BCC_SERVER_EXEC_SCHEME_H_

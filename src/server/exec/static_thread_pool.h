@@ -1,0 +1,80 @@
+// A fixed-size worker pool for the parallel update engine: N threads created
+// up front, one shared FIFO task queue, no growth, no work stealing. Update
+// transactions are short and uniform, so the simplest possible pool keeps
+// the scheduling overhead off the profile and the threading model easy to
+// reason about under TSan.
+
+#ifndef BCC_SERVER_EXEC_STATIC_THREAD_POOL_H_
+#define BCC_SERVER_EXEC_STATIC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace bcc {
+
+/// Fixed set of workers draining one FIFO queue. Submit never blocks; the
+/// destructor drains every queued task before joining (tasks submitted
+/// before destruction always run).
+class StaticThreadPool {
+ public:
+  explicit StaticThreadPool(uint32_t num_workers) {
+    workers_.reserve(num_workers == 0 ? 1 : num_workers);
+    for (uint32_t w = 0; w < (num_workers == 0 ? 1 : num_workers); ++w) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~StaticThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  StaticThreadPool(const StaticThreadPool&) = delete;
+  StaticThreadPool& operator=(const StaticThreadPool&) = delete;
+
+  uint32_t num_workers() const { return static_cast<uint32_t>(workers_.size()); }
+
+  /// Enqueues a task; it runs on some worker in FIFO dispatch order.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_SERVER_EXEC_STATIC_THREAD_POOL_H_

@@ -1,0 +1,370 @@
+#include "server/exec/txn_processor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace bcc {
+
+namespace {
+
+bool Contains(const std::vector<ObjectId>& set, ObjectId ob) {
+  return std::find(set.begin(), set.end(), ob) != set.end();
+}
+
+/// splitmix64 finalizer — the checksum bits mixed in per operation.
+uint64_t Mix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+TxnProcessor::TxnProcessor(uint32_t num_objects, UpdateScheme scheme, uint32_t num_workers,
+                           Options options)
+    : num_objects_(num_objects), scheme_(scheme), options_(options) {
+  if (scheme_ != UpdateScheme::kSequential && num_workers > 0) {
+    pool_ = std::make_unique<StaticThreadPool>(num_workers);
+  }
+  switch (scheme_) {
+    case UpdateScheme::kSequential:
+      last_writer_.assign(num_objects_, kInitTxn);
+      break;
+    case UpdateScheme::kTwoPhaseLocking:
+      last_writer_.assign(num_objects_, kInitTxn);
+      locks_ = std::make_unique<LockManager>();
+      break;
+    case UpdateScheme::kOcc:
+      last_writer_.assign(num_objects_, kInitTxn);
+      occ_version_.assign(num_objects_, 0);
+      break;
+    case UpdateScheme::kMvcc:
+      mvcc_ = std::make_unique<MvccStore>(num_objects_);
+      break;
+  }
+}
+
+TxnProcessor::~TxnProcessor() = default;
+
+std::vector<CommittedServerTxn> TxnProcessor::ExecuteBatch(std::span<const ServerTxn> txns) {
+  std::vector<CommittedServerTxn> results(txns.size());
+  if (!pool_) {
+    for (size_t i = 0; i < txns.size(); ++i) {
+      const uint64_t priority = next_ts_.fetch_add(1, std::memory_order_relaxed);
+      RunToCommit(txns[i], priority, results[i]);
+    }
+  } else {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t remaining = txns.size();
+    for (size_t i = 0; i < txns.size(); ++i) {
+      // Wait-die priorities are fixed at submission: retries keep them, so
+      // every transaction eventually becomes the oldest contender.
+      const uint64_t priority = next_ts_.fetch_add(1, std::memory_order_relaxed);
+      pool_->Submit([this, txns, i, priority, &results, &mu, &done_cv, &remaining] {
+        RunToCommit(txns[i], priority, results[i]);
+        std::lock_guard<std::mutex> lock(mu);
+        if (--remaining == 0) done_cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+
+  // Batch barrier: no transaction is in flight. Fold the workers' atomic
+  // counters into the stats snapshot, run the MVCC epoch GC, and hand the
+  // committed transactions back in serialization order.
+  stats_.batches += 1;
+  stats_.committed += txns.size();
+  stats_.lock_die_aborts = lock_die_aborts_.load(std::memory_order_relaxed);
+  stats_.occ_validation_aborts = occ_validation_aborts_.load(std::memory_order_relaxed);
+  stats_.mvcc_write_aborts = mvcc_write_aborts_.load(std::memory_order_relaxed);
+  if (mvcc_) {
+    mvcc_->CollectGarbage(next_ts_.load(std::memory_order_relaxed));
+    stats_.mvcc_versions_pruned = mvcc_->versions_pruned();
+  }
+  std::sort(results.begin(), results.end(),
+            [](const CommittedServerTxn& a, const CommittedServerTxn& b) {
+              return a.commit_seq < b.commit_seq;
+            });
+  return results;
+}
+
+void TxnProcessor::Backoff(uint32_t aborts) const {
+  // Bounded linear backoff between retries. Wait-die victims and MVTO
+  // write-rule failures restart immediately otherwise, and under write-hot
+  // keys the retry storm itself keeps feeding the conflict (an MVTO retry
+  // takes a fresh — youngest — timestamp, so an unbroken stream of
+  // concurrent readers can starve it indefinitely). Backing off in
+  // proportion to the service time drains the contenders that are already
+  // past their conflict point. With zero service time a yield suffices:
+  // critical sections are memory-speed and the storm cannot sustain itself.
+  if (options_.op_service_us == 0 || aborts < 2) {
+    std::this_thread::yield();
+    return;
+  }
+  const uint64_t steps = std::min<uint32_t>(aborts, 16);
+  std::this_thread::sleep_for(std::chrono::microseconds(steps * options_.op_service_us / 2));
+}
+
+void TxnProcessor::RunToCommit(const ServerTxn& txn, uint64_t priority, CommittedServerTxn& out) {
+  assert(txn.id != kNoTxn && txn.id != kInitTxn && "transaction ids must be nonzero");
+  out.txn = txn;
+  out.aborts = 0;
+  if (hook_) hook_(txn.id, "start");
+  switch (scheme_) {
+    case UpdateScheme::kSequential:
+      RunSequential(txn, out);
+      break;
+    case UpdateScheme::kTwoPhaseLocking:
+      while (!TryTwoPhase(txn, priority, out)) {
+        out.aborts += 1;
+        Backoff(out.aborts);
+      }
+      break;
+    case UpdateScheme::kOcc:
+      while (!TryOcc(txn, out)) {
+        out.aborts += 1;
+        Backoff(out.aborts);
+      }
+      break;
+    case UpdateScheme::kMvcc:
+      while (!TryMvcc(txn, out)) {
+        out.aborts += 1;
+        Backoff(out.aborts);
+      }
+      break;
+  }
+  if (hook_) hook_(txn.id, "commit");
+}
+
+bool TxnProcessor::TryTwoPhase(const ServerTxn& txn, uint64_t priority, CommittedServerTxn& out) {
+  out.reads.clear();
+  out.ops.clear();
+  out.checksum = 0;
+
+  // Growing phase: everything before the first access. An object both read
+  // and written is one exclusive request (LockManager forbids re-requests).
+  std::vector<ObjectId> held;
+  held.reserve(txn.read_set.size() + txn.write_set.size());
+  auto release_all = [&] {
+    for (ObjectId ob : held) locks_->Release(ob, priority);
+    held.clear();
+  };
+  auto die = [&] {
+    release_all();
+    lock_die_aborts_.fetch_add(1, std::memory_order_relaxed);
+    if (hook_) hook_(txn.id, "2pl:die");
+    return false;
+  };
+  for (ObjectId ob : txn.read_set) {
+    const LockMode mode =
+        Contains(txn.write_set, ob) ? LockMode::kExclusive : LockMode::kShared;
+    if (locks_->Acquire(ob, mode, priority) == LockOutcome::kDie) return die();
+    held.push_back(ob);
+  }
+  for (ObjectId ob : txn.write_set) {
+    if (Contains(txn.read_set, ob)) continue;
+    if (locks_->Acquire(ob, LockMode::kExclusive, priority) == LockOutcome::kDie) return die();
+    held.push_back(ob);
+  }
+  if (hook_) hook_(txn.id, "2pl:locked");
+
+  // Execute. last_writer_[ob] is guarded by the logical lock on ob; the
+  // global op counter is fetched while the lock is held, so sequence order
+  // agrees with conflict order.
+  for (ObjectId ob : txn.read_set) {
+    const uint64_t seq = next_op_seq_.fetch_add(1, std::memory_order_relaxed);
+    out.reads.push_back(ReadObservation{ob, last_writer_[ob]});
+    out.ops.push_back(SeqOp{seq, Operation::Read(txn.id, ob)});
+    out.checksum ^= OpWork(seq);
+  }
+  for (ObjectId ob : txn.write_set) {
+    const uint64_t seq = next_op_seq_.fetch_add(1, std::memory_order_relaxed);
+    last_writer_[ob] = txn.id;
+    out.ops.push_back(SeqOp{seq, Operation::Write(txn.id, ob)});
+    out.checksum ^= OpWork(seq);
+  }
+  // The commit point is reached with all locks held: for any conflicting
+  // pair the earlier transaction draws its commit_seq before releasing, the
+  // later one only after acquiring, so commit_seq order extends the
+  // conflict order (strict 2PL's serialization order).
+  out.commit_seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  out.ops.push_back(
+      SeqOp{next_op_seq_.fetch_add(1, std::memory_order_relaxed), Operation::Commit(txn.id)});
+  release_all();
+  return true;
+}
+
+bool TxnProcessor::TryOcc(const ServerTxn& txn, CommittedServerTxn& out) {
+  out.reads.clear();
+  out.ops.clear();
+  out.checksum = 0;
+
+  // Read phase: snapshot {writer, install-version} per object under a brief
+  // shared latch; the service time (the store access) is paid outside it.
+  std::vector<uint64_t> read_versions;
+  read_versions.reserve(txn.read_set.size());
+  for (ObjectId ob : txn.read_set) {
+    uint64_t seq;
+    {
+      std::shared_lock<std::shared_mutex> lock(occ_mu_);
+      seq = next_op_seq_.fetch_add(1, std::memory_order_relaxed);
+      out.reads.push_back(ReadObservation{ob, last_writer_[ob]});
+      read_versions.push_back(occ_version_[ob]);
+    }
+    out.ops.push_back(SeqOp{seq, Operation::Read(txn.id, ob)});
+    out.checksum ^= OpWork(seq);
+  }
+  if (hook_) hook_(txn.id, "occ:read-done");
+
+  // Compute phase: the write work happens against the transaction's private
+  // workspace, before validation — the critical section stays memory-speed.
+  for (ObjectId ob : txn.write_set) {
+    out.checksum ^= OpWork(static_cast<uint64_t>(txn.id) * 0x10001ULL + ob);
+  }
+
+  // Backward validation + install, serialized by the unique latch: if any
+  // object we read was re-installed since, a conflicting transaction
+  // committed inside our window — abort and retry.
+  {
+    std::unique_lock<std::shared_mutex> lock(occ_mu_);
+    for (size_t i = 0; i < txn.read_set.size(); ++i) {
+      if (occ_version_[txn.read_set[i]] != read_versions[i]) {
+        lock.unlock();
+        occ_validation_aborts_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    for (ObjectId ob : txn.write_set) {
+      last_writer_[ob] = txn.id;
+      occ_version_[ob] += 1;
+      out.ops.push_back(SeqOp{next_op_seq_.fetch_add(1, std::memory_order_relaxed),
+                              Operation::Write(txn.id, ob)});
+    }
+    out.commit_seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    out.ops.push_back(
+        SeqOp{next_op_seq_.fetch_add(1, std::memory_order_relaxed), Operation::Commit(txn.id)});
+  }
+  if (hook_) hook_(txn.id, "occ:install");
+  return true;
+}
+
+bool TxnProcessor::TryMvcc(const ServerTxn& txn, CommittedServerTxn& out) {
+  out.reads.clear();
+  out.ops.clear();
+  out.checksum = 0;
+
+  // Every attempt draws a fresh timestamp; the serialization order of
+  // committed transactions is exactly timestamp order, so commit_seq = ts.
+  const uint64_t ts = next_ts_.fetch_add(1, std::memory_order_relaxed);
+  for (ObjectId ob : txn.read_set) {
+    const MvccStore::ReadResult r = mvcc_->Read(ob, ts);
+    const uint64_t seq = next_op_seq_.fetch_add(1, std::memory_order_relaxed);
+    out.reads.push_back(ReadObservation{ob, r.writer});
+    out.ops.push_back(SeqOp{seq, Operation::Read(txn.id, ob)});
+    out.checksum ^= OpWork(seq);
+  }
+  if (hook_) hook_(txn.id, "mvcc:read-done");
+  for (ObjectId ob : txn.write_set) {
+    out.checksum ^= OpWork(ts * 0x10001ULL + ob);
+  }
+  if (!mvcc_->CommitWrites(txn.write_set, txn.id, ts)) {
+    mvcc_write_aborts_.fetch_add(1, std::memory_order_relaxed);
+    if (hook_) hook_(txn.id, "mvcc:die");
+    return false;
+  }
+  for (ObjectId ob : txn.write_set) {
+    out.ops.push_back(
+        SeqOp{next_op_seq_.fetch_add(1, std::memory_order_relaxed), Operation::Write(txn.id, ob)});
+  }
+  out.commit_seq = ts;
+  out.ops.push_back(
+      SeqOp{next_op_seq_.fetch_add(1, std::memory_order_relaxed), Operation::Commit(txn.id)});
+  return true;
+}
+
+void TxnProcessor::RunSequential(const ServerTxn& txn, CommittedServerTxn& out) {
+  out.reads.clear();
+  out.ops.clear();
+  out.checksum = 0;
+  for (ObjectId ob : txn.read_set) {
+    const uint64_t seq = next_op_seq_.fetch_add(1, std::memory_order_relaxed);
+    out.reads.push_back(ReadObservation{ob, last_writer_[ob]});
+    out.ops.push_back(SeqOp{seq, Operation::Read(txn.id, ob)});
+    out.checksum ^= OpWork(seq);
+  }
+  for (ObjectId ob : txn.write_set) {
+    const uint64_t seq = next_op_seq_.fetch_add(1, std::memory_order_relaxed);
+    last_writer_[ob] = txn.id;
+    out.ops.push_back(SeqOp{seq, Operation::Write(txn.id, ob)});
+    out.checksum ^= OpWork(seq);
+  }
+  out.commit_seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  out.ops.push_back(
+      SeqOp{next_op_seq_.fetch_add(1, std::memory_order_relaxed), Operation::Commit(txn.id)});
+}
+
+uint64_t TxnProcessor::OpWork(uint64_t salt) {
+  if (options_.op_service_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.op_service_us));
+  }
+  return Mix(salt);
+}
+
+void FoldIntoManager(std::span<const CommittedServerTxn> committed, ServerTxnManager& manager,
+                     Cycle cycle) {
+  for (const CommittedServerTxn& c : committed) manager.ExecuteAndCommit(c.txn, cycle);
+}
+
+Status VerifySerializable(uint32_t num_objects, std::span<const CommittedServerTxn> committed) {
+  std::vector<TxnId> table(num_objects, kInitTxn);
+  uint64_t prev_seq = 0;
+  for (const CommittedServerTxn& c : committed) {
+    if (c.commit_seq <= prev_seq) {
+      return Status::Internal("commit_seq not strictly ascending at txn " +
+                              std::to_string(c.txn.id));
+    }
+    prev_seq = c.commit_seq;
+    for (const ReadObservation& r : c.reads) {
+      if (r.object >= num_objects) {
+        return Status::InvalidArgument("read of out-of-range object " + std::to_string(r.object));
+      }
+      if (table[r.object] != r.writer) {
+        return Status::Internal("txn " + std::to_string(c.txn.id) + " observed ob" +
+                                std::to_string(r.object) + " from txn " +
+                                std::to_string(r.writer) + " but the serial replay installs txn " +
+                                std::to_string(table[r.object]) + " there");
+      }
+    }
+    for (ObjectId ob : c.txn.write_set) {
+      if (ob >= num_objects) {
+        return Status::InvalidArgument("write of out-of-range object " + std::to_string(ob));
+      }
+      table[ob] = c.txn.id;
+    }
+  }
+  return Status::OK();
+}
+
+History BuildInterleavedHistory(std::span<const CommittedServerTxn> committed) {
+  std::vector<SeqOp> all;
+  size_t total = 0;
+  for (const CommittedServerTxn& c : committed) total += c.ops.size();
+  all.reserve(total);
+  for (const CommittedServerTxn& c : committed) {
+    all.insert(all.end(), c.ops.begin(), c.ops.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SeqOp& a, const SeqOp& b) { return a.seq < b.seq; });
+  History h;
+  for (const SeqOp& s : all) h.Append(s.op);
+  return h;
+}
+
+}  // namespace bcc

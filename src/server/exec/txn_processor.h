@@ -1,0 +1,193 @@
+// Thread-pooled server update engine (DESIGN.md §4h, ROADMAP item 3).
+//
+// The paper serializes server update transactions through one sequential
+// path before their commits are folded into the F-Matrix broadcast. The
+// TxnProcessor lifts that cap: a StaticThreadPool executes one broadcast
+// cycle's update transactions concurrently under a pluggable scheme —
+// strict 2PL (wait-die, key-striped LockManager), OCC (backward validation
+// at commit), or MVCC (timestamp ordering over an MvccStore with
+// epoch-batched GC) — and returns the committed transactions *in their
+// serialization order*. Folding that order into a ServerTxnManager at the
+// cycle boundary (FoldIntoManager) reuses the cycle-fused
+// FMatrix::ApplyCommitBatch maintenance unchanged, so the broadcast-side
+// pipeline never sees which scheme produced the order.
+//
+// Every committed transaction records which writer each of its reads
+// observed; VerifySerializable replays the serialization order through a
+// sequential last-writer table and confirms every observation — an exact
+// serializability oracle (view equivalence to the serial execution). Tests
+// additionally rebuild the real interleaved history from per-operation
+// sequence numbers and feed it to the src/cc checkers.
+
+#ifndef BCC_SERVER_EXEC_TXN_PROCESSOR_H_
+#define BCC_SERVER_EXEC_TXN_PROCESSOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "history/history.h"
+#include "history/operation.h"
+#include "server/exec/lock_manager.h"
+#include "server/exec/mvcc_store.h"
+#include "server/exec/scheme.h"
+#include "server/exec/static_thread_pool.h"
+#include "server/txn_manager.h"
+
+namespace bcc {
+
+/// Which committed writer a read observed (the view the transaction saw).
+struct ReadObservation {
+  ObjectId object = 0;
+  TxnId writer = kInitTxn;
+};
+
+/// One operation of a committed transaction stamped with its global order
+/// (a fresh sequence number drawn at the instant the operation took effect
+/// under the scheme's synchronization). Only the successful attempt's
+/// operations are recorded; died/invalidated attempts leave no trace.
+struct SeqOp {
+  uint64_t seq = 0;
+  Operation op{OpType::kRead, kNoTxn, 0};
+};
+
+/// A server update transaction the processor committed.
+struct CommittedServerTxn {
+  ServerTxn txn;
+  /// Position in the scheme's serialization order (2PL/OCC: commit-point
+  /// order; MVCC: timestamp order). Unique; ascending = the order to replay.
+  uint64_t commit_seq = 0;
+  std::vector<ReadObservation> reads;
+  /// Interleaved-history trace: this transaction's reads, writes, and commit
+  /// marker with their global sequence numbers (BuildInterleavedHistory).
+  std::vector<SeqOp> ops;
+  /// Scheme-level aborts (wait-die deaths, failed validations, write
+  /// conflicts) this transaction survived before committing.
+  uint32_t aborts = 0;
+  /// Mixed-in result of the synthetic per-operation work (bench knob); keeps
+  /// the optimizer honest and is otherwise meaningless.
+  uint64_t checksum = 0;
+};
+
+/// Cumulative processor counters (monotone across batches).
+struct TxnProcessorStats {
+  uint64_t committed = 0;
+  uint64_t batches = 0;
+  uint64_t lock_die_aborts = 0;        ///< 2PL wait-die deaths
+  uint64_t occ_validation_aborts = 0;  ///< OCC backward-validation failures
+  uint64_t mvcc_write_aborts = 0;      ///< MVTO write-rule rejections
+  uint64_t mvcc_versions_pruned = 0;   ///< epoch GC reclamation
+};
+
+/// Concurrent executor for server update transactions.
+class TxnProcessor {
+ public:
+  struct Options {
+    /// Synthetic per-operation service time in microseconds, modeling the
+    /// backing-store access a real update operation pays (object payloads
+    /// are object_size_bits wide). Workers overlap these waits, which is
+    /// what the worker-count throughput sweep in bench_txn_processor
+    /// measures. 0 (the default, and the engines' setting) executes ops at
+    /// memory speed.
+    uint64_t op_service_us = 0;
+  };
+
+  /// `num_workers` == 0 or scheme == kSequential executes inline on the
+  /// calling thread (no pool).
+  TxnProcessor(uint32_t num_objects, UpdateScheme scheme, uint32_t num_workers, Options options);
+  TxnProcessor(uint32_t num_objects, UpdateScheme scheme, uint32_t num_workers)
+      : TxnProcessor(num_objects, scheme, num_workers, Options()) {}
+  ~TxnProcessor();
+
+  TxnProcessor(const TxnProcessor&) = delete;
+  TxnProcessor& operator=(const TxnProcessor&) = delete;
+
+  UpdateScheme scheme() const { return scheme_; }
+  uint32_t num_workers() const { return pool_ ? pool_->num_workers() : 1; }
+  uint32_t num_objects() const { return num_objects_; }
+
+  /// Executes the batch (one broadcast cycle's update transactions)
+  /// concurrently and blocks until every transaction committed — aborted
+  /// attempts are retried by the scheme until they succeed, so the result
+  /// always holds exactly the input transactions, sorted by commit_seq
+  /// (their serialization order). Committed state persists across batches;
+  /// the return of ExecuteBatch is an epoch boundary (MVCC runs its GC
+  /// here). Transaction ids must be unique and nonzero.
+  std::vector<CommittedServerTxn> ExecuteBatch(std::span<const ServerTxn> txns);
+
+  const TxnProcessorStats& stats() const { return stats_; }
+
+  /// Test-only interleaving hook, invoked at scheme stage boundaries
+  /// ("start", "2pl:locked", "2pl:die", "occ:read-done", "occ:install",
+  /// "mvcc:read-done", "mvcc:die", "commit") with no internal latch held
+  /// (2pl:locked runs with the transaction's logical locks held, which is
+  /// what lets tests build contention windows). Set before the first
+  /// ExecuteBatch and never change it while a batch runs.
+  using TestHook = std::function<void(TxnId txn, std::string_view stage)>;
+  void set_test_hook(TestHook hook) { hook_ = std::move(hook); }
+
+ private:
+  /// Sleeps between retries, scaled by the retry count and the configured
+  /// service time, to break retry storms on write-hot keys.
+  void Backoff(uint32_t aborts) const;
+  void RunToCommit(const ServerTxn& txn, uint64_t priority, CommittedServerTxn& out);
+  bool TryTwoPhase(const ServerTxn& txn, uint64_t priority, CommittedServerTxn& out);
+  bool TryOcc(const ServerTxn& txn, CommittedServerTxn& out);
+  bool TryMvcc(const ServerTxn& txn, CommittedServerTxn& out);
+  void RunSequential(const ServerTxn& txn, CommittedServerTxn& out);
+  uint64_t OpWork(uint64_t salt);
+
+  const uint32_t num_objects_;
+  const UpdateScheme scheme_;
+  const Options options_;
+  std::unique_ptr<StaticThreadPool> pool_;
+
+  // 2PL / OCC / sequential committed state: the last committed writer per
+  // object. 2PL guards entries with the object's lock; OCC with occ_mu_.
+  std::vector<TxnId> last_writer_;
+  std::unique_ptr<LockManager> locks_;           // 2PL
+  std::shared_mutex occ_mu_;                     // OCC: shared=read, unique=validate+install
+  std::vector<uint64_t> occ_version_;            // OCC per-object install counter
+  std::unique_ptr<MvccStore> mvcc_;              // MVCC
+
+  std::atomic<uint64_t> next_seq_{1};   // commit_seq (2PL/OCC/seq)
+  std::atomic<uint64_t> next_ts_{1};    // 2PL priorities & MVCC timestamps
+  std::atomic<uint64_t> next_op_seq_{1};
+
+  TxnProcessorStats stats_;  // batch-level fields updated at barriers
+  std::atomic<uint64_t> lock_die_aborts_{0};
+  std::atomic<uint64_t> occ_validation_aborts_{0};
+  std::atomic<uint64_t> mvcc_write_aborts_{0};
+
+  TestHook hook_;
+};
+
+/// Replays `committed` (ascending commit_seq) into `manager` at broadcast
+/// cycle `cycle` — the bridge from the scheme's serialization order into the
+/// cycle-fused F-Matrix/MC-vector maintenance.
+void FoldIntoManager(std::span<const CommittedServerTxn> committed, ServerTxnManager& manager,
+                     Cycle cycle);
+
+/// Exact serializability oracle: replays the serialization order through a
+/// sequential last-writer table and verifies every recorded read observation
+/// (plus commit_seq uniqueness). `committed` may span several batches as
+/// long as it is ascending by commit_seq.
+Status VerifySerializable(uint32_t num_objects, std::span<const CommittedServerTxn> committed);
+
+/// Rebuilds the totally ordered history the committed transactions actually
+/// executed, by sorting every recorded operation by its global sequence
+/// number. For 2PL and OCC this single-version interleaving must be conflict
+/// serializable (the property suite enforces it); MVCC interleavings are
+/// only timestamp-order serializable, so tests feed its serialization-order
+/// history instead.
+History BuildInterleavedHistory(std::span<const CommittedServerTxn> committed);
+
+}  // namespace bcc
+
+#endif  // BCC_SERVER_EXEC_TXN_PROCESSOR_H_

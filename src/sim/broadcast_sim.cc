@@ -77,6 +77,10 @@ StatusOr<SimSummary> BroadcastSim::Run() {
 
   Rng root(config_.seed);
   server_workload_ = std::make_unique<ServerWorkload>(config_, root.Split());
+  if (config_.update_scheme != UpdateScheme::kSequential) {
+    txn_processor_ = std::make_unique<TxnProcessor>(config_.num_objects, config_.update_scheme,
+                                                    config_.update_workers);
+  }
 
   std::optional<CycleStampCodec> codec;
   if (config_.use_wire_codec) codec.emplace(config_.timestamp_bits);
@@ -128,6 +132,8 @@ StatusOr<SimSummary> BroadcastSim::Run() {
 
   while (!done_ && queue_.Step()) {
   }
+  // Commits staged during the final (partial) cycle still belong to it.
+  FlushServerBatch();
 
   for (const auto& client : clients_) {
     if (client->receiver) metrics_.AccumulateChannel(client->receiver->stats());
@@ -152,8 +158,20 @@ uint64_t BroadcastSim::TotalCacheMisses() const {
   return total;
 }
 
+void BroadcastSim::FlushServerBatch() {
+  if (txn_processor_ == nullptr || pending_server_txns_.empty()) return;
+  const std::vector<CommittedServerTxn> committed =
+      txn_processor_->ExecuteBatch(pending_server_txns_);
+  FoldIntoManager(committed, *manager_, server_->snapshot().cycle);
+  pending_server_txns_.clear();
+}
+
 void BroadcastSim::StartNextCycle() {
   if (done_) return;
+  // Pooled mode: the ending cycle's server transactions execute now, so the
+  // snapshot taken at BeginCycle sees them — the same cycle-granular
+  // visibility clients get under the sequential path.
+  FlushServerBatch();
   const Cycle next = server_->snapshot().cycle + 1;
   if (config_.stop_after_cycles > 0 && next > config_.stop_after_cycles) {
     done_ = true;
@@ -220,7 +238,11 @@ void BroadcastSim::TransmitCycle() {
 void BroadcastSim::ServerCommitEvent() {
   if (done_) return;
   const ServerTxn txn = server_workload_->NextTxn();
-  manager_->ExecuteAndCommit(txn, server_->snapshot().cycle);
+  if (txn_processor_ != nullptr) {
+    pending_server_txns_.push_back(txn);
+  } else {
+    manager_->ExecuteAndCommit(txn, server_->snapshot().cycle);
+  }
   metrics_.RecordServerCommit();
   if (server_trace_ != nullptr) {
     TraceEvent e;

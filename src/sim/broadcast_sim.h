@@ -32,6 +32,7 @@
 #include "matrix/group_matrix.h"
 #include "obs/trace.h"
 #include "server/broadcast_server.h"
+#include "server/exec/txn_processor.h"
 #include "server/validator.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
@@ -157,6 +158,11 @@ class BroadcastSim {
   void OnAbort(size_t c, AbortInfo info);
   void SendUplinkCommit(size_t c);     // client update txn: ship reads+writes
   void CompleteTxn(size_t c, bool censored);
+  /// Pooled update engine (config.update_scheme != kSequential): executes
+  /// the server transactions queued during the ending cycle on the
+  /// TxnProcessor and folds their serialization order into the manager under
+  /// the current cycle number. No-op in sequential mode.
+  void FlushServerBatch();
   /// Emits the cycle-start slice (and broadcast-tx instant) for the cycle
   /// just begun on the server track; no-op when tracing is off.
   void TraceCycleStart();
@@ -170,6 +176,10 @@ class BroadcastSim {
   std::optional<ObjectPartition> partition_;
   std::unique_ptr<ServerWorkload> server_workload_;
   std::unique_ptr<UpdateValidator> validator_;
+  /// Pooled update engine and its per-cycle staging queue (null/unused in
+  /// sequential mode).
+  std::unique_ptr<TxnProcessor> txn_processor_;
+  std::vector<ServerTxn> pending_server_txns_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::optional<FrameCodec> frame_codec_;   // channel mode
   std::unique_ptr<LossyChannel> channel_;   // channel mode

@@ -245,7 +245,11 @@ void ConcurrentSim::ProcessClientPhase(ClientState& cs, Cycle phase, const Cycle
 void ConcurrentSim::ProcessServerPhase(Cycle phase) {
   while (PhaseOf(next_commit_time_, next_commit_pre_flip_, cycle_bits_) == phase) {
     const ServerTxn txn = server_workload_->NextTxn();
-    manager_->ExecuteAndCommit(txn, phase);
+    if (txn_processor_ != nullptr) {
+      pending_server_txns_.push_back(txn);
+    } else {
+      manager_->ExecuteAndCommit(txn, phase);
+    }
     ++server_commits_;
     if (server_trace_ != nullptr) {
       TraceEvent e;
@@ -259,6 +263,16 @@ void ConcurrentSim::ProcessServerPhase(Cycle phase) {
     const bool prev_pre = next_commit_pre_flip_;
     next_commit_time_ = prev + server_workload_->NextInterval();
     next_commit_pre_flip_ = FiresBeforeFlip(next_commit_time_, prev, prev_pre, cycle_bits_);
+  }
+  // Pooled mode: execute the phase's staged transactions concurrently and
+  // fold the serialization order now — still before the work barrier, so the
+  // snapshot published in the exclusive section reflects every commit of
+  // this phase (the same cycle-granular visibility as the serial path).
+  if (txn_processor_ != nullptr && !pending_server_txns_.empty()) {
+    const std::vector<CommittedServerTxn> committed =
+        txn_processor_->ExecuteBatch(pending_server_txns_);
+    FoldIntoManager(committed, *manager_, phase);
+    pending_server_txns_.clear();
   }
 }
 
@@ -306,6 +320,10 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
 
   Rng root(config_.seed);
   server_workload_ = std::make_unique<ServerWorkload>(config_, root.Split());
+  if (config_.update_scheme != UpdateScheme::kSequential) {
+    txn_processor_ = std::make_unique<TxnProcessor>(config_.num_objects, config_.update_scheme,
+                                                    config_.update_workers);
+  }
 
   std::optional<CycleStampCodec> codec;
   if (config_.use_wire_codec) codec.emplace(config_.timestamp_bits);

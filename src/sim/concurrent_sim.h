@@ -38,6 +38,7 @@
 #include "common/statusor.h"
 #include "obs/trace.h"
 #include "server/broadcast_server.h"
+#include "server/exec/txn_processor.h"
 #include "server/txn_manager.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
@@ -102,7 +103,10 @@ class ConcurrentSim {
   void ProcessClientPhase(ClientState& cs, Cycle phase, const CycleSnapshot& snap);
 
   /// Executes every server commit belonging to broadcast cycle `phase`
-  /// into the staging manager.
+  /// into the staging manager. In pooled mode (update_scheme !=
+  /// kSequential) the phase's transactions run concurrently on the
+  /// TxnProcessor and their serialization order is folded before returning,
+  /// so the snapshot published at the next barrier sees them all.
   void ProcessServerPhase(Cycle phase);
 
   SimConfig config_;
@@ -112,6 +116,10 @@ class ConcurrentSim {
   std::unique_ptr<ServerTxnManager> manager_;
   std::unique_ptr<BroadcastServer> server_;
   std::unique_ptr<ServerWorkload> server_workload_;
+  /// Pooled update engine and its per-phase staging queue (null/unused in
+  /// sequential mode). Touched only by the server thread.
+  std::unique_ptr<TxnProcessor> txn_processor_;
+  std::vector<ServerTxn> pending_server_txns_;
   std::vector<std::unique_ptr<ClientState>> clients_;
 
   /// The on-air snapshot of the current cycle. Written by the server thread

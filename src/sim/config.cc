@@ -118,6 +118,16 @@ Status SimConfig::Validate() const {
           "space; raise channel_frame_bits or shrink the database");
     }
   }
+  if (update_scheme != UpdateScheme::kSequential) {
+    if (update_workers == 0) {
+      return Status::InvalidArgument("update_workers must be >= 1 for a pooled update scheme");
+    }
+    if (client_update_fraction > 0.0) {
+      return Status::InvalidArgument(
+          "pooled update schemes require read-only clients (the uplink validator reads "
+          "mid-cycle state)");
+    }
+  }
   return Status::OK();
 }
 
@@ -149,6 +159,10 @@ std::string SimConfig::ToString() const {
     out += StrFormat(" channel(frame=%llu %s)",
                      static_cast<unsigned long long>(channel_frame_bits),
                      ChannelFaults().ToString().c_str());
+  }
+  if (update_scheme != UpdateScheme::kSequential) {
+    out += StrFormat(" update(%s x%u)", std::string(UpdateSchemeName(update_scheme)).c_str(),
+                     update_workers);
   }
   return out;
 }

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "des/event_queue.h"
 #include "matrix/wire.h"
+#include "server/exec/scheme.h"
 
 namespace bcc {
 
@@ -108,6 +109,20 @@ struct SimConfig {
 
   /// The channel knobs above as a ChannelFaultConfig.
   ChannelFaultConfig ChannelFaults() const;
+
+  /// Parallel update engine (src/server/exec/, DESIGN.md §4h): how the
+  /// server executes its update transactions. kSequential is the paper's
+  /// serial path (commits applied at their generated event times). Any other
+  /// scheme defers each broadcast cycle's server transactions to a
+  /// thread-pooled TxnProcessor and folds the scheme's serialization order
+  /// into the manager at the cycle boundary — before the next cycle's
+  /// snapshot, so clients observe exactly the same cycle-granular state
+  /// visibility as the serial path. Requires read-only clients
+  /// (client_update_fraction == 0): the uplink validator consults the MC
+  /// vector mid-cycle, which a deferred batch would falsify.
+  UpdateScheme update_scheme = UpdateScheme::kSequential;
+  /// Worker threads for the pooled engine (update_scheme != kSequential).
+  uint32_t update_workers = 4;
 
   // ---- test instrumentation ----
   /// Record the full update history plus client reads so the run can be

@@ -1,0 +1,106 @@
+#include "server/exec/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace bcc {
+namespace {
+
+TEST(LockManagerTest, SharedLocksAreCompatible) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(3, LockMode::kShared, 1), LockOutcome::kGranted);
+  EXPECT_EQ(lm.Acquire(3, LockMode::kShared, 2), LockOutcome::kGranted);
+  EXPECT_EQ(lm.Acquire(3, LockMode::kShared, 3), LockOutcome::kGranted);
+  EXPECT_EQ(lm.die_count(), 0u);
+  lm.Release(3, 1);
+  lm.Release(3, 2);
+  lm.Release(3, 3);
+}
+
+TEST(LockManagerTest, IndependentObjectsNeverConflict) {
+  LockManager lm(4);  // few stripes: objects 0 and 4 share a stripe
+  EXPECT_EQ(lm.Acquire(0, LockMode::kExclusive, 1), LockOutcome::kGranted);
+  EXPECT_EQ(lm.Acquire(4, LockMode::kExclusive, 2), LockOutcome::kGranted);
+  lm.Release(0, 1);
+  lm.Release(4, 2);
+}
+
+TEST(LockManagerTest, YoungerRequesterDiesImmediately) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(7, LockMode::kExclusive, 1), LockOutcome::kGranted);
+  // ts 2 is younger than the holder (1): wait-die rules it out at once.
+  EXPECT_EQ(lm.Acquire(7, LockMode::kExclusive, 2), LockOutcome::kDie);
+  EXPECT_EQ(lm.Acquire(7, LockMode::kShared, 3), LockOutcome::kDie);
+  EXPECT_EQ(lm.die_count(), 2u);
+  lm.Release(7, 1);
+  // With the holder gone the former victims are granted on retry.
+  EXPECT_EQ(lm.Acquire(7, LockMode::kExclusive, 2), LockOutcome::kGranted);
+  lm.Release(7, 2);
+}
+
+TEST(LockManagerTest, OlderRequesterWaitsForYoungerHolder) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(5, LockMode::kExclusive, 9), LockOutcome::kGranted);
+
+  std::atomic<bool> granted{false};
+  std::thread older([&] {
+    // ts 1 is older than the holder (9): it must block, never die.
+    EXPECT_EQ(lm.Acquire(5, LockMode::kExclusive, 1), LockOutcome::kGranted);
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(granted.load());
+  lm.Release(5, 9);
+  older.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_EQ(lm.die_count(), 0u);
+  EXPECT_GE(lm.wait_count(), 1u);
+  lm.Release(5, 1);
+}
+
+TEST(LockManagerTest, SharedHoldersBlockOlderExclusiveUntilAllRelease) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(2, LockMode::kShared, 5), LockOutcome::kGranted);
+  ASSERT_EQ(lm.Acquire(2, LockMode::kShared, 6), LockOutcome::kGranted);
+
+  std::atomic<bool> granted{false};
+  std::thread older([&] {
+    EXPECT_EQ(lm.Acquire(2, LockMode::kExclusive, 1), LockOutcome::kGranted);
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(granted.load());
+  lm.Release(2, 5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(granted.load());  // one shared holder remains
+  lm.Release(2, 6);
+  older.join();
+  EXPECT_TRUE(granted.load());
+  lm.Release(2, 1);
+}
+
+TEST(LockManagerTest, AbBaConflictNeverDeadlocks) {
+  // The classic AB-BA interleaving: old holds a and wants b; young holds b
+  // and wants a. Wait-die breaks it without a detector — the young side dies
+  // on a (its holder is older), releases b, and the old side proceeds.
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(0, LockMode::kExclusive, 1), LockOutcome::kGranted);  // old: a
+  ASSERT_EQ(lm.Acquire(1, LockMode::kExclusive, 2), LockOutcome::kGranted);  // young: b
+
+  EXPECT_EQ(lm.Acquire(0, LockMode::kExclusive, 2), LockOutcome::kDie);  // young wants a
+  lm.Release(1, 2);  // young aborts, freeing b
+
+  std::thread old_side([&] {
+    EXPECT_EQ(lm.Acquire(1, LockMode::kExclusive, 1), LockOutcome::kGranted);  // old wants b
+    lm.Release(1, 1);
+    lm.Release(0, 1);
+  });
+  old_side.join();
+  EXPECT_EQ(lm.die_count(), 1u);
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,139 @@
+// Property suite for the parallel update engine (ISSUE 6 tentpole gate):
+// across seeds and schemes, every concurrent execution must be provably
+// serializable by the exact src/cc checkers, and folding the commit order
+// into the broadcast-side manager must be bit-identical to the sequential
+// ServerTxnManager oracle executing the same order.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cc/conflict_serializability.h"
+#include "cc/update_consistency.h"
+#include "cc/view_serializability.h"
+#include "common/rng.h"
+#include "server/exec/txn_processor.h"
+#include "server/txn_manager.h"
+
+namespace bcc {
+namespace {
+
+constexpr uint64_t kNumSeeds = 25;
+const UpdateScheme kSchemes[] = {UpdateScheme::kTwoPhaseLocking, UpdateScheme::kOcc,
+                                 UpdateScheme::kMvcc};
+
+ServerTxn RandomTxn(Rng& rng, TxnId id, uint32_t num_objects) {
+  ServerTxn t;
+  t.id = id;
+  const uint32_t num_reads = static_cast<uint32_t>(rng.NextInt(0, 3));
+  const uint32_t num_writes = static_cast<uint32_t>(rng.NextInt(0, 2));
+  t.read_set = rng.SampleWithoutReplacement(num_objects, num_reads);
+  t.write_set = rng.SampleWithoutReplacement(num_objects, num_writes);
+  return t;
+}
+
+/// The serialization-order history: every committed transaction's operations
+/// run serially in commit_seq order. For MVCC this is the history whose
+/// serializability the engine guarantees; for 2PL/OCC it is the witness
+/// order of the interleaved history.
+History BuildSerialHistory(const std::vector<CommittedServerTxn>& committed) {
+  History h;
+  for (const CommittedServerTxn& c : committed) {
+    for (ObjectId ob : c.txn.read_set) h.AppendRead(c.txn.id, ob);
+    for (ObjectId ob : c.txn.write_set) h.AppendWrite(c.txn.id, ob);
+    h.AppendCommit(c.txn.id);
+  }
+  return h;
+}
+
+TEST(TxnProcessorPropertyTest, AllSchemesSerializableAndBitIdenticalToOracle) {
+  constexpr uint32_t kNumObjects = 12;
+  constexpr uint32_t kBatches = 3;
+  constexpr uint32_t kTxnsPerBatch = 8;
+
+  for (UpdateScheme scheme : kSchemes) {
+    for (uint64_t seed = 0; seed < kNumSeeds; ++seed) {
+      SCOPED_TRACE(std::string(UpdateSchemeName(scheme)) + " seed " + std::to_string(seed));
+      Rng rng(seed * 7919 + static_cast<uint64_t>(scheme));
+      TxnProcessor proc(kNumObjects, scheme, /*num_workers=*/4);
+      ServerTxnManager folded(kNumObjects);  // cycle-fused ApplyCommitBatch path
+      TxnManagerOptions oracle_options;
+      oracle_options.batch_commit_maintenance = false;
+      ServerTxnManager oracle(kNumObjects, oracle_options);
+
+      std::vector<CommittedServerTxn> all;
+      TxnId next_id = 1;
+      for (uint32_t batch = 0; batch < kBatches; ++batch) {
+        std::vector<ServerTxn> txns;
+        for (uint32_t i = 0; i < kTxnsPerBatch; ++i) {
+          txns.push_back(RandomTxn(rng, next_id++, kNumObjects));
+        }
+        const auto committed = proc.ExecuteBatch(txns);
+        ASSERT_EQ(committed.size(), txns.size());
+        const Cycle cycle = batch + 1;
+        FoldIntoManager(committed, folded, cycle);
+        for (const CommittedServerTxn& c : committed) oracle.ExecuteAndCommit(c.txn, cycle);
+        all.insert(all.end(), committed.begin(), committed.end());
+      }
+
+      // Exact oracle: every read observation matches the serial replay of
+      // the commit order (view equivalence to that serial execution).
+      const Status verdict = VerifySerializable(kNumObjects, all);
+      ASSERT_TRUE(verdict.ok()) << verdict.ToString();
+
+      // The real interleaving (from per-operation sequence numbers) must be
+      // conflict serializable for the single-version schemes.
+      if (scheme != UpdateScheme::kMvcc) {
+        const History interleaved = BuildInterleavedHistory(all);
+        ASSERT_TRUE(interleaved.Validate().ok());
+        ASSERT_TRUE(IsConflictSerializable(interleaved));
+      }
+
+      // F-Matrix, MC vector, and store must be bit-identical to the
+      // sequential manager fed the same committed order.
+      ASSERT_TRUE(folded.f_matrix() == oracle.f_matrix());
+      ASSERT_TRUE(folded.mc_vector() == oracle.mc_vector());
+      ASSERT_EQ(folded.store().committed(), oracle.store().committed());
+      ASSERT_EQ(folded.num_committed(), kBatches * kTxnsPerBatch);
+    }
+  }
+}
+
+// Small configurations stay under kMaxExactViewTxns committed updates, so
+// the exponential checkers (view serializability + Theorem 3 legality) can
+// vet the histories exactly.
+TEST(TxnProcessorPropertyTest, SmallHistoriesPassExactViewAndLegalityCheckers) {
+  constexpr uint32_t kNumObjects = 6;
+  constexpr uint32_t kNumTxns = 7;
+
+  for (UpdateScheme scheme : kSchemes) {
+    for (uint64_t seed = 0; seed < kNumSeeds; ++seed) {
+      SCOPED_TRACE(std::string(UpdateSchemeName(scheme)) + " seed " + std::to_string(seed));
+      Rng rng(seed * 104729 + static_cast<uint64_t>(scheme));
+      TxnProcessor proc(kNumObjects, scheme, /*num_workers=*/4);
+      std::vector<ServerTxn> txns;
+      for (TxnId id = 1; id <= kNumTxns; ++id) {
+        txns.push_back(RandomTxn(rng, id, kNumObjects));
+      }
+      const auto committed = proc.ExecuteBatch(txns);
+      ASSERT_EQ(committed.size(), txns.size());
+
+      const History history = scheme == UpdateScheme::kMvcc ? BuildSerialHistory(committed)
+                                                            : BuildInterleavedHistory(committed);
+      ASSERT_TRUE(history.Validate().ok());
+      ASSERT_TRUE(history.ValidateAppendixAForm().ok());
+
+      const auto view = IsViewSerializable(history);
+      ASSERT_TRUE(view.ok()) << view.status().ToString();
+      ASSERT_TRUE(*view);
+
+      const auto legality = CheckLegality(history);
+      ASSERT_TRUE(legality.ok()) << legality.status().ToString();
+      ASSERT_TRUE(legality->legal) << legality->reason;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcc
