@@ -1,6 +1,6 @@
 // Throughput of the thread-pooled server update engine (PR 6), swept over
 // concurrency-control scheme x worker count x contention, emitted as
-// BENCH_6.json in the bcc.perf_trajectory.v1 schema so CI can track the
+// BENCH_7.json in the bcc.perf_trajectory.v1 schema so CI can track the
 // numbers across PRs.
 //
 // Each transaction's operations pay a fixed service time (a blocking sleep
@@ -14,7 +14,7 @@
 // cell with committed counts, retries, txns/sec, and the speedup relative
 // to the same scheme's 1-worker cell.
 //
-// Flags: --out=F (default BENCH_6.json), --quick (CI smoke: fewer cells,
+// Flags: --out=F (default BENCH_7.json), --quick (CI smoke: fewer cells,
 // smaller batches), --seed=N.
 
 #include <chrono>
@@ -34,7 +34,7 @@ namespace {
 struct Flags {
   uint64_t seed = 42;
   bool quick = false;
-  std::string out = "BENCH_6.json";
+  std::string out = "BENCH_7.json";
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -145,7 +145,7 @@ int Main(int argc, char** argv) {
       .Key("schema")
       .Value("bcc.perf_trajectory.v1")
       .Key("bench")
-      .Value("BENCH_6")
+      .Value("BENCH_7")
       .Key("seed")
       .Value(flags.seed)
       .Key("quick")

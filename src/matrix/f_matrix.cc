@@ -103,13 +103,8 @@ void FMatrix::ApplyCommit(std::span<const ObjectId> read_set,
   }
 }
 
-void FMatrix::ApplyCommitBatch(std::span<const CommitSets> commits, Cycle commit_cycle) {
+void FMatrix::AnalyzeBatch(std::span<const CommitSets> commits, Cycle commit_cycle) {
   const size_t m = commits.size();
-  if (m == 0) return;
-  if (m == 1) {
-    ApplyCommit(commits[0].read_set, commits[0].write_set, commit_cycle);
-    return;
-  }
 
   // Pass 1 — analysis, O(n + sum(|RS| + |WS|)). Resolve each read to its
   // source (the pre-batch matrix column, or the virtual column of the last
@@ -197,6 +192,28 @@ void FMatrix::ApplyCommitBatch(std::span<const CommitSets> commits, Cycle commit
       }
     }
   }
+}
+
+void FMatrix::FinishBatch() {
+  if (track_dirty_) {
+    for (ObjectId j : batch_union_cols_) {
+      if (!touched_mask_[j]) {
+        touched_mask_[j] = 1;
+        touched_cols_.push_back(j);
+      }
+    }
+  }
+  for (ObjectId j : batch_union_cols_) batch_union_mask_[j] = 0;
+}
+
+void FMatrix::ApplyCommitBatch(std::span<const CommitSets> commits, Cycle commit_cycle) {
+  const size_t m = commits.size();
+  if (m == 0) return;
+  if (m == 1) {
+    ApplyCommit(commits[0].read_set, commits[0].write_set, commit_cycle);
+    return;
+  }
+  AnalyzeBatch(commits, commit_cycle);
 
   // Pass 3 — one store per union column, grouped by final writer so each
   // writer's WS mask is built once. Store order across columns is
@@ -224,15 +241,51 @@ void FMatrix::ApplyCommitBatch(std::span<const CommitSets> commits, Cycle commit
     for (ObjectId w : cs.write_set) ws_scratch_[w] = 0;
   }
 
-  if (track_dirty_) {
-    for (ObjectId j : batch_union_cols_) {
-      if (!touched_mask_[j]) {
-        touched_mask_[j] = 1;
-        touched_cols_.push_back(j);
+  FinishBatch();
+}
+
+void FMatrix::ApplyCommitBatch(std::span<const CommitSets> commits, Cycle commit_cycle,
+                               const ShardRunner& runner, uint32_t num_shards) {
+  if (!runner || num_shards <= 1 || commits.size() <= 1) {
+    ApplyCommitBatch(commits, commit_cycle);
+    return;
+  }
+  AnalyzeBatch(commits, commit_cycle);
+
+  // Pass 3, sharded by column id (j % num_shards). Each shard stores only
+  // the union columns of its own partition, reads/clears batch_writer_ only
+  // for those columns, and builds the write-set mask in its own scratch
+  // buffer, so shards share nothing writable. Values are bit-identical to
+  // the serial pass: every store derives from dep vectors and masks captured
+  // by AnalyzeBatch, independent of store order.
+  if (shard_ws_scratch_.size() < num_shards) shard_ws_scratch_.resize(num_shards);
+  const size_t m = commits.size();
+  runner(num_shards, [&](uint32_t shard) {
+    std::vector<uint8_t>& ws = shard_ws_scratch_[shard];
+    if (ws.size() != n_) ws.assign(n_, 0);
+    for (size_t t = 0; t < m; ++t) {
+      if (batch_dep_idx_[t] < 0) continue;
+      const CommitSets& cs = commits[t];
+      const Cycle* dep = dep_pool_[batch_dep_idx_[t]].data();
+      bool mask_built = false;
+      for (ObjectId j : cs.write_set) {
+        if (j % num_shards != shard) continue;
+        if (batch_writer_[j] != static_cast<int32_t>(t)) continue;
+        if (!mask_built) {
+          for (ObjectId w : cs.write_set) ws[w] = 1;
+          mask_built = true;
+        }
+        KernelColumnSelectFill(ColumnPtr(j), ws.data(), dep, commit_cycle, n_);
+        ++col_version_[j];
+        batch_writer_[j] = -1;  // guard against duplicate write-set entries
+      }
+      if (mask_built) {
+        for (ObjectId w : cs.write_set) ws[w] = 0;
       }
     }
-  }
-  for (ObjectId j : batch_union_cols_) batch_union_mask_[j] = 0;
+  });
+
+  FinishBatch();
 }
 
 FMatrixSnapshot FMatrix::Snapshot() const {

@@ -14,6 +14,7 @@
 #ifndef BCC_MATRIX_F_MATRIX_H_
 #define BCC_MATRIX_F_MATRIX_H_
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -77,6 +78,14 @@ struct CommitSets {
   std::vector<ObjectId> write_set;
 };
 
+/// Executes `body(shard)` for every shard in [0, num_shards) — possibly in
+/// parallel on a worker pool — and returns only once all shards completed.
+/// The shard bodies handed to a runner are mutually independent. This is the
+/// seam through which the matrix layer borrows the update engine's thread
+/// pool without depending on it (TxnProcessor::RunShards has this shape).
+using ShardRunner =
+    std::function<void(uint32_t num_shards, const std::function<void(uint32_t)>& body)>;
+
 /// The server-side control matrix, column-major (column j is the unit
 /// broadcast right after object j).
 class FMatrix {
@@ -121,6 +130,18 @@ class FMatrix {
   /// are past commit cycles): commit_cycle >= every entry currently in the
   /// matrix.
   void ApplyCommitBatch(std::span<const CommitSets> commits, Cycle commit_cycle);
+
+  /// Pooled-apply fold: same contract and bit-identical result as the serial
+  /// ApplyCommitBatch, but the column stores (pass 3, the O(n * columns)
+  /// part) are partitioned across `num_shards` shards by column id and run
+  /// through `runner`. Shards touch disjoint columns, per-shard write-set
+  /// masks, and only their own partition's batch_writer_ entries, so the
+  /// shard bodies are data-race-free; the analysis and dependency-vector
+  /// passes stay serial (they are O(batch) and O(n * needed commits) with
+  /// cross-commit dependencies). Falls back to the serial path when `runner`
+  /// is empty, `num_shards` <= 1, or the batch is trivial.
+  void ApplyCommitBatch(std::span<const CommitSets> commits, Cycle commit_cycle,
+                        const ShardRunner& runner, uint32_t num_shards);
 
   /// Copy-on-write snapshot of the current matrix. Columns unchanged since
   /// the previous Snapshot() call are shared with it; only changed columns
@@ -170,6 +191,12 @@ class FMatrix {
   Cycle* ColumnPtr(ObjectId j) { return data_.data() + static_cast<size_t>(j) * n_; }
   const Cycle* ColumnPtr(ObjectId j) const { return data_.data() + static_cast<size_t>(j) * n_; }
 
+  /// ApplyCommitBatch passes 1 + 2 (analysis + dependency vectors); after it
+  /// returns, pass 3 only consumes batch state and writes disjoint columns.
+  void AnalyzeBatch(std::span<const CommitSets> commits, Cycle commit_cycle);
+  /// ApplyCommitBatch epilogue: dirty tracking + union-mask reset.
+  void FinishBatch();
+
   uint32_t n_;
   std::vector<Cycle> data_;
   std::vector<Cycle> dep_scratch_;    // reused per ApplyCommit
@@ -198,6 +225,7 @@ class FMatrix {
   std::vector<uint8_t> batch_need_;         // commit still influences the result
   std::vector<int32_t> batch_dep_idx_;      // commit -> dep_pool_ slot (-1: none)
   std::vector<std::vector<Cycle>> dep_pool_;
+  std::vector<std::vector<uint8_t>> shard_ws_scratch_;  // pooled-apply WS masks
 
   // Dirty-column tracker (EnableDirtyTracking): first-touch-ordered column
   // ids plus a membership mask so duplicates cost O(1).

@@ -9,9 +9,43 @@ LockManager::LockManager(uint32_t num_stripes) : stripes_(num_stripes == 0 ? 1 :
 LockOutcome LockManager::Acquire(ObjectId ob, LockMode mode, uint64_t ts) {
   Stripe& stripe = StripeOf(ob);
   std::unique_lock<std::mutex> lock(stripe.mu);
-  bool waited = false;
   for (;;) {
     LockState& state = stripe.table[ob];
+    Holder* self = nullptr;
+    for (Holder& h : state.holders) {
+      if (h.ts == ts) {
+        self = &h;
+        break;
+      }
+    }
+    if (self != nullptr) {
+      // Re-request by a current holder. Same or weaker mode is idempotent:
+      // the existing hold already covers it, and no second holder entry is
+      // registered (one Release still suffices).
+      if (mode == LockMode::kShared || self->mode == LockMode::kExclusive) {
+        return LockOutcome::kGranted;
+      }
+      // Shared -> exclusive upgrade: promote in place once sole holder.
+      if (state.holders.size() == 1) {
+        self->mode = LockMode::kExclusive;
+        return LockOutcome::kGranted;
+      }
+      // Wait-die against the *other* holders. A dying upgrader keeps its
+      // shared hold: the aborting caller releases every lock it holds, this
+      // one included.
+      for (const Holder& h : state.holders) {
+        if (h.ts < ts) {
+          die_count_.fetch_add(1, std::memory_order_relaxed);
+          return LockOutcome::kDie;
+        }
+      }
+      // Park until the holder set changes.
+      wait_count_.fetch_add(1, std::memory_order_relaxed);
+      ++state.parked_waiters;
+      stripe.cv.wait(lock);
+      --stripe.table[ob].parked_waiters;
+      continue;
+    }
     const bool compatible = [&] {
       if (state.holders.empty()) return true;
       if (mode == LockMode::kExclusive) return false;
@@ -22,24 +56,31 @@ LockOutcome LockManager::Acquire(ObjectId ob, LockMode mode, uint64_t ts) {
     }();
     if (compatible) {
       state.holders.push_back(Holder{ts, mode});
-      if (waited) wait_count_.fetch_add(1, std::memory_order_relaxed);
+      // Growing the holder set can flip a parked waiter's wait-die verdict:
+      // shared-on-shared grants skip the age check, so the holder that just
+      // joined may be *older* than a waiter that parked back when it was the
+      // oldest contender. That waiter must wake up and die, not keep
+      // sleeping while everything younger dies against its locks.
+      if (state.parked_waiters > 0) stripe.cv.notify_all();
       return LockOutcome::kGranted;
     }
     // Wait-die: wait only when older than every holder; die otherwise.
     for (const Holder& h : state.holders) {
-      assert(h.ts != ts && "a transaction may not request the same object twice");
       if (h.ts < ts) {
         die_count_.fetch_add(1, std::memory_order_relaxed);
         return LockOutcome::kDie;
       }
     }
-    waited = true;
+    wait_count_.fetch_add(1, std::memory_order_relaxed);
+    ++state.parked_waiters;
     stripe.cv.wait(lock);
+    --stripe.table[ob].parked_waiters;
   }
 }
 
 void LockManager::Release(ObjectId ob, uint64_t ts) {
   Stripe& stripe = StripeOf(ob);
+  size_t remaining;
   {
     std::lock_guard<std::mutex> lock(stripe.mu);
     auto it = stripe.table.find(ob);
@@ -52,9 +93,33 @@ void LockManager::Release(ObjectId ob, uint64_t ts) {
         break;
       }
     }
-    if (holders.empty()) stripe.table.erase(it);
+    remaining = holders.size();
+    // A parked fresh waiter's counter lives in this entry: erasing it out
+    // from under the waiter would reset the count and break grant-time
+    // notification, so the entry stays until the waiter re-checks.
+    if (holders.empty() && it->second.parked_waiters == 0) stripe.table.erase(it);
   }
-  stripe.cv.notify_all();
+  // A waiter can make progress only when the object went free (any fresh
+  // request) or exactly one holder remains (that holder may be blocked in a
+  // shared->exclusive upgrade). With >= 2 holders left, every remaining
+  // holder is shared — an exclusive holder is always sole — so no fresh
+  // shared request can be granted, and shrinking the holder set can never
+  // turn a parked waiter's wait into a die (only grants do that, and they
+  // notify on their own): skip the wakeup instead of thundering the stripe.
+  if (remaining <= 1) stripe.cv.notify_all();
+}
+
+std::vector<std::tuple<ObjectId, uint64_t, bool>> LockManager::HeldEntriesForTest() {
+  std::vector<std::tuple<ObjectId, uint64_t, bool>> out;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [ob, state] : stripe.table) {
+      for (const Holder& h : state.holders) {
+        out.emplace_back(ob, h.ts, h.mode == LockMode::kExclusive);
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace bcc

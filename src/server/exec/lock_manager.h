@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -39,24 +40,37 @@ enum class LockOutcome : uint8_t {
              ///< abort (nothing was acquired)
 };
 
-/// Striped wait-die lock table. Thread-safe. A transaction must not request
-/// the same object twice (read+write of one object = one exclusive request).
+/// Striped wait-die lock table. Thread-safe. Re-requests by a current holder
+/// are supported: a same-or-weaker re-request is an idempotent no-op, and a
+/// shared->exclusive re-request is an in-place upgrade that waits for (or
+/// wait-dies against) the other shared holders. Either way the transaction
+/// still holds exactly one lock on the object — one Release covers it.
 class LockManager {
  public:
   explicit LockManager(uint32_t num_stripes = 64);
 
   /// Blocks until the lock is granted, or returns kDie when wait-die rules
   /// the requester (priority timestamp `ts`, smaller = older) out. Identical
-  /// `ts` values must not be in flight concurrently.
+  /// `ts` values must not be in flight concurrently. On an upgrade kDie the
+  /// original shared lock stays held (the aborting caller's release-all
+  /// drops it).
   LockOutcome Acquire(ObjectId ob, LockMode mode, uint64_t ts);
 
-  /// Releases the lock `ts` holds on `ob` and wakes waiters.
+  /// Releases the lock `ts` holds on `ob`. Wakes waiters only when one can
+  /// make progress: the object went free or a single (possibly upgrading)
+  /// holder remains. Parked waiters whose wait-die verdict flips are woken
+  /// by the grant that flipped it, not by releases.
   void Release(ObjectId ob, uint64_t ts);
 
   /// Number of Acquire calls that returned kDie.
   uint64_t die_count() const { return die_count_.load(std::memory_order_relaxed); }
-  /// Number of Acquire calls that had to wait at least once.
+  /// Number of blocking episodes (individual condition-variable waits).
   uint64_t wait_count() const { return wait_count_.load(std::memory_order_relaxed); }
+
+  /// Test-only introspection: every (object, holder-ts, exclusive?) entry in
+  /// the table. Quiesce the manager first — this takes each stripe lock in
+  /// turn, so the snapshot is only meaningful with no Acquire in flight.
+  std::vector<std::tuple<ObjectId, uint64_t, bool>> HeldEntriesForTest();
 
  private:
   struct Holder {
@@ -65,6 +79,16 @@ class LockManager {
   };
   struct LockState {
     std::vector<Holder> holders;
+    /// Transactions currently parked inside Acquire on this object (fresh
+    /// waiters and shared->exclusive upgraders alike). A parked waiter's
+    /// wait-die verdict is a function of the holder set, and growing the set
+    /// can flip it: shared-on-shared grants skip the age check, so an
+    /// *older* holder can slide in past a parked waiter — which must then
+    /// wake up and die, not sleep in its way forever. Every grant therefore
+    /// notifies when this is nonzero. Shrinking the set (a release) can
+    /// never flip wait into die, so releases keep the cheap remaining<=1
+    /// rule. Release must not erase the entry while this is nonzero.
+    uint32_t parked_waiters = 0;
   };
   struct Stripe {
     std::mutex mu;

@@ -73,6 +73,17 @@ bool MvccStore::CommitWrites(std::span<const ObjectId> write_set, TxnId writer, 
   return ok;
 }
 
+bool MvccStore::PrecheckWrites(std::span<const ObjectId> write_set, uint64_t ts) {
+  // Per-object single-stripe latches suffice: this never installs anything,
+  // so there is no cross-object atomicity to preserve.
+  for (ObjectId ob : write_set) {
+    std::lock_guard<std::mutex> lock(stripes_[StripeOf(ob)]);
+    const std::vector<MvccVersion>& chain = chains_[ob];
+    if (chain[VisibleIndex(chain, ts)].max_read_ts > ts) return false;
+  }
+  return true;
+}
+
 uint64_t MvccStore::CollectGarbage(uint64_t safe_ts) {
   uint64_t pruned = 0;
   for (ObjectId ob = 0; ob < chains_.size(); ++ob) {

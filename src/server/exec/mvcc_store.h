@@ -62,6 +62,14 @@ class MvccStore {
   /// `write_set` must be duplicate-free.
   bool CommitWrites(std::span<const ObjectId> write_set, TxnId writer, uint64_t ts);
 
+  /// Read-only peek at the MVTO write rule: returns false when CommitWrites
+  /// for (`write_set`, `ts`) would currently fail. Advisory only — the
+  /// outcome can change the instant the latch drops — but a false here is
+  /// sticky (max_read_ts never decreases within an epoch), so callers use
+  /// it to abandon a doomed attempt before paying further per-operation
+  /// service time. CommitWrites remains the authoritative check.
+  bool PrecheckWrites(std::span<const ObjectId> write_set, uint64_t ts);
+
   /// Epoch-batched garbage collection: for every object, drops all versions
   /// older than the newest one with version_ts <= safe_ts. Call only at a
   /// quiescent point with safe_ts >= every timestamp ever issued (the

@@ -95,21 +95,69 @@ std::vector<CommittedServerTxn> TxnProcessor::ExecuteBatch(std::span<const Serve
   return results;
 }
 
+std::vector<CommittedServerTxn> TxnProcessor::ExecuteSerial(std::span<const ServerTxn> txns) {
+  std::vector<CommittedServerTxn> results(txns.size());
+  for (size_t i = 0; i < txns.size(); ++i) {
+    const uint64_t priority = next_ts_.fetch_add(1, std::memory_order_relaxed);
+    RunToCommit(txns[i], priority, results[i]);
+    // Serial execution never conflicts: locks are uncontended, OCC validates
+    // against an unchanged snapshot, and MVTO timestamps ascend with the
+    // input order. Any abort here is a scheme bug.
+    assert(results[i].aborts == 0 && "serial execution must commit first-try");
+    assert((i == 0 || results[i - 1].commit_seq < results[i].commit_seq) &&
+           "serial commit order must equal the input order");
+  }
+  stats_.committed += txns.size();
+  stats_.lock_die_aborts = lock_die_aborts_.load(std::memory_order_relaxed);
+  stats_.occ_validation_aborts = occ_validation_aborts_.load(std::memory_order_relaxed);
+  stats_.mvcc_write_aborts = mvcc_write_aborts_.load(std::memory_order_relaxed);
+  return results;
+}
+
+void TxnProcessor::RunShards(uint32_t num_shards, const std::function<void(uint32_t)>& body) {
+  if (!pool_ || num_shards <= 1) {
+    for (uint32_t s = 0; s < num_shards; ++s) body(s);
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable done_cv;
+  uint32_t remaining = num_shards;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    pool_->Submit([s, &body, &mu, &done_cv, &remaining] {
+      body(s);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
 void TxnProcessor::Backoff(uint32_t aborts) const {
-  // Bounded linear backoff between retries. Wait-die victims and MVTO
-  // write-rule failures restart immediately otherwise, and under write-hot
-  // keys the retry storm itself keeps feeding the conflict (an MVTO retry
-  // takes a fresh — youngest — timestamp, so an unbroken stream of
-  // concurrent readers can starve it indefinitely). Backing off in
-  // proportion to the service time drains the contenders that are already
-  // past their conflict point. With zero service time a yield suffices:
-  // critical sections are memory-speed and the storm cannot sustain itself.
+  // Capped exponential backoff with jitter between retries. Wait-die victims
+  // and MVTO write-rule failures restart immediately otherwise, and under
+  // write-hot keys the retry storm itself keeps feeding the conflict (an
+  // MVTO retry takes a fresh — youngest — timestamp, so an unbroken stream
+  // of concurrent contenders can starve it indefinitely). Linear backoff is
+  // not enough: with every victim sleeping the same deterministic interval,
+  // the whole cohort re-collides in lockstep on each round. Doubling the
+  // window per consecutive abort spreads the retries over an interval that
+  // grows until roughly one contender per service time remains, and the
+  // jitter decorrelates victims that aborted in the same round. With zero
+  // service time a yield suffices: critical sections are memory-speed and
+  // the storm cannot sustain itself.
   if (options_.op_service_us == 0 || aborts < 2) {
     std::this_thread::yield();
     return;
   }
-  const uint64_t steps = std::min<uint32_t>(aborts, 16);
-  std::this_thread::sleep_for(std::chrono::microseconds(steps * options_.op_service_us / 2));
+  const uint32_t exponent = std::min<uint32_t>(aborts - 1, 6);  // cap: 64x service time
+  const uint64_t window_us = options_.op_service_us * (uint64_t{1} << exponent);
+  const uint64_t salt = backoff_salt_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t jitter = Mix(salt ^ (uint64_t{aborts} << 32));
+  // Sleep uniformly in [window/2, window]: never fully synchronized, never
+  // shorter than half the deterministic schedule.
+  const uint64_t sleep_us = window_us / 2 + jitter % (window_us / 2 + 1);
+  std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
 }
 
 void TxnProcessor::RunToCommit(const ServerTxn& txn, uint64_t priority, CommittedServerTxn& out) {
@@ -148,8 +196,10 @@ bool TxnProcessor::TryTwoPhase(const ServerTxn& txn, uint64_t priority, Committe
   out.ops.clear();
   out.checksum = 0;
 
-  // Growing phase: everything before the first access. An object both read
-  // and written is one exclusive request (LockManager forbids re-requests).
+  // Growing phase: everything before the first access. Reads take shared
+  // locks; an object also written is upgraded to exclusive when the write
+  // lock is requested (the LockManager promotes the holder in place, so the
+  // object still appears once in `held`).
   std::vector<ObjectId> held;
   held.reserve(txn.read_set.size() + txn.write_set.size());
   auto release_all = [&] {
@@ -163,15 +213,13 @@ bool TxnProcessor::TryTwoPhase(const ServerTxn& txn, uint64_t priority, Committe
     return false;
   };
   for (ObjectId ob : txn.read_set) {
-    const LockMode mode =
-        Contains(txn.write_set, ob) ? LockMode::kExclusive : LockMode::kShared;
-    if (locks_->Acquire(ob, mode, priority) == LockOutcome::kDie) return die();
+    if (locks_->Acquire(ob, LockMode::kShared, priority) == LockOutcome::kDie) return die();
     held.push_back(ob);
   }
   for (ObjectId ob : txn.write_set) {
-    if (Contains(txn.read_set, ob)) continue;
+    const bool upgrade = Contains(txn.read_set, ob);
     if (locks_->Acquire(ob, LockMode::kExclusive, priority) == LockOutcome::kDie) return die();
-    held.push_back(ob);
+    if (!upgrade) held.push_back(ob);
   }
   if (hook_) hook_(txn.id, "2pl:locked");
 
@@ -263,7 +311,23 @@ bool TxnProcessor::TryMvcc(const ServerTxn& txn, CommittedServerTxn& out) {
   // Every attempt draws a fresh timestamp; the serialization order of
   // committed transactions is exactly timestamp order, so commit_seq = ts.
   const uint64_t ts = next_ts_.fetch_add(1, std::memory_order_relaxed);
+  // With nonzero service time an attempt is a wide window: while this
+  // transaction pays for its operations, younger readers observe the
+  // pre-state versions it wants to overwrite, and once one does the write
+  // rule can never pass for `ts` again (max_read_ts only grows within the
+  // epoch). Peeking at the rule before each paid operation abandons a
+  // doomed attempt the moment it becomes doomed instead of finishing the
+  // attempt just to fail CommitWrites. At memory speed the window is too
+  // narrow to matter, so the peek is skipped and the hook sequence is
+  // exactly the classic read-done -> commit/die.
+  const bool peek = options_.op_service_us > 0;
+  auto die = [&] {
+    mvcc_write_aborts_.fetch_add(1, std::memory_order_relaxed);
+    if (hook_) hook_(txn.id, "mvcc:die");
+    return false;
+  };
   for (ObjectId ob : txn.read_set) {
+    if (peek && !mvcc_->PrecheckWrites(txn.write_set, ts)) return die();
     const MvccStore::ReadResult r = mvcc_->Read(ob, ts);
     const uint64_t seq = next_op_seq_.fetch_add(1, std::memory_order_relaxed);
     out.reads.push_back(ReadObservation{ob, r.writer});
@@ -271,15 +335,15 @@ bool TxnProcessor::TryMvcc(const ServerTxn& txn, CommittedServerTxn& out) {
     out.checksum ^= OpWork(seq);
   }
   if (hook_) hook_(txn.id, "mvcc:read-done");
+  if (!mvcc_->CommitWrites(txn.write_set, txn.id, ts)) return die();
+  // The write-side store access is paid after the commit decision: MVTO
+  // validates and installs at the commit point, and only a transaction that
+  // actually commits touches the backing store for its writes. Paying it
+  // before CommitWrites would both bill aborted attempts for writes they
+  // never install and stretch the window in which a younger reader can doom
+  // this timestamp.
   for (ObjectId ob : txn.write_set) {
     out.checksum ^= OpWork(ts * 0x10001ULL + ob);
-  }
-  if (!mvcc_->CommitWrites(txn.write_set, txn.id, ts)) {
-    mvcc_write_aborts_.fetch_add(1, std::memory_order_relaxed);
-    if (hook_) hook_(txn.id, "mvcc:die");
-    return false;
-  }
-  for (ObjectId ob : txn.write_set) {
     out.ops.push_back(
         SeqOp{next_op_seq_.fetch_add(1, std::memory_order_relaxed), Operation::Write(txn.id, ob)});
   }

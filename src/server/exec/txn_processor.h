@@ -121,6 +121,25 @@ class TxnProcessor {
   /// here). Transaction ids must be unique and nonzero.
   std::vector<CommittedServerTxn> ExecuteBatch(std::span<const ServerTxn> txns);
 
+  /// Executes `txns` inline on the calling thread, in the given order,
+  /// through the same scheme state as ExecuteBatch. With no concurrent batch
+  /// in flight there is no conflicting contender, so every transaction
+  /// commits on its first attempt and the serialization order equals the
+  /// input order. This is how accepted client uplink transactions enter the
+  /// processor: validated in acceptance order, they must also *commit* in
+  /// acceptance order — running them as a serial prefix before the cycle's
+  /// pooled server batch pins their fold-position reads to exactly the
+  /// prior-cycle state the client observed over broadcast. commit_seq stays
+  /// globally ascending across ExecuteSerial and ExecuteBatch calls. Must
+  /// not overlap an ExecuteBatch on another thread.
+  std::vector<CommittedServerTxn> ExecuteSerial(std::span<const ServerTxn> txns);
+
+  /// Runs `body(shard)` for shards [0, num_shards) on the worker pool and
+  /// blocks until all complete (inline when the processor has no pool). The
+  /// shard bodies must be mutually independent. Used by the pooled-apply
+  /// fold to parallelize ApplyCommitBatch column partitions.
+  void RunShards(uint32_t num_shards, const std::function<void(uint32_t)>& body);
+
   const TxnProcessorStats& stats() const { return stats_; }
 
   /// Test-only interleaving hook, invoked at scheme stage boundaries
@@ -132,9 +151,14 @@ class TxnProcessor {
   using TestHook = std::function<void(TxnId txn, std::string_view stage)>;
   void set_test_hook(TestHook hook) { hook_ = std::move(hook); }
 
+  /// Test-only: the 2PL lock table (null under other schemes). Lets tests
+  /// assert the table drains between batches.
+  LockManager* lock_manager_for_test() { return locks_.get(); }
+
  private:
-  /// Sleeps between retries, scaled by the retry count and the configured
-  /// service time, to break retry storms on write-hot keys.
+  /// Sleeps between retries — capped exponential in the retry count, scaled
+  /// by the configured service time, jittered — to break retry storms on
+  /// write-hot keys.
   void Backoff(uint32_t aborts) const;
   void RunToCommit(const ServerTxn& txn, uint64_t priority, CommittedServerTxn& out);
   bool TryTwoPhase(const ServerTxn& txn, uint64_t priority, CommittedServerTxn& out);
@@ -164,6 +188,7 @@ class TxnProcessor {
   std::atomic<uint64_t> lock_die_aborts_{0};
   std::atomic<uint64_t> occ_validation_aborts_{0};
   std::atomic<uint64_t> mvcc_write_aborts_{0};
+  mutable std::atomic<uint64_t> backoff_salt_{0};
 
   TestHook hook_;
 };

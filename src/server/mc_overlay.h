@@ -1,0 +1,68 @@
+// Cycle-epoch MC-vector overlay: the mid-cycle side buffer that makes the
+// uplink validator consistent while pooled server updates are in flight
+// (DESIGN.md §4i).
+//
+// With the sequential update path the manager's MC vector is maintained
+// eagerly, so the validator's backward check (`MC(ob) >= read cycle`?) always
+// sees every commit that precedes the uplink transaction in the serialization
+// order. The pooled path breaks that: a cycle's server transactions execute
+// concurrently and their MC effects land only at the fold point. The overlay
+// restores the eager view without touching the manager mid-cycle — every
+// transaction *accepted into the current cycle* (pooled server txns at
+// generation time, accepted uplink txns at validation time) stages its write
+// set here, and the validator reads the merged view
+//     max(manager.mc_vector().At(ob), overlay.At(ob)).
+// Staged entries always stamp the current cycle, which is >= any manager
+// entry, so the merge equals the MC vector the sequential path would show at
+// the same instant. At the fold point the staged effects reach the manager
+// for real and Clear() retires the epoch in O(1).
+//
+// Single-writer: stage/clear/read all happen under the engine's uplink
+// serialization (the DES event loop, or the concurrent engine's uplink desk
+// mutex). The overlay adds no locking of its own.
+
+#ifndef BCC_SERVER_MC_OVERLAY_H_
+#define BCC_SERVER_MC_OVERLAY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/cycle_stamp.h"
+#include "history/object_id.h"
+
+namespace bcc {
+
+/// Per-object staged cycle stamps with O(1) epoch retirement.
+class McOverlay {
+ public:
+  explicit McOverlay(uint32_t num_objects) : stamp_(num_objects, 0), tag_(num_objects, 0) {}
+
+  uint32_t num_objects() const { return static_cast<uint32_t>(stamp_.size()); }
+
+  /// Stages a transaction accepted into the current cycle: every written
+  /// object's staged entry moves to `commit_cycle`.
+  void Stage(std::span<const ObjectId> write_set, Cycle commit_cycle) {
+    for (ObjectId w : write_set) {
+      stamp_[w] = commit_cycle;
+      tag_[w] = epoch_;
+    }
+  }
+
+  /// Staged commit cycle for `ob`, or 0 when nothing staged it this epoch
+  /// (0 never dominates a real MC entry: cycle 0 is the imaginary initial
+  /// write, already below every committed stamp).
+  Cycle At(ObjectId ob) const { return tag_[ob] == epoch_ ? stamp_[ob] : 0; }
+
+  /// Retires every staged entry (the fold point published them for real).
+  void Clear() { ++epoch_; }
+
+ private:
+  std::vector<Cycle> stamp_;
+  std::vector<uint64_t> tag_;
+  uint64_t epoch_ = 1;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_SERVER_MC_OVERLAY_H_

@@ -65,7 +65,12 @@ void ServerTxnManager::FlushCommitBatch() {
   if (batch_size_ == 0) return;
   const size_t count = batch_size_;
   batch_size_ = 0;  // reset first: ApplyCommitBatch must not re-enter anyway
-  f_matrix_.ApplyCommitBatch(std::span<const CommitSets>(batch_.data(), count), batch_cycle_);
+  const std::span<const CommitSets> commits(batch_.data(), count);
+  if (fold_runner_ && fold_shards_ > 1) {
+    f_matrix_.ApplyCommitBatch(commits, batch_cycle_, fold_runner_, fold_shards_);
+  } else {
+    f_matrix_.ApplyCommitBatch(commits, batch_cycle_);
+  }
 }
 
 }  // namespace bcc

@@ -97,6 +97,16 @@ class ServerTxnManager {
     f_matrix_.DrainTouchedColumns(out);
   }
 
+  /// Pooled-apply mode: route the cycle-batch F-Matrix fold through `runner`
+  /// with `num_shards` column partitions (FMatrix::ApplyCommitBatch's
+  /// sharded overload; bit-identical to the serial fold). The engines pass
+  /// the TxnProcessor's pool here so fold cost itself parallelizes. An empty
+  /// runner or num_shards <= 1 restores the serial fold.
+  void SetParallelFold(ShardRunner runner, uint32_t num_shards) {
+    fold_runner_ = std::move(runner);
+    fold_shards_ = num_shards;
+  }
+
   /// Commit cycle of every committed transaction (for oracles).
   const std::unordered_map<TxnId, Cycle>& commit_cycles() const { return commit_cycles_; }
 
@@ -125,6 +135,10 @@ class ServerTxnManager {
   std::vector<CommitSets> batch_;
   size_t batch_size_ = 0;
   Cycle batch_cycle_ = 0;
+
+  // Pooled-apply fold (SetParallelFold); empty = serial fold.
+  ShardRunner fold_runner_;
+  uint32_t fold_shards_ = 0;
 };
 
 }  // namespace bcc

@@ -1,5 +1,7 @@
 #include "server/validator.h"
 
+#include <algorithm>
+
 #include "common/format.h"
 
 namespace bcc {
@@ -8,9 +10,12 @@ StatusOr<Cycle> UpdateValidator::ValidateAndCommit(const ClientUpdateRequest& re
                                                    Cycle current_cycle) {
   // A read of (ob, cycle) observed the committed version as of the beginning
   // of `cycle`. It is still current iff the last committed write to ob
-  // happened before `cycle`.
+  // happened before `cycle`. In staged mode the overlay supplies the MC
+  // effects of this cycle's accepted-but-not-folded transactions, so the
+  // merged view equals the eager MC vector of the sequential path.
   for (const ReadRecord& r : request.reads) {
-    const Cycle last_write = manager_->mc_vector().At(r.object);
+    Cycle last_write = manager_->mc_vector().At(r.object);
+    if (overlay_ != nullptr) last_write = std::max(last_write, overlay_->At(r.object));
     if (last_write >= r.cycle) {
       ++num_rejected_;
       last_reject_ = {AbortCause::kUplinkReject, r.object, r.object, r.cycle, last_write};
@@ -26,7 +31,12 @@ StatusOr<Cycle> UpdateValidator::ValidateAndCommit(const ClientUpdateRequest& re
   txn.read_set.reserve(request.reads.size());
   for (const ReadRecord& r : request.reads) txn.read_set.push_back(r.object);
   txn.write_set = request.writes;
-  manager_->ExecuteAndCommit(txn, current_cycle);
+  if (overlay_ != nullptr) {
+    overlay_->Stage(txn.write_set, current_cycle);
+    sink_(std::move(txn));
+  } else {
+    manager_->ExecuteAndCommit(txn, current_cycle);
+  }
   ++num_validated_;
   return current_cycle;
 }

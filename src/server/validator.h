@@ -15,11 +15,14 @@
 #ifndef BCC_SERVER_VALIDATOR_H_
 #define BCC_SERVER_VALIDATOR_H_
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/statusor.h"
 #include "matrix/control_info.h"
 #include "obs/trace.h"
+#include "server/mc_overlay.h"
 #include "server/txn_manager.h"
 
 namespace bcc {
@@ -42,7 +45,25 @@ class UpdateValidator {
   /// Validates `request` against the current committed state during
   /// broadcast cycle `current_cycle`. On success the transaction commits
   /// and its commit cycle is returned; on conflict, Status::Aborted.
+  ///
+  /// Direct mode (default): validation reads the manager's eager MC vector
+  /// and an accepted transaction is executed serially at the manager on the
+  /// spot. Staged mode (AttachStagedMode): validation reads the merged
+  /// max(manager MC, overlay) view and an accepted transaction is staged
+  /// into the overlay and handed to the sink instead — the engine folds it
+  /// through the TxnProcessor at the cycle boundary. Either way the view
+  /// covers every transaction accepted into the current cycle so far, so
+  /// the commit/abort decision is identical to the sequential path's.
   StatusOr<Cycle> ValidateAndCommit(const ClientUpdateRequest& request, Cycle current_cycle);
+
+  /// Enters staged (pooled) mode: `overlay` carries the MC effects of this
+  /// cycle's accepted-but-not-folded transactions, `sink` receives each
+  /// accepted uplink transaction in acceptance order. Both must outlive the
+  /// validator's use; pass {nullptr, nullptr} to return to direct mode.
+  void AttachStagedMode(McOverlay* overlay, std::function<void(ServerTxn&&)> sink) {
+    overlay_ = overlay;
+    sink_ = std::move(sink);
+  }
 
   size_t num_validated() const { return num_validated_; }
   size_t num_rejected() const { return num_rejected_; }
@@ -54,6 +75,8 @@ class UpdateValidator {
 
  private:
   ServerTxnManager* manager_;
+  McOverlay* overlay_ = nullptr;                 // staged mode, else nullptr
+  std::function<void(ServerTxn&&)> sink_;        // staged mode accept path
   size_t num_validated_ = 0;
   size_t num_rejected_ = 0;
   AbortInfo last_reject_;

@@ -80,6 +80,13 @@ StatusOr<SimSummary> BroadcastSim::Run() {
   if (config_.update_scheme != UpdateScheme::kSequential) {
     txn_processor_ = std::make_unique<TxnProcessor>(config_.num_objects, config_.update_scheme,
                                                     config_.update_workers);
+    // Pooled-apply: the cycle-batch F-Matrix fold borrows the processor's
+    // worker pool, partitioned by column (bit-identical to the serial fold).
+    manager_->SetParallelFold(
+        [this](uint32_t shards, const std::function<void(uint32_t)>& body) {
+          txn_processor_->RunShards(shards, body);
+        },
+        config_.update_workers);
   }
 
   std::optional<CycleStampCodec> codec;
@@ -87,6 +94,16 @@ StatusOr<SimSummary> BroadcastSim::Run() {
 
   if (config_.client_update_fraction > 0.0) {
     validator_ = std::make_unique<UpdateValidator>(manager_.get());
+    if (txn_processor_ != nullptr) {
+      // Pooled mode: the cycle's commits (pooled server txns and accepted
+      // uplinks) reach the manager only at the fold point, so the validator
+      // reads the MC vector through the cycle-epoch overlay, and accepted
+      // uplink transactions queue for the serial prefix of the fold.
+      mc_overlay_ = std::make_unique<McOverlay>(config_.num_objects);
+      validator_->AttachStagedMode(mc_overlay_.get(), [this](ServerTxn&& txn) {
+        pending_uplink_txns_.push_back(std::move(txn));
+      });
+    }
   }
 
   clients_.clear();
@@ -159,11 +176,29 @@ uint64_t BroadcastSim::TotalCacheMisses() const {
 }
 
 void BroadcastSim::FlushServerBatch() {
-  if (txn_processor_ == nullptr || pending_server_txns_.empty()) return;
-  const std::vector<CommittedServerTxn> committed =
-      txn_processor_->ExecuteBatch(pending_server_txns_);
-  FoldIntoManager(committed, *manager_, server_->snapshot().cycle);
-  pending_server_txns_.clear();
+  if (txn_processor_ == nullptr) return;
+  const Cycle cycle = server_->snapshot().cycle;
+  if (!pending_uplink_txns_.empty()) {
+    // Accepted uplink transactions commit first, serially, in acceptance
+    // order. Validation guaranteed each one's reads are disjoint from every
+    // write staged before it was accepted, so the serial prefix places each
+    // uplink's commit exactly where the client's broadcast reads put it —
+    // after the prior cycle, before anything of this cycle that could
+    // conflict. Letting the pooled batch order them instead could slot a
+    // later-staged conflicting server commit in front.
+    const std::vector<CommittedServerTxn> committed =
+        txn_processor_->ExecuteSerial(pending_uplink_txns_);
+    FoldIntoManager(committed, *manager_, cycle);
+    pending_uplink_txns_.clear();
+  }
+  if (!pending_server_txns_.empty()) {
+    const std::vector<CommittedServerTxn> committed =
+        txn_processor_->ExecuteBatch(pending_server_txns_);
+    FoldIntoManager(committed, *manager_, cycle);
+    pending_server_txns_.clear();
+  }
+  // The fold published every staged MC effect for real; retire the epoch.
+  if (mc_overlay_ != nullptr) mc_overlay_->Clear();
 }
 
 void BroadcastSim::StartNextCycle() {
@@ -239,6 +274,10 @@ void BroadcastSim::ServerCommitEvent() {
   if (done_) return;
   const ServerTxn txn = server_workload_->NextTxn();
   if (txn_processor_ != nullptr) {
+    // Stage the MC effect at event time: an uplink validated later this
+    // cycle must see this write exactly as the sequential path's eager MC
+    // maintenance would have shown it.
+    if (mc_overlay_ != nullptr) mc_overlay_->Stage(txn.write_set, server_->snapshot().cycle);
     pending_server_txns_.push_back(txn);
   } else {
     manager_->ExecuteAndCommit(txn, server_->snapshot().cycle);

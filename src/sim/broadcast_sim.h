@@ -33,6 +33,7 @@
 #include "obs/trace.h"
 #include "server/broadcast_server.h"
 #include "server/exec/txn_processor.h"
+#include "server/mc_overlay.h"
 #include "server/validator.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
@@ -180,6 +181,12 @@ class BroadcastSim {
   /// sequential mode).
   std::unique_ptr<TxnProcessor> txn_processor_;
   std::vector<ServerTxn> pending_server_txns_;
+  /// Pooled mode + client updates: the cycle-epoch MC overlay the validator
+  /// merges read-only (staged at ServerCommitEvent/acceptance time, cleared
+  /// at the fold), and the accepted uplink transactions awaiting the serial
+  /// prefix of the fold (acceptance order = fold order).
+  std::unique_ptr<McOverlay> mc_overlay_;
+  std::vector<ServerTxn> pending_uplink_txns_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::optional<FrameCodec> frame_codec_;   // channel mode
   std::unique_ptr<LossyChannel> channel_;   // channel mode

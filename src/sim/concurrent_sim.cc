@@ -41,7 +41,14 @@ Cycle PhaseOf(SimTime at, bool pre_flip, SimTime cycle_bits) {
 /// for the duration of the run; the only cross-thread traffic is the
 /// published snapshot (read) and the completion counter (fetch_add).
 struct ConcurrentSim::ClientState {
-  enum class Kind { kSubmit, kBeginRead, kRead };
+  enum class Kind {
+    kSubmit,
+    kBeginRead,
+    kRead,
+    kUplink,       ///< update txn: ship reads+writes to the validator desk
+    kUplinkDone,   ///< accepted; the client learns one uplink delay later
+    kUplinkAbort,  ///< rejected; the abort fires one uplink delay later
+  };
   struct Event {
     Kind kind;
     SimTime time;
@@ -68,10 +75,15 @@ struct ConcurrentSim::ClientState {
   std::unique_ptr<ChannelReceiver> receiver;
 
   std::vector<ObjectId> read_set;
+  std::vector<ObjectId> write_set;  // update txns: kept across restarts
   size_t read_idx = 0;
   uint32_t restarts = 0;
+  bool is_update = false;
   /// Channel mode: did the current transaction attempt stall on loss?
   bool stalled_this_attempt = false;
+  /// Rejection cause captured at the validator desk, consumed by the
+  /// kUplinkAbort event one uplink delay later.
+  AbortInfo uplink_reject;
   Event ev{Kind::kSubmit, 0, false};
   /// This thread's trace ring (null when tracing is off); single-writer.
   TraceRing* trace = nullptr;
@@ -80,6 +92,8 @@ struct ConcurrentSim::ClientState {
   uint64_t completed = 0;
   uint64_t censored = 0;
   uint64_t total_restarts = 0;
+  uint64_t update_commits = 0;
+  uint64_t update_rejects = 0;
   /// Per-thread abort attribution, merged into the summary after join.
   AbortBreakdown abort_causes;
 };
@@ -128,6 +142,10 @@ void ConcurrentSim::ProcessClientPhase(ClientState& cs, Cycle phase, const Cycle
     switch (cs.ev.kind) {
       case Kind::kSubmit: {
         cs.read_set = cs.workload.NextReadSet();
+        // Same RNG draw order as BroadcastSim::SubmitClientTxn: the update
+        // coin and write set are drawn only when uplink mode is on.
+        cs.is_update = validator_ != nullptr && cs.workload.NextIsUpdate();
+        cs.write_set = cs.is_update ? cs.workload.NextWriteSet() : std::vector<ObjectId>{};
         cs.read_idx = 0;
         cs.restarts = 0;
         cs.stalled_this_attempt = false;
@@ -202,7 +220,13 @@ void ConcurrentSim::ProcessClientPhase(ClientState& cs, Cycle phase, const Cycle
           }
           ++cs.read_idx;
           if (cs.read_idx == cs.read_set.size()) {
-            complete_txn(/*censored=*/false);  // read-only commit is local, free
+            if (cs.is_update) {
+              // Ship the read records + write set to the validator desk one
+              // uplink delay from now (mirrors BroadcastSim::OnReadSuccess).
+              schedule_next(Kind::kUplink, t + config_.uplink_delay);
+            } else {
+              complete_txn(/*censored=*/false);  // read-only commit is local, free
+            }
           } else {
             schedule_next(Kind::kBeginRead, t + cs.workload.NextInterOpDelay());
           }
@@ -235,6 +259,70 @@ void ConcurrentSim::ProcessClientPhase(ClientState& cs, Cycle phase, const Cycle
             schedule_next(Kind::kBeginRead,
                           t + config_.restart_delay + cs.workload.NextInterOpDelay());
           }
+        }
+        break;
+      }
+      case Kind::kUplink: {
+        // The validator desk: one client at a time validates against the
+        // merged (manager MC, overlay) view and — on acceptance — stages its
+        // writes and queues for the fold's serial prefix. The manager is
+        // never mutated mid-phase, so the MC read under the desk lock is
+        // race-free against the server thread.
+        bool accepted;
+        AbortInfo reject;
+        {
+          std::lock_guard<std::mutex> lock(uplink_mu_);
+          ClientUpdateRequest request;
+          request.id = next_client_update_id_++;
+          request.reads = cs.protocol.reads();
+          request.writes = cs.write_set;
+          const auto verdict = validator_->ValidateAndCommit(request, phase);
+          accepted = verdict.ok();
+          if (!accepted) reject = validator_->last_reject();
+        }
+        if (cs.trace != nullptr) {
+          TraceEvent e;
+          e.type = TraceEventType::kValidation;
+          e.time = t;
+          e.cycle = phase;
+          e.value = accepted ? 1 : 0;
+          cs.trace->Record(e);
+        }
+        // The client learns the outcome one uplink delay later.
+        if (accepted) {
+          ++cs.update_commits;
+          schedule_next(Kind::kUplinkDone, t + config_.uplink_delay);
+        } else {
+          ++cs.update_rejects;
+          cs.uplink_reject = reject;
+          schedule_next(Kind::kUplinkAbort, t + config_.uplink_delay);
+        }
+        break;
+      }
+      case Kind::kUplinkDone: {
+        complete_txn(/*censored=*/false);
+        break;
+      }
+      case Kind::kUplinkAbort: {
+        const AbortInfo info = cs.uplink_reject;
+        cs.abort_causes.Record(info.cause);
+        if (cs.trace != nullptr) {
+          TraceEvent e;
+          e.type = TraceEventType::kAbort;
+          e.time = t;
+          e.cycle = phase;
+          e.object = info.ob_j;
+          e.abort = info;
+          cs.trace->Record(e);
+        }
+        ++cs.restarts;
+        if (cs.restarts >= config_.max_restarts_per_txn) {
+          complete_txn(/*censored=*/true);
+        } else {
+          cs.protocol.Reset();
+          cs.read_idx = 0;
+          schedule_next(Kind::kBeginRead,
+                        t + config_.restart_delay + cs.workload.NextInterOpDelay());
         }
         break;
       }
@@ -276,6 +364,51 @@ void ConcurrentSim::ProcessServerPhase(Cycle phase) {
   }
 }
 
+void ConcurrentSim::StageServerPhase(Cycle phase) {
+  // Uplink mode: runs inside the exclusive section preceding the phase, so
+  // by the time client threads validate uplinks against the overlay, every
+  // server transaction of their cycle is already staged (conservative
+  // relative to the DES's event-time staging, and immutable all phase).
+  while (PhaseOf(next_commit_time_, next_commit_pre_flip_, cycle_bits_) == phase) {
+    const ServerTxn txn = server_workload_->NextTxn();
+    mc_overlay_->Stage(txn.write_set, phase);
+    pending_server_txns_.push_back(txn);
+    ++server_commits_;
+    if (server_trace_ != nullptr) {
+      TraceEvent e;
+      e.type = TraceEventType::kCommit;
+      e.time = next_commit_time_;
+      e.cycle = phase;
+      e.value = txn.id;
+      server_trace_->Record(e);
+    }
+    const SimTime prev = next_commit_time_;
+    const bool prev_pre = next_commit_pre_flip_;
+    next_commit_time_ = prev + server_workload_->NextInterval();
+    next_commit_pre_flip_ = FiresBeforeFlip(next_commit_time_, prev, prev_pre, cycle_bits_);
+  }
+}
+
+void ConcurrentSim::FoldPhase(Cycle phase) {
+  // Accepted uplinks first, serially, in acceptance order: validation
+  // guaranteed each one's reads are disjoint from every write staged before
+  // it was accepted, so the serial prefix places each uplink exactly where
+  // the client's broadcast reads put it (see BroadcastSim::FlushServerBatch).
+  if (!pending_uplink_txns_.empty()) {
+    const std::vector<CommittedServerTxn> committed =
+        txn_processor_->ExecuteSerial(pending_uplink_txns_);
+    FoldIntoManager(committed, *manager_, phase);
+    pending_uplink_txns_.clear();
+  }
+  if (!pending_server_txns_.empty()) {
+    const std::vector<CommittedServerTxn> committed =
+        txn_processor_->ExecuteBatch(pending_server_txns_);
+    FoldIntoManager(committed, *manager_, phase);
+    pending_server_txns_.clear();
+  }
+  mc_overlay_->Clear();
+}
+
 StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
   if (ran_) return Status::FailedPrecondition("ConcurrentSim::Run may only be called once");
   ran_ = true;
@@ -283,9 +416,11 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
   if (config_.enable_cache) {
     return Status::InvalidArgument("ConcurrentSim does not support the client cache yet");
   }
-  if (config_.client_update_fraction > 0.0) {
+  if (config_.client_update_fraction > 0.0 &&
+      config_.update_scheme == UpdateScheme::kSequential) {
     return Status::InvalidArgument(
-        "ConcurrentSim does not support client update transactions yet");
+        "ConcurrentSim supports client update transactions only with a pooled update "
+        "scheme (sequential uplink commits would mutate the manager mid-phase)");
   }
   if (config_.delta_broadcast) {
     return Status::InvalidArgument(
@@ -323,10 +458,28 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
   if (config_.update_scheme != UpdateScheme::kSequential) {
     txn_processor_ = std::make_unique<TxnProcessor>(config_.num_objects, config_.update_scheme,
                                                     config_.update_workers);
+    // Pooled-apply: the cycle-batch F-Matrix fold borrows the processor's
+    // worker pool, partitioned by column (bit-identical to the serial fold).
+    // The fold only ever runs in the exclusive section, when the pool is
+    // otherwise idle.
+    manager_->SetParallelFold(
+        [this](uint32_t shards, const std::function<void(uint32_t)>& body) {
+          txn_processor_->RunShards(shards, body);
+        },
+        config_.update_workers);
   }
 
   std::optional<CycleStampCodec> codec;
   if (config_.use_wire_codec) codec.emplace(config_.timestamp_bits);
+
+  if (config_.client_update_fraction > 0.0) {
+    validator_ = std::make_unique<UpdateValidator>(manager_.get());
+    mc_overlay_ = std::make_unique<McOverlay>(config_.num_objects);
+    next_client_update_id_ = 2 * kClientTxnIdBase;  // disjoint id range
+    validator_->AttachStagedMode(mc_overlay_.get(), [this](ServerTxn&& txn) {
+      pending_uplink_txns_.push_back(std::move(txn));
+    });
+  }
 
   clients_.clear();
   for (uint32_t c = 0; c < config_.num_clients; ++c) {
@@ -394,6 +547,11 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
   std::barrier publish_done(static_cast<std::ptrdiff_t>(config_.num_clients) + 1);
   bool stop = false;
 
+  // Uplink mode: cycle 1's server transactions are staged before any client
+  // thread exists, so the overlay is complete and immutable for the whole
+  // first phase (later phases stage in the preceding exclusive section).
+  if (validator_ != nullptr) StageServerPhase(1);
+
   std::vector<std::jthread> threads;
   threads.reserve(config_.num_clients);
   for (uint32_t c = 0; c < config_.num_clients; ++c) {
@@ -418,10 +576,15 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
 
   uint64_t cycles = 0;
   for (Cycle phase = 1;; ++phase) {
-    ProcessServerPhase(phase);
+    // Uplink mode keeps the manager untouched during the work phase (desk
+    // validations read its MC vector concurrently): this phase's server
+    // transactions were already staged in the previous exclusive section,
+    // and the fold below applies them after the work barrier.
+    if (validator_ == nullptr) ProcessServerPhase(phase);
     work_done.arrive_and_wait();
     // Exclusive section: every client thread is parked between the two
     // barriers, so the snapshot swap and stop verdict are race-free.
+    if (validator_ != nullptr) FoldPhase(phase);
     cycles = phase;
     stop = config_.stop_after_cycles > 0
                ? phase >= config_.stop_after_cycles
@@ -434,6 +597,7 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
         published_frames_ = std::make_shared<const std::vector<Frame>>(
             EncodeCycleFrames(*published_, *frame_codec_, config_.object_size_bits));
       }
+      if (validator_ != nullptr) StageServerPhase(phase + 1);
     }
     publish_done.arrive_and_wait();
     if (stop) break;
@@ -448,10 +612,15 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
     summary.completed_txns += cs->completed;
     summary.censored_txns += cs->censored;
     summary.total_restarts += cs->total_restarts;
+    summary.client_update_commits += cs->update_commits;
+    summary.client_update_rejects += cs->update_rejects;
     summary.abort_causes.Accumulate(cs->abort_causes);
     if (cs->receiver != nullptr) summary.channel.Accumulate(cs->receiver->stats());
     if (config_.record_decisions) decisions_.push_back(std::move(cs->decisions));
   }
+  // Mirror the DES accounting: accepted uplink transactions are server
+  // commits (they enter the manager's committed stream).
+  summary.server_commits += summary.client_update_commits;
   return summary;
 }
 

@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "channel/frame.h"
@@ -39,7 +40,9 @@
 #include "obs/trace.h"
 #include "server/broadcast_server.h"
 #include "server/exec/txn_processor.h"
+#include "server/mc_overlay.h"
 #include "server/txn_manager.h"
+#include "server/validator.h"
 #include "sim/config.h"
 #include "sim/metrics.h"
 #include "sim/workload.h"
@@ -49,10 +52,12 @@ namespace bcc {
 /// Aggregate results of one concurrent run.
 struct ConcurrentSummary {
   uint64_t cycles = 0;            ///< broadcast cycles fully executed
-  uint64_t server_commits = 0;    ///< update transactions committed
+  uint64_t server_commits = 0;    ///< update transactions committed (incl. uplink commits)
   uint64_t completed_txns = 0;    ///< client transactions completed
   uint64_t censored_txns = 0;     ///< force-completed by the restart guard
   uint64_t total_restarts = 0;    ///< aborts across all completed txns
+  uint64_t client_update_commits = 0;  ///< uplink transactions accepted at validation
+  uint64_t client_update_rejects = 0;  ///< uplink transactions rejected at validation
   /// Channel counters summed over all clients (channel_broadcast mode).
   ChannelStats channel;
   /// Per-cause abort breakdown, accumulated per client thread and merged
@@ -65,11 +70,20 @@ struct ConcurrentSummary {
 /// config.num_clients client threads plus uses the calling thread as the
 /// server; it returns after all threads joined.
 ///
-/// Config restrictions (InvalidArgument otherwise): client caching and
-/// client update transactions are not supported yet — both would reintroduce
-/// cross-thread feedback that needs its own design (quasi-cache currency is
-/// wall-clock based; uplink commits serialize through the validator).
-/// channel_broadcast is supported in full control mode: the server thread
+/// Config restrictions (InvalidArgument otherwise): client caching is not
+/// supported yet (quasi-cache currency is wall-clock based). Client update
+/// transactions are supported with a pooled update scheme only: uplink
+/// validation serializes through a per-run "desk" mutex over the validator,
+/// the cycle-epoch McOverlay, and the pending-uplink list, while the manager
+/// itself is mutated only inside the cycle-boundary exclusive section (the
+/// fold), so mid-phase MC reads are race-free. The engine stages a phase's
+/// server transactions — and their overlay MC effects — in the *previous*
+/// exclusive section, so an uplink validated mid-phase sees every server
+/// write of its cycle (conservative relative to the DES, which only sees the
+/// commits whose events already fired; pooled configurations are outside the
+/// bit-parity cross-check either way). Under the sequential scheme uplink
+/// commits would mutate the manager mid-phase, so that combination stays
+/// rejected. channel_broadcast is supported in full control mode: the server thread
 /// packetizes each cycle's broadcast in the exclusive section and every
 /// client thread runs its own fault channel + receiver (thread-local state,
 /// independent per-client RNG streams, so the lossy run is as deterministic
@@ -106,8 +120,23 @@ class ConcurrentSim {
   /// into the staging manager. In pooled mode (update_scheme !=
   /// kSequential) the phase's transactions run concurrently on the
   /// TxnProcessor and their serialization order is folded before returning,
-  /// so the snapshot published at the next barrier sees them all.
+  /// so the snapshot published at the next barrier sees them all. Not used
+  /// in uplink mode (see StageServerPhase/FoldPhase).
   void ProcessServerPhase(Cycle phase);
+
+  /// Uplink mode: generates broadcast cycle `phase`'s server transactions
+  /// and stages their MC effects into the overlay, without touching the
+  /// manager. Runs inside the exclusive section *before* the phase's client
+  /// work, so the overlay is immutable to the server for the whole phase
+  /// and every mid-phase uplink validation sees the cycle's server writes.
+  void StageServerPhase(Cycle phase);
+
+  /// Uplink mode: the cycle-boundary fold, inside the exclusive section.
+  /// Accepted uplink transactions commit first as a serial prefix in
+  /// acceptance order (TxnProcessor::ExecuteSerial), then the phase's
+  /// pooled server batch; both fold into the manager and the overlay epoch
+  /// retires.
+  void FoldPhase(Cycle phase);
 
   SimConfig config_;
   BroadcastGeometry geometry_;
@@ -120,6 +149,17 @@ class ConcurrentSim {
   /// sequential mode). Touched only by the server thread.
   std::unique_ptr<TxnProcessor> txn_processor_;
   std::vector<ServerTxn> pending_server_txns_;
+  /// Uplink mode (client_update_fraction > 0, pooled scheme). The desk
+  /// mutex serializes every mid-phase uplink validation: it guards the
+  /// validator, the overlay, the pending-uplink list, and the id counter.
+  /// Desk order is acceptance order is fold order. The server thread reads
+  /// this state only inside the exclusive section (the barriers order it
+  /// against the phase's desk traffic).
+  std::unique_ptr<UpdateValidator> validator_;
+  std::unique_ptr<McOverlay> mc_overlay_;
+  std::vector<ServerTxn> pending_uplink_txns_;
+  std::mutex uplink_mu_;
+  TxnId next_client_update_id_ = 0;
   std::vector<std::unique_ptr<ClientState>> clients_;
 
   /// The on-air snapshot of the current cycle. Written by the server thread

@@ -122,11 +122,6 @@ Status SimConfig::Validate() const {
     if (update_workers == 0) {
       return Status::InvalidArgument("update_workers must be >= 1 for a pooled update scheme");
     }
-    if (client_update_fraction > 0.0) {
-      return Status::InvalidArgument(
-          "pooled update schemes require read-only clients (the uplink validator reads "
-          "mid-cycle state)");
-    }
   }
   return Status::OK();
 }

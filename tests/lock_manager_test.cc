@@ -102,5 +102,124 @@ TEST(LockManagerTest, AbBaConflictNeverDeadlocks) {
   EXPECT_EQ(lm.die_count(), 1u);
 }
 
+TEST(LockManagerTest, ReRequestOfHeldModeIsIdempotent) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(4, LockMode::kShared, 1), LockOutcome::kGranted);
+  // Same mode again, and exclusive-then-anything: no duplicate holder entry
+  // is registered, so the single Release below fully frees the object.
+  EXPECT_EQ(lm.Acquire(4, LockMode::kShared, 1), LockOutcome::kGranted);
+  ASSERT_EQ(lm.Acquire(8, LockMode::kExclusive, 1), LockOutcome::kGranted);
+  EXPECT_EQ(lm.Acquire(8, LockMode::kExclusive, 1), LockOutcome::kGranted);
+  EXPECT_EQ(lm.Acquire(8, LockMode::kShared, 1), LockOutcome::kGranted);  // weaker
+  lm.Release(4, 1);
+  lm.Release(8, 1);
+  // A younger transaction sees both objects free.
+  EXPECT_EQ(lm.Acquire(4, LockMode::kExclusive, 2), LockOutcome::kGranted);
+  EXPECT_EQ(lm.Acquire(8, LockMode::kExclusive, 2), LockOutcome::kGranted);
+  lm.Release(4, 2);
+  lm.Release(8, 2);
+}
+
+TEST(LockManagerTest, SoleSharedHolderUpgradesInPlace) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(6, LockMode::kShared, 3), LockOutcome::kGranted);
+  EXPECT_EQ(lm.Acquire(6, LockMode::kExclusive, 3), LockOutcome::kGranted);
+  // The upgraded lock is exclusive: a younger shared request dies.
+  EXPECT_EQ(lm.Acquire(6, LockMode::kShared, 4), LockOutcome::kDie);
+  // One Release covers the upgraded hold.
+  lm.Release(6, 3);
+  EXPECT_EQ(lm.Acquire(6, LockMode::kShared, 4), LockOutcome::kGranted);
+  lm.Release(6, 4);
+}
+
+TEST(LockManagerTest, YoungerUpgraderDiesButKeepsItsSharedHold) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(9, LockMode::kShared, 1), LockOutcome::kGranted);  // old
+  ASSERT_EQ(lm.Acquire(9, LockMode::kShared, 2), LockOutcome::kGranted);  // young
+  // The young holder wants exclusive; the other holder is older, so wait-die
+  // kills the upgrade — but the shared hold survives for the caller's abort
+  // path to release.
+  EXPECT_EQ(lm.Acquire(9, LockMode::kExclusive, 2), LockOutcome::kDie);
+  EXPECT_EQ(lm.die_count(), 1u);
+  lm.Release(9, 2);  // the aborting transaction's release_all
+  // With the young holder gone, the old one is the sole holder: upgrade.
+  EXPECT_EQ(lm.Acquire(9, LockMode::kExclusive, 1), LockOutcome::kGranted);
+  lm.Release(9, 1);
+}
+
+TEST(LockManagerTest, OlderUpgraderWaitsForYoungerSharedHolder) {
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(3, LockMode::kShared, 1), LockOutcome::kGranted);  // old
+  ASSERT_EQ(lm.Acquire(3, LockMode::kShared, 7), LockOutcome::kGranted);  // young
+
+  std::atomic<bool> upgraded{false};
+  std::thread older([&] {
+    // ts 1 is older than the remaining holder (7): it blocks until the
+    // young shared hold drains, then promotes in place.
+    EXPECT_EQ(lm.Acquire(3, LockMode::kExclusive, 1), LockOutcome::kGranted);
+    upgraded.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(upgraded.load());
+  lm.Release(3, 7);
+  older.join();
+  EXPECT_TRUE(upgraded.load());
+  EXPECT_EQ(lm.die_count(), 0u);
+  EXPECT_GE(lm.wait_count(), 1u);
+  // The promotion consumed no extra holder entry: one Release frees it.
+  lm.Release(3, 1);
+  EXPECT_EQ(lm.Acquire(3, LockMode::kExclusive, 9), LockOutcome::kGranted);
+  lm.Release(3, 9);
+}
+
+TEST(LockManagerTest, ParkedExclusiveWaiterDiesWhenOlderSharedHolderArrives) {
+  // Regression: a fresh exclusive requester parks while every holder is
+  // younger. Shared-on-shared grants skip the age check, so an *older*
+  // shared holder can then slide in — flipping the parked waiter's wait-die
+  // verdict to die. The grant must wake it; before the fix it slept forever
+  // while younger transactions died against its other locks.
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(1, LockMode::kShared, 5), LockOutcome::kGranted);  // young holder
+
+  std::thread waiter([&] {
+    // ts 3 is older than the holder (5): it parks. Once ts 2 joins below it
+    // must die — never hang.
+    EXPECT_EQ(lm.Acquire(1, LockMode::kExclusive, 3), LockOutcome::kDie);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(lm.Acquire(1, LockMode::kShared, 2), LockOutcome::kGranted);  // older slides in
+  waiter.join();
+  EXPECT_EQ(lm.die_count(), 1u);
+  lm.Release(1, 5);
+  lm.Release(1, 2);
+  // The table fully drained: a fresh exclusive request sees the object free.
+  EXPECT_EQ(lm.Acquire(1, LockMode::kExclusive, 9), LockOutcome::kGranted);
+  lm.Release(1, 9);
+}
+
+TEST(LockManagerTest, ParkedUpgraderDiesWhenOlderSharedHolderArrives) {
+  // Same shape for a parked shared->exclusive upgrader: it parked as the
+  // oldest holder, then an older shared holder joined. The grant must wake
+  // it to die (keeping its shared hold for the caller's release-all).
+  LockManager lm;
+  ASSERT_EQ(lm.Acquire(2, LockMode::kShared, 10), LockOutcome::kGranted);
+  ASSERT_EQ(lm.Acquire(2, LockMode::kShared, 20), LockOutcome::kGranted);
+
+  std::thread upgrader([&] {
+    // ts 10 is older than the other holder (20): the upgrade parks. Once
+    // ts 5 joins it must die.
+    EXPECT_EQ(lm.Acquire(2, LockMode::kExclusive, 10), LockOutcome::kDie);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(lm.Acquire(2, LockMode::kShared, 5), LockOutcome::kGranted);
+  upgrader.join();
+  EXPECT_EQ(lm.die_count(), 1u);
+  lm.Release(2, 10);  // the dying upgrader's shared hold survives until here
+  lm.Release(2, 20);
+  lm.Release(2, 5);
+  EXPECT_EQ(lm.Acquire(2, LockMode::kExclusive, 9), LockOutcome::kGranted);
+  lm.Release(2, 9);
+}
+
 }  // namespace
 }  // namespace bcc

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "sim/broadcast_sim.h"
 #include "sim/concurrent_sim.h"
 
@@ -92,13 +94,89 @@ TEST(PooledSimTest, ConcurrentEngineRunsUnderEveryScheme) {
   }
 }
 
-TEST(PooledSimTest, ValidationRejectsPooledClientUpdates) {
+TEST(PooledSimTest, ValidationAcceptsPooledClientUpdates) {
   SimConfig config = PooledConfig(UpdateScheme::kOcc);
   config.client_update_fraction = 0.5;
-  EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
-  config.client_update_fraction = 0.0;
+  config.client_update_writes = 2;
+  EXPECT_TRUE(config.Validate().ok());
   config.update_workers = 0;
   EXPECT_EQ(config.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+SimConfig MixedClientConfig(UpdateScheme scheme, uint64_t seed = 42) {
+  SimConfig c = PooledConfig(scheme, seed);
+  c.num_clients = 3;
+  c.client_update_fraction = 0.4;
+  c.client_update_writes = 2;
+  return c;
+}
+
+TEST(PooledSimTest, DesMixedClientsRunToCompletionUnderEveryScheme) {
+  for (UpdateScheme scheme : kPooledSchemes) {
+    SCOPED_TRACE(std::string(UpdateSchemeName(scheme)));
+    BroadcastSim sim(MixedClientConfig(scheme));
+    auto s = sim.Run();
+    ASSERT_TRUE(s.ok()) << s.status();
+    EXPECT_EQ(s->total_txns, 60u);
+    EXPECT_GT(s->client_update_commits + s->client_update_rejects, 0u);
+    // Accepted uplinks fold into the manager alongside the server stream.
+    EXPECT_EQ(sim.manager().num_committed(), s->server_commits);
+  }
+}
+
+TEST(PooledSimTest, DesMixedClientsOracleAuditPassesUnderEveryScheme) {
+  for (UpdateScheme scheme : kPooledSchemes) {
+    SCOPED_TRACE(std::string(UpdateSchemeName(scheme)));
+    SimConfig config = MixedClientConfig(scheme);
+    config.record_history = true;
+    config.num_client_txns = 40;
+    config.warmup_txns = 10;
+    BroadcastSim sim(config);
+    ASSERT_TRUE(sim.Run().ok());
+    const Status audit = sim.VerifyOracle();
+    EXPECT_TRUE(audit.ok()) << audit.ToString();
+  }
+}
+
+TEST(PooledSimTest, DesMixedClientsAreDeterministic) {
+  // Uplink validation happens at event time against the overlay-merged MC
+  // view; the decision stream must be a pure function of the config even
+  // though the pooled batch's interleaving is not.
+  for (UpdateScheme scheme : kPooledSchemes) {
+    SCOPED_TRACE(std::string(UpdateSchemeName(scheme)));
+    auto run = [&](uint64_t seed) {
+      BroadcastSim sim(MixedClientConfig(scheme, seed));
+      auto s = sim.Run();
+      EXPECT_TRUE(s.ok());
+      return std::tuple(s->server_commits, s->client_update_commits,
+                        s->client_update_rejects);
+    };
+    EXPECT_EQ(run(11), run(11));
+  }
+}
+
+TEST(PooledSimTest, ConcurrentEngineMixedClientsRunUnderEveryScheme) {
+  for (UpdateScheme scheme : kPooledSchemes) {
+    SCOPED_TRACE(std::string(UpdateSchemeName(scheme)));
+    SimConfig config = MixedClientConfig(scheme);
+    config.stop_after_cycles = 30;
+    ConcurrentSim sim(config);
+    auto s = sim.Run();
+    ASSERT_TRUE(s.ok()) << s.status();
+    EXPECT_EQ(s->cycles, 30u);
+    EXPECT_GT(s->completed_txns, 0u);
+    EXPECT_GT(s->client_update_commits + s->client_update_rejects, 0u);
+    EXPECT_EQ(sim.manager().num_committed(), s->server_commits);
+  }
+}
+
+TEST(PooledSimTest, ConcurrentEngineRejectsSequentialUplinks) {
+  SimConfig config = MixedClientConfig(UpdateScheme::kOcc);
+  config.update_scheme = UpdateScheme::kSequential;
+  config.update_workers = 0;
+  config.stop_after_cycles = 10;
+  ConcurrentSim sim(config);
+  EXPECT_EQ(sim.Run().status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace
