@@ -14,6 +14,9 @@
 #include <memory>
 #include <string>
 
+#include "net/client_runtime.h"
+#include "net/net_config.h"
+#include "net/server_daemon.h"
 #include "obs/trace_export.h"
 #include "sim/broadcast_sim.h"
 
@@ -58,7 +61,10 @@ void PrintHelp() {
       "  --trace-out=FILE          write a Chrome trace_event JSON trace\n"
       "                            (load in ui.perfetto.dev or chrome://tracing)\n"
       "  --trace-capacity=N        events kept per track       (4096)\n"
-      "  --metrics-json=FILE       dump the full summary as JSON\n");
+      "  --metrics-json=FILE       dump the full summary as JSON\n"
+      "\nNetworked tier (real UDP transport; --listen runs the broadcast\n"
+      "daemon, --connect the socket client — see DESIGN.md §4j):\n%s",
+      NetFlagsHelp().c_str());
 }
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -74,6 +80,7 @@ bool ParseFlag(const char* arg, const char* name, const char** value) {
 
 int main(int argc, char** argv) {
   SimConfig config;
+  NetConfig net;
   bool csv = false;
   double cache_cycles = 0;
   double hot_access = -1;
@@ -178,6 +185,11 @@ int main(int argc, char** argv) {
       config.trace_capacity = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else if (ParseFlag(argv[i], "--metrics-json", &v)) {
       metrics_json = v;
+    } else if (ParseNetFlag(argv[i], &net, &config)) {
+      // Networked-tier flag (--listen, --connect, --mcast, --cycles, ...):
+      // parsed by the shared vocabulary in net/net_config.h. Shared sim
+      // knobs are matched by the chain above first, so both tiers read them
+      // with identical conversions.
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", argv[i]);
       return 2;
@@ -191,6 +203,41 @@ int main(int argc, char** argv) {
   if (hot_access >= 0) {
     config.client_hot_access_fraction = hot_access;
     config.server_hot_access_fraction = hot_access;
+  }
+
+  // Networked tier: hand the fully parsed SimConfig to the daemon or the
+  // client runtime instead of the in-process DES. Same flags, same
+  // conversions, real UDP sockets.
+  if (!net.listen.empty() || !net.connect.empty()) {
+    if (!net.listen.empty() && !net.connect.empty()) {
+      std::fprintf(stderr, "--listen and --connect are mutually exclusive\n");
+      return 2;
+    }
+    Status status;
+    std::string json;
+    if (!net.listen.empty()) {
+      net.expected_clients = config.num_clients;
+      ServerReport report;
+      status = RunServerDaemon(net, config, &report);
+      if (status.ok()) json = report.ToJson();
+    } else {
+      ClientReport report;
+      status = RunClientRuntime(net, config, &report);
+      if (status.ok()) json = report.ToJson();
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "sim_cli: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", json.c_str());
+    if (!net.json_out.empty()) {
+      const Status written = WriteTextFile(net.json_out, json + "\n");
+      if (!written.ok()) {
+        std::fprintf(stderr, "sim_cli: %s\n", written.ToString().c_str());
+        return 1;
+      }
+    }
+    return 0;
   }
 
   std::printf("config: %s\n", config.ToString().c_str());

@@ -168,20 +168,37 @@ StatusOr<DecodedFrame> FrameCodec::Decode(const Frame& frame) const {
 
 void StreamReassembler::Add(const DecodedFrame& frame) {
   if (broken_) return;
-  if (saw_last_ || frame.header.seq != next_seq_) {
-    broken_ = true;
-    return;
+  const uint32_t seq = frame.header.seq;
+  if (last_seq_known_) {
+    // A frame past the last-flagged sequence, or a second, different
+    // last-flagged frame, contradicts the stream's claimed extent.
+    if (seq > last_seq_ || (frame.header.last && seq != last_seq_)) {
+      broken_ = true;
+      return;
+    }
+  } else if (frame.header.last) {
+    if (!frames_.empty() && frames_.rbegin()->first > seq) {
+      broken_ = true;  // already buffered a frame past the claimed last
+      return;
+    }
+    last_seq_ = seq;
+    last_seq_known_ = true;
   }
-  BitWriter w;
-  AppendPayloadBits(&w, Payload{bytes_, bits_});
-  AppendPayloadBits(&w, frame.payload);
-  bytes_ = w.bytes();
-  bits_ += frame.header.payload_bits;
-  ++next_seq_;
-  saw_last_ = frame.header.last;
+  const auto [it, inserted] = frames_.emplace(seq, frame.payload);
+  if (!inserted && it->second.bits != frame.payload.bits) {
+    broken_ = true;  // two valid frames for one seq disagreeing on size
+  }
 }
 
-Payload StreamReassembler::Take() { return Payload{std::move(bytes_), bits_}; }
+Payload StreamReassembler::Take() {
+  BitWriter w;
+  uint64_t bits = 0;
+  for (auto& [seq, payload] : frames_) {
+    AppendPayloadBits(&w, payload);
+    bits += payload.bits;
+  }
+  return Payload{w.bytes(), bits};
+}
 
 Payload EncodeIndexPayload(const CycleIndex& index) {
   BitWriter w;

@@ -27,6 +27,7 @@
 #define BCC_CHANNEL_FRAME_H_
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <vector>
 
@@ -124,23 +125,30 @@ class FrameCodec {
   uint64_t frame_bits_;
 };
 
-/// Reassembles one (kind, stream id) payload from decoded frames fed in
-/// receive order. Any sequence gap, duplicate, or post-last frame marks the
-/// stream broken; a broken stream is never complete.
+/// Reassembles one (kind, stream id) payload from decoded frames fed in any
+/// order — datagram semantics. Duplicates are ignored, reordering within the
+/// stream is buffered, and a missing frame just leaves the stream incomplete
+/// (the receiver's stall-on-miss path handles it). Only a *contradictory*
+/// stream is marked broken: a frame sequenced past the last-flagged frame,
+/// two different last-flagged sequence numbers, or two CRC-valid frames for
+/// the same sequence number that disagree on payload size. A broken stream
+/// is never complete.
 class StreamReassembler {
  public:
   void Add(const DecodedFrame& frame);
 
-  bool complete() const { return saw_last_ && !broken_; }
+  bool complete() const {
+    return !broken_ && last_seq_known_ && frames_.size() == static_cast<size_t>(last_seq_) + 1;
+  }
   bool broken() const { return broken_; }
-  /// The reassembled payload (meaningful only when complete()).
+  /// The reassembled payload, frames concatenated in sequence order
+  /// (meaningful only when complete()).
   Payload Take();
 
  private:
-  std::vector<uint8_t> bytes_;
-  uint64_t bits_ = 0;
-  uint32_t next_seq_ = 0;
-  bool saw_last_ = false;
+  std::map<uint32_t, Payload> frames_;  // seq -> payload slice, dups ignored
+  uint32_t last_seq_ = 0;
+  bool last_seq_known_ = false;
   bool broken_ = false;
 };
 

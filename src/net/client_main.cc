@@ -1,0 +1,48 @@
+// bcc_client: a broadcast-disk client over a real UDP socket. Registers
+// with bcc_serverd (--connect), ingests cycle datagrams through the
+// ChannelReceiver / DeltaMatrixTracker stack, runs --txns-per-cycle
+// transaction slots against each ingested cycle, ships update transactions
+// over the uplink, reports STATS when asked, and prints a run-summary JSON.
+
+#include <cstdio>
+#include <string>
+
+#include "net/client_runtime.h"
+#include "net/net_config.h"
+#include "obs/trace_export.h"
+
+int main(int argc, char** argv) {
+  bcc::NetConfig net;
+  bcc::SimConfig sim;
+  sim.stop_after_cycles = 64;  // standalone default; --cycles overrides
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: bcc_client --connect=ip:port [flags]\n%s", bcc::NetFlagsHelp().c_str());
+      return 0;
+    }
+    if (!bcc::ParseNetFlag(arg, &net, &sim)) {
+      std::fprintf(stderr, "bcc_client: unknown flag %s\n%s", arg.c_str(),
+                   bcc::NetFlagsHelp().c_str());
+      return 2;
+    }
+  }
+
+  bcc::ClientReport report;
+  const bcc::Status status = bcc::RunClientRuntime(net, sim, &report);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bcc_client: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const std::string json = report.ToJson();
+  std::printf("%s\n", json.c_str());
+  if (!net.json_out.empty()) {
+    const bcc::Status written = bcc::WriteTextFile(net.json_out, json + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "bcc_client: %s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,527 @@
+#include "net/client_runtime.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "channel/frame.h"
+#include "client/delta_tracker.h"
+#include "client/read_txn.h"
+#include "client/receiver.h"
+#include "common/format.h"
+#include "net/datagram.h"
+#include "net/epoll_loop.h"
+#include "net/pacing.h"
+#include "net/socket.h"
+#include "net/state_digest.h"
+#include "obs/json.h"
+#include "sim/workload.h"
+
+namespace bcc {
+namespace {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+uint64_t Quantile(std::vector<uint64_t> sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void AppendChannelStatsJson(JsonWriter& w, const ChannelStats& ch) {
+  w.BeginObject()
+      .Key("frames_sent").Value(ch.frames_sent)
+      .Key("frames_dropped").Value(ch.frames_dropped)
+      .Key("frames_delivered").Value(ch.frames_delivered)
+      .Key("frames_rejected").Value(ch.frames_rejected)
+      .Key("control_losses").Value(ch.control_losses)
+      .Key("data_losses").Value(ch.data_losses)
+      .Key("stalls").Value(ch.stalls)
+      .Key("resyncs").Value(ch.resyncs)
+      .Key("tracker_desyncs").Value(ch.tracker_desyncs)
+      .Key("loss_attributed_aborts").Value(ch.loss_attributed_aborts)
+      .EndObject();
+}
+
+/// One open transaction. Slots progress in lockstep with the broadcast: each
+/// ingested cycle advances every idle slot by exactly one read, so a
+/// transaction of L reads spans >= L cycles and its F-Matrix validation runs
+/// against genuinely evolving control info.
+struct TxnSlot {
+  explicit TxnSlot(Algorithm algorithm, std::optional<CycleStampCodec> codec)
+      : protocol(algorithm, codec) {}
+
+  ReadOnlyTxnProtocol protocol;
+  std::vector<ObjectId> read_set;
+  std::vector<ObjectId> write_set;  // nonempty iff is_update
+  bool is_update = false;
+  size_t read_idx = 0;
+  uint64_t start_us = 0;
+  bool stalled_this_attempt = false;
+
+  // Update-uplink state: an UPDATE is in flight and the slot is parked until
+  // the matching UPDATE_REPLY (resent if the reply outwaits reply_wait_cycles).
+  bool awaiting_reply = false;
+  uint32_t update_seq = 0;
+  uint32_t reply_wait_cycles = 0;
+};
+
+/// Per-cycle reassembly buffer: datagrams held until the cycle is flushed
+/// (all datagrams arrived, a newer cycle started, or the daemon asked for
+/// stats). Late datagrams for an already-flushed cycle are dropped — the
+/// missed-cycle rule makes stale control info unusable anyway.
+struct CycleBuffer {
+  uint16_t dgram_count = 0;
+  uint16_t cycle_frames = 0;
+  std::map<uint16_t, std::vector<Frame>> dgrams;  // dgram_seq -> frames
+
+  bool Complete() const { return dgram_count > 0 && dgrams.size() == dgram_count; }
+};
+
+class ClientRuntime {
+ public:
+  ClientRuntime(const NetConfig& net, const SimConfig& sim) : net_(net), sim_(sim) {}
+
+  Status Run(ClientReport* report);
+
+ private:
+  Status SetUp();
+  Status Handshake();
+  Status CompleteHandshake(const HelloAckMsg& ack);
+  Status DrainSocket(UdpSocket* sock);
+  Status HandleDatagram(const InDatagram& d);
+  Status HandleCycleData(std::span<const uint8_t> bytes);
+  Status FlushCycle(Cycle cycle, CycleBuffer&& buffer);
+  Status AdvanceSlots(Cycle cycle);
+  void StartNextTxn(TxnSlot& slot);
+  void CommitSlot(TxnSlot& slot);
+  void AbortSlot(TxnSlot& slot);
+  Status SendUpdate(TxnSlot& slot);
+  Status HandleUpdateReply(const UpdateReplyMsg& reply);
+  Status SendStats();
+  uint64_t ComputeDigest() const;
+
+  const NetConfig& net_;
+  SimConfig sim_;
+
+  UdpSocket uplink_;
+  UdpSocket mcast_;  // valid only with --mcast
+  SockAddr server_addr_ = {};
+  EpollLoop loop_;
+
+  HelloAckMsg ack_;
+  std::optional<CycleStampCodec> stamp_codec_;
+  std::optional<FrameCodec> codec_;
+  std::unique_ptr<DeltaMatrixTracker> tracker_;
+  std::unique_ptr<ChannelReceiver> receiver_;
+  std::unique_ptr<ClientWorkload> workload_;
+  std::vector<std::unique_ptr<TxnSlot>> slots_;
+
+  std::map<Cycle, CycleBuffer> pending_cycles_;
+  Cycle last_flushed_ = 0;
+  uint64_t cycles_ingested_ = 0;
+
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+  uint64_t update_commits_ = 0;
+  uint64_t update_rejects_ = 0;
+  uint32_t next_update_seq_ = 1;
+  std::vector<uint64_t> response_us_;
+
+  bool stats_requested_ = false;
+  uint64_t last_stats_req_ms_ = 0;
+  WallClock clock_;
+};
+
+Status ClientRuntime::Run(ClientReport* report) {
+  BCC_RETURN_IF_ERROR(net_.Validate());
+  BCC_RETURN_IF_ERROR(NormalizeNetSimConfig(&sim_));
+  if (net_.connect.empty()) {
+    return Status::InvalidArgument("bcc_client requires --connect=ip:port");
+  }
+  BCC_RETURN_IF_ERROR(SetUp());
+  BCC_RETURN_IF_ERROR(Handshake());
+
+  // Main loop: ingest broadcast + uplink traffic until the daemon's
+  // STATS_REQ (answered in HandleDatagram), then linger so a lost STATS can
+  // be re-requested before exiting.
+  while (true) {
+    if (net_.max_wall_ms > 0 && clock_.ElapsedMs() > net_.max_wall_ms) {
+      return Status::Internal("client watchdog expired before the run completed");
+    }
+    if (stats_requested_ && clock_.ElapsedMs() - last_stats_req_ms_ > 1000) break;
+    BCC_RETURN_IF_ERROR(loop_.Poll(50).status());
+  }
+
+  report->client_index = ack_.client_index;
+  report->cycles_ingested = cycles_ingested_;
+  report->commits = commits_;
+  report->aborts = aborts_;
+  report->txns = commits_ + aborts_;
+  report->update_commits = update_commits_;
+  report->update_rejects = update_rejects_;
+  report->digest = ComputeDigest();
+  std::sort(response_us_.begin(), response_us_.end());
+  report->p50_us = Quantile(response_us_, 0.50);
+  report->p99_us = Quantile(response_us_, 0.99);
+  report->channel = receiver_->stats();
+  return Status::OK();
+}
+
+Status ClientRuntime::SetUp() {
+  BCC_RETURN_IF_ERROR(uplink_.Open());
+  BCC_RETURN_IF_ERROR(uplink_.Bind(Endpoint{"0.0.0.0", 0}));
+  BCC_RETURN_IF_ERROR(uplink_.SetRecvBufferBytes(net_.rcvbuf_bytes));
+  BCC_ASSIGN_OR_RETURN(const Endpoint server, ParseEndpoint(net_.connect));
+  BCC_ASSIGN_OR_RETURN(server_addr_, ResolveEndpoint(server));
+
+  BCC_RETURN_IF_ERROR(loop_.Init());
+  BCC_RETURN_IF_ERROR(loop_.Add(uplink_.fd(), [this] { return DrainSocket(&uplink_); }));
+
+  if (!net_.multicast.empty()) {
+    BCC_RETURN_IF_ERROR(mcast_.Open());
+    BCC_ASSIGN_OR_RETURN(const Endpoint group, ParseEndpoint(net_.multicast));
+    BCC_RETURN_IF_ERROR(mcast_.JoinMulticast(group));
+    BCC_RETURN_IF_ERROR(mcast_.SetRecvBufferBytes(net_.rcvbuf_bytes));
+    BCC_RETURN_IF_ERROR(loop_.Add(mcast_.fd(), [this] { return DrainSocket(&mcast_); }));
+  }
+  return Status::OK();
+}
+
+Status ClientRuntime::Handshake() {
+  HelloMsg hello;
+  hello.client_id = net_.client_id != 0 ? net_.client_id : static_cast<uint32_t>(getpid());
+  const std::vector<uint8_t> wire = EncodeHello(hello);
+
+  uint64_t last_send_ms = 0;
+  bool first = true;
+  while (receiver_ == nullptr) {
+    if (clock_.ElapsedMs() > net_.hello_timeout_ms) {
+      return Status::Internal(
+          StrFormat("no HELLO_ACK from %s within %llu ms", net_.connect.c_str(),
+                    static_cast<unsigned long long>(net_.hello_timeout_ms)));
+    }
+    if (first || clock_.ElapsedMs() - last_send_ms > 200) {
+      BCC_RETURN_IF_ERROR(uplink_.SendTo(wire, server_addr_).status());
+      last_send_ms = clock_.ElapsedMs();
+      first = false;
+    }
+    BCC_RETURN_IF_ERROR(loop_.Poll(50).status());
+  }
+  return Status::OK();
+}
+
+// Runs inside HandleDatagram the moment the HELLO_ACK arrives: the daemon
+// may fan out cycle 1 immediately after acking the last registration, so
+// the receiver must exist before the next datagram of the same drain batch
+// is processed — deferring setup to the Handshake loop would discard those
+// frames as pre-handshake noise and deterministically lose the first cycle.
+Status ClientRuntime::CompleteHandshake(const HelloAckMsg& ack) {
+  ack_ = ack;
+
+  // The daemon's geometry must match ours exactly — a drifting config would
+  // not corrupt state (CRCs and the missed-cycle rule reject it) but it
+  // would silently turn the whole broadcast into loss.
+  if (ack_.num_objects != sim_.num_objects ||
+      ack_.ts_bits != static_cast<uint8_t>(sim_.timestamp_bits) ||
+      ack_.frame_bits != static_cast<uint32_t>(sim_.channel_frame_bits)) {
+    return Status::FailedPrecondition(
+        StrFormat("server geometry mismatch: server n=%u ts=%u frame=%u, "
+                  "client n=%u ts=%u frame=%llu",
+                  ack_.num_objects, ack_.ts_bits, ack_.frame_bits, sim_.num_objects,
+                  sim_.timestamp_bits,
+                  static_cast<unsigned long long>(sim_.channel_frame_bits)));
+  }
+  const bool delta = ack_.control_mode != CycleIndex::kControlColumns;
+  sim_.delta_broadcast = delta;
+
+  stamp_codec_.emplace(sim_.timestamp_bits);
+  codec_.emplace(*stamp_codec_, sim_.channel_frame_bits);
+  if (delta) tracker_ = std::make_unique<DeltaMatrixTracker>(sim_.num_objects, *stamp_codec_);
+  receiver_ = std::make_unique<ChannelReceiver>(sim_.num_objects, *codec_, tracker_.get());
+
+  // Replicate the DES RNG tree so client `i`'s workload stream is the same
+  // one the in-process simulation would hand its client `i`: the root splits
+  // once for the server, then once per client in index order.
+  Rng root(sim_.seed);
+  (void)root.Split();  // server workload
+  for (uint32_t i = 0; i < ack_.client_index; ++i) (void)root.Split();
+  workload_ = std::make_unique<ClientWorkload>(sim_, root.Split());
+
+  for (uint32_t i = 0; i < net_.txns_per_cycle; ++i) {
+    auto slot = std::make_unique<TxnSlot>(sim_.algorithm, stamp_codec_);
+    slot->protocol.set_value_override(&receiver_->values());
+    slot->protocol.set_control_override(tracker_ ? &tracker_->matrix() : &receiver_->matrix());
+    StartNextTxn(*slot);
+    slots_.push_back(std::move(slot));
+  }
+  return Status::OK();
+}
+
+Status ClientRuntime::DrainSocket(UdpSocket* sock) {
+  while (true) {
+    BCC_ASSIGN_OR_RETURN(const std::vector<InDatagram> batch, sock->RecvBatch(64, 65536));
+    if (batch.empty()) return Status::OK();
+    for (const InDatagram& d : batch) BCC_RETURN_IF_ERROR(HandleDatagram(d));
+  }
+}
+
+Status ClientRuntime::HandleDatagram(const InDatagram& d) {
+  const StatusOr<MsgKind> kind = PeekKind(d.bytes);
+  if (!kind.ok()) return Status::OK();  // foreign datagram: ignore
+  switch (*kind) {
+    case MsgKind::kHelloAck: {
+      BCC_ASSIGN_OR_RETURN(const HelloAckMsg ack, DecodeHelloAck(d.bytes));
+      if (receiver_ != nullptr) return Status::OK();  // duplicates ignored
+      return CompleteHandshake(ack);
+    }
+    case MsgKind::kCycleData:
+      if (receiver_ == nullptr) return Status::OK();  // pre-handshake noise
+      return HandleCycleData(d.bytes);
+    case MsgKind::kUpdateReply: {
+      BCC_ASSIGN_OR_RETURN(const UpdateReplyMsg reply, DecodeUpdateReply(d.bytes));
+      return HandleUpdateReply(reply);
+    }
+    case MsgKind::kStatsReq: {
+      if (receiver_ == nullptr) return Status::OK();
+      // Flush whatever is still buffered (the final cycle completes here
+      // when its last datagram arrived before the request), then report.
+      while (!pending_cycles_.empty()) {
+        auto node = pending_cycles_.extract(pending_cycles_.begin());
+        BCC_RETURN_IF_ERROR(FlushCycle(node.key(), std::move(node.mapped())));
+      }
+      stats_requested_ = true;
+      last_stats_req_ms_ = clock_.ElapsedMs();
+      return SendStats();
+    }
+    default:
+      return Status::OK();  // server-bound kinds: not ours
+  }
+}
+
+Status ClientRuntime::HandleCycleData(std::span<const uint8_t> bytes) {
+  BCC_ASSIGN_OR_RETURN(CycleDataMsg msg, DecodeCycleData(bytes));
+  const Cycle cycle = msg.header.cycle;
+  if (cycle <= last_flushed_) return Status::OK();  // late: that cycle is gone
+
+  CycleBuffer& buffer = pending_cycles_[cycle];
+  buffer.dgram_count = msg.header.dgram_count;
+  buffer.cycle_frames = msg.header.cycle_frames;
+  buffer.dgrams.emplace(msg.header.dgram_seq, std::move(msg.frames));  // dup seq ignored
+
+  // A newer cycle on the air means older cycles' remaining datagrams are
+  // lost (flushing them counts the loss); the newest cycle itself flushes
+  // only once complete, so in-cycle reordering never costs frames.
+  while (!pending_cycles_.empty()) {
+    auto first = pending_cycles_.begin();
+    const bool newest = first->first == pending_cycles_.rbegin()->first;
+    if (newest && !first->second.Complete()) break;
+    auto node = pending_cycles_.extract(first);
+    BCC_RETURN_IF_ERROR(FlushCycle(node.key(), std::move(node.mapped())));
+  }
+  return Status::OK();
+}
+
+Status ClientRuntime::FlushCycle(Cycle cycle, CycleBuffer&& buffer) {
+  // Cycles between the last flush and this one never produced a single
+  // datagram (receiver overrun, or real network loss): observe them as
+  // all-frames-dropped transmissions so the receiver's loss accounting and
+  // the tracker's desync logic see the cycle pass, exactly as a DES client
+  // whose channel dropped every frame would. The per-cycle frame count is
+  // constant (same broadcast schedule every cycle), so this buffer's header
+  // value stands in for the lost cycles'.
+  for (Cycle gap = last_flushed_ + 1; gap < cycle; ++gap) {
+    ++cycles_ingested_;
+    Transmission lost;
+    lost.sent = buffer.cycle_frames;
+    lost.dropped = buffer.cycle_frames;
+    receiver_->IngestCycle(gap, lost);
+    BCC_RETURN_IF_ERROR(AdvanceSlots(gap));
+  }
+  last_flushed_ = cycle;
+  ++cycles_ingested_;
+
+  Transmission tx;
+  for (auto& [seq, frames] : buffer.dgrams) {
+    for (Frame& frame : frames) {
+      Delivery d;
+      d.frame = std::move(frame);
+      tx.frames.push_back(std::move(d));
+    }
+  }
+  tx.sent = buffer.cycle_frames;
+  tx.dropped = tx.sent - std::min<uint64_t>(tx.sent, tx.frames.size());
+  receiver_->IngestCycle(cycle, tx);
+  return AdvanceSlots(cycle);
+}
+
+Status ClientRuntime::AdvanceSlots(Cycle cycle) {
+  // The snapshot handed to the protocol is a shell: the value and control
+  // overrides route every lookup to the receiver/tracker state, so only the
+  // cycle number matters (it anchors the windowed stamp decode).
+  CycleSnapshot snap;
+  snap.cycle = cycle;
+
+  for (auto& slot_ptr : slots_) {
+    TxnSlot& slot = *slot_ptr;
+    if (slot.awaiting_reply) {
+      if (++slot.reply_wait_cycles >= 2) {
+        slot.reply_wait_cycles = 0;
+        BCC_RETURN_IF_ERROR(SendUpdate(slot));  // reply or request was lost
+      }
+      continue;
+    }
+
+    const ObjectId ob = slot.read_set[slot.read_idx];
+    // Missed-cycle rule, exactly as BroadcastSim::PerformBroadcastRead:
+    // validate only against control info and data received in THIS cycle;
+    // a desynced tracker or a lost column/page stalls the read to the next
+    // cycle rather than substituting stale state.
+    bool stall = tracker_ != nullptr && tracker_->Unusable(cycle);
+    if (!stall) {
+      const bool control_missing =
+          tracker_ == nullptr && !receiver_->ControlUsable(ob, cycle);
+      stall = control_missing || !receiver_->DataUsable(ob, cycle);
+    }
+    if (stall) {
+      receiver_->RecordStall();
+      slot.stalled_this_attempt = true;
+      continue;
+    }
+
+    const StatusOr<ObjectVersion> value = slot.protocol.Read(snap, ob);
+    if (!value.ok()) {
+      AbortSlot(slot);
+      continue;
+    }
+    ++slot.read_idx;
+    if (slot.read_idx < slot.read_set.size()) continue;
+    if (slot.is_update) {
+      slot.update_seq = next_update_seq_++;
+      slot.awaiting_reply = true;
+      slot.reply_wait_cycles = 0;
+      BCC_RETURN_IF_ERROR(SendUpdate(slot));
+    } else {
+      CommitSlot(slot);
+    }
+  }
+  return Status::OK();
+}
+
+void ClientRuntime::StartNextTxn(TxnSlot& slot) {
+  slot.read_set = workload_->NextReadSet();
+  slot.is_update = sim_.client_update_fraction > 0 && workload_->NextIsUpdate();
+  slot.write_set = slot.is_update ? workload_->NextWriteSet() : std::vector<ObjectId>{};
+  slot.read_idx = 0;
+  slot.stalled_this_attempt = false;
+  slot.awaiting_reply = false;
+  slot.protocol.Reset();
+  slot.start_us = NowMicros();
+}
+
+void ClientRuntime::CommitSlot(TxnSlot& slot) {
+  ++commits_;
+  response_us_.push_back(NowMicros() - slot.start_us);
+  StartNextTxn(slot);
+}
+
+void ClientRuntime::AbortSlot(TxnSlot& slot) {
+  ++aborts_;
+  if (slot.stalled_this_attempt) receiver_->RecordLossAttributedAbort();
+  slot.stalled_this_attempt = false;
+  // Restart the same transaction program from its first read; the response
+  // clock keeps running across restarts, as in the DES.
+  slot.protocol.Reset();
+  slot.read_idx = 0;
+}
+
+Status ClientRuntime::SendUpdate(TxnSlot& slot) {
+  UpdateMsg msg;
+  msg.client_index = ack_.client_index;
+  msg.seq = slot.update_seq;
+  msg.reads = slot.protocol.reads();
+  msg.writes = slot.write_set;
+  return uplink_.SendTo(EncodeUpdate(msg), server_addr_).status();
+}
+
+Status ClientRuntime::HandleUpdateReply(const UpdateReplyMsg& reply) {
+  for (auto& slot_ptr : slots_) {
+    TxnSlot& slot = *slot_ptr;
+    if (!slot.awaiting_reply || slot.update_seq != reply.seq) continue;
+    slot.awaiting_reply = false;
+    if (reply.accepted) {
+      ++update_commits_;
+      ++commits_;
+      response_us_.push_back(NowMicros() - slot.start_us);
+      StartNextTxn(slot);
+    } else {
+      ++update_rejects_;
+      AbortSlot(slot);
+    }
+    return Status::OK();
+  }
+  return Status::OK();  // stale duplicate reply
+}
+
+Status ClientRuntime::SendStats() {
+  StatsMsg msg;
+  msg.client_index = ack_.client_index;
+  msg.digest = ComputeDigest();
+  msg.commits = commits_;
+  msg.aborts = aborts_;
+  msg.txns = commits_ + aborts_;
+  std::vector<uint64_t> sorted = response_us_;
+  std::sort(sorted.begin(), sorted.end());
+  msg.p50_us = Quantile(sorted, 0.50);
+  msg.p99_us = Quantile(sorted, 0.99);
+  msg.channel = receiver_->stats();
+  return uplink_.SendTo(EncodeStats(msg), server_addr_).status();
+}
+
+uint64_t ClientRuntime::ComputeDigest() const {
+  // Mirrors the daemon's digest: data pages, then the control matrix reduced
+  // to TS-bit residues. The client stores windowed-decoded absolute cycles,
+  // the server stores true absolutes — both reduce to the same residues, so
+  // at loss 0 the digests are bit-identical.
+  uint64_t h = DigestValues(receiver_->values());
+  return DigestMatrixResidues(tracker_ ? tracker_->matrix() : receiver_->matrix(), *stamp_codec_,
+                              h);
+}
+
+}  // namespace
+
+std::string ClientReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("client_index").Value(client_index)
+      .Key("cycles_ingested").Value(cycles_ingested)
+      .Key("txns").Value(txns)
+      .Key("commits").Value(commits)
+      .Key("aborts").Value(aborts)
+      .Key("update_commits").Value(update_commits)
+      .Key("update_rejects").Value(update_rejects)
+      .Key("digest").Value(digest)
+      .Key("p50_us").Value(p50_us)
+      .Key("p99_us").Value(p99_us)
+      .Key("channel");
+  AppendChannelStatsJson(w, channel);
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+Status RunClientRuntime(const NetConfig& net, const SimConfig& sim, ClientReport* report) {
+  ClientRuntime runtime(net, sim);
+  return runtime.Run(report);
+}
+
+}  // namespace bcc

@@ -1,0 +1,174 @@
+// Wire messages of the real-transport tier (DESIGN.md §4j).
+//
+// Every multi-byte field is serialized explicitly little-endian, byte by
+// byte — never by struct overlay — so the wire format is identical across
+// host endianness, struct padding, and compiler. The golden-bytes tests in
+// tests/net_datagram_test.cc freeze the exact layout.
+//
+// Message layout (all messages): magic u16 (0xBCC2), kind u8, body.
+//
+//   kHello        client -> server  {client_id u32}
+//   kHelloAck     server -> client  {client_index u32, num_objects u32,
+//                                    ts_bits u8, control_mode u8,
+//                                    frame_bits u32, cycles u64}
+//   kCycleData    server -> client  {cycle u64, dgram_seq u16,
+//                                    dgram_count u16, frame_count u16,
+//                                    cycle_frames u16, frame_bytes u16,
+//                                    frames: frame_count x frame_bytes}
+//   kStatsReq     server -> client  {final_cycle u64}
+//   kStats        client -> server  {client_index u32, digest u64, txns u64,
+//                                    commits u64, aborts u64, p50_us u64,
+//                                    p99_us u64, channel: 13 x u64}
+//   kUpdate       client -> server  {client_index u32, seq u32,
+//                                    num_reads u16, num_writes u16,
+//                                    reads: (object u32, cycle u64) x R,
+//                                    writes: object u32 x W}
+//   kUpdateReply  server -> client  {seq u32, accepted u8}
+//
+// A cycle's frames are packed back-to-back into as many kCycleData
+// datagrams as fit the configured datagram size; a frame never spans two
+// datagrams, so a lost or truncated datagram loses whole frames — exactly
+// the loss unit the reassembler (channel/frame.h) is built for.
+
+#ifndef BCC_NET_DATAGRAM_H_
+#define BCC_NET_DATAGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "channel/frame.h"
+#include "channel/lossy_channel.h"
+#include "common/statusor.h"
+#include "matrix/control_info.h"
+
+namespace bcc {
+
+inline constexpr uint16_t kNetMagic = 0xBCC2;
+
+enum class MsgKind : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kCycleData = 3,
+  kStatsReq = 4,
+  kStats = 5,
+  kUpdate = 6,
+  kUpdateReply = 7,
+};
+
+// ---- explicit little-endian primitives (exposed for tests) ----
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v);
+void PutU32(std::vector<uint8_t>* out, uint32_t v);
+void PutU64(std::vector<uint8_t>* out, uint64_t v);
+
+/// Bounds-checked cursor over a received datagram's bytes.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool ReadU8(uint8_t* v);
+  bool ReadU16(uint16_t* v);
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadBytes(size_t n, std::span<const uint8_t>* v);
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+// ---- message structs ----
+
+struct HelloMsg {
+  uint32_t client_id = 0;
+};
+
+struct HelloAckMsg {
+  uint32_t client_index = 0;
+  uint32_t num_objects = 0;
+  uint8_t ts_bits = 0;
+  uint8_t control_mode = 0;  ///< CycleIndex::kControlColumns or kControlDelta
+  uint32_t frame_bits = 0;
+  uint64_t cycles = 0;
+};
+
+struct CycleDataHeader {
+  uint64_t cycle = 0;
+  uint16_t dgram_seq = 0;     ///< index of this datagram within the cycle
+  uint16_t dgram_count = 0;   ///< datagrams this cycle was packed into
+  uint16_t frame_count = 0;   ///< frames in THIS datagram
+  uint16_t cycle_frames = 0;  ///< frames in the whole cycle (= frames_sent)
+  uint16_t frame_bytes = 0;
+};
+
+struct StatsReqMsg {
+  uint64_t final_cycle = 0;
+};
+
+struct StatsMsg {
+  uint32_t client_index = 0;
+  uint64_t digest = 0;  ///< state digest after the final cycle (net/state_digest.h)
+  uint64_t txns = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  ChannelStats channel;
+};
+
+struct UpdateMsg {
+  uint32_t client_index = 0;
+  uint32_t seq = 0;  ///< client-chosen id echoed in the reply
+  std::vector<ReadRecord> reads;
+  std::vector<ObjectId> writes;
+};
+
+struct UpdateReplyMsg {
+  uint32_t seq = 0;
+  bool accepted = false;
+};
+
+// ---- encode ----
+
+std::vector<uint8_t> EncodeHello(const HelloMsg& msg);
+std::vector<uint8_t> EncodeHelloAck(const HelloAckMsg& msg);
+/// Encodes one kCycleData datagram carrying `frames` (all of size
+/// header.frame_bytes; header.frame_count must equal frames.size()).
+std::vector<uint8_t> EncodeCycleData(const CycleDataHeader& header,
+                                     std::span<const Frame> frames);
+std::vector<uint8_t> EncodeStatsReq(const StatsReqMsg& msg);
+std::vector<uint8_t> EncodeStats(const StatsMsg& msg);
+std::vector<uint8_t> EncodeUpdate(const UpdateMsg& msg);
+std::vector<uint8_t> EncodeUpdateReply(const UpdateReplyMsg& msg);
+
+// ---- decode ----
+
+/// Peeks the message kind (validating the magic); nullopt-style error when
+/// the datagram is too short or mistagged.
+StatusOr<MsgKind> PeekKind(std::span<const uint8_t> bytes);
+
+StatusOr<HelloMsg> DecodeHello(std::span<const uint8_t> bytes);
+StatusOr<HelloAckMsg> DecodeHelloAck(std::span<const uint8_t> bytes);
+/// Decodes the header and the frames it carries. A truncated datagram
+/// yields only the frames that fit completely (a partial trailing frame is
+/// dropped — the reassembler treats it as loss).
+struct CycleDataMsg {
+  CycleDataHeader header;
+  std::vector<Frame> frames;
+};
+StatusOr<CycleDataMsg> DecodeCycleData(std::span<const uint8_t> bytes);
+StatusOr<StatsReqMsg> DecodeStatsReq(std::span<const uint8_t> bytes);
+StatusOr<StatsMsg> DecodeStats(std::span<const uint8_t> bytes);
+StatusOr<UpdateMsg> DecodeUpdate(std::span<const uint8_t> bytes);
+StatusOr<UpdateReplyMsg> DecodeUpdateReply(std::span<const uint8_t> bytes);
+
+/// Packs one cycle's frames into kCycleData datagrams of at most
+/// `dgram_bytes` bytes each (at least one frame per datagram).
+std::vector<std::vector<uint8_t>> PackCycleDatagrams(Cycle cycle, std::span<const Frame> frames,
+                                                     size_t dgram_bytes);
+
+}  // namespace bcc
+
+#endif  // BCC_NET_DATAGRAM_H_

@@ -1,0 +1,49 @@
+#include "net/epoll_loop.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include "common/format.h"
+
+namespace bcc {
+
+EpollLoop::~EpollLoop() {
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+Status EpollLoop::Init() {
+  epoll_fd_ = epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    return Status::Internal(StrFormat("epoll_create1: %s", strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status EpollLoop::Add(int fd, std::function<Status()> on_readable) {
+  epoll_event ev = {};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Status::Internal(StrFormat("epoll_ctl(ADD): %s", strerror(errno)));
+  }
+  callbacks_[fd] = std::move(on_readable);
+  return Status::OK();
+}
+
+StatusOr<int> EpollLoop::Poll(int timeout_ms) {
+  epoll_event events[16];
+  int n;
+  do {
+    n = epoll_wait(epoll_fd_, events, 16, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return Status::Internal(StrFormat("epoll_wait: %s", strerror(errno)));
+  for (int i = 0; i < n; ++i) {
+    const auto it = callbacks_.find(events[i].data.fd);
+    if (it != callbacks_.end()) BCC_RETURN_IF_ERROR(it->second());
+  }
+  return n;
+}
+
+}  // namespace bcc

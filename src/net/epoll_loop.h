@@ -1,0 +1,38 @@
+// Minimal epoll wrapper driving the daemon's and the client's event loops:
+// register non-blocking sockets with a readable-callback, then Poll with a
+// deadline-derived timeout. Level-triggered, so a callback that leaves bytes
+// queued is simply invoked again on the next Poll.
+
+#ifndef BCC_NET_EPOLL_LOOP_H_
+#define BCC_NET_EPOLL_LOOP_H_
+
+#include <functional>
+#include <map>
+
+#include "common/statusor.h"
+
+namespace bcc {
+
+class EpollLoop {
+ public:
+  EpollLoop() = default;
+  ~EpollLoop();
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  Status Init();
+  /// Registers `fd` (must stay valid while registered) for readability.
+  Status Add(int fd, std::function<Status()> on_readable);
+  /// Waits up to `timeout_ms` (0 = just drain, -1 = block) and invokes the
+  /// callback of every readable fd. Returns the number of fds dispatched;
+  /// a callback error aborts the dispatch and is returned.
+  StatusOr<int> Poll(int timeout_ms);
+
+ private:
+  int epoll_fd_ = -1;
+  std::map<int, std::function<Status()>> callbacks_;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_NET_EPOLL_LOOP_H_

@@ -1,0 +1,56 @@
+// Wall-clock pacing for the broadcast daemon: cycle k (1-based) may not
+// begin before (k-1)/rate seconds after the pacer started. With rate 0 the
+// pacer never delays — the daemon broadcasts as fast as the fan-out
+// completes, which is what the loopback determinism test and the bench's
+// max-throughput sweep use.
+
+#ifndef BCC_NET_PACING_H_
+#define BCC_NET_PACING_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace bcc {
+
+class CyclePacer {
+ public:
+  explicit CyclePacer(double cycles_per_sec) : rate_(cycles_per_sec) {}
+
+  /// Starts the clock; cycle 1 is due immediately.
+  void Start() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Milliseconds until cycle `cycle` is due (0 when already due or unpaced).
+  /// Usable as an epoll timeout so the uplink drains while the pacer waits.
+  int64_t MsUntilDue(uint64_t cycle) const {
+    if (rate_ <= 0.0 || cycle <= 1) return 0;
+    const auto due = start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                  std::chrono::duration<double>(double(cycle - 1) / rate_));
+    const auto now = std::chrono::steady_clock::now();
+    if (due <= now) return 0;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(due - now).count() + 1;
+  }
+
+ private:
+  double rate_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Monotonic stopwatch for watchdogs and throughput reporting.
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  uint64_t ElapsedMs() const {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                     std::chrono::steady_clock::now() - start_)
+                                     .count());
+  }
+  double ElapsedSec() const { return static_cast<double>(ElapsedMs()) / 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_NET_PACING_H_

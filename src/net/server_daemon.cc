@@ -1,0 +1,452 @@
+#include "net/server_daemon.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/format.h"
+#include "common/rng.h"
+#include "net/epoll_loop.h"
+#include "net/pacing.h"
+#include "net/socket.h"
+#include "net/state_digest.h"
+#include "obs/json.h"
+#include "obs/trace_export.h"
+#include "server/broadcast_server.h"
+#include "server/exec/txn_processor.h"
+#include "server/mc_overlay.h"
+#include "server/validator.h"
+#include "sim/workload.h"
+
+namespace bcc {
+
+namespace {
+
+void AppendChannelStatsJson(JsonWriter& w, const ChannelStats& ch) {
+  w.BeginObject();
+  w.Key("frames_sent").Value(ch.frames_sent);
+  w.Key("frames_dropped").Value(ch.frames_dropped);
+  w.Key("frames_delivered").Value(ch.frames_delivered);
+  w.Key("frames_rejected").Value(ch.frames_rejected);
+  w.Key("control_losses").Value(ch.control_losses);
+  w.Key("data_losses").Value(ch.data_losses);
+  w.Key("stalls").Value(ch.stalls);
+  w.Key("resyncs").Value(ch.resyncs);
+  w.Key("tracker_desyncs").Value(ch.tracker_desyncs);
+  w.Key("loss_attributed_aborts").Value(ch.loss_attributed_aborts);
+  w.EndObject();
+}
+
+/// Everything the daemon knows about one registered client.
+struct ClientSlot {
+  SockAddr addr;
+  uint32_t client_id = 0;
+  bool stats_received = false;
+  StatsMsg stats;
+};
+
+class ServerDaemon {
+ public:
+  ServerDaemon(const NetConfig& net, const SimConfig& sim) : net_(net), sim_(sim) {}
+
+  Status Run(ServerReport* report);
+
+ private:
+  Status SetUpEngine();
+  Status SetUpSocket();
+  Status WaitForClients();
+  Status BroadcastCycles();
+  Status ReplayCommitsForCycle(Cycle cycle);
+  void FlushBatch(Cycle cycle);
+  Status FanOutCycle(Cycle cycle);
+  Status CollectStats();
+  Status DrainUplink();
+  Status HandleUplink(const InDatagram& dgram);
+  Status CheckWatchdog() const;
+
+  NetConfig net_;
+  SimConfig sim_;
+
+  // Engine (mirrors BroadcastSim::Run's server-side setup).
+  std::unique_ptr<ServerTxnManager> manager_;
+  std::unique_ptr<BroadcastServer> server_;
+  std::unique_ptr<ServerWorkload> workload_;
+  std::unique_ptr<TxnProcessor> processor_;
+  std::unique_ptr<UpdateValidator> validator_;
+  std::unique_ptr<McOverlay> overlay_;
+  std::vector<ServerTxn> pending_uplink_txns_;
+  std::vector<ServerTxn> pending_server_txns_;
+  std::vector<ObjectId> touched_scratch_;
+  std::optional<FrameCodec> codec_;
+  std::vector<Frame> frame_scratch_;
+
+  // Commit replay clock: virtual time of the next server commit.
+  SimTime next_commit_vt_ = 0;
+  TxnId next_uplink_id_ = 1u << 30;  ///< uplink txn ids, disjoint from workload ids
+
+  // Transport.
+  UdpSocket socket_;
+  EpollLoop loop_;
+  std::optional<SockAddr> mcast_addr_;
+  std::vector<ClientSlot> clients_;
+  HelloAckMsg ack_template_;
+  bool collecting_stats_ = false;
+  uint64_t final_cycle_ = 0;
+
+  WallClock wall_;
+  ServerReport stats_;
+};
+
+Status ServerDaemon::SetUpEngine() {
+  TxnManagerOptions options;
+  options.maintain_f_matrix = true;
+  options.maintain_mc_vector = true;
+  options.track_dirty_columns = sim_.delta_broadcast;
+  manager_ = std::make_unique<ServerTxnManager>(sim_.num_objects, options);
+
+  server_ = std::make_unique<BroadcastServer>(sim_.num_objects, sim_.Geometry());
+  if (sim_.delta_broadcast) {
+    server_->EnableDeltaBroadcast(CycleStampCodec(sim_.timestamp_bits),
+                                  sim_.delta_refresh_period);
+  }
+
+  // Same RNG split discipline as BroadcastSim: the server workload takes the
+  // root's first split, so the daemon's commit stream is bit-identical to
+  // the DES oracle's for the same (seed, config).
+  Rng root(sim_.seed);
+  workload_ = std::make_unique<ServerWorkload>(sim_, root.Split());
+  next_commit_vt_ = workload_->NextInterval();
+
+  if (sim_.update_scheme != UpdateScheme::kSequential) {
+    processor_ = std::make_unique<TxnProcessor>(sim_.num_objects, sim_.update_scheme,
+                                                sim_.update_workers);
+    manager_->SetParallelFold(
+        [this](uint32_t shards, const std::function<void(uint32_t)>& body) {
+          processor_->RunShards(shards, body);
+        },
+        sim_.update_workers);
+  }
+
+  // The uplink validator is always armed: any client may submit updates.
+  validator_ = std::make_unique<UpdateValidator>(manager_.get());
+  if (processor_ != nullptr) {
+    overlay_ = std::make_unique<McOverlay>(sim_.num_objects);
+    validator_->AttachStagedMode(overlay_.get(), [this](ServerTxn&& txn) {
+      pending_uplink_txns_.push_back(std::move(txn));
+    });
+  }
+
+  codec_.emplace(CycleStampCodec(sim_.timestamp_bits), sim_.channel_frame_bits);
+
+  ack_template_.num_objects = sim_.num_objects;
+  ack_template_.ts_bits = static_cast<uint8_t>(sim_.timestamp_bits);
+  ack_template_.control_mode =
+      sim_.delta_broadcast ? CycleIndex::kControlDelta : CycleIndex::kControlColumns;
+  ack_template_.frame_bits = static_cast<uint32_t>(sim_.channel_frame_bits);
+  ack_template_.cycles = sim_.stop_after_cycles;
+  return Status::OK();
+}
+
+Status ServerDaemon::SetUpSocket() {
+  BCC_RETURN_IF_ERROR(socket_.Open());
+  Endpoint listen;
+  if (!net_.listen.empty()) {
+    BCC_ASSIGN_OR_RETURN(listen, ParseEndpoint(net_.listen));
+  }
+  BCC_RETURN_IF_ERROR(socket_.Bind(listen));
+  BCC_ASSIGN_OR_RETURN(const Endpoint bound, socket_.local_endpoint());
+  if (!net_.multicast.empty()) {
+    BCC_ASSIGN_OR_RETURN(const Endpoint group, ParseEndpoint(net_.multicast));
+    BCC_ASSIGN_OR_RETURN(mcast_addr_, ResolveEndpoint(group));
+    BCC_RETURN_IF_ERROR(socket_.SetMulticastSendOptions());
+  }
+  if (!net_.endpoint_file.empty()) {
+    BCC_RETURN_IF_ERROR(WriteTextFile(net_.endpoint_file, bound.ToString() + "\n"));
+  }
+  std::fprintf(stderr, "bcc_serverd: uplink on %s\n", bound.ToString().c_str());
+  BCC_RETURN_IF_ERROR(loop_.Init());
+  return loop_.Add(socket_.fd(), [this] { return DrainUplink(); });
+}
+
+Status ServerDaemon::CheckWatchdog() const {
+  if (net_.max_wall_ms > 0 && wall_.ElapsedMs() > net_.max_wall_ms) {
+    return Status::Internal(StrFormat("watchdog: exceeded %llu ms",
+                                      static_cast<unsigned long long>(net_.max_wall_ms)));
+  }
+  return Status::OK();
+}
+
+Status ServerDaemon::DrainUplink() {
+  for (;;) {
+    BCC_ASSIGN_OR_RETURN(const std::vector<InDatagram> dgrams,
+                         socket_.RecvBatch(/*max_datagrams=*/64, /*max_bytes=*/65536));
+    if (dgrams.empty()) return Status::OK();
+    for (const InDatagram& d : dgrams) BCC_RETURN_IF_ERROR(HandleUplink(d));
+  }
+}
+
+Status ServerDaemon::HandleUplink(const InDatagram& dgram) {
+  const auto kind = PeekKind(dgram.bytes);
+  if (!kind.ok()) return Status::OK();  // stray datagram; ignore
+  switch (*kind) {
+    case MsgKind::kHello: {
+      const auto hello = DecodeHello(dgram.bytes);
+      if (!hello.ok()) return Status::OK();
+      size_t index = clients_.size();
+      for (size_t i = 0; i < clients_.size(); ++i) {
+        if (clients_[i].addr == dgram.from) {
+          index = i;
+          break;
+        }
+      }
+      if (index == clients_.size()) {
+        if (clients_.size() >= net_.expected_clients) return Status::OK();  // full house
+        ClientSlot slot;
+        slot.addr = dgram.from;
+        slot.client_id = hello->client_id;
+        clients_.push_back(slot);
+      }
+      HelloAckMsg ack = ack_template_;
+      ack.client_index = static_cast<uint32_t>(index);
+      const std::vector<uint8_t> bytes = EncodeHelloAck(ack);
+      return socket_.SendTo(bytes, dgram.from).status();
+    }
+    case MsgKind::kUpdate: {
+      const auto update = DecodeUpdate(dgram.bytes);
+      if (!update.ok()) return Status::OK();
+      ClientUpdateRequest request;
+      request.id = next_uplink_id_++;
+      request.reads = update->reads;
+      request.writes = update->writes;
+      const auto verdict = validator_->ValidateAndCommit(request, server_->snapshot().cycle);
+      if (verdict.ok()) {
+        ++stats_.uplink_accepts;
+      } else {
+        ++stats_.uplink_rejects;
+      }
+      UpdateReplyMsg reply;
+      reply.seq = update->seq;
+      reply.accepted = verdict.ok();
+      const std::vector<uint8_t> bytes = EncodeUpdateReply(reply);
+      return socket_.SendTo(bytes, dgram.from).status();
+    }
+    case MsgKind::kStats: {
+      if (!collecting_stats_) return Status::OK();
+      const auto stats = DecodeStats(dgram.bytes);
+      if (!stats.ok()) return Status::OK();
+      if (stats->client_index < clients_.size()) {
+        ClientSlot& slot = clients_[stats->client_index];
+        if (!slot.stats_received) {
+          slot.stats_received = true;
+          slot.stats = *stats;
+        }
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+Status ServerDaemon::WaitForClients() {
+  const WallClock hello_wall;
+  while (clients_.size() < net_.expected_clients) {
+    BCC_RETURN_IF_ERROR(CheckWatchdog());
+    if (hello_wall.ElapsedMs() > net_.hello_timeout_ms) {
+      return Status::Internal(StrFormat("only %zu of %u clients registered before the timeout",
+                                        clients_.size(), net_.expected_clients));
+    }
+    BCC_RETURN_IF_ERROR(loop_.Poll(/*timeout_ms=*/50).status());
+  }
+  return Status::OK();
+}
+
+Status ServerDaemon::ReplayCommitsForCycle(Cycle cycle) {
+  // DES boundary rule: the cycle-start event was inserted before any commit
+  // scheduled at exactly the boundary time, so a commit at vt == cycle_end
+  // belongs to the NEXT cycle — hence the strict <.
+  const SimTime cycle_end = static_cast<SimTime>(cycle) * server_->CycleLengthBits();
+  while (next_commit_vt_ < cycle_end) {
+    const ServerTxn txn = workload_->NextTxn();
+    if (processor_ != nullptr) {
+      if (overlay_ != nullptr) overlay_->Stage(txn.write_set, cycle);
+      pending_server_txns_.push_back(txn);
+    } else {
+      manager_->ExecuteAndCommit(txn, cycle);
+    }
+    ++stats_.server_commits;
+    next_commit_vt_ += workload_->NextInterval();
+  }
+  return Status::OK();
+}
+
+void ServerDaemon::FlushBatch(Cycle cycle) {
+  if (processor_ == nullptr) return;
+  if (!pending_uplink_txns_.empty()) {
+    // Accepted uplinks commit first, serially, in acceptance order — the
+    // same serial-prefix rule as the DES engine's cycle fold.
+    const std::vector<CommittedServerTxn> committed =
+        processor_->ExecuteSerial(pending_uplink_txns_);
+    FoldIntoManager(committed, *manager_, cycle);
+    pending_uplink_txns_.clear();
+  }
+  if (!pending_server_txns_.empty()) {
+    const std::vector<CommittedServerTxn> committed =
+        processor_->ExecuteBatch(pending_server_txns_);
+    FoldIntoManager(committed, *manager_, cycle);
+    pending_server_txns_.clear();
+  }
+  if (overlay_ != nullptr) overlay_->Clear();
+}
+
+Status ServerDaemon::FanOutCycle(Cycle cycle) {
+  const CycleSnapshot& snap = server_->snapshot();
+  EncodeCycleFramesInto(snap, *codec_, sim_.object_size_bits, frame_scratch_);
+  stats_.frames_per_cycle = frame_scratch_.size();
+  const std::vector<std::vector<uint8_t>> dgrams =
+      PackCycleDatagrams(cycle, frame_scratch_, net_.dgram_bytes);
+
+  std::vector<OutDatagram> batch;
+  if (mcast_addr_.has_value()) {
+    batch.reserve(dgrams.size());
+    for (const auto& d : dgrams) batch.push_back(OutDatagram{d, *mcast_addr_});
+  } else {
+    batch.reserve(dgrams.size() * clients_.size());
+    // Interleave clients within each datagram slot so no client systematically
+    // trails the others through a cycle's burst.
+    for (const auto& d : dgrams) {
+      for (const ClientSlot& c : clients_) batch.push_back(OutDatagram{d, c.addr});
+    }
+  }
+  BCC_ASSIGN_OR_RETURN(const size_t sent, socket_.SendBatch(batch));
+  stats_.datagrams_sent += sent;
+  for (const auto& d : dgrams) {
+    stats_.bytes_sent += d.size() * (mcast_addr_.has_value() ? 1 : clients_.size());
+  }
+  return Status::OK();
+}
+
+Status ServerDaemon::BroadcastCycles() {
+  CyclePacer pacer(net_.pace_cycles_per_sec);
+  pacer.Start();
+  const uint64_t cycles = sim_.stop_after_cycles;
+  for (Cycle cycle = 1; cycle <= cycles; ++cycle) {
+    BCC_RETURN_IF_ERROR(CheckWatchdog());
+    // Pacing: drain the uplink while waiting for the cycle's start time.
+    for (;;) {
+      const int64_t wait = pacer.MsUntilDue(cycle);
+      BCC_RETURN_IF_ERROR(loop_.Poll(static_cast<int>(std::min<int64_t>(wait, 100))).status());
+      if (wait == 0) break;
+      BCC_RETURN_IF_ERROR(CheckWatchdog());
+    }
+    server_->BeginCycle(cycle, static_cast<SimTime>(cycle - 1) * server_->CycleLengthBits(),
+                        *manager_);
+    if (sim_.delta_broadcast) {
+      manager_->DrainTouchedColumns(touched_scratch_);
+      server_->AttachDeltaControl(touched_scratch_);
+    }
+    BCC_RETURN_IF_ERROR(FanOutCycle(cycle));
+    // The cycle's server commits are staged right after its snapshot goes on
+    // the air: an uplink validated later in the cycle sees their MC effects
+    // (conservative — staging can only add rejects, never false accepts)
+    // and the next BeginCycle folds them in, the same cycle-granular
+    // visibility the DES engines give clients.
+    BCC_RETURN_IF_ERROR(ReplayCommitsForCycle(cycle));
+    FlushBatch(cycle);
+  }
+  stats_.cycles = cycles;
+  return Status::OK();
+}
+
+Status ServerDaemon::CollectStats() {
+  collecting_stats_ = true;
+  final_cycle_ = sim_.stop_after_cycles;
+  StatsReqMsg req;
+  req.final_cycle = final_cycle_;
+  const std::vector<uint8_t> bytes = EncodeStatsReq(req);
+  const WallClock stats_wall;
+  uint64_t last_resend_ms = 0;
+  for (;;) {
+    size_t reported = 0;
+    for (const ClientSlot& c : clients_) reported += c.stats_received ? 1 : 0;
+    if (reported == clients_.size()) break;
+    if (stats_wall.ElapsedMs() > net_.stats_timeout_ms) {
+      return Status::Internal(StrFormat("only %zu of %zu clients reported stats", reported,
+                                        clients_.size()));
+    }
+    // Re-request from stragglers every 200 ms (STATS_REQ or STATS datagrams
+    // may be dropped; both sides are idempotent).
+    if (stats_wall.ElapsedMs() - last_resend_ms > 200 || last_resend_ms == 0) {
+      last_resend_ms = stats_wall.ElapsedMs();
+      for (const ClientSlot& c : clients_) {
+        if (!c.stats_received) BCC_RETURN_IF_ERROR(socket_.SendTo(bytes, c.addr).status());
+      }
+    }
+    BCC_RETURN_IF_ERROR(loop_.Poll(/*timeout_ms=*/50).status());
+  }
+  for (const ClientSlot& c : clients_) stats_.clients.push_back(c.stats);
+  return Status::OK();
+}
+
+Status ServerDaemon::Run(ServerReport* report) {
+  BCC_RETURN_IF_ERROR(net_.Validate());
+  BCC_RETURN_IF_ERROR(NormalizeNetSimConfig(&sim_));
+  BCC_RETURN_IF_ERROR(SetUpEngine());
+  BCC_RETURN_IF_ERROR(SetUpSocket());
+  BCC_RETURN_IF_ERROR(WaitForClients());
+  BCC_RETURN_IF_ERROR(BroadcastCycles());
+  BCC_RETURN_IF_ERROR(CollectStats());
+
+  const CycleSnapshot& snap = server_->snapshot();
+  uint64_t digest = DigestValues(snap.values);
+  digest = DigestMatrixResidues(snap.f_matrix, CycleStampCodec(sim_.timestamp_bits), digest);
+  stats_.digest = digest;
+  stats_.wall_sec = wall_.ElapsedSec();
+  stats_.cycles_per_sec =
+      stats_.wall_sec > 0 ? static_cast<double>(stats_.cycles) / stats_.wall_sec : 0;
+  *report = stats_;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ServerReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("cycles").Value(cycles);
+  w.Key("frames_per_cycle").Value(frames_per_cycle);
+  w.Key("server_commits").Value(server_commits);
+  w.Key("uplink_accepts").Value(uplink_accepts);
+  w.Key("uplink_rejects").Value(uplink_rejects);
+  w.Key("datagrams_sent").Value(datagrams_sent);
+  w.Key("bytes_sent").Value(bytes_sent);
+  w.Key("digest").Value(digest);
+  w.Key("wall_sec").Value(wall_sec);
+  w.Key("cycles_per_sec").Value(cycles_per_sec);
+  w.Key("clients").BeginArray();
+  for (const StatsMsg& c : clients) {
+    w.BeginObject();
+    w.Key("client_index").Value(c.client_index);
+    w.Key("digest").Value(c.digest);
+    w.Key("digest_match").Value(c.digest == digest);
+    w.Key("txns").Value(c.txns);
+    w.Key("commits").Value(c.commits);
+    w.Key("aborts").Value(c.aborts);
+    w.Key("p50_us").Value(c.p50_us);
+    w.Key("p99_us").Value(c.p99_us);
+    w.Key("channel");
+    AppendChannelStatsJson(w, c.channel);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+Status RunServerDaemon(const NetConfig& net, const SimConfig& sim, ServerReport* report) {
+  ServerDaemon daemon(net, sim);
+  return daemon.Run(report);
+}
+
+}  // namespace bcc

@@ -1,0 +1,50 @@
+// bcc_serverd's engine: the broadcast-disk server cycle loop (snapshot ->
+// frame-encode -> fan out) over a real UDP socket, plus the client uplink
+// (HELLO registration, UPDATE validation through the staged-MC overlay
+// path, final STATS collection). Shared by the daemon binary, the net
+// bench, and sim_cli --listen.
+//
+// Determinism contract: with read-only clients the server's end state is a
+// pure function of (seed, SimConfig) — the commit stream is replayed from
+// ServerWorkload on the DES virtual-time grid (a commit at virtual time t
+// belongs to cycle floor(t / cycle_bits); a tie at a cycle boundary belongs
+// to the next cycle, matching the event queue's insertion order), entirely
+// decoupled from wall-clock pacing and fan-out timing. The loopback test
+// relies on this to compare the daemon's digest against the in-process DES
+// oracle bit for bit.
+
+#ifndef BCC_NET_SERVER_DAEMON_H_
+#define BCC_NET_SERVER_DAEMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/datagram.h"
+#include "net/net_config.h"
+
+namespace bcc {
+
+/// End-of-run summary the daemon prints as JSON.
+struct ServerReport {
+  uint64_t cycles = 0;
+  uint64_t frames_per_cycle = 0;
+  uint64_t server_commits = 0;
+  uint64_t uplink_accepts = 0;
+  uint64_t uplink_rejects = 0;
+  uint64_t datagrams_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t digest = 0;  ///< final-snapshot state digest (net/state_digest.h)
+  double wall_sec = 0;
+  double cycles_per_sec = 0;
+  std::vector<StatsMsg> clients;  ///< final report of every registered client
+
+  std::string ToJson() const;
+};
+
+/// Runs the daemon to completion: bind + endpoint file, HELLO barrier,
+/// `sim.stop_after_cycles` broadcast cycles, STATS collection. Blocking.
+Status RunServerDaemon(const NetConfig& net, const SimConfig& sim, ServerReport* report);
+
+}  // namespace bcc
+
+#endif  // BCC_NET_SERVER_DAEMON_H_

@@ -1,0 +1,54 @@
+// bcc_serverd: the broadcast-disk server over a real UDP socket. Waits for
+// --clients HELLO registrations, broadcasts --cycles cycles (multicast or
+// unicast fan-out), validates client update transactions over the uplink,
+// collects per-client STATS, and prints a run-summary JSON.
+//
+// Quickstart (see README "Running the networked tier"):
+//   bcc_serverd --listen=127.0.0.1:0 --endpoint-file=/tmp/bcc.ep
+//       --clients=4 --cycles=64 --objects=64 &
+//   for i in 1 2 3 4; do
+//     bcc_client --connect=$(cat /tmp/bcc.ep) --objects=64 --cycles=64 &
+//   done
+
+#include <cstdio>
+#include <string>
+
+#include "net/net_config.h"
+#include "net/server_daemon.h"
+#include "obs/trace_export.h"
+
+int main(int argc, char** argv) {
+  bcc::NetConfig net;
+  bcc::SimConfig sim;
+  sim.stop_after_cycles = 64;  // standalone default; --cycles overrides
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: bcc_serverd [flags]\n%s", bcc::NetFlagsHelp().c_str());
+      return 0;
+    }
+    if (!bcc::ParseNetFlag(arg, &net, &sim)) {
+      std::fprintf(stderr, "bcc_serverd: unknown flag %s\n%s", arg.c_str(),
+                   bcc::NetFlagsHelp().c_str());
+      return 2;
+    }
+  }
+
+  bcc::ServerReport report;
+  const bcc::Status status = bcc::RunServerDaemon(net, sim, &report);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bcc_serverd: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const std::string json = report.ToJson();
+  std::printf("%s\n", json.c_str());
+  if (!net.json_out.empty()) {
+    const bcc::Status written = bcc::WriteTextFile(net.json_out, json + "\n");
+    if (!written.ok()) {
+      std::fprintf(stderr, "bcc_serverd: %s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -93,6 +93,11 @@ class BroadcastSim {
     return clients_[c]->receiver->stats();
   }
 
+  /// The final broadcast cycle's snapshot (valid after Run). The networked
+  /// tier's loopback test digests this as the in-process oracle for the
+  /// daemon's end state.
+  const CycleSnapshot& final_snapshot() const { return server_->snapshot(); }
+
   /// Attaches an event tracer (not owned; must outlive the sim). Call before
   /// Run: tracks — "server" plus one per client — are registered during
   /// setup. Tracing is purely observational: it consumes no RNG draws and

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "channel/frame.h"
@@ -177,41 +178,110 @@ TEST(FrameCodecTest, TruncatedFramesAreRejected) {
   }
 }
 
-TEST(StreamReassemblerTest, GapDuplicateAndPostLastBreakTheStream) {
-  const FrameCodec codec = SmallCodec(8, 128);
-  Payload payload;
-  payload.bytes.assign(60, 0xAB);
-  payload.bits = 8 * 60;
-  const std::vector<Frame> frames =
-      codec.EncodeStream(FrameKind::kData, /*stream_id=*/1, /*cycle=*/2, payload);
-  ASSERT_GE(frames.size(), 3u);
+// Datagram semantics: UDP delivers frames duplicated and reordered, and a
+// truncated final datagram simply drops the tail frames. None of that may
+// wedge the receiver — only contradictory streams are broken.
+std::vector<DecodedFrame> DecodeAll(const FrameCodec& codec, const std::vector<Frame>& frames) {
   std::vector<DecodedFrame> decoded;
   for (const Frame& f : frames) {
     const auto d = codec.Decode(f);
-    ASSERT_TRUE(d.ok());
+    EXPECT_TRUE(d.ok());
     decoded.push_back(*d);
   }
+  return decoded;
+}
 
-  {  // gap: frame 1 lost
+TEST(StreamReassemblerTest, ReorderedAndDuplicatedFramesStillReassemble) {
+  const FrameCodec codec = SmallCodec(8, 128);  // 32 payload bits per frame
+  Payload payload;
+  payload.bytes.assign(12, 0xAB);
+  payload.bits = 8 * 12;
+  const std::vector<DecodedFrame> decoded =
+      DecodeAll(codec, codec.EncodeStream(FrameKind::kData, /*stream_id=*/1, /*cycle=*/2, payload));
+  ASSERT_EQ(decoded.size(), 3u);
+
+  StreamReassembler r;
+  r.Add(decoded[2]);  // last frame arrives first
+  r.Add(decoded[0]);
+  r.Add(decoded[0]);  // duplicate, ignored
+  EXPECT_FALSE(r.complete());
+  EXPECT_FALSE(r.broken());
+  r.Add(decoded[1]);
+  r.Add(decoded[2]);  // duplicate after completion, ignored
+  ASSERT_TRUE(r.complete());
+  const Payload out = r.Take();
+  EXPECT_EQ(out.bits, payload.bits);
+  EXPECT_EQ(out.bytes, payload.bytes);
+}
+
+TEST(StreamReassemblerTest, GapLeavesStreamIncompleteUntilTheFrameArrives) {
+  const FrameCodec codec = SmallCodec(8, 128);
+  Payload payload;
+  payload.bytes.assign(12, 0x5C);
+  payload.bits = 8 * 12;
+  const std::vector<DecodedFrame> decoded =
+      DecodeAll(codec, codec.EncodeStream(FrameKind::kData, /*stream_id=*/1, /*cycle=*/2, payload));
+  ASSERT_EQ(decoded.size(), 3u);
+
+  StreamReassembler r;
+  r.Add(decoded[0]);
+  r.Add(decoded[2]);
+  EXPECT_FALSE(r.complete()) << "frame 1 missing";
+  EXPECT_FALSE(r.broken()) << "a gap is loss, not contradiction";
+  r.Add(decoded[1]);  // late retransmit-style arrival fills the gap
+  EXPECT_TRUE(r.complete());
+}
+
+TEST(StreamReassemblerTest, TruncatedTailNeverCompletesButNeverWedges) {
+  // A truncated final datagram drops the stream's tail frames: the last flag
+  // is never seen, so the stream stays incomplete (stall path), not broken.
+  const FrameCodec codec = SmallCodec(8, 128);
+  Payload payload;
+  payload.bytes.assign(60, 0x33);
+  payload.bits = 8 * 60;
+  const std::vector<DecodedFrame> decoded =
+      DecodeAll(codec, codec.EncodeStream(FrameKind::kData, /*stream_id=*/1, /*cycle=*/2, payload));
+  ASSERT_GE(decoded.size(), 3u);
+
+  StreamReassembler r;
+  for (size_t i = 0; i + 1 < decoded.size(); ++i) r.Add(decoded[i]);
+  EXPECT_FALSE(r.complete());
+  EXPECT_FALSE(r.broken());
+}
+
+TEST(StreamReassemblerTest, ContradictoryFramesBreakTheStream) {
+  const FrameCodec codec = SmallCodec(8, 128);
+  Payload three;
+  three.bytes.assign(30, 0x11);
+  three.bits = 8 * 30;
+  Payload four;
+  four.bytes.assign(42, 0x22);
+  four.bits = 8 * 42;
+  const std::vector<DecodedFrame> short_stream =
+      DecodeAll(codec, codec.EncodeStream(FrameKind::kData, /*stream_id=*/1, /*cycle=*/2, three));
+  const std::vector<DecodedFrame> long_stream =
+      DecodeAll(codec, codec.EncodeStream(FrameKind::kData, /*stream_id=*/1, /*cycle=*/2, four));
+  ASSERT_LT(short_stream.size(), long_stream.size());
+
+  {  // a frame sequenced past the last-flagged frame
     StreamReassembler r;
-    r.Add(decoded[0]);
-    r.Add(decoded[2]);
-    EXPECT_TRUE(r.broken());
-    EXPECT_FALSE(r.complete());
-  }
-  {  // duplicate
-    StreamReassembler r;
-    r.Add(decoded[0]);
-    r.Add(decoded[0]);
-    EXPECT_TRUE(r.broken());
-  }
-  {  // anything after last
-    StreamReassembler r;
-    for (const auto& d : decoded) r.Add(d);
+    for (const auto& d : short_stream) r.Add(d);
     ASSERT_TRUE(r.complete());
-    r.Add(decoded[0]);
+    r.Add(long_stream.back());
     EXPECT_TRUE(r.broken());
     EXPECT_FALSE(r.complete());
+  }
+  {  // same, with the too-far frame buffered before the last flag arrives
+    StreamReassembler r;
+    r.Add(long_stream.back());
+    r.Add(short_stream.back());
+    EXPECT_TRUE(r.broken());
+  }
+  {  // two different last-flagged sequence numbers
+    StreamReassembler r;
+    r.Add(short_stream.back());
+    r.Add(long_stream.back());
+    EXPECT_TRUE(r.broken());
   }
 }
 
@@ -300,6 +370,58 @@ TEST(CyclePayloadTest, FullModeCycleFramesCarryIndexDataAndColumns) {
   EXPECT_EQ(index_frames, 1u);
   EXPECT_EQ(data_streams, n);
   EXPECT_EQ(column_streams, n);
+}
+
+// ---------------------------------------------------------------------------
+// Wire-format portability goldens
+// ---------------------------------------------------------------------------
+// The on-air byte layout is a protocol contract between independently built
+// binaries (bcc_serverd / bcc_client may run on different hosts). These
+// constants freeze the exact bytes; a test failure here means the wire
+// format changed and deployed peers would stop interoperating — bump the
+// protocol deliberately, don't update the constants casually.
+
+std::string ToHex(const std::vector<uint8_t>& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+TEST(WireFormatGoldenTest, FrameBytesAreFrozen) {
+  // ts=8, 128-bit frames: header = 8+3+20+16+1+16 = 64 bits, CRC 32, payload
+  // capacity 32 bits. kind=kData, stream=7, cycle=300 (residue 0x2C), 6-byte
+  // payload -> exactly two frames.
+  const FrameCodec codec = SmallCodec(8, 128);
+  const Payload payload = BytePayload({0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02});
+  const std::vector<Frame> frames = codec.EncodeStream(FrameKind::kData, 7, 300, payload);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(ToHex(frames[0].bytes), "2c39000000002000deadbeefff5cbd6f");
+  EXPECT_EQ(ToHex(frames[1].bytes), "2c3900800080100001020000a27e6463");
+
+  // The frozen bytes decode back to the original header fields and payload.
+  const auto first = codec.Decode(frames[0]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->header.cycle_residue, 300u & 0xFF);
+  EXPECT_EQ(first->header.kind, FrameKind::kData);
+  EXPECT_EQ(first->header.stream_id, 7u);
+  EXPECT_EQ(first->header.seq, 0u);
+  EXPECT_FALSE(first->header.last);
+  const auto second = codec.Decode(frames[1]);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->header.seq, 1u);
+  EXPECT_TRUE(second->header.last);
+}
+
+TEST(WireFormatGoldenTest, PackStampsBytesAreFrozen) {
+  // TS-bit residues packed LSB-first: at ts=8 each stamp is one byte of its
+  // residue mod 256.
+  const std::vector<Cycle> stamps = {0, 1, 255, 256, 511};
+  EXPECT_EQ(ToHex(PackStamps(stamps, CycleStampCodec(8))), "0001ff00ff");
 }
 
 }  // namespace

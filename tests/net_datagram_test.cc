@@ -1,0 +1,283 @@
+// Tests for the real-transport datagram codec (net/datagram.h): golden-bytes
+// freezes of every message kind (the cross-host portability contract —
+// serialization is explicit little-endian, never struct overlay), bounds-
+// checked decoding of damaged datagrams, and cycle-datagram packing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/datagram.h"
+
+namespace bcc {
+namespace {
+
+std::string ToHex(const std::vector<uint8_t>& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::vector<uint8_t> FromHex(const std::string& hex) {
+  std::vector<uint8_t> out;
+  for (size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<uint8_t>(std::stoul(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Golden bytes: a failure here means the wire format changed and deployed
+// bcc_serverd / bcc_client builds would stop interoperating. Change the
+// protocol deliberately, don't refresh the constants casually.
+// ---------------------------------------------------------------------------
+
+TEST(DatagramGoldenTest, HelloBytesAreFrozen) {
+  HelloMsg msg;
+  msg.client_id = 0x01020304;
+  EXPECT_EQ(ToHex(EncodeHello(msg)), "c2bc0104030201");
+
+  const auto decoded = DecodeHello(FromHex("c2bc0104030201"));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->client_id, 0x01020304u);
+}
+
+TEST(DatagramGoldenTest, HelloAckBytesAreFrozen) {
+  HelloAckMsg msg;
+  msg.client_index = 3;
+  msg.num_objects = 300;
+  msg.ts_bits = 8;
+  msg.control_mode = 1;
+  msg.frame_bits = 512;
+  msg.cycles = 64;
+  const std::string golden = "c2bc02030000002c0100000801000200004000000000000000";
+  EXPECT_EQ(ToHex(EncodeHelloAck(msg)), golden);
+
+  const auto decoded = DecodeHelloAck(FromHex(golden));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->client_index, 3u);
+  EXPECT_EQ(decoded->num_objects, 300u);
+  EXPECT_EQ(decoded->ts_bits, 8u);
+  EXPECT_EQ(decoded->control_mode, 1u);
+  EXPECT_EQ(decoded->frame_bits, 512u);
+  EXPECT_EQ(decoded->cycles, 64u);
+}
+
+TEST(DatagramGoldenTest, CycleDataBytesAreFrozen) {
+  CycleDataHeader header;
+  header.cycle = 0x0102030405060708ull;
+  header.dgram_seq = 1;
+  header.dgram_count = 2;
+  header.frame_count = 2;
+  header.cycle_frames = 5;
+  header.frame_bytes = 4;
+  Frame f1;
+  f1.bytes = {0xAA, 0xBB, 0xCC, 0xDD};
+  Frame f2;
+  f2.bytes = {0x11, 0x22, 0x33, 0x44};
+  const std::vector<Frame> frames = {f1, f2};
+  const std::string golden = "c2bc03080706050403020101000200020005000400aabbccdd11223344";
+  EXPECT_EQ(ToHex(EncodeCycleData(header, frames)), golden);
+
+  const auto decoded = DecodeCycleData(FromHex(golden));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header.cycle, 0x0102030405060708ull);
+  EXPECT_EQ(decoded->header.dgram_seq, 1u);
+  EXPECT_EQ(decoded->header.dgram_count, 2u);
+  EXPECT_EQ(decoded->header.cycle_frames, 5u);
+  ASSERT_EQ(decoded->frames.size(), 2u);
+  EXPECT_EQ(decoded->frames[0].bytes, f1.bytes);
+  EXPECT_EQ(decoded->frames[1].bytes, f2.bytes);
+}
+
+TEST(DatagramGoldenTest, StatsReqBytesAreFrozen) {
+  StatsReqMsg msg;
+  msg.final_cycle = 64;
+  const std::string golden = "c2bc044000000000000000";
+  EXPECT_EQ(ToHex(EncodeStatsReq(msg)), golden);
+  const auto decoded = DecodeStatsReq(FromHex(golden));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->final_cycle, 64u);
+}
+
+TEST(DatagramGoldenTest, UpdateBytesAreFrozen) {
+  UpdateMsg msg;
+  msg.client_index = 2;
+  msg.seq = 9;
+  msg.reads = {{5, 100}, {6, 101}};
+  msg.writes = {7, 8};
+  const std::string golden =
+      "c2bc060200000009000000020002000500000064000000000000000600000065"
+      "000000000000000700000008000000";
+  EXPECT_EQ(ToHex(EncodeUpdate(msg)), golden);
+
+  const auto decoded = DecodeUpdate(FromHex(golden));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->client_index, 2u);
+  EXPECT_EQ(decoded->seq, 9u);
+  ASSERT_EQ(decoded->reads.size(), 2u);
+  EXPECT_EQ(decoded->reads[0].object, 5u);
+  EXPECT_EQ(decoded->reads[0].cycle, 100u);
+  EXPECT_EQ(decoded->reads[1].object, 6u);
+  EXPECT_EQ(decoded->reads[1].cycle, 101u);
+  EXPECT_EQ(decoded->writes, (std::vector<ObjectId>{7, 8}));
+}
+
+TEST(DatagramGoldenTest, UpdateReplyBytesAreFrozen) {
+  UpdateReplyMsg msg;
+  msg.seq = 9;
+  msg.accepted = true;
+  const std::string golden = "c2bc070900000001";
+  EXPECT_EQ(ToHex(EncodeUpdateReply(msg)), golden);
+  const auto decoded = DecodeUpdateReply(FromHex(golden));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->seq, 9u);
+  EXPECT_TRUE(decoded->accepted);
+}
+
+TEST(DatagramGoldenTest, StatsBytesAreFrozen) {
+  StatsMsg msg;
+  msg.client_index = 1;
+  msg.digest = 0x1122334455667788ull;
+  msg.txns = 10;
+  msg.commits = 8;
+  msg.aborts = 2;
+  msg.p50_us = 1000;
+  msg.p99_us = 2000;
+  msg.channel.frames_sent = 100;
+  msg.channel.frames_dropped = 1;
+  msg.channel.stalls = 3;
+  const std::string golden =
+      "c2bc050100000088776655443322110a00000000000000080000000000000002"
+      "00000000000000e803000000000000d007000000000000640000000000000001"
+      "0000000000000000000000000000000000000000000000000000000000000000"
+      "0000000000000000000000000000000000000000000000000000000000000003"
+      "00000000000000000000000000000000000000000000000000000000000000";
+  EXPECT_EQ(ToHex(EncodeStats(msg)), golden);
+
+  const auto decoded = DecodeStats(FromHex(golden));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->digest, 0x1122334455667788ull);
+  EXPECT_EQ(decoded->channel.frames_sent, 100u);
+  EXPECT_EQ(decoded->channel.frames_dropped, 1u);
+  EXPECT_EQ(decoded->channel.stalls, 3u);
+  EXPECT_EQ(decoded->channel, msg.channel);
+}
+
+// ---------------------------------------------------------------------------
+// Damage handling
+// ---------------------------------------------------------------------------
+
+TEST(DatagramTest, PeekKindRejectsForeignAndShortDatagrams) {
+  EXPECT_FALSE(PeekKind({}).ok());
+  const std::vector<uint8_t> short_bytes = {0xC2};
+  EXPECT_FALSE(PeekKind(short_bytes).ok());
+  const std::vector<uint8_t> bad_magic = {0x00, 0x00, 0x01};
+  EXPECT_FALSE(PeekKind(bad_magic).ok());
+  const std::vector<uint8_t> bad_kind = {0xC2, 0xBC, 0x63};
+  EXPECT_FALSE(PeekKind(bad_kind).ok());
+  const std::vector<uint8_t> good = {0xC2, 0xBC, 0x01};
+  const auto kind = PeekKind(good);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, MsgKind::kHello);
+}
+
+TEST(DatagramTest, TruncatedCycleDataDropsPartialTrailingFrame) {
+  CycleDataHeader header;
+  header.cycle = 7;
+  header.dgram_seq = 0;
+  header.dgram_count = 1;
+  header.frame_count = 2;
+  header.cycle_frames = 2;
+  header.frame_bytes = 4;
+  Frame f1;
+  f1.bytes = {0xAA, 0xBB, 0xCC, 0xDD};
+  Frame f2;
+  f2.bytes = {0x11, 0x22, 0x33, 0x44};
+  const std::vector<Frame> frames = {f1, f2};
+  std::vector<uint8_t> wire = EncodeCycleData(header, frames);
+
+  // Cut into the second frame: the first still decodes, the partial second
+  // is dropped as loss (never a short frame handed to the CRC layer).
+  wire.resize(wire.size() - 2);
+  const auto decoded = DecodeCycleData(wire);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->frames.size(), 1u);
+  EXPECT_EQ(decoded->frames[0].bytes, f1.bytes);
+
+  // Cut into the header: the datagram is rejected outright.
+  std::vector<uint8_t> header_cut = EncodeCycleData(header, frames);
+  header_cut.resize(10);
+  EXPECT_FALSE(DecodeCycleData(header_cut).ok());
+}
+
+TEST(DatagramTest, TruncatedUpdateIsRejected) {
+  UpdateMsg msg;
+  msg.client_index = 2;
+  msg.seq = 9;
+  msg.reads = {{5, 100}};
+  msg.writes = {7};
+  std::vector<uint8_t> wire = EncodeUpdate(msg);
+  for (size_t cut = 3; cut < wire.size(); ++cut) {
+    std::vector<uint8_t> damaged(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DecodeUpdate(damaged).ok()) << "cut at " << cut;
+  }
+  EXPECT_TRUE(DecodeUpdate(wire).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cycle packing
+// ---------------------------------------------------------------------------
+
+TEST(DatagramTest, PackCycleDatagramsSplitsAndRoundTrips) {
+  const size_t kFrameBytes = 64;
+  std::vector<Frame> frames(10);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    frames[i].bytes.assign(kFrameBytes, static_cast<uint8_t>(i));
+  }
+
+  // Room for 3 frames per datagram -> 4 datagrams (3+3+3+1).
+  const size_t dgram_bytes = 21 + 3 * kFrameBytes;
+  const auto dgrams = PackCycleDatagrams(42, frames, dgram_bytes);
+  ASSERT_EQ(dgrams.size(), 4u);
+
+  size_t total = 0;
+  for (size_t i = 0; i < dgrams.size(); ++i) {
+    ASSERT_LE(dgrams[i].size(), dgram_bytes);
+    const auto decoded = DecodeCycleData(dgrams[i]);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->header.cycle, 42u);
+    EXPECT_EQ(decoded->header.dgram_seq, i);
+    EXPECT_EQ(decoded->header.dgram_count, 4u);
+    EXPECT_EQ(decoded->header.cycle_frames, frames.size());
+    for (const Frame& f : decoded->frames) {
+      EXPECT_EQ(f.bytes, frames[total].bytes);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, frames.size());
+}
+
+TEST(DatagramTest, PackCycleDatagramsAlwaysCarriesAtLeastOneFrame) {
+  // A datagram budget smaller than one frame still makes progress (the
+  // kernel fragments oversized datagrams; we never loop forever).
+  std::vector<Frame> frames(2);
+  frames[0].bytes.assign(128, 0x01);
+  frames[1].bytes.assign(128, 0x02);
+  const auto dgrams = PackCycleDatagrams(1, frames, 64);
+  ASSERT_EQ(dgrams.size(), 2u);
+  for (const auto& d : dgrams) {
+    const auto decoded = DecodeCycleData(d);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->frames.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace bcc

@@ -1,0 +1,171 @@
+// End-to-end test of the real-transport tier (label: net): spawns a
+// bcc_serverd OS process and several bcc_client OS processes on 127.0.0.1,
+// runs a full broadcast to completion over real UDP sockets, and checks
+// that at loss 0 the daemon's final state digest is bit-identical to the
+// in-process DES oracle's — and that every client independently reconstructed
+// that same digest from the datagrams it received.
+//
+// Binary paths are injected by CMake (BCC_SERVERD_PATH / BCC_CLIENT_PATH).
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/state_digest.h"
+#include "sim/broadcast_sim.h"
+
+namespace bcc {
+namespace {
+
+constexpr uint32_t kObjects = 32;
+constexpr uint64_t kCycles = 24;
+constexpr uint32_t kClients = 4;
+constexpr uint64_t kSeed = 42;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Extracts the first `"key":<u64>` occurrence; 0 when absent.
+uint64_t ExtractU64(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+pid_t Spawn(const std::vector<std::string>& args, const std::string& log_path) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  // Child: route stdout/stderr to the log so a failure is diagnosable.
+  FILE* log = std::freopen(log_path.c_str(), "w", stdout);
+  if (log != nullptr) dup2(fileno(stdout), STDERR_FILENO);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  execv(argv[0], argv.data());
+  _exit(127);
+}
+
+int WaitFor(pid_t pid) {
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+TEST(NetLoopbackTest, FourClientsReachBitIdenticalStateWithDesOracle) {
+  const std::string dir = ::testing::TempDir();
+  const std::string endpoint_file = dir + "/bcc_loopback.ep";
+  const std::string server_json = dir + "/bcc_loopback_server.json";
+  ::unlink(endpoint_file.c_str());
+
+  const std::string common_flags[] = {
+      "--objects=" + std::to_string(kObjects),
+      "--object-kb=1",
+      "--cycles=" + std::to_string(kCycles),
+      "--seed=" + std::to_string(kSeed),
+      "--max-wall-ms=60000",
+  };
+
+  std::vector<std::string> server_args = {
+      BCC_SERVERD_PATH,
+      "--listen=127.0.0.1:0",
+      "--endpoint-file=" + endpoint_file,
+      "--clients=" + std::to_string(kClients),
+      "--json-out=" + server_json,
+      // Pace the broadcast so no client's kernel receive buffer overruns
+      // even when the OS deschedules it briefly (SO_RCVBUF is silently
+      // capped by net.core.rmem_max): loss 0 must mean loss 0.
+      "--pace=50",
+  };
+  for (const std::string& f : common_flags) server_args.push_back(f);
+  const pid_t server_pid = Spawn(server_args, dir + "/bcc_loopback_server.log");
+  ASSERT_GT(server_pid, 0);
+
+  // Discover the daemon's ephemeral uplink port.
+  std::string endpoint;
+  for (int i = 0; i < 400 && endpoint.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    endpoint = ReadFile(endpoint_file);
+  }
+  ASSERT_FALSE(endpoint.empty()) << "daemon never wrote its endpoint file";
+  while (!endpoint.empty() && (endpoint.back() == '\n' || endpoint.back() == '\r')) {
+    endpoint.pop_back();
+  }
+
+  std::vector<pid_t> client_pids;
+  std::vector<std::string> client_jsons;
+  for (uint32_t c = 0; c < kClients; ++c) {
+    const std::string json = dir + "/bcc_loopback_client" + std::to_string(c) + ".json";
+    client_jsons.push_back(json);
+    std::vector<std::string> client_args = {
+        BCC_CLIENT_PATH,
+        "--connect=" + endpoint,
+        "--client-id=" + std::to_string(c + 1),
+        "--json-out=" + json,
+    };
+    for (const std::string& f : common_flags) client_args.push_back(f);
+    client_pids.push_back(
+        Spawn(client_args, dir + "/bcc_loopback_client" + std::to_string(c) + ".log"));
+    ASSERT_GT(client_pids.back(), 0);
+  }
+
+  EXPECT_EQ(WaitFor(server_pid), 0) << ReadFile(dir + "/bcc_loopback_server.log");
+  for (uint32_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(WaitFor(client_pids[c]), 0)
+        << ReadFile(dir + "/bcc_loopback_client" + std::to_string(c) + ".log");
+  }
+
+  // In-process DES oracle: same seed, same geometry, loss 0. The server's
+  // end state is a pure function of (seed, config), so the networked daemon
+  // must land on exactly this snapshot.
+  SimConfig sim;
+  sim.num_objects = kObjects;
+  sim.object_size_bits = 8 * 1024;
+  sim.seed = kSeed;
+  sim.num_clients = kClients;
+  sim.stop_after_cycles = kCycles;
+  sim.channel_broadcast = true;
+  sim.use_wire_codec = true;
+  sim.algorithm = Algorithm::kFMatrix;
+  BroadcastSim oracle(sim);
+  ASSERT_TRUE(oracle.Run().ok());
+  const CycleSnapshot& snap = oracle.final_snapshot();
+  ASSERT_EQ(snap.cycle, kCycles);
+  uint64_t oracle_digest = DigestValues(snap.values);
+  oracle_digest =
+      DigestMatrixResidues(snap.f_matrix, CycleStampCodec(sim.timestamp_bits), oracle_digest);
+
+  const std::string server_report = ReadFile(server_json);
+  ASSERT_FALSE(server_report.empty());
+  EXPECT_EQ(ExtractU64(server_report, "digest"), oracle_digest)
+      << "daemon diverged from the DES oracle: " << server_report;
+  EXPECT_EQ(server_report.find("\"digest_match\":false"), std::string::npos) << server_report;
+  EXPECT_GT(ExtractU64(server_report, "server_commits"), 0u);
+
+  for (const std::string& json_path : client_jsons) {
+    const std::string report = ReadFile(json_path);
+    ASSERT_FALSE(report.empty()) << json_path;
+    EXPECT_EQ(ExtractU64(report, "digest"), oracle_digest)
+        << json_path << " diverged: " << report;
+    EXPECT_EQ(ExtractU64(report, "cycles_ingested"), kCycles) << report;
+    EXPECT_GT(ExtractU64(report, "commits"), 0u) << report;
+    // Loss 0 on loopback with a large SO_RCVBUF: nothing may be dropped.
+    EXPECT_EQ(ExtractU64(report, "frames_dropped"), 0u) << report;
+  }
+}
+
+}  // namespace
+}  // namespace bcc
