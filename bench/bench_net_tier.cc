@@ -1,6 +1,10 @@
 // Throughput of the real-transport broadcast tier (PR 8), swept over the
-// number of socket clients, emitted as BENCH_8.json in the
-// bcc.perf_trajectory.v1 schema so CI can track the numbers across PRs.
+// number of socket clients AND over telemetry on/off (PR 9), emitted as
+// BENCH_9.json in the bcc.perf_trajectory.v1 schema so CI can track the
+// numbers across PRs. Each sweep point runs twice: once with the metrics
+// registry + in-memory tracer live on daemon and clients ("on") and once
+// with telemetry fully disabled ("off") — the branch-on-null contract says
+// the two cycles/sec columns must be indistinguishable.
 //
 // Each sweep point runs the actual daemon engine (RunServerDaemon) in one
 // thread and N client runtimes (RunClientRuntime) in N threads, all talking
@@ -20,7 +24,7 @@
 // response time, fan-out bytes, and whether every client's state digest
 // matched the server's (always true when frames_dropped == 0).
 //
-// Flags: --out=F (default BENCH_8.json), --quick (CI smoke: fewer clients,
+// Flags: --out=F (default BENCH_9.json), --quick (CI smoke: fewer clients,
 // fewer cycles), --seed=N.
 
 #include <algorithm>
@@ -45,7 +49,7 @@ namespace {
 struct Flags {
   uint64_t seed = 42;
   bool quick = false;
-  std::string out = "BENCH_8.json";
+  std::string out = "BENCH_9.json";
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -67,6 +71,7 @@ Flags ParseFlags(int argc, char** argv) {
 
 struct Cell {
   uint32_t clients = 0;
+  bool telemetry = false;  ///< metrics registry + tracer live during the run
   uint64_t cycles = 0;
   uint64_t server_commits = 0;
   uint64_t uplink_accepts = 0;
@@ -89,9 +94,12 @@ std::string ReadWholeFile(const std::string& path) {
 }
 
 /// One sweep point: daemon thread + `clients` client threads over loopback.
-Cell RunCell(uint32_t clients, uint64_t cycles, uint64_t seed) {
-  const std::string endpoint_file =
-      "bench_net_tier_" + std::to_string(clients) + ".ep";
+/// With `telemetry` the full recording stack (registry histograms + trace
+/// rings) is live on every node, but nothing is written to disk mid-run —
+/// the cell measures pure recording overhead, not file I/O.
+Cell RunCell(uint32_t clients, uint64_t cycles, uint64_t seed, bool telemetry) {
+  const std::string endpoint_file = "bench_net_tier_" + std::to_string(clients) +
+                                    (telemetry ? "_tel" : "") + ".ep";
   std::remove(endpoint_file.c_str());
 
   SimConfig sim;
@@ -106,6 +114,7 @@ Cell RunCell(uint32_t clients, uint64_t cycles, uint64_t seed) {
   server_net.endpoint_file = endpoint_file;
   server_net.expected_clients = clients;
   server_net.max_wall_ms = 120000;
+  server_net.metrics = telemetry;
 
   ServerReport server_report;
   Status server_status;
@@ -135,6 +144,7 @@ Cell RunCell(uint32_t clients, uint64_t cycles, uint64_t seed) {
       client_net.connect = endpoint;
       client_net.client_id = c + 1;
       client_net.max_wall_ms = 120000;
+      client_net.metrics = telemetry;
       statuses[c] = RunClientRuntime(client_net, sim, &reports[c]);
     });
   }
@@ -157,6 +167,7 @@ Cell RunCell(uint32_t clients, uint64_t cycles, uint64_t seed) {
 
   Cell cell;
   cell.clients = clients;
+  cell.telemetry = telemetry;
   cell.cycles = server_report.cycles;
   cell.server_commits = server_report.server_commits;
   cell.uplink_accepts = server_report.uplink_accepts;
@@ -186,7 +197,7 @@ int Main(int argc, char** argv) {
       .Key("schema")
       .Value("bcc.perf_trajectory.v1")
       .Key("bench")
-      .Value("BENCH_8")
+      .Value("BENCH_9")
       .Key("seed")
       .Value(flags.seed)
       .Key("quick")
@@ -195,48 +206,52 @@ int Main(int argc, char** argv) {
       .BeginArray();
 
   for (const uint32_t clients : client_counts) {
-    const Cell cell = RunCell(clients, cycles, flags.seed);
-    std::printf("net_tier x%u: %6.1f cycles/sec, p99 %llu us, %llu client commits, "
-                "%llu dropped, digest %s\n",
-                cell.clients, cell.cycles_per_sec,
-                static_cast<unsigned long long>(cell.p99_us),
-                static_cast<unsigned long long>(cell.client_commits),
-                static_cast<unsigned long long>(cell.frames_dropped),
-                cell.digest_match ? "match" : "MISMATCH");
-    w.BeginObject()
-        .Key("section")
-        .Value("net_tier")
-        .Key("clients")
-        .Value(cell.clients)
-        .Key("cycles")
-        .Value(cell.cycles)
-        .Key("num_objects")
-        .Value(static_cast<uint64_t>(64))
-        .Key("object_bytes")
-        .Value(static_cast<uint64_t>(256))
-        .Key("server_commits")
-        .Value(cell.server_commits)
-        .Key("uplink_accepts")
-        .Value(cell.uplink_accepts)
-        .Key("bytes_sent")
-        .Value(cell.bytes_sent)
-        .Key("wall_sec")
-        .Value(cell.wall_sec)
-        .Key("cycles_per_sec")
-        .Value(cell.cycles_per_sec)
-        .Key("client_commits")
-        .Value(cell.client_commits)
-        .Key("client_aborts")
-        .Value(cell.client_aborts)
-        .Key("frames_dropped")
-        .Value(cell.frames_dropped)
-        .Key("p50_us")
-        .Value(cell.p50_us)
-        .Key("p99_us")
-        .Value(cell.p99_us)
-        .Key("digest_match")
-        .Value(cell.digest_match)
-        .EndObject();
+    for (const bool telemetry : {false, true}) {
+      const Cell cell = RunCell(clients, cycles, flags.seed, telemetry);
+      std::printf("net_tier x%u [telemetry %s]: %6.1f cycles/sec, p99 %llu us, "
+                  "%llu client commits, %llu dropped, digest %s\n",
+                  cell.clients, cell.telemetry ? "on " : "off", cell.cycles_per_sec,
+                  static_cast<unsigned long long>(cell.p99_us),
+                  static_cast<unsigned long long>(cell.client_commits),
+                  static_cast<unsigned long long>(cell.frames_dropped),
+                  cell.digest_match ? "match" : "MISMATCH");
+      w.BeginObject()
+          .Key("section")
+          .Value("net_tier")
+          .Key("telemetry")
+          .Value(cell.telemetry ? "on" : "off")
+          .Key("clients")
+          .Value(cell.clients)
+          .Key("cycles")
+          .Value(cell.cycles)
+          .Key("num_objects")
+          .Value(static_cast<uint64_t>(64))
+          .Key("object_bytes")
+          .Value(static_cast<uint64_t>(256))
+          .Key("server_commits")
+          .Value(cell.server_commits)
+          .Key("uplink_accepts")
+          .Value(cell.uplink_accepts)
+          .Key("bytes_sent")
+          .Value(cell.bytes_sent)
+          .Key("wall_sec")
+          .Value(cell.wall_sec)
+          .Key("cycles_per_sec")
+          .Value(cell.cycles_per_sec)
+          .Key("client_commits")
+          .Value(cell.client_commits)
+          .Key("client_aborts")
+          .Value(cell.client_aborts)
+          .Key("frames_dropped")
+          .Value(cell.frames_dropped)
+          .Key("p50_us")
+          .Value(cell.p50_us)
+          .Key("p99_us")
+          .Value(cell.p99_us)
+          .Key("digest_match")
+          .Value(cell.digest_match)
+          .EndObject();
+    }
   }
 
   w.EndArray().EndObject();

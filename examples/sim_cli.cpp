@@ -213,6 +213,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--listen and --connect are mutually exclusive\n");
       return 2;
     }
+    // sim_cli's own --trace-out/--trace-capacity were matched before
+    // ParseNetFlag saw them; in net mode they mean the runtime's live
+    // tracer, so forward them into the net config.
+    if (!trace_out.empty()) net.trace_out = trace_out;
+    if (config.trace_capacity > 0) {
+      net.trace_capacity = static_cast<uint32_t>(config.trace_capacity);
+    }
     Status status;
     std::string json;
     if (!net.listen.empty()) {

@@ -21,6 +21,9 @@
 #include "net/socket.h"
 #include "net/state_digest.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "sim/workload.h"
 
 namespace bcc {
@@ -96,6 +99,10 @@ class ClientRuntime {
 
  private:
   Status SetUp();
+  void SetUpTelemetry();
+  Status MaybeLogMetrics();
+  void RefreshSnapshotGauges();
+  std::string MetricsEnvelopeJson();
   Status Handshake();
   Status CompleteHandshake(const HelloAckMsg& ack);
   Status DrainSocket(UdpSocket* sock);
@@ -140,6 +147,30 @@ class ClientRuntime {
 
   bool stats_requested_ = false;
   uint64_t last_stats_req_ms_ = 0;
+
+  // Telemetry (DESIGN.md §4k). Handles are null when telemetry is off, so
+  // every recording site is a branch-on-null no-op (the PR-4 contract).
+  std::unique_ptr<MetricsRegistry> registry_;
+  Counter* m_cycles_ingested_ = nullptr;
+  Counter* m_gap_cycles_ = nullptr;
+  Counter* m_reads_ = nullptr;
+  Counter* m_commits_ = nullptr;
+  Counter* m_aborts_ = nullptr;
+  Counter* m_stalls_ = nullptr;
+  Counter* m_updates_sent_ = nullptr;
+  Counter* m_update_commits_ = nullptr;
+  Counter* m_update_rejects_ = nullptr;
+  Counter* m_metrics_polls_ = nullptr;
+  Gauge* m_last_cycle_ = nullptr;
+  Gauge* m_pending_cycles_ = nullptr;
+  Gauge* m_frames_delivered_ = nullptr;
+  Gauge* m_frames_dropped_ = nullptr;
+  Histogram* m_response_us_ = nullptr;
+  Histogram* m_cycle_gap_ = nullptr;
+  std::unique_ptr<MetricsLogger> metrics_logger_;
+  std::unique_ptr<Tracer> tracer_;
+  TraceRing* ring_ = nullptr;
+
   WallClock clock_;
 };
 
@@ -149,6 +180,7 @@ Status ClientRuntime::Run(ClientReport* report) {
   if (net_.connect.empty()) {
     return Status::InvalidArgument("bcc_client requires --connect=ip:port");
   }
+  SetUpTelemetry();
   BCC_RETURN_IF_ERROR(SetUp());
   BCC_RETURN_IF_ERROR(Handshake());
 
@@ -161,6 +193,7 @@ Status ClientRuntime::Run(ClientReport* report) {
     }
     if (stats_requested_ && clock_.ElapsedMs() - last_stats_req_ms_ > 1000) break;
     BCC_RETURN_IF_ERROR(loop_.Poll(50).status());
+    BCC_RETURN_IF_ERROR(MaybeLogMetrics());
   }
 
   report->client_index = ack_.client_index;
@@ -175,7 +208,78 @@ Status ClientRuntime::Run(ClientReport* report) {
   report->p50_us = Quantile(response_us_, 0.50);
   report->p99_us = Quantile(response_us_, 0.99);
   report->channel = receiver_->stats();
+  if (registry_ != nullptr) {
+    RefreshSnapshotGauges();
+    report->metrics_json = registry_->ToJson();
+  }
+  if (metrics_logger_ != nullptr) {
+    BCC_RETURN_IF_ERROR(metrics_logger_->WriteNow(clock_.ElapsedMs()));
+  }
+  if (tracer_ != nullptr && !net_.trace_out.empty()) {
+    BCC_RETURN_IF_ERROR(WriteTextFile(net_.trace_out, ExportChromeTrace(*tracer_)));
+  }
   return Status::OK();
+}
+
+void ClientRuntime::SetUpTelemetry() {
+  if (!net_.TelemetryEnabled()) return;
+  registry_ = std::make_unique<MetricsRegistry>();
+  m_cycles_ingested_ = registry_->AddCounter("client.cycles_ingested");
+  m_gap_cycles_ = registry_->AddCounter("client.gap_cycles");
+  m_reads_ = registry_->AddCounter("client.reads");
+  m_commits_ = registry_->AddCounter("client.commits");
+  m_aborts_ = registry_->AddCounter("client.aborts");
+  m_stalls_ = registry_->AddCounter("client.stalls");
+  m_updates_sent_ = registry_->AddCounter("uplink.updates_sent");
+  m_update_commits_ = registry_->AddCounter("uplink.update_commits");
+  m_update_rejects_ = registry_->AddCounter("uplink.update_rejects");
+  m_metrics_polls_ = registry_->AddCounter("metrics.polls");
+  m_last_cycle_ = registry_->AddGauge("client.last_cycle");
+  m_pending_cycles_ = registry_->AddGauge("client.pending_cycles");
+  m_frames_delivered_ = registry_->AddGauge("channel.frames_delivered");
+  m_frames_dropped_ = registry_->AddGauge("channel.frames_dropped");
+  m_response_us_ = registry_->AddHistogram("client.response_us", ExponentialBounds(64, 2.0, 16));
+  m_cycle_gap_ = registry_->AddHistogram("client.cycle_gap", ExponentialBounds(1, 2.0, 8));
+  if (!net_.trace_out.empty()) tracer_ = std::make_unique<Tracer>(net_.trace_capacity);
+  // The MetricsLogger is created at handshake time, once the client knows
+  // its index (the JSONL "node" field).
+}
+
+/// Gauges mirroring receiver/reassembly state are refreshed lazily, right
+/// before each snapshot is rendered — cheaper than updating them on the
+/// datagram path and just as fresh to a poller.
+void ClientRuntime::RefreshSnapshotGauges() {
+  if (registry_ == nullptr) return;
+  GaugeSet(m_pending_cycles_, static_cast<int64_t>(pending_cycles_.size()));
+  GaugeSet(m_last_cycle_, static_cast<int64_t>(last_flushed_));
+  if (receiver_ != nullptr) {
+    const ChannelStats& ch = receiver_->stats();
+    GaugeSet(m_frames_delivered_, static_cast<int64_t>(ch.frames_delivered));
+    GaugeSet(m_frames_dropped_, static_cast<int64_t>(ch.frames_dropped));
+  }
+}
+
+Status ClientRuntime::MaybeLogMetrics() {
+  if (metrics_logger_ == nullptr) return Status::OK();
+  RefreshSnapshotGauges();
+  return metrics_logger_->MaybeWrite(clock_.ElapsedMs());
+}
+
+std::string ClientRuntime::MetricsEnvelopeJson() {
+  RefreshSnapshotGauges();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("node").Value(
+      receiver_ != nullptr ? StrFormat("client%u", ack_.client_index) : "client");
+  w.Key("enabled").Value(registry_ != nullptr);
+  w.Key("t_ms").Value(clock_.ElapsedMs());
+  w.Key("cycle").Value(static_cast<uint64_t>(last_flushed_));
+  if (registry_ != nullptr) {
+    w.Key("metrics");
+    registry_->WriteJson(w);
+  }
+  w.EndObject();
+  return std::move(w).Take();
 }
 
 Status ClientRuntime::SetUp() {
@@ -249,6 +353,16 @@ Status ClientRuntime::CompleteHandshake(const HelloAckMsg& ack) {
   codec_.emplace(*stamp_codec_, sim_.channel_frame_bits);
   if (delta) tracker_ = std::make_unique<DeltaMatrixTracker>(sim_.num_objects, *stamp_codec_);
   receiver_ = std::make_unique<ChannelReceiver>(sim_.num_objects, *codec_, tracker_.get());
+  if (tracer_ != nullptr) {
+    ring_ = tracer_->AddTrack(StrFormat("client%u", ack_.client_index));
+    receiver_->set_trace_ring(ring_);
+    if (tracker_ != nullptr) tracker_->set_trace_ring(ring_);
+  }
+  if (registry_ != nullptr) {
+    metrics_logger_ = std::make_unique<MetricsLogger>(
+        net_.metrics_out, net_.metrics_interval_ms, registry_.get(),
+        StrFormat("client%u", ack_.client_index));
+  }
 
   // Replicate the DES RNG tree so client `i`'s workload stream is the same
   // one the in-process simulation would hand its client `i`: the root splits
@@ -304,6 +418,16 @@ Status ClientRuntime::HandleDatagram(const InDatagram& d) {
       last_stats_req_ms_ = clock_.ElapsedMs();
       return SendStats();
     }
+    case MsgKind::kMetricsReq: {
+      const auto req = DecodeMetricsReq(d.bytes);
+      if (!req.ok()) return Status::OK();
+      CounterAdd(m_metrics_polls_);
+      MetricsMsg reply;
+      reply.token = req->token;
+      reply.node_kind = kMetricsNodeClient;
+      reply.json = MetricsEnvelopeJson();
+      return uplink_.SendTo(EncodeMetrics(reply), d.from).status();
+    }
     default:
       return Status::OK();  // server-bound kinds: not ours
   }
@@ -340,16 +464,24 @@ Status ClientRuntime::FlushCycle(Cycle cycle, CycleBuffer&& buffer) {
   // whose channel dropped every frame would. The per-cycle frame count is
   // constant (same broadcast schedule every cycle), so this buffer's header
   // value stands in for the lost cycles'.
+  if (cycle > last_flushed_ + 1) {
+    const uint64_t gap_n = cycle - last_flushed_ - 1;
+    CounterAdd(m_gap_cycles_, gap_n);
+    HistogramRecord(m_cycle_gap_, gap_n);
+  }
   for (Cycle gap = last_flushed_ + 1; gap < cycle; ++gap) {
     ++cycles_ingested_;
+    CounterAdd(m_cycles_ingested_);
     Transmission lost;
     lost.sent = buffer.cycle_frames;
     lost.dropped = buffer.cycle_frames;
-    receiver_->IngestCycle(gap, lost);
+    receiver_->IngestCycle(gap, lost, clock_.ElapsedUs());
     BCC_RETURN_IF_ERROR(AdvanceSlots(gap));
   }
   last_flushed_ = cycle;
   ++cycles_ingested_;
+  CounterAdd(m_cycles_ingested_);
+  GaugeSet(m_last_cycle_, static_cast<int64_t>(cycle));
 
   Transmission tx;
   for (auto& [seq, frames] : buffer.dgrams) {
@@ -361,7 +493,7 @@ Status ClientRuntime::FlushCycle(Cycle cycle, CycleBuffer&& buffer) {
   }
   tx.sent = buffer.cycle_frames;
   tx.dropped = tx.sent - std::min<uint64_t>(tx.sent, tx.frames.size());
-  receiver_->IngestCycle(cycle, tx);
+  receiver_->IngestCycle(cycle, tx, clock_.ElapsedUs());
   return AdvanceSlots(cycle);
 }
 
@@ -396,14 +528,25 @@ Status ClientRuntime::AdvanceSlots(Cycle cycle) {
     if (stall) {
       receiver_->RecordStall();
       slot.stalled_this_attempt = true;
+      CounterAdd(m_stalls_);
       continue;
     }
 
     const StatusOr<ObjectVersion> value = slot.protocol.Read(snap, ob);
     if (!value.ok()) {
+      if (ring_ != nullptr) {
+        TraceEvent ev;
+        ev.type = TraceEventType::kAbort;
+        ev.time = clock_.ElapsedUs();
+        ev.cycle = cycle;
+        ev.object = ob;
+        ev.abort = slot.protocol.last_abort();
+        TraceTo(ring_, ev);
+      }
       AbortSlot(slot);
       continue;
     }
+    CounterAdd(m_reads_);
     ++slot.read_idx;
     if (slot.read_idx < slot.read_set.size()) continue;
     if (slot.is_update) {
@@ -431,12 +574,23 @@ void ClientRuntime::StartNextTxn(TxnSlot& slot) {
 
 void ClientRuntime::CommitSlot(TxnSlot& slot) {
   ++commits_;
-  response_us_.push_back(NowMicros() - slot.start_us);
+  const uint64_t resp_us = NowMicros() - slot.start_us;
+  response_us_.push_back(resp_us);
+  CounterAdd(m_commits_);
+  HistogramRecord(m_response_us_, resp_us);
+  if (ring_ != nullptr) {
+    TraceEvent ev;
+    ev.type = TraceEventType::kCommit;
+    ev.time = clock_.ElapsedUs();
+    ev.cycle = last_flushed_;
+    TraceTo(ring_, ev);
+  }
   StartNextTxn(slot);
 }
 
 void ClientRuntime::AbortSlot(TxnSlot& slot) {
   ++aborts_;
+  CounterAdd(m_aborts_);
   if (slot.stalled_this_attempt) receiver_->RecordLossAttributedAbort();
   slot.stalled_this_attempt = false;
   // Restart the same transaction program from its first read; the response
@@ -451,6 +605,7 @@ Status ClientRuntime::SendUpdate(TxnSlot& slot) {
   msg.seq = slot.update_seq;
   msg.reads = slot.protocol.reads();
   msg.writes = slot.write_set;
+  CounterAdd(m_updates_sent_);
   return uplink_.SendTo(EncodeUpdate(msg), server_addr_).status();
 }
 
@@ -462,10 +617,31 @@ Status ClientRuntime::HandleUpdateReply(const UpdateReplyMsg& reply) {
     if (reply.accepted) {
       ++update_commits_;
       ++commits_;
-      response_us_.push_back(NowMicros() - slot.start_us);
+      const uint64_t resp_us = NowMicros() - slot.start_us;
+      response_us_.push_back(resp_us);
+      CounterAdd(m_update_commits_);
+      CounterAdd(m_commits_);
+      HistogramRecord(m_response_us_, resp_us);
+      if (ring_ != nullptr) {
+        TraceEvent ev;
+        ev.type = TraceEventType::kCommit;
+        ev.time = clock_.ElapsedUs();
+        ev.cycle = last_flushed_;
+        ev.value = 1;  // committed over the uplink
+        TraceTo(ring_, ev);
+      }
       StartNextTxn(slot);
     } else {
       ++update_rejects_;
+      CounterAdd(m_update_rejects_);
+      if (ring_ != nullptr) {
+        TraceEvent ev;
+        ev.type = TraceEventType::kAbort;
+        ev.time = clock_.ElapsedUs();
+        ev.cycle = last_flushed_;
+        ev.abort = AbortInfo{AbortCause::kUplinkReject, 0, 0, 0, 0};
+        TraceTo(ring_, ev);
+      }
       AbortSlot(slot);
     }
     return Status::OK();
@@ -515,6 +691,9 @@ std::string ClientReport::ToJson() const {
       .Key("p99_us").Value(p99_us)
       .Key("channel");
   AppendChannelStatsJson(w, channel);
+  if (!metrics_json.empty()) {
+    w.Key("metrics").RawValue(metrics_json);
+  }
   w.EndObject();
   return std::move(w).Take();
 }

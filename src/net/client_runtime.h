@@ -39,6 +39,8 @@ struct ClientReport {
   uint64_t p50_us = 0;
   uint64_t p99_us = 0;
   ChannelStats channel;
+  /// Metrics-registry snapshot (strict JSON), empty when telemetry is off.
+  std::string metrics_json;
 
   std::string ToJson() const;
 };

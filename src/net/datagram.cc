@@ -116,7 +116,7 @@ StatusOr<MsgKind> PeekKind(std::span<const uint8_t> bytes) {
   }
   const uint8_t kind = bytes[2];
   if (kind < static_cast<uint8_t>(MsgKind::kHello) ||
-      kind > static_cast<uint8_t>(MsgKind::kUpdateReply)) {
+      kind > static_cast<uint8_t>(MsgKind::kMetrics)) {
     return Status::InvalidArgument(StrFormat("bad message kind %u", kind));
   }
   return static_cast<MsgKind>(kind);
@@ -281,6 +281,49 @@ StatusOr<UpdateReplyMsg> DecodeUpdateReply(std::span<const uint8_t> bytes) {
   uint8_t accepted = 0;
   if (!r.ReadU32(&msg.seq) || !r.ReadU8(&accepted)) return Truncated("UPDATE_REPLY");
   msg.accepted = accepted != 0;
+  return msg;
+}
+
+std::vector<uint8_t> EncodeMetricsReq(const MetricsReqMsg& msg) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgKind::kMetricsReq);
+  PutU32(&out, msg.token);
+  return out;
+}
+
+StatusOr<MetricsReqMsg> DecodeMetricsReq(std::span<const uint8_t> bytes) {
+  BCC_ASSIGN_OR_RETURN(ByteReader r, OpenBody(bytes, MsgKind::kMetricsReq));
+  MetricsReqMsg msg;
+  if (!r.ReadU32(&msg.token)) return Truncated("METRICS_REQ");
+  return msg;
+}
+
+std::vector<uint8_t> EncodeMetrics(const MetricsMsg& msg, size_t max_json_bytes) {
+  std::vector<uint8_t> out;
+  PutHeader(&out, MsgKind::kMetrics);
+  PutU32(&out, msg.token);
+  out.push_back(msg.node_kind);
+  const bool cut = msg.json.size() > max_json_bytes;
+  out.push_back(msg.truncated || cut ? 1 : 0);
+  const size_t len = cut ? max_json_bytes : msg.json.size();
+  PutU32(&out, static_cast<uint32_t>(len));
+  out.insert(out.end(), msg.json.begin(), msg.json.begin() + static_cast<ptrdiff_t>(len));
+  return out;
+}
+
+StatusOr<MetricsMsg> DecodeMetrics(std::span<const uint8_t> bytes) {
+  BCC_ASSIGN_OR_RETURN(ByteReader r, OpenBody(bytes, MsgKind::kMetrics));
+  MetricsMsg msg;
+  uint8_t truncated = 0;
+  uint32_t len = 0;
+  if (!r.ReadU32(&msg.token) || !r.ReadU8(&msg.node_kind) || !r.ReadU8(&truncated) ||
+      !r.ReadU32(&len)) {
+    return Truncated("METRICS");
+  }
+  msg.truncated = truncated != 0;
+  std::span<const uint8_t> json;
+  if (!r.ReadBytes(len, &json)) return Truncated("METRICS");
+  msg.json.assign(json.begin(), json.end());
   return msg;
 }
 

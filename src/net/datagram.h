@@ -24,6 +24,18 @@
 //                                    reads: (object u32, cycle u64) x R,
 //                                    writes: object u32 x W}
 //   kUpdateReply  server -> client  {seq u32, accepted u8}
+//   kMetricsReq   anyone -> node    {token u32}
+//   kMetrics      node -> anyone    {token u32, node_kind u8,
+//                                    truncated u8, json_len u32,
+//                                    json: json_len bytes}
+//
+// METRICS_REQ/METRICS is the live-introspection poll (DESIGN.md §4k): any
+// node (the daemon's uplink port, or a client's uplink port) answers with a
+// snapshot of its metrics registry rendered as strict JSON. The envelope is
+// golden-byte frozen like every other message; the JSON payload is
+// self-describing and free to grow. A snapshot must fit one datagram; a
+// too-large payload is truncated and flagged (`truncated` = 1), so pollers
+// must check the flag before parsing.
 //
 // A cycle's frames are packed back-to-back into as many kCycleData
 // datagrams as fit the configured datagram size; a frame never spans two
@@ -35,6 +47,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "channel/frame.h"
@@ -54,7 +67,13 @@ enum class MsgKind : uint8_t {
   kStats = 5,
   kUpdate = 6,
   kUpdateReply = 7,
+  kMetricsReq = 8,
+  kMetrics = 9,
 };
+
+/// `node_kind` values in kMetrics.
+inline constexpr uint8_t kMetricsNodeServer = 0;
+inline constexpr uint8_t kMetricsNodeClient = 1;
 
 // ---- explicit little-endian primitives (exposed for tests) ----
 
@@ -130,6 +149,17 @@ struct UpdateReplyMsg {
   bool accepted = false;
 };
 
+struct MetricsReqMsg {
+  uint32_t token = 0;  ///< poller-chosen id echoed in the reply
+};
+
+struct MetricsMsg {
+  uint32_t token = 0;
+  uint8_t node_kind = kMetricsNodeServer;
+  bool truncated = false;
+  std::string json;  ///< metrics-registry snapshot (strict JSON unless truncated)
+};
+
 // ---- encode ----
 
 std::vector<uint8_t> EncodeHello(const HelloMsg& msg);
@@ -142,6 +172,10 @@ std::vector<uint8_t> EncodeStatsReq(const StatsReqMsg& msg);
 std::vector<uint8_t> EncodeStats(const StatsMsg& msg);
 std::vector<uint8_t> EncodeUpdate(const UpdateMsg& msg);
 std::vector<uint8_t> EncodeUpdateReply(const UpdateReplyMsg& msg);
+std::vector<uint8_t> EncodeMetricsReq(const MetricsReqMsg& msg);
+/// Truncates msg.json to `max_json_bytes` (setting the truncated flag) so
+/// the datagram never exceeds the transport's payload budget.
+std::vector<uint8_t> EncodeMetrics(const MetricsMsg& msg, size_t max_json_bytes = 60000);
 
 // ---- decode ----
 
@@ -163,6 +197,8 @@ StatusOr<StatsReqMsg> DecodeStatsReq(std::span<const uint8_t> bytes);
 StatusOr<StatsMsg> DecodeStats(std::span<const uint8_t> bytes);
 StatusOr<UpdateMsg> DecodeUpdate(std::span<const uint8_t> bytes);
 StatusOr<UpdateReplyMsg> DecodeUpdateReply(std::span<const uint8_t> bytes);
+StatusOr<MetricsReqMsg> DecodeMetricsReq(std::span<const uint8_t> bytes);
+StatusOr<MetricsMsg> DecodeMetrics(std::span<const uint8_t> bytes);
 
 /// Packs one cycle's frames into kCycleData datagrams of at most
 /// `dgram_bytes` bytes each (at least one frame per datagram).

@@ -72,6 +72,12 @@ Status NetConfig::Validate() const {
   if (expected_clients == 0) {
     return Status::InvalidArgument("expected_clients must be >= 1");
   }
+  if (slow_cycle_factor < 0.0) {
+    return Status::InvalidArgument("slow_cycle_factor must be >= 0");
+  }
+  if (!metrics_out.empty() && metrics_interval_ms == 0) {
+    return Status::InvalidArgument("--metrics-out requires --metrics-interval-ms > 0");
+  }
   if (!listen.empty()) BCC_RETURN_IF_ERROR(ParseEndpoint(listen).status());
   if (!connect.empty()) BCC_RETURN_IF_ERROR(ParseEndpoint(connect).status());
   if (!multicast.empty()) BCC_RETURN_IF_ERROR(ParseEndpoint(multicast).status());
@@ -96,6 +102,17 @@ bool ParseNetFlag(const std::string& arg, NetConfig* net, SimConfig* sim) {
   if (ParseU64(arg, "--stats-timeout-ms", &net->stats_timeout_ms)) return true;
   if (ParseU64(arg, "--max-wall-ms", &net->max_wall_ms)) return true;
   if (ParseString(arg, "--json-out", &net->json_out)) return true;
+  // Telemetry knobs.
+  if (arg == "--metrics") {
+    net->metrics = true;
+    return true;
+  }
+  if (ParseString(arg, "--metrics-out", &net->metrics_out)) return true;
+  if (ParseU64(arg, "--metrics-interval-ms", &net->metrics_interval_ms)) return true;
+  if (ParseString(arg, "--trace-out", &net->trace_out)) return true;
+  if (ParseU32(arg, "--trace-capacity", &net->trace_capacity)) return true;
+  if (ParseDouble(arg, "--slow-cycle-factor", &net->slow_cycle_factor)) return true;
+  if (ParseString(arg, "--decisions-out", &net->decisions_out)) return true;
   // Sim knobs the two tiers must agree on, under sim_cli's flag names so the
   // in-process and networked front ends share one vocabulary.
   if (ParseU32(arg, "--objects", &sim->num_objects)) return true;
@@ -140,6 +157,9 @@ std::string NetFlagsHelp() {
          "             --pace=CYCLES_PER_SEC --txns-per-cycle=N --rcvbuf=BYTES\n"
          "             --client-id=N --hello-timeout-ms=N --stats-timeout-ms=N\n"
          "             --max-wall-ms=N --json-out=PATH\n"
+         "  telemetry: --metrics --metrics-out=PATH --metrics-interval-ms=N\n"
+         "             --trace-out=PATH --trace-capacity=N\n"
+         "             --slow-cycle-factor=F --decisions-out=PATH\n"
          "  shared sim: --objects=N --object-kb=F --frame-bits=N --cycles=N\n"
          "             --seed=N --timestamp-bits=N --delta --delta-refresh=N\n"
          "             --server-interval=N --server-txn-length=N\n"

@@ -62,6 +62,33 @@ struct NetConfig {
   /// Path to write the run summary JSON to ("" = stdout only).
   std::string json_out;
 
+  // --- live telemetry (DESIGN.md §4k) ---
+  /// Master switch for the metrics registry. Off by default so the
+  /// branch-on-null zero-observer-effect contract holds for plain runs; any
+  /// of the telemetry outputs below implies it (see TelemetryEnabled).
+  bool metrics = false;
+  /// Periodic JSON-lines metrics snapshots: path and period. Both must be
+  /// set for the logger to run.
+  std::string metrics_out;
+  uint64_t metrics_interval_ms = 0;
+  /// Chrome trace_event output (Perfetto-loadable): one track per client
+  /// plus the server cycle track, wall-clock microsecond timestamps.
+  std::string trace_out;
+  uint32_t trace_capacity = 4096;
+  /// Daemon: log a structured slow_cycle warning (and count it) when a
+  /// paced cycle overruns its period by this factor. 0 disables; has no
+  /// effect when pace_cycles_per_sec is 0 (no deadline to miss).
+  double slow_cycle_factor = 0.0;
+  /// Daemon: path to write the per-uplink accept/reject decision log (plus
+  /// the server commit stream) as JSON, for offline replay through the
+  /// history/serializability checkers.
+  std::string decisions_out;
+
+  /// True when any telemetry sink needs the metrics registry.
+  bool TelemetryEnabled() const {
+    return metrics || !metrics_out.empty() || metrics_interval_ms > 0 || !trace_out.empty();
+  }
+
   Status Validate() const;
 };
 

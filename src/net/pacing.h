@@ -23,14 +23,31 @@ class CyclePacer {
   /// Usable as an epoll timeout so the uplink drains while the pacer waits.
   int64_t MsUntilDue(uint64_t cycle) const {
     if (rate_ <= 0.0 || cycle <= 1) return 0;
-    const auto due = start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                                  std::chrono::duration<double>(double(cycle - 1) / rate_));
     const auto now = std::chrono::steady_clock::now();
-    if (due <= now) return 0;
-    return std::chrono::duration_cast<std::chrono::milliseconds>(due - now).count() + 1;
+    if (Due(cycle) <= now) return 0;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Due(cycle) - now).count() + 1;
   }
 
+  /// Milliseconds cycle `cycle` is past its due time (pacing slip; 0 when
+  /// not yet due or unpaced). Sampled at the moment the cycle starts, this
+  /// is the lateness the broadcast schedule has accumulated.
+  double SlipMs(uint64_t cycle) const {
+    if (rate_ <= 0.0) return 0;
+    const auto now = std::chrono::steady_clock::now();
+    const auto due = Due(cycle);
+    if (due >= now) return 0;
+    return std::chrono::duration<double, std::milli>(now - due).count();
+  }
+
+  /// The nominal per-cycle period (0 when unpaced).
+  double PeriodMs() const { return rate_ > 0.0 ? 1000.0 / rate_ : 0; }
+
  private:
+  std::chrono::steady_clock::time_point Due(uint64_t cycle) const {
+    return start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(double(cycle - 1) / rate_));
+  }
+
   double rate_;
   std::chrono::steady_clock::time_point start_{};
 };
@@ -42,6 +59,11 @@ class WallClock {
 
   uint64_t ElapsedMs() const {
     return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                     std::chrono::steady_clock::now() - start_)
+                                     .count());
+  }
+  uint64_t ElapsedUs() const {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
                                      std::chrono::steady_clock::now() - start_)
                                      .count());
   }

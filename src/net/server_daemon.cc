@@ -12,6 +12,7 @@
 #include "net/socket.h"
 #include "net/state_digest.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/trace_export.h"
 #include "server/broadcast_server.h"
 #include "server/exec/txn_processor.h"
@@ -54,6 +55,7 @@ class ServerDaemon {
 
  private:
   Status SetUpEngine();
+  void SetUpTelemetry();
   Status SetUpSocket();
   Status WaitForClients();
   Status BroadcastCycles();
@@ -64,6 +66,9 @@ class ServerDaemon {
   Status DrainUplink();
   Status HandleUplink(const InDatagram& dgram);
   Status CheckWatchdog() const;
+  Status MaybeLogMetrics();
+  void MaybeWarnSlowCycle(const CyclePacer& pacer, Cycle cycle, uint64_t cycle_us);
+  std::string MetricsEnvelopeJson() const;
 
   NetConfig net_;
   SimConfig sim_;
@@ -93,6 +98,48 @@ class ServerDaemon {
   HelloAckMsg ack_template_;
   bool collecting_stats_ = false;
   uint64_t final_cycle_ = 0;
+
+  // Telemetry (DESIGN.md §4k). All handles are null when telemetry is off,
+  // so every recording site below is a branch-on-null no-op — the disabled
+  // daemon takes exactly the PR-4 zero-observer-effect path.
+  std::unique_ptr<MetricsRegistry> registry_;
+  Counter* m_cycles_ = nullptr;
+  Counter* m_server_commits_ = nullptr;
+  Counter* m_uplink_accepts_ = nullptr;
+  Counter* m_uplink_rejects_ = nullptr;
+  Counter* m_datagrams_ = nullptr;
+  Counter* m_bytes_ = nullptr;
+  Counter* m_slow_cycles_ = nullptr;
+  Counter* m_metrics_polls_ = nullptr;
+  Gauge* m_current_cycle_ = nullptr;
+  Gauge* m_clients_gauge_ = nullptr;
+  Gauge* m_pacing_slip_ = nullptr;
+  Histogram* m_slip_hist_ = nullptr;
+  Histogram* m_cycle_ms_ = nullptr;
+  Histogram* m_validate_us_ = nullptr;
+  /// Per-registered-client live view, fed from uplink traffic.
+  struct PerClientMetrics {
+    Counter* accepts = nullptr;
+    Counter* rejects = nullptr;
+    Gauge* last_read_cycle = nullptr;  ///< newest read cycle seen on the uplink
+    Gauge* lag_cycles = nullptr;       ///< current cycle minus last_read_cycle
+    Gauge* frames_dropped = nullptr;   ///< from the client's final STATS
+  };
+  std::vector<PerClientMetrics> client_metrics_;
+  std::unique_ptr<MetricsLogger> metrics_logger_;
+  std::unique_ptr<Tracer> tracer_;
+  TraceRing* server_ring_ = nullptr;
+  std::vector<TraceRing*> client_rings_;
+
+  // Decision log (NetConfig::decisions_out). `seq` is the store's commit
+  // order: assigned at the commit call in direct mode; assigned at the
+  // cycle fold in staged mode (uplink serial prefix first, then the server
+  // batch — the same order FlushBatch folds them).
+  bool record_decisions_ = false;
+  DecisionLog decisions_;
+  uint64_t next_commit_seq_ = 1;
+  std::vector<size_t> staged_uplink_decisions_;  ///< indices awaiting a seq
+  std::vector<size_t> staged_server_commits_;    ///< indices awaiting a seq
 
   WallClock wall_;
   ServerReport stats_;
@@ -146,6 +193,84 @@ Status ServerDaemon::SetUpEngine() {
   ack_template_.frame_bits = static_cast<uint32_t>(sim_.channel_frame_bits);
   ack_template_.cycles = sim_.stop_after_cycles;
   return Status::OK();
+}
+
+void ServerDaemon::SetUpTelemetry() {
+  record_decisions_ = !net_.decisions_out.empty();
+  if (!net_.TelemetryEnabled()) return;
+  registry_ = std::make_unique<MetricsRegistry>();
+  m_cycles_ = registry_->AddCounter("server.cycles");
+  m_server_commits_ = registry_->AddCounter("server.commits");
+  m_uplink_accepts_ = registry_->AddCounter("uplink.accepts");
+  m_uplink_rejects_ = registry_->AddCounter("uplink.rejects");
+  m_datagrams_ = registry_->AddCounter("net.datagrams_sent");
+  m_bytes_ = registry_->AddCounter("net.bytes_sent");
+  m_slow_cycles_ = registry_->AddCounter("server.slow_cycles");
+  m_metrics_polls_ = registry_->AddCounter("metrics.polls");
+  m_current_cycle_ = registry_->AddGauge("server.cycle");
+  m_clients_gauge_ = registry_->AddGauge("server.clients_registered");
+  m_pacing_slip_ = registry_->AddGauge("pacing.slip_ms");
+  m_slip_hist_ = registry_->AddHistogram("pacing.slip_ms_hist", ExponentialBounds(1, 2.0, 12));
+  m_cycle_ms_ = registry_->AddHistogram("server.cycle_ms", ExponentialBounds(1, 2.0, 14));
+  m_validate_us_ = registry_->AddHistogram("uplink.validate_us", ExponentialBounds(1, 2.0, 20));
+  if (!net_.trace_out.empty()) {
+    tracer_ = std::make_unique<Tracer>(net_.trace_capacity);
+    server_ring_ = tracer_->AddTrack("server");
+  }
+  metrics_logger_ = std::make_unique<MetricsLogger>(net_.metrics_out, net_.metrics_interval_ms,
+                                                    registry_.get(), "server");
+}
+
+Status ServerDaemon::MaybeLogMetrics() {
+  if (metrics_logger_ == nullptr) return Status::OK();
+  return metrics_logger_->MaybeWrite(wall_.ElapsedMs());
+}
+
+/// The METRICS reply payload: the registry snapshot wrapped with enough
+/// context (node, uptime, cycle) to read one poll in isolation. Answers
+/// even when telemetry is off, so a poller can distinguish "disabled" from
+/// "dead".
+std::string ServerDaemon::MetricsEnvelopeJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("node").Value("server");
+  w.Key("enabled").Value(registry_ != nullptr);
+  w.Key("t_ms").Value(wall_.ElapsedMs());
+  w.Key("cycle").Value(
+      static_cast<uint64_t>(server_ != nullptr ? server_->snapshot().cycle : 0));
+  if (registry_ != nullptr) {
+    w.Key("metrics");
+    registry_->WriteJson(w);
+  }
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+void ServerDaemon::MaybeWarnSlowCycle(const CyclePacer& pacer, Cycle cycle, uint64_t cycle_us) {
+  if (net_.slow_cycle_factor <= 0.0) return;
+  const double period_ms = pacer.PeriodMs();
+  if (period_ms <= 0.0) return;  // unpaced: no deadline to miss
+  const double cycle_ms = static_cast<double>(cycle_us) / 1000.0;
+  if (cycle_ms <= net_.slow_cycle_factor * period_ms) return;
+  ++stats_.slow_cycles;
+  CounterAdd(m_slow_cycles_);
+  if (tracer_ != nullptr && server_ring_ != nullptr) {
+    TraceEvent ev;
+    ev.type = TraceEventType::kStall;
+    ev.time = wall_.ElapsedUs();
+    ev.cycle = cycle;
+    ev.value = cycle_us;
+    TraceTo(server_ring_, ev);
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("warning").Value("slow_cycle");
+  w.Key("cycle").Value(static_cast<uint64_t>(cycle));
+  w.Key("cycle_ms").Value(cycle_ms);
+  w.Key("deadline_ms").Value(net_.slow_cycle_factor * period_ms);
+  w.Key("period_ms").Value(period_ms);
+  w.EndObject();
+  std::fprintf(stderr, "bcc_serverd: %s\n", std::move(w).Take().c_str());
 }
 
 Status ServerDaemon::SetUpSocket() {
@@ -219,16 +344,71 @@ Status ServerDaemon::HandleUplink(const InDatagram& dgram) {
       request.id = next_uplink_id_++;
       request.reads = update->reads;
       request.writes = update->writes;
-      const auto verdict = validator_->ValidateAndCommit(request, server_->snapshot().cycle);
+      const Cycle current = server_->snapshot().cycle;
+      const uint64_t t0_us = wall_.ElapsedUs();
+      const auto verdict = validator_->ValidateAndCommit(request, current);
+      HistogramRecord(m_validate_us_, wall_.ElapsedUs() - t0_us);
+      const uint32_t ci = update->client_index;
+      const bool tracked = ci < client_metrics_.size();
       if (verdict.ok()) {
         ++stats_.uplink_accepts;
+        CounterAdd(m_uplink_accepts_);
+        if (tracked) CounterAdd(client_metrics_[ci].accepts);
       } else {
         ++stats_.uplink_rejects;
+        CounterAdd(m_uplink_rejects_);
+        if (tracked) CounterAdd(client_metrics_[ci].rejects);
+      }
+      if (tracked) {
+        Cycle last_read = 0;
+        for (const ReadRecord& r : update->reads) last_read = std::max(last_read, r.cycle);
+        GaugeSet(client_metrics_[ci].last_read_cycle, static_cast<int64_t>(last_read));
+        GaugeSet(client_metrics_[ci].lag_cycles,
+                 static_cast<int64_t>(current) - static_cast<int64_t>(last_read));
+      }
+      if (ci < client_rings_.size()) {
+        TraceEvent ev;
+        ev.type = TraceEventType::kValidation;
+        ev.time = wall_.ElapsedUs();
+        ev.cycle = current;
+        ev.value = verdict.ok() ? 1 : 0;
+        if (!verdict.ok()) ev.abort = validator_->last_reject();
+        TraceTo(client_rings_[ci], ev);
+      }
+      if (record_decisions_) {
+        UplinkDecision d;
+        d.id = request.id;
+        d.client_index = ci;
+        d.cycle = current;
+        d.accepted = verdict.ok();
+        if (verdict.ok()) {
+          if (processor_ == nullptr) {
+            d.seq = next_commit_seq_++;  // direct mode commits on the spot
+          } else {
+            staged_uplink_decisions_.push_back(decisions_.uplinks.size());
+          }
+        } else {
+          d.cause = validator_->last_reject();
+        }
+        d.reads = update->reads;
+        d.writes = update->writes;
+        decisions_.uplinks.push_back(std::move(d));
       }
       UpdateReplyMsg reply;
       reply.seq = update->seq;
       reply.accepted = verdict.ok();
       const std::vector<uint8_t> bytes = EncodeUpdateReply(reply);
+      return socket_.SendTo(bytes, dgram.from).status();
+    }
+    case MsgKind::kMetricsReq: {
+      const auto req = DecodeMetricsReq(dgram.bytes);
+      if (!req.ok()) return Status::OK();
+      CounterAdd(m_metrics_polls_);
+      MetricsMsg reply;
+      reply.token = req->token;
+      reply.node_kind = kMetricsNodeServer;
+      reply.json = MetricsEnvelopeJson();
+      const std::vector<uint8_t> bytes = EncodeMetrics(reply);
       return socket_.SendTo(bytes, dgram.from).status();
     }
     case MsgKind::kStats: {
@@ -240,6 +420,10 @@ Status ServerDaemon::HandleUplink(const InDatagram& dgram) {
         if (!slot.stats_received) {
           slot.stats_received = true;
           slot.stats = *stats;
+        }
+        if (stats->client_index < client_metrics_.size()) {
+          GaugeSet(client_metrics_[stats->client_index].frames_dropped,
+                   static_cast<int64_t>(stats->channel.frames_dropped));
         }
       }
       return Status::OK();
@@ -258,6 +442,28 @@ Status ServerDaemon::WaitForClients() {
                                         clients_.size(), net_.expected_clients));
     }
     BCC_RETURN_IF_ERROR(loop_.Poll(/*timeout_ms=*/50).status());
+    BCC_RETURN_IF_ERROR(MaybeLogMetrics());
+  }
+  GaugeSet(m_clients_gauge_, static_cast<int64_t>(clients_.size()));
+  // Per-client metrics and trace tracks: registered here, after the HELLO
+  // barrier fixed the client set, still on the daemon's single thread (Add*
+  // is setup-time-only, like Tracer::AddTrack).
+  if (registry_ != nullptr) {
+    client_metrics_.resize(clients_.size());
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      PerClientMetrics& pc = client_metrics_[i];
+      pc.accepts = registry_->AddCounter(StrFormat("client%zu.uplink_accepts", i));
+      pc.rejects = registry_->AddCounter(StrFormat("client%zu.uplink_rejects", i));
+      pc.last_read_cycle = registry_->AddGauge(StrFormat("client%zu.last_read_cycle", i));
+      pc.lag_cycles = registry_->AddGauge(StrFormat("client%zu.lag_cycles", i));
+      pc.frames_dropped = registry_->AddGauge(StrFormat("client%zu.frames_dropped", i));
+    }
+  }
+  if (tracer_ != nullptr) {
+    client_rings_.resize(clients_.size());
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      client_rings_[i] = tracer_->AddTrack(StrFormat("client%zu", i));
+    }
   }
   return Status::OK();
 }
@@ -275,7 +481,21 @@ Status ServerDaemon::ReplayCommitsForCycle(Cycle cycle) {
     } else {
       manager_->ExecuteAndCommit(txn, cycle);
     }
+    if (record_decisions_) {
+      ServerCommitRecord rec;
+      rec.id = txn.id;
+      rec.cycle = cycle;
+      rec.reads = txn.read_set;
+      rec.writes = txn.write_set;
+      if (processor_ == nullptr) {
+        rec.seq = next_commit_seq_++;
+      } else {
+        staged_server_commits_.push_back(decisions_.server_commits.size());
+      }
+      decisions_.server_commits.push_back(std::move(rec));
+    }
     ++stats_.server_commits;
+    CounterAdd(m_server_commits_);
     next_commit_vt_ += workload_->NextInterval();
   }
   return Status::OK();
@@ -298,6 +518,13 @@ void ServerDaemon::FlushBatch(Cycle cycle) {
     pending_server_txns_.clear();
   }
   if (overlay_ != nullptr) overlay_->Clear();
+  // The fold above is the store's commit point in staged mode: assign the
+  // decision log's commit-order seqs in the same order it folded (uplink
+  // serial prefix in acceptance order, then the server batch).
+  for (size_t i : staged_uplink_decisions_) decisions_.uplinks[i].seq = next_commit_seq_++;
+  staged_uplink_decisions_.clear();
+  for (size_t i : staged_server_commits_) decisions_.server_commits[i].seq = next_commit_seq_++;
+  staged_server_commits_.clear();
 }
 
 Status ServerDaemon::FanOutCycle(Cycle cycle) {
@@ -321,8 +548,20 @@ Status ServerDaemon::FanOutCycle(Cycle cycle) {
   }
   BCC_ASSIGN_OR_RETURN(const size_t sent, socket_.SendBatch(batch));
   stats_.datagrams_sent += sent;
+  CounterAdd(m_datagrams_, sent);
+  uint64_t cycle_bytes = 0;
   for (const auto& d : dgrams) {
-    stats_.bytes_sent += d.size() * (mcast_addr_.has_value() ? 1 : clients_.size());
+    cycle_bytes += d.size() * (mcast_addr_.has_value() ? 1 : clients_.size());
+  }
+  stats_.bytes_sent += cycle_bytes;
+  CounterAdd(m_bytes_, cycle_bytes);
+  if (server_ring_ != nullptr) {
+    TraceEvent ev;
+    ev.type = TraceEventType::kBroadcastTx;
+    ev.time = wall_.ElapsedUs();
+    ev.cycle = cycle;
+    ev.value = cycle_bytes;
+    TraceTo(server_ring_, ev);
   }
   return Status::OK();
 }
@@ -337,9 +576,16 @@ Status ServerDaemon::BroadcastCycles() {
     for (;;) {
       const int64_t wait = pacer.MsUntilDue(cycle);
       BCC_RETURN_IF_ERROR(loop_.Poll(static_cast<int>(std::min<int64_t>(wait, 100))).status());
+      BCC_RETURN_IF_ERROR(MaybeLogMetrics());
       if (wait == 0) break;
       BCC_RETURN_IF_ERROR(CheckWatchdog());
     }
+    const double slip_ms = pacer.SlipMs(cycle);
+    if (slip_ms > stats_.max_slip_ms) stats_.max_slip_ms = slip_ms;
+    GaugeSet(m_pacing_slip_, static_cast<int64_t>(slip_ms));
+    HistogramRecord(m_slip_hist_, static_cast<uint64_t>(slip_ms));
+    GaugeSet(m_current_cycle_, static_cast<int64_t>(cycle));
+    const uint64_t cycle_start_us = wall_.ElapsedUs();
     server_->BeginCycle(cycle, static_cast<SimTime>(cycle - 1) * server_->CycleLengthBits(),
                         *manager_);
     if (sim_.delta_broadcast) {
@@ -354,6 +600,18 @@ Status ServerDaemon::BroadcastCycles() {
     // visibility the DES engines give clients.
     BCC_RETURN_IF_ERROR(ReplayCommitsForCycle(cycle));
     FlushBatch(cycle);
+    const uint64_t cycle_us = wall_.ElapsedUs() - cycle_start_us;
+    CounterAdd(m_cycles_);
+    HistogramRecord(m_cycle_ms_, cycle_us / 1000);
+    if (server_ring_ != nullptr) {
+      TraceEvent ev;
+      ev.type = TraceEventType::kCycleStart;
+      ev.time = cycle_start_us;
+      ev.duration = cycle_us;
+      ev.cycle = cycle;
+      TraceTo(server_ring_, ev);
+    }
+    MaybeWarnSlowCycle(pacer, cycle, cycle_us);
   }
   stats_.cycles = cycles;
   return Status::OK();
@@ -384,6 +642,7 @@ Status ServerDaemon::CollectStats() {
       }
     }
     BCC_RETURN_IF_ERROR(loop_.Poll(/*timeout_ms=*/50).status());
+    BCC_RETURN_IF_ERROR(MaybeLogMetrics());
   }
   for (const ClientSlot& c : clients_) stats_.clients.push_back(c.stats);
   return Status::OK();
@@ -392,11 +651,16 @@ Status ServerDaemon::CollectStats() {
 Status ServerDaemon::Run(ServerReport* report) {
   BCC_RETURN_IF_ERROR(net_.Validate());
   BCC_RETURN_IF_ERROR(NormalizeNetSimConfig(&sim_));
+  SetUpTelemetry();
   BCC_RETURN_IF_ERROR(SetUpEngine());
   BCC_RETURN_IF_ERROR(SetUpSocket());
   BCC_RETURN_IF_ERROR(WaitForClients());
   BCC_RETURN_IF_ERROR(BroadcastCycles());
   BCC_RETURN_IF_ERROR(CollectStats());
+  // Uplinks accepted after the final fold (stats collection can race
+  // in-flight updates) close out the decision log's commit order.
+  for (size_t i : staged_uplink_decisions_) decisions_.uplinks[i].seq = next_commit_seq_++;
+  staged_uplink_decisions_.clear();
 
   const CycleSnapshot& snap = server_->snapshot();
   uint64_t digest = DigestValues(snap.values);
@@ -405,11 +669,75 @@ Status ServerDaemon::Run(ServerReport* report) {
   stats_.wall_sec = wall_.ElapsedSec();
   stats_.cycles_per_sec =
       stats_.wall_sec > 0 ? static_cast<double>(stats_.cycles) / stats_.wall_sec : 0;
+  if (registry_ != nullptr) stats_.metrics_json = registry_->ToJson();
+  if (metrics_logger_ != nullptr) {
+    BCC_RETURN_IF_ERROR(metrics_logger_->WriteNow(wall_.ElapsedMs()));
+  }
+  if (tracer_ != nullptr && !net_.trace_out.empty()) {
+    BCC_RETURN_IF_ERROR(WriteTextFile(net_.trace_out, ExportChromeTrace(*tracer_)));
+  }
+  if (record_decisions_) {
+    stats_.decisions = decisions_;
+    BCC_RETURN_IF_ERROR(WriteTextFile(net_.decisions_out, decisions_.ToJson() + "\n"));
+  }
   *report = stats_;
   return Status::OK();
 }
 
 }  // namespace
+
+std::string DecisionLog::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("server_commits").BeginArray();
+  for (const ServerCommitRecord& r : server_commits) {
+    w.BeginObject();
+    w.Key("id").Value(static_cast<uint64_t>(r.id));
+    w.Key("cycle").Value(static_cast<uint64_t>(r.cycle));
+    w.Key("seq").Value(r.seq);
+    w.Key("reads").BeginArray();
+    for (const ObjectId ob : r.reads) w.Value(static_cast<uint64_t>(ob));
+    w.EndArray();
+    w.Key("writes").BeginArray();
+    for (const ObjectId ob : r.writes) w.Value(static_cast<uint64_t>(ob));
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("uplinks").BeginArray();
+  for (const UplinkDecision& d : uplinks) {
+    w.BeginObject();
+    w.Key("id").Value(static_cast<uint64_t>(d.id));
+    w.Key("client_index").Value(d.client_index);
+    w.Key("cycle").Value(static_cast<uint64_t>(d.cycle));
+    w.Key("seq").Value(d.seq);
+    w.Key("accepted").Value(d.accepted);
+    if (!d.accepted) {
+      w.Key("cause").BeginObject();
+      w.Key("kind").Value(AbortCauseName(d.cause.cause));
+      w.Key("ob_i").Value(static_cast<uint64_t>(d.cause.ob_i));
+      w.Key("ob_j").Value(static_cast<uint64_t>(d.cause.ob_j));
+      w.Key("read_cycle").Value(static_cast<uint64_t>(d.cause.read_cycle));
+      w.Key("c_ij").Value(static_cast<uint64_t>(d.cause.c_ij));
+      w.EndObject();
+    }
+    w.Key("reads").BeginArray();
+    for (const ReadRecord& rr : d.reads) {
+      w.BeginObject();
+      w.Key("object").Value(static_cast<uint64_t>(rr.object));
+      w.Key("cycle").Value(static_cast<uint64_t>(rr.cycle));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("writes").BeginArray();
+    for (const ObjectId ob : d.writes) w.Value(static_cast<uint64_t>(ob));
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
 
 std::string ServerReport::ToJson() const {
   JsonWriter w;
@@ -421,6 +749,8 @@ std::string ServerReport::ToJson() const {
   w.Key("uplink_rejects").Value(uplink_rejects);
   w.Key("datagrams_sent").Value(datagrams_sent);
   w.Key("bytes_sent").Value(bytes_sent);
+  w.Key("slow_cycles").Value(slow_cycles);
+  w.Key("max_slip_ms").Value(max_slip_ms);
   w.Key("digest").Value(digest);
   w.Key("wall_sec").Value(wall_sec);
   w.Key("cycles_per_sec").Value(cycles_per_sec);
@@ -440,6 +770,9 @@ std::string ServerReport::ToJson() const {
     w.EndObject();
   }
   w.EndArray();
+  if (!metrics_json.empty()) {
+    w.Key("metrics").RawValue(metrics_json);
+  }
   w.EndObject();
   return std::move(w).Take();
 }

@@ -1,0 +1,114 @@
+// bcc_statsctl: live-introspection poller for the networked tier
+// (DESIGN.md §4k). Sends METRICS_REQ to a running bcc_serverd or bcc_client
+// uplink port and prints the METRICS reply's JSON payload to stdout —
+// usable mid-run, any number of times, without perturbing the run beyond
+// answering the datagram.
+//
+//   bcc_statsctl --connect=$(cat /tmp/bcc.ep)
+//   bcc_statsctl --connect=127.0.0.1:40001 --timeout-ms=2000 | python3 -m json.tool
+//
+// Exit codes: 0 printed a snapshot; 1 transport/config error; 3 the reply
+// was truncated (payload printed anyway, but it is not valid JSON); 4 no
+// reply within the timeout.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/format.h"
+#include "net/datagram.h"
+#include "net/net_config.h"
+#include "net/pacing.h"
+#include "net/socket.h"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: bcc_statsctl --connect=ip:port [--timeout-ms=N] [--token=N]\n";
+
+struct Options {
+  std::string connect;
+  uint64_t timeout_ms = 5000;
+  uint32_t token = 0x57A75;  // arbitrary default; echoed by the node
+};
+
+bcc::Status Poll(const Options& opt, bcc::MetricsMsg* reply) {
+  bcc::UdpSocket sock;
+  BCC_RETURN_IF_ERROR(sock.Open());
+  BCC_RETURN_IF_ERROR(sock.Bind(bcc::Endpoint{"0.0.0.0", 0}));
+  BCC_ASSIGN_OR_RETURN(const bcc::Endpoint target, bcc::ParseEndpoint(opt.connect));
+  BCC_ASSIGN_OR_RETURN(const bcc::SockAddr addr, bcc::ResolveEndpoint(target));
+
+  bcc::MetricsReqMsg req;
+  req.token = opt.token;
+  const std::vector<uint8_t> wire = bcc::EncodeMetricsReq(req);
+
+  // Request/reply over lossy UDP: re-send every 200 ms until the matching
+  // reply arrives or the timeout expires. Both sides are idempotent.
+  const bcc::WallClock clock;
+  uint64_t last_send_ms = 0;
+  bool first = true;
+  while (clock.ElapsedMs() <= opt.timeout_ms) {
+    if (first || clock.ElapsedMs() - last_send_ms > 200) {
+      BCC_RETURN_IF_ERROR(sock.SendTo(wire, addr).status());
+      last_send_ms = clock.ElapsedMs();
+      first = false;
+    }
+    BCC_ASSIGN_OR_RETURN(const std::vector<bcc::InDatagram> batch, sock.RecvBatch(8, 65536));
+    for (const bcc::InDatagram& d : batch) {
+      const bcc::StatusOr<bcc::MsgKind> kind = bcc::PeekKind(d.bytes);
+      if (!kind.ok() || *kind != bcc::MsgKind::kMetrics) continue;
+      const bcc::StatusOr<bcc::MetricsMsg> decoded = bcc::DecodeMetrics(d.bytes);
+      if (!decoded.ok() || decoded->token != opt.token) continue;
+      *reply = *decoded;
+      return bcc::Status::OK();
+    }
+    if (batch.empty()) usleep(10 * 1000);  // the socket is non-blocking
+  }
+  return bcc::Status::Internal(
+      bcc::StrFormat("no METRICS reply from %s within %llu ms", opt.connect.c_str(),
+                     static_cast<unsigned long long>(opt.timeout_ms)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", kUsage);
+      return 0;
+    }
+    if (arg.rfind("--connect=", 0) == 0) {
+      opt.connect = arg.substr(sizeof("--connect=") - 1);
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      opt.timeout_ms = std::strtoull(arg.c_str() + sizeof("--timeout-ms=") - 1, nullptr, 10);
+    } else if (arg.rfind("--token=", 0) == 0) {
+      opt.token = static_cast<uint32_t>(
+          std::strtoul(arg.c_str() + sizeof("--token=") - 1, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "bcc_statsctl: unknown flag %s\n%s", arg.c_str(), kUsage);
+      return 1;
+    }
+  }
+  if (opt.connect.empty()) {
+    std::fprintf(stderr, "bcc_statsctl: --connect is required\n%s", kUsage);
+    return 1;
+  }
+
+  bcc::MetricsMsg reply;
+  const bcc::Status status = Poll(opt, &reply);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bcc_statsctl: %s\n", status.ToString().c_str());
+    return 4;
+  }
+  std::printf("%s\n", reply.json.c_str());
+  if (reply.truncated) {
+    std::fprintf(stderr, "bcc_statsctl: reply truncated — payload is not complete JSON\n");
+    return 3;
+  }
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/format.h"
+
+namespace bcc {
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Record(uint64_t v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<size_t>(it - bounds_.begin())].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (v < seen && !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen && !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+uint64_t Histogram::ApproxQuantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th value (1-based), then walk the buckets to it.
+  const uint64_t rank = std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(n)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += bucket_count(i);
+    if (seen >= rank) return i < bounds_.size() ? bounds_[i] : max();
+  }
+  return max();  // racing recorders moved count() past the bucket sums
+}
+
+std::vector<uint64_t> ExponentialBounds(uint64_t first, double growth, size_t count) {
+  std::vector<uint64_t> bounds;
+  bounds.reserve(count);
+  double v = static_cast<double>(first);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t bound = std::max<uint64_t>(static_cast<uint64_t>(v), prev + 1);
+    bounds.push_back(bound);
+    prev = bound;
+    v *= growth;
+  }
+  return bounds;
+}
+
+Counter* MetricsRegistry::AddCounter(std::string name) {
+  counters_.push_back({std::move(name), std::make_unique<Counter>()});
+  return counters_.back().metric.get();
+}
+
+Gauge* MetricsRegistry::AddGauge(std::string name) {
+  gauges_.push_back({std::move(name), std::make_unique<Gauge>()});
+  return gauges_.back().metric.get();
+}
+
+Histogram* MetricsRegistry::AddHistogram(std::string name, std::vector<uint64_t> bounds) {
+  histograms_.push_back({std::move(name), std::make_unique<Histogram>(std::move(bounds))});
+  return histograms_.back().metric.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  for (const auto& c : counters_) {
+    if (c.name == name) return c.metric->value();
+  }
+  return 0;
+}
+
+int64_t MetricsRegistry::GaugeValue(const std::string& name) const {
+  for (const auto& g : gauges_) {
+    if (g.name == name) return g.metric->value();
+  }
+  return 0;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  for (const auto& h : histograms_) {
+    if (h.name == name) return h.metric.get();
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& c : counters_) w.Key(c.name).Value(c.metric->value());
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& g : gauges_) w.Key(g.name).Value(static_cast<int64_t>(g.metric->value()));
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& h : histograms_) {
+    const Histogram& hist = *h.metric;
+    w.Key(h.name).BeginObject();
+    w.Key("count").Value(hist.count());
+    w.Key("sum").Value(hist.sum());
+    w.Key("min").Value(hist.min());
+    w.Key("max").Value(hist.max());
+    w.Key("p50").Value(hist.ApproxQuantile(0.50));
+    w.Key("p99").Value(hist.ApproxQuantile(0.99));
+    w.Key("bounds").BeginArray();
+    for (size_t i = 0; i + 1 < hist.num_buckets(); ++i) w.Value(hist.bucket_bound(i));
+    w.EndArray();
+    w.Key("buckets").BeginArray();
+    for (size_t i = 0; i < hist.num_buckets(); ++i) w.Value(hist.bucket_count(i));
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter w;
+  WriteJson(w);
+  return std::move(w).Take();
+}
+
+MetricsLogger::MetricsLogger(std::string path, uint64_t interval_ms,
+                             const MetricsRegistry* registry, std::string node)
+    : interval_ms_(interval_ms), registry_(registry), node_(std::move(node)) {
+  if (path.empty() || interval_ms == 0 || registry == nullptr) return;
+  file_ = std::fopen(path.c_str(), "wb");
+  next_due_ms_ = interval_ms;
+}
+
+MetricsLogger::~MetricsLogger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status MetricsLogger::MaybeWrite(uint64_t now_ms) {
+  if (file_ == nullptr || now_ms < next_due_ms_) return Status::OK();
+  // One line per elapsed interval boundary, not one per due interval: a
+  // stalled caller does not flood the file with catch-up lines.
+  next_due_ms_ = (now_ms / interval_ms_ + 1) * interval_ms_;
+  return WriteNow(now_ms);
+}
+
+Status MetricsLogger::WriteNow(uint64_t now_ms) {
+  if (file_ == nullptr) return Status::OK();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("node").Value(node_);
+  w.Key("seq").Value(lines_);
+  w.Key("t_ms").Value(now_ms);
+  w.Key("metrics");
+  registry_->WriteJson(w);
+  w.EndObject();
+  const std::string line = std::move(w).Take() + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::Internal("short write to metrics snapshot file");
+  }
+  std::fflush(file_);
+  ++lines_;
+  return Status::OK();
+}
+
+}  // namespace bcc

@@ -1,0 +1,185 @@
+// Live-metrics registry for the networked tier (DESIGN.md §4k).
+//
+// A MetricsRegistry is a set of named counters, gauges, and fixed-bucket
+// histograms. Registration happens at setup time (not thread-safe, like
+// Tracer::AddTrack); recording is thread-safe through relaxed atomics, so a
+// metric may be hammered from any number of threads and still be TSan-clean
+// — the snapshot reader sees each metric's own total exactly, and only
+// cross-metric consistency is (deliberately) unsynchronized.
+//
+// Observer-effect contract (mirrors obs/trace.h): every call site holds a
+// plain pointer that is null when telemetry is disabled, and records through
+// the null-safe helpers (CounterAdd, GaugeSet, HistogramRecord). Disabled
+// telemetry is therefore a branch-on-null — no allocation, no RNG draws, no
+// atomics — and can never perturb a run's decisions.
+//
+// Snapshots are emitted through the strict obs/json.h writer: one JSON
+// object {"counters":{...},"gauges":{...},"histograms":{...}}, spliceable
+// into the binaries' run reports, the METRICS datagram, and the JSON-lines
+// snapshot file (MetricsLogger).
+
+#ifndef BCC_OBS_METRICS_H_
+#define BCC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace bcc {
+
+/// Monotone event counter. Single-writer or multi-writer; either way the
+/// relaxed atomic makes recording race-free.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (lag, queue depth, pacing slip).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+/// with an implicit overflow bucket above the last bound. Also tracks
+/// count / sum / min / max exactly.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void Record(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  uint64_t min() const;
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  size_t num_buckets() const { return buckets_.size(); }  ///< bounds + overflow
+  /// Inclusive upper bound of bucket `i`; the last bucket is unbounded.
+  uint64_t bucket_bound(size_t i) const { return bounds_[i]; }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Bucket-resolution quantile estimate in [0, 1]: the upper bound of the
+  /// bucket holding the q-th recorded value (max() for the overflow bucket,
+  /// 0 when empty). Coarse by design — trend tooling wants stable buckets,
+  /// not exact order statistics.
+  uint64_t ApproxQuantile(double q) const;
+
+ private:
+  std::vector<uint64_t> bounds_;  ///< ascending; excludes the overflow bucket
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// `count` ascending bounds starting at `first`, each `growth` times the
+/// previous (rounded up so the sequence is strictly ascending). The stock
+/// bucket layout for latency-in-microseconds histograms.
+std::vector<uint64_t> ExponentialBounds(uint64_t first, double growth, size_t count);
+
+/// Null-safe recording helpers: the branch-on-null disabled path.
+inline void CounterAdd(Counter* c, uint64_t n = 1) {
+  if (c != nullptr) c->Add(n);
+}
+inline void GaugeSet(Gauge* g, int64_t v) {
+  if (g != nullptr) g->Set(v);
+}
+inline void HistogramRecord(Histogram* h, uint64_t v) {
+  if (h != nullptr) h->Record(v);
+}
+
+/// A named set of metrics. Add* registers at setup time (NOT thread-safe;
+/// returned pointers are owned by the registry and stable for its lifetime);
+/// recording through the returned pointers is thread-safe. Names should be
+/// dotted paths ("uplink.accepts", "client3.lag_cycles") — they become JSON
+/// object keys verbatim.
+class MetricsRegistry {
+ public:
+  Counter* AddCounter(std::string name);
+  Gauge* AddGauge(std::string name);
+  Histogram* AddHistogram(std::string name, std::vector<uint64_t> bounds);
+
+  size_t num_counters() const { return counters_.size(); }
+  size_t num_gauges() const { return gauges_.size(); }
+  size_t num_histograms() const { return histograms_.size(); }
+
+  /// Registered counter/gauge value by name; 0 when absent (test helper).
+  uint64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  /// Writes the snapshot as one JSON object in value position.
+  void WriteJson(JsonWriter& w) const;
+  std::string ToJson() const;
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    std::unique_ptr<T> metric;
+  };
+  std::vector<Named<Counter>> counters_;
+  std::vector<Named<Gauge>> gauges_;
+  std::vector<Named<Histogram>> histograms_;
+};
+
+/// Periodic JSON-lines snapshot writer: every `interval_ms` a call to
+/// MaybeWrite appends one line
+///   {"node":<node>,"seq":k,"t_ms":...,"metrics":{...}}
+/// to `path`. Each line is a complete strict-JSON document, so the file
+/// suits `python3 -m json.tool` per line and any JSONL trend tooling.
+class MetricsLogger {
+ public:
+  /// Disabled when `path` is empty or `interval_ms` is 0 (MaybeWrite
+  /// becomes a no-op). The registry must outlive the logger.
+  MetricsLogger(std::string path, uint64_t interval_ms, const MetricsRegistry* registry,
+                std::string node);
+  ~MetricsLogger();
+
+  MetricsLogger(const MetricsLogger&) = delete;
+  MetricsLogger& operator=(const MetricsLogger&) = delete;
+
+  bool enabled() const { return file_ != nullptr; }
+
+  /// Appends a snapshot line when one is due at `now_ms` (monotone,
+  /// milliseconds since the caller's run start). The first due time is
+  /// interval_ms, so a run shorter than one interval writes nothing.
+  Status MaybeWrite(uint64_t now_ms);
+
+  /// Appends a final snapshot line regardless of the interval.
+  Status WriteNow(uint64_t now_ms);
+
+  uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  uint64_t interval_ms_ = 0;
+  uint64_t next_due_ms_ = 0;
+  uint64_t lines_ = 0;
+  const MetricsRegistry* registry_ = nullptr;
+  std::string node_;
+};
+
+}  // namespace bcc
+
+#endif  // BCC_OBS_METRICS_H_

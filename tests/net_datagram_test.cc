@@ -170,6 +170,62 @@ TEST(DatagramGoldenTest, StatsBytesAreFrozen) {
   EXPECT_EQ(decoded->channel, msg.channel);
 }
 
+TEST(DatagramGoldenTest, MetricsReqBytesAreFrozen) {
+  MetricsReqMsg msg;
+  msg.token = 0x01020304;
+  const std::string golden = "c2bc0804030201";
+  EXPECT_EQ(ToHex(EncodeMetricsReq(msg)), golden);
+  const auto decoded = DecodeMetricsReq(FromHex(golden));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->token, 0x01020304u);
+}
+
+TEST(DatagramGoldenTest, MetricsBytesAreFrozen) {
+  MetricsMsg msg;
+  msg.token = 7;
+  msg.node_kind = kMetricsNodeClient;
+  msg.json = "{\"a\":1}";
+  // token, node_kind, truncated, json_len, json bytes.
+  const std::string golden = "c2bc09070000000100070000007b2261223a317d";
+  EXPECT_EQ(ToHex(EncodeMetrics(msg)), golden);
+
+  const auto decoded = DecodeMetrics(FromHex(golden));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->token, 7u);
+  EXPECT_EQ(decoded->node_kind, kMetricsNodeClient);
+  EXPECT_FALSE(decoded->truncated);
+  EXPECT_EQ(decoded->json, "{\"a\":1}");
+}
+
+TEST(DatagramTest, MetricsOversizedPayloadIsTruncatedAndFlagged) {
+  MetricsMsg msg;
+  msg.token = 1;
+  msg.json = std::string(100, 'x');
+  const auto wire = EncodeMetrics(msg, /*max_json_bytes=*/16);
+  const auto decoded = DecodeMetrics(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->truncated);
+  EXPECT_EQ(decoded->json, std::string(16, 'x'));
+
+  // At or under the budget the payload survives intact and unflagged.
+  const auto fit = DecodeMetrics(EncodeMetrics(msg, 100));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_FALSE(fit->truncated);
+  EXPECT_EQ(fit->json, msg.json);
+}
+
+TEST(DatagramTest, TruncatedMetricsIsRejected) {
+  MetricsMsg msg;
+  msg.token = 9;
+  msg.json = "{\"counters\":{}}";
+  const std::vector<uint8_t> wire = EncodeMetrics(msg);
+  for (size_t cut = 3; cut < wire.size(); ++cut) {
+    std::vector<uint8_t> damaged(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DecodeMetrics(damaged).ok()) << "cut at " << cut;
+  }
+  EXPECT_TRUE(DecodeMetrics(wire).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Damage handling
 // ---------------------------------------------------------------------------

@@ -19,7 +19,10 @@
 #include <thread>
 #include <vector>
 
+#include "net/datagram.h"
+#include "net/socket.h"
 #include "net/state_digest.h"
+#include "obs/json.h"
 #include "sim/broadcast_sim.h"
 
 namespace bcc {
@@ -165,6 +168,204 @@ TEST(NetLoopbackTest, FourClientsReachBitIdenticalStateWithDesOracle) {
     // Loss 0 on loopback with a large SO_RCVBUF: nothing may be dropped.
     EXPECT_EQ(ExtractU64(report, "frames_dropped"), 0u) << report;
   }
+}
+
+/// Splits a file into newline-terminated lines (the JSONL contract).
+std::vector<std::string> ReadLines(const std::string& path) {
+  const std::string content = ReadFile(path);
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < content.size()) {
+    const size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) break;
+    lines.push_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Polls a live node with METRICS_REQ until a token-matched METRICS reply
+/// arrives or ~5 s elapse; returns the reply's JSON payload ("" on timeout).
+std::string PollMetrics(const std::string& endpoint, uint32_t token) {
+  UdpSocket sock;
+  if (!sock.Open().ok() || !sock.Bind(Endpoint{"0.0.0.0", 0}).ok()) return "";
+  const StatusOr<Endpoint> target = ParseEndpoint(endpoint);
+  if (!target.ok()) return "";
+  const StatusOr<SockAddr> addr = ResolveEndpoint(*target);
+  if (!addr.ok()) return "";
+  MetricsReqMsg req;
+  req.token = token;
+  const std::vector<uint8_t> wire = EncodeMetricsReq(req);
+  for (int attempt = 0; attempt < 250; ++attempt) {
+    if (attempt % 10 == 0 && !sock.SendTo(wire, *addr).ok()) return "";
+    const StatusOr<std::vector<InDatagram>> batch = sock.RecvBatch(8, 65536);
+    if (batch.ok()) {
+      for (const InDatagram& d : *batch) {
+        const StatusOr<MetricsMsg> reply = DecodeMetrics(d.bytes);
+        if (reply.ok() && reply->token == token && !reply->truncated) return reply->json;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return "";
+}
+
+// Same loopback run with the full telemetry stack on — JSONL snapshot
+// loggers, Perfetto traces, the slow-cycle watchdog, the decision log, and a
+// mid-run METRICS_REQ poll — and the digest must STILL be bit-identical to
+// the DES oracle: telemetry must have zero observer effect on the protocol.
+TEST(NetLoopbackTest, TelemetryRunStaysBitIdenticalAndAnswersMetricsReq) {
+  const std::string dir = ::testing::TempDir();
+  const std::string endpoint_file = dir + "/bcc_telemetry.ep";
+  const std::string server_json = dir + "/bcc_telemetry_server.json";
+  const std::string server_metrics = dir + "/bcc_telemetry_server.jsonl";
+  const std::string server_trace = dir + "/bcc_telemetry_server.trace.json";
+  const std::string decisions_json = dir + "/bcc_telemetry_decisions.json";
+  ::unlink(endpoint_file.c_str());
+
+  const std::string common_flags[] = {
+      "--objects=" + std::to_string(kObjects),
+      "--object-kb=1",
+      "--cycles=" + std::to_string(kCycles),
+      "--seed=" + std::to_string(kSeed),
+      "--max-wall-ms=60000",
+      "--metrics",
+      "--metrics-interval-ms=100",
+  };
+
+  std::vector<std::string> server_args = {
+      BCC_SERVERD_PATH,
+      "--listen=127.0.0.1:0",
+      "--endpoint-file=" + endpoint_file,
+      "--clients=" + std::to_string(kClients),
+      "--json-out=" + server_json,
+      "--metrics-out=" + server_metrics,
+      "--trace-out=" + server_trace,
+      "--decisions-out=" + decisions_json,
+      // An absurdly generous budget: the watchdog must stay silent on a
+      // healthy run (its firing path is covered by unit tests).
+      "--slow-cycle-factor=100",
+      "--pace=50",
+  };
+  for (const std::string& f : common_flags) server_args.push_back(f);
+  const pid_t server_pid = Spawn(server_args, dir + "/bcc_telemetry_server.log");
+  ASSERT_GT(server_pid, 0);
+
+  std::string endpoint;
+  for (int i = 0; i < 400 && endpoint.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    endpoint = ReadFile(endpoint_file);
+  }
+  ASSERT_FALSE(endpoint.empty()) << "daemon never wrote its endpoint file";
+  while (!endpoint.empty() && (endpoint.back() == '\n' || endpoint.back() == '\r')) {
+    endpoint.pop_back();
+  }
+
+  std::vector<pid_t> client_pids;
+  std::vector<std::string> client_jsons;
+  std::vector<std::string> client_metrics;
+  std::vector<std::string> client_traces;
+  for (uint32_t c = 0; c < kClients; ++c) {
+    const std::string tag = dir + "/bcc_telemetry_client" + std::to_string(c);
+    client_jsons.push_back(tag + ".json");
+    client_metrics.push_back(tag + ".jsonl");
+    client_traces.push_back(tag + ".trace.json");
+    std::vector<std::string> client_args = {
+        BCC_CLIENT_PATH,
+        "--connect=" + endpoint,
+        "--client-id=" + std::to_string(c + 1),
+        "--json-out=" + client_jsons.back(),
+        "--metrics-out=" + client_metrics.back(),
+        "--trace-out=" + client_traces.back(),
+    };
+    for (const std::string& f : common_flags) client_args.push_back(f);
+    client_pids.push_back(Spawn(client_args, tag + ".log"));
+    ASSERT_GT(client_pids.back(), 0);
+  }
+
+  // Live introspection MID-RUN: the daemon must answer METRICS_REQ on its
+  // uplink port while the broadcast is in flight, and the payload must be
+  // strict JSON naming the node.
+  const std::string live = PollMetrics(endpoint, /*token=*/0xBCC9);
+  ASSERT_FALSE(live.empty()) << "daemon never answered METRICS_REQ mid-run";
+  EXPECT_TRUE(ValidateJson(live).ok()) << live;
+  EXPECT_NE(live.find("\"node\":\"server\""), std::string::npos) << live;
+  EXPECT_NE(live.find("\"enabled\":true"), std::string::npos) << live;
+  EXPECT_NE(live.find("\"metrics\":"), std::string::npos) << live;
+
+  EXPECT_EQ(WaitFor(server_pid), 0) << ReadFile(dir + "/bcc_telemetry_server.log");
+  for (uint32_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(WaitFor(client_pids[c]), 0)
+        << ReadFile(dir + "/bcc_telemetry_client" + std::to_string(c) + ".log");
+  }
+
+  // Zero observer effect, system level: digests bit-identical to the oracle.
+  SimConfig sim;
+  sim.num_objects = kObjects;
+  sim.object_size_bits = 8 * 1024;
+  sim.seed = kSeed;
+  sim.num_clients = kClients;
+  sim.stop_after_cycles = kCycles;
+  sim.channel_broadcast = true;
+  sim.use_wire_codec = true;
+  sim.algorithm = Algorithm::kFMatrix;
+  BroadcastSim oracle(sim);
+  ASSERT_TRUE(oracle.Run().ok());
+  const CycleSnapshot& snap = oracle.final_snapshot();
+  uint64_t oracle_digest = DigestValues(snap.values);
+  oracle_digest =
+      DigestMatrixResidues(snap.f_matrix, CycleStampCodec(sim.timestamp_bits), oracle_digest);
+
+  const std::string server_report = ReadFile(server_json);
+  ASSERT_FALSE(server_report.empty());
+  EXPECT_EQ(ExtractU64(server_report, "digest"), oracle_digest)
+      << "telemetry perturbed the daemon: " << server_report;
+  // The final report splices the metrics snapshot and stays strict JSON.
+  EXPECT_TRUE(ValidateJson(server_report).ok());
+  EXPECT_NE(server_report.find("\"metrics\":"), std::string::npos) << server_report;
+  EXPECT_EQ(ExtractU64(server_report, "slow_cycles"), 0u) << server_report;
+  for (uint32_t c = 0; c < kClients; ++c) {
+    const std::string report = ReadFile(client_jsons[c]);
+    ASSERT_FALSE(report.empty()) << client_jsons[c];
+    EXPECT_EQ(ExtractU64(report, "digest"), oracle_digest) << report;
+    EXPECT_TRUE(ValidateJson(report).ok());
+    EXPECT_NE(report.find("\"metrics\":"), std::string::npos) << report;
+  }
+
+  // Snapshot files are strict JSON lines carrying the node identity.
+  const std::vector<std::string> server_lines = ReadLines(server_metrics);
+  ASSERT_FALSE(server_lines.empty()) << "daemon wrote no metrics snapshots";
+  for (const std::string& line : server_lines) {
+    ASSERT_TRUE(ValidateJson(line).ok()) << line;
+    EXPECT_NE(line.find("\"node\":\"server\""), std::string::npos) << line;
+  }
+  for (uint32_t c = 0; c < kClients; ++c) {
+    const std::vector<std::string> lines = ReadLines(client_metrics[c]);
+    ASSERT_FALSE(lines.empty()) << client_metrics[c];
+    for (const std::string& line : lines) {
+      ASSERT_TRUE(ValidateJson(line).ok()) << line;
+      EXPECT_NE(line.find("\"node\":\"client"), std::string::npos) << line;
+    }
+  }
+
+  // Perfetto traces: valid Chrome trace_event JSON with the expected tracks.
+  const std::string server_trace_json = ReadFile(server_trace);
+  ASSERT_FALSE(server_trace_json.empty());
+  EXPECT_TRUE(ValidateJson(server_trace_json).ok());
+  EXPECT_NE(server_trace_json.find("\"server\""), std::string::npos);
+  EXPECT_NE(server_trace_json.find("\"client0\""), std::string::npos);
+  for (uint32_t c = 0; c < kClients; ++c) {
+    const std::string trace = ReadFile(client_traces[c]);
+    ASSERT_FALSE(trace.empty()) << client_traces[c];
+    EXPECT_TRUE(ValidateJson(trace).ok()) << client_traces[c];
+  }
+
+  // The decision log exports as one strict-JSON document.
+  const std::string decisions = ReadFile(decisions_json);
+  ASSERT_FALSE(decisions.empty());
+  EXPECT_TRUE(ValidateJson(decisions).ok());
+  EXPECT_NE(decisions.find("\"server_commits\""), std::string::npos);
+  EXPECT_NE(decisions.find("\"uplinks\""), std::string::npos);
 }
 
 }  // namespace

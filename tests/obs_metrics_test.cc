@@ -1,0 +1,231 @@
+// Metrics-registry tests (DESIGN.md §4k): histogram bucket-boundary edge
+// cases, concurrent recording (run under TSan in CI — relaxed atomics must
+// make multi-writer recording race-free and lose no increments), the
+// disabled-registry branch-on-null observer-effect contract (mirroring
+// tests/obs_sim_test.cc's tracing contract), strict-JSON snapshots, and the
+// JSON-lines logger.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace bcc {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  Counter* c = reg.AddCounter("a.count");
+  Gauge* g = reg.AddGauge("a.level");
+  c->Add();
+  c->Add(41);
+  g->Set(-7);
+  EXPECT_EQ(reg.CounterValue("a.count"), 42u);
+  EXPECT_EQ(reg.GaugeValue("a.level"), -7);
+  EXPECT_EQ(reg.CounterValue("missing"), 0u);
+  EXPECT_EQ(reg.GaugeValue("missing"), 0);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  // Bounds are INCLUSIVE upper bounds; one implicit overflow bucket above.
+  Histogram h({10, 100, 1000});
+  ASSERT_EQ(h.num_buckets(), 4u);
+
+  h.Record(0);     // -> bucket 0
+  h.Record(10);    // boundary: inclusive -> bucket 0
+  h.Record(11);    // -> bucket 1
+  h.Record(100);   // boundary -> bucket 1
+  h.Record(101);   // -> bucket 2
+  h.Record(1000);  // boundary -> bucket 2
+  h.Record(1001);  // -> overflow
+  h.Record(UINT64_MAX);  // -> overflow
+
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_EQ(h.bucket_bound(0), 10u);
+  EXPECT_EQ(h.bucket_bound(2), 1000u);
+}
+
+TEST(MetricsTest, HistogramQuantiles) {
+  Histogram h({10, 100, 1000});
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);  // empty
+  for (int i = 0; i < 90; ++i) h.Record(5);
+  for (int i = 0; i < 9; ++i) h.Record(50);
+  h.Record(5000);
+  // p50 lands in the first bucket -> its upper bound; p99 in the second;
+  // the overflow tail reports the exact max.
+  EXPECT_EQ(h.ApproxQuantile(0.50), 10u);
+  EXPECT_EQ(h.ApproxQuantile(0.95), 100u);
+  EXPECT_EQ(h.ApproxQuantile(1.0), 5000u);
+}
+
+TEST(MetricsTest, HistogramMinMaxSum) {
+  Histogram h({8});
+  h.Record(3);
+  h.Record(20);
+  h.Record(7);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 20u);
+  EXPECT_EQ(h.sum(), 30u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(MetricsTest, ExponentialBoundsAreStrictlyAscending) {
+  const std::vector<uint64_t> b = ExponentialBounds(1, 2.0, 12);
+  ASSERT_EQ(b.size(), 12u);
+  EXPECT_EQ(b.front(), 1u);
+  for (size_t i = 1; i < b.size(); ++i) EXPECT_GT(b[i], b[i - 1]) << i;
+  // Sub-doubling growth must still ascend strictly (rounding could stall).
+  const std::vector<uint64_t> slow = ExponentialBounds(1, 1.1, 20);
+  for (size_t i = 1; i < slow.size(); ++i) EXPECT_GT(slow[i], slow[i - 1]) << i;
+}
+
+// TSan-clean concurrent recording: many threads hammer the same counter and
+// histogram; relaxed atomics must lose nothing (each fetch_add is atomic)
+// and the data-race detector must stay silent.
+TEST(MetricsTest, ConcurrentRecordingLosesNothing) {
+  MetricsRegistry reg;
+  Counter* c = reg.AddCounter("hammered");
+  Gauge* g = reg.AddGauge("last");
+  Histogram* h = reg.AddHistogram("lat", ExponentialBounds(1, 2.0, 10));
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Add();
+        g->Set(t);
+        h->Record(static_cast<uint64_t>(i % 700));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->min(), 0u);
+  EXPECT_EQ(h->max(), 699u);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < h->num_buckets(); ++i) bucket_total += h->bucket_count(i);
+  EXPECT_EQ(bucket_total, h->count());
+  EXPECT_GE(g->value(), 0);
+  EXPECT_LT(g->value(), kThreads);
+}
+
+// The disabled path is a branch on a null handle: no registry exists, no
+// atomic is touched, nothing can throw or allocate — the direct analogue of
+// obs_sim_test's zero-observer-effect contract at the recording layer.
+TEST(MetricsTest, NullHandlesAreNoOps) {
+  Counter* c = nullptr;
+  Gauge* g = nullptr;
+  Histogram* h = nullptr;
+  CounterAdd(c);
+  CounterAdd(c, 1000);
+  GaugeSet(g, 123);
+  HistogramRecord(h, 456);
+  // Reaching here without a crash IS the assertion; the compiler cannot
+  // elide the calls because the pointers are runtime values.
+  SUCCEED();
+}
+
+TEST(MetricsTest, RegistrySnapshotIsStrictJson) {
+  MetricsRegistry reg;
+  reg.AddCounter("uplink.accepts")->Add(3);
+  reg.AddGauge("pacing.slip_ms")->Set(-2);
+  Histogram* h = reg.AddHistogram("validate_us", {10, 100});
+  h->Record(7);
+  h->Record(5000);
+
+  const std::string json = reg.ToJson();
+  ASSERT_TRUE(ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"uplink.accepts\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pacing.slip_ms\":-2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"validate_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos) << json;
+
+  // An empty registry still renders a complete document.
+  MetricsRegistry empty;
+  ASSERT_TRUE(ValidateJson(empty.ToJson()).ok()) << empty.ToJson();
+}
+
+TEST(MetricsTest, LoggerWritesJsonLinesOnSchedule) {
+  MetricsRegistry reg;
+  Counter* c = reg.AddCounter("ticks");
+  const std::string path = TempPath("metrics_logger_test.jsonl");
+  {
+    MetricsLogger logger(path, /*interval_ms=*/100, &reg, "server");
+    ASSERT_TRUE(logger.enabled());
+    EXPECT_TRUE(logger.MaybeWrite(0).ok());    // before the first interval
+    EXPECT_EQ(logger.lines_written(), 0u);
+    c->Add();
+    EXPECT_TRUE(logger.MaybeWrite(120).ok());  // due
+    EXPECT_TRUE(logger.MaybeWrite(130).ok());  // not due again yet
+    EXPECT_EQ(logger.lines_written(), 1u);
+    c->Add();
+    EXPECT_TRUE(logger.MaybeWrite(250).ok());  // due again
+    EXPECT_TRUE(logger.WriteNow(260).ok());    // forced final snapshot
+    EXPECT_EQ(logger.lines_written(), 3u);
+  }
+
+  const std::string content = ReadFileOrDie(path);
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < content.size()) {
+    const size_t nl = content.find('\n', start);
+    ASSERT_NE(nl, std::string::npos) << "unterminated line";
+    lines.push_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    ASSERT_TRUE(ValidateJson(line).ok()) << line;
+    EXPECT_NE(line.find("\"node\":\"server\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"metrics\":"), std::string::npos) << line;
+  }
+  EXPECT_NE(lines[0].find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ticks\":2"), std::string::npos);
+}
+
+TEST(MetricsTest, LoggerDisabledWhenUnconfigured) {
+  MetricsRegistry reg;
+  MetricsLogger no_path("", 100, &reg, "x");
+  EXPECT_FALSE(no_path.enabled());
+  EXPECT_TRUE(no_path.MaybeWrite(10000).ok());
+  EXPECT_EQ(no_path.lines_written(), 0u);
+
+  MetricsLogger no_interval(TempPath("never.jsonl"), 0, &reg, "x");
+  EXPECT_FALSE(no_interval.enabled());
+  EXPECT_TRUE(no_interval.WriteNow(1).ok());
+  EXPECT_EQ(no_interval.lines_written(), 0u);
+}
+
+}  // namespace
+}  // namespace bcc
