@@ -42,6 +42,13 @@ void PrintHelp() {
       "  --groups=N                grouped-control columns     (0 = native)\n"
       "  --hot-set=N --hot-freq=N  multi-speed disk            (off)\n"
       "  --hot-access=F            client+server hot-set skew  (uniform)\n"
+      "  --matrix=dense|sparse|group:G|hier  control-matrix representation\n"
+      "                            (dense; sparse = CSC O(nnz), hier =\n"
+      "                            adaptive group hierarchy; DESIGN.md §4l)\n"
+      "  --compaction-period=N     sparse wraparound compaction every N\n"
+      "                            cycles (0 = off; needs wire codec)\n"
+      "  --hier-groups=N           hier initial group count    (64)\n"
+      "  --hier-refine-limit=N     max refined columns         (1024)\n"
       "  --delta                   snapshot+delta control mode (off)\n"
       "  --delta-refresh=N         full refresh every N cycles (8)\n"
       "  --channel                 frame-level broadcast channel (off;\n"
@@ -136,6 +143,18 @@ int main(int argc, char** argv) {
       config.hot_set_size = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (ParseFlag(argv[i], "--hot-freq", &v)) {
       config.hot_broadcast_frequency = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--matrix", &v)) {
+      const Status parsed = ParseMatrixOption(v, &config);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "--compaction-period", &v)) {
+      config.sparse_compaction_period = std::strtoull(v, nullptr, 10);
+    } else if (ParseFlag(argv[i], "--hier-groups", &v)) {
+      config.hier_initial_groups = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (ParseFlag(argv[i], "--hier-refine-limit", &v)) {
+      config.hier_refine_limit = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (std::strcmp(argv[i], "--delta") == 0) {
       config.delta_broadcast = true;
     } else if (ParseFlag(argv[i], "--delta-refresh", &v)) {
@@ -195,6 +214,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // The hierarchical matrix validates raw absolute stamps (Validate rejects
+  // the wire codec in hier mode), so make --matrix=hier usable directly.
+  if (config.matrix_mode == MatrixMode::kHier) config.use_wire_codec = false;
   if (cache_cycles > 0) {
     config.enable_cache = true;
     config.cache_currency_bound = static_cast<SimTime>(

@@ -295,8 +295,12 @@ void EncodeCycleFramesInto(const CycleSnapshot& snap, const FrameCodec& codec,
     // Snapshot+delta mode: the control segment rides in one block right
     // after the index.
     if (snap.delta->full_refresh) {
+      // Sparse snapshots pack byte-identically to dense ones (the on-air
+      // format stays dense), so downstream frames and seeded loss patterns
+      // do not depend on the server's representation.
       emit(FrameKind::kControlRefresh, 0,
-           Payload{PackMatrix(snap.f_matrix, sc),
+           Payload{snap.sparse_f_matrix != nullptr ? PackMatrix(*snap.sparse_f_matrix, sc)
+                                                   : PackMatrix(snap.f_matrix, sc),
                    FullMatrixControlBits(n, sc.bits())});
     } else {
       emit(FrameKind::kControlDelta, 0,
@@ -312,11 +316,18 @@ void EncodeCycleFramesInto(const CycleSnapshot& snap, const FrameCodec& codec,
 
   // Full mode: the on-air slot layout — each object's data page immediately
   // followed by its control column.
+  std::vector<Cycle> sparse_col;
   for (uint32_t j = 0; j < n; ++j) {
     emit(FrameKind::kData, j, EncodeObjectPayload(snap.values[j], object_size_bits));
-    emit(FrameKind::kControlColumn, j,
-         Payload{PackStamps(snap.f_matrix.Column(j), sc),
-                 static_cast<uint64_t>(n) * sc.bits()});
+    if (snap.sparse_f_matrix != nullptr) {
+      snap.sparse_f_matrix->MaterializeColumn(j, sparse_col);
+      emit(FrameKind::kControlColumn, j,
+           Payload{PackStamps(sparse_col, sc), static_cast<uint64_t>(n) * sc.bits()});
+    } else {
+      emit(FrameKind::kControlColumn, j,
+           Payload{PackStamps(snap.f_matrix.Column(j), sc),
+                   static_cast<uint64_t>(n) * sc.bits()});
+    }
   }
   out.resize(used);
 }

@@ -1,9 +1,15 @@
 #include "client/delta_tracker.h"
 
+#include <cassert>
+#include <type_traits>
+
 namespace bcc {
 
-DeltaMatrixTracker::DeltaMatrixTracker(uint32_t num_objects, CycleStampCodec codec)
-    : codec_(codec), matrix_(num_objects) {}
+DeltaMatrixTracker::DeltaMatrixTracker(uint32_t num_objects, CycleStampCodec codec, bool sparse)
+    : codec_(codec),
+      sparse_(sparse),
+      matrix_(sparse ? 0 : num_objects),
+      sparse_matrix_(sparse ? num_objects : 0) {}
 
 namespace {
 
@@ -21,6 +27,8 @@ void CopyMatrix(FMatrix& dst, const FMatrixSnapshot& src) {
 
 template <typename OnAirMatrix>
 void DeltaMatrixTracker::ObserveImpl(const DeltaControl& ctl, const OnAirMatrix& on_air_matrix) {
+  constexpr bool kSparseOnAir = std::is_same_v<OnAirMatrix, SparseFMatrix>;
+  assert(kSparseOnAir == sparse_ && "Observe overload must match the tracker's representation");
   if (ctl.full_refresh) {
     // A refresh OLDER than the sync point would regress entries below their
     // current values — and lower stamps can only ever accept more reads, so
@@ -28,7 +36,11 @@ void DeltaMatrixTracker::ObserveImpl(const DeltaControl& ctl, const OnAirMatrix&
     // reconstruction is strictly fresher.
     if (synced_ && ctl.cycle < last_sync_) return;
     if (!synced_) EmitSyncEvent(TraceEventType::kResync, ctl.cycle);
-    CopyMatrix(matrix_, on_air_matrix);
+    if constexpr (kSparseOnAir) {
+      sparse_matrix_ = on_air_matrix;  // O(n) shared-pointer adoption
+    } else {
+      CopyMatrix(matrix_, on_air_matrix);
+    }
     synced_ = true;
     last_sync_ = ctl.cycle;
     return;
@@ -46,7 +58,11 @@ void DeltaMatrixTracker::ObserveImpl(const DeltaControl& ctl, const OnAirMatrix&
     synced_ = false;
     return;
   }
-  DeltaCodec::Apply(&matrix_, ctl.entries, codec_, ctl.cycle);
+  if constexpr (kSparseOnAir) {
+    DeltaCodec::Apply(&sparse_matrix_, ctl.entries, codec_, ctl.cycle);
+  } else {
+    DeltaCodec::Apply(&matrix_, ctl.entries, codec_, ctl.cycle);
+  }
   last_sync_ = ctl.cycle;
 }
 
@@ -55,6 +71,10 @@ void DeltaMatrixTracker::Observe(const DeltaControl& ctl, const FMatrix& on_air_
 }
 
 void DeltaMatrixTracker::Observe(const DeltaControl& ctl, const FMatrixSnapshot& on_air_matrix) {
+  ObserveImpl(ctl, on_air_matrix);
+}
+
+void DeltaMatrixTracker::Observe(const DeltaControl& ctl, const SparseFMatrix& on_air_matrix) {
   ObserveImpl(ctl, on_air_matrix);
 }
 

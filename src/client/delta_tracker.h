@@ -36,6 +36,7 @@
 #define BCC_CLIENT_DELTA_TRACKER_H_
 
 #include "matrix/f_matrix.h"
+#include "matrix/sparse_f_matrix.h"
 #include "obs/trace.h"
 #include "server/delta_broadcast.h"
 
@@ -44,7 +45,13 @@ namespace bcc {
 /// Per-client reconstruction state for delta-broadcast control information.
 class DeltaMatrixTracker {
  public:
-  DeltaMatrixTracker(uint32_t num_objects, CycleStampCodec codec);
+  /// `sparse` selects the sparse reconstruction (MatrixMode::kSparse direct
+  /// delta mode): the tracker holds a SparseFMatrix instead of an O(n^2)
+  /// dense one — refreshes adopt the snapshot's shared column payloads in
+  /// O(n) pointer copies and deltas apply in O(columns touched). Sync-state
+  /// policy (desync, staleness window, stale-block rejection) is identical;
+  /// use sparse_matrix() / set_sparse_control_override on the protocol.
+  DeltaMatrixTracker(uint32_t num_objects, CycleStampCodec codec, bool sparse = false);
 
   /// Ingests cycle `ctl.cycle`'s control block. `on_air_matrix` is the full
   /// matrix a refresh cycle broadcasts (the snapshot's f_matrix); it is only
@@ -53,6 +60,11 @@ class DeltaMatrixTracker {
   void Observe(const DeltaControl& ctl, const FMatrix& on_air_matrix);
   /// Same, reading the refresh matrix straight from the CoW cycle snapshot.
   void Observe(const DeltaControl& ctl, const FMatrixSnapshot& on_air_matrix);
+  /// Sparse-mode variant: a refresh adopts `on_air_matrix`'s shared column
+  /// payloads (absolute values, exactly like the direct dense path's
+  /// CopyMatrix); deltas decode residues at ctl.cycle via the sparse
+  /// DeltaCodec::Apply. Requires the sparse constructor flag.
+  void Observe(const DeltaControl& ctl, const SparseFMatrix& on_air_matrix);
 
   /// Tracker is reconstructing successfully (saw a refresh and every delta
   /// since).
@@ -61,8 +73,12 @@ class DeltaMatrixTracker {
   /// Last cycle whose control block was applied (valid when synced).
   Cycle last_sync() const { return last_sync_; }
 
-  /// The reconstructed matrix; meaningful only when synced.
+  /// The reconstructed matrix; meaningful only when synced (dense mode).
   const FMatrix& matrix() const { return matrix_; }
+
+  /// The sparse reconstruction (sparse mode); meaningful only when synced.
+  const SparseFMatrix& sparse_matrix() const { return sparse_matrix_; }
+  bool sparse() const { return sparse_; }
 
   /// True when the reconstruction is unusable for validating a read in
   /// `current`: not synced, stale, or past the TS decode window.
@@ -103,7 +119,11 @@ class DeltaMatrixTracker {
   }
 
   CycleStampCodec codec_;
+  bool sparse_;
+  /// Exactly one of the two is sized n; the other stays size 0 — in sparse
+  /// mode the dense matrix would be O(n^2) dead weight (8 TB at n = 10^6).
   FMatrix matrix_;
+  SparseFMatrix sparse_matrix_;
   bool synced_ = false;
   Cycle last_sync_ = 0;
   TraceRing* trace_ = nullptr;

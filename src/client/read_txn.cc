@@ -19,6 +19,17 @@ Cycle ReadOnlyTxnProtocol::Stamp(Cycle raw, Cycle current) const {
 }
 
 bool ReadOnlyTxnProtocol::CheckFMatrix(const CycleSnapshot& snap, ObjectId ob) {
+  if (hier_control_override_ != nullptr) {
+    // Hierarchical view: no codec round trip (Validate rejects the wire
+    // codec in hier mode), conservative group check with spurious-abort
+    // classification inside the scan.
+    const size_t fail = hier_control_override_->ReadConditionScan(reads_, ob, snap.cycle);
+    if (fail == kReadConditionPass) return true;
+    const ReadRecord& r = reads_[fail];
+    last_abort_ = {AbortCause::kControlConflict, r.object, ob, r.cycle,
+                   hier_control_override_->EffectiveAt(r.object, ob)};
+    return false;
+  }
   if (snap.group_matrix.has_value()) {
     // Grouped spectrum (Section 3.2.2): MC(i, group(j)) < cycle.
     const GroupMatrix& gm = *snap.group_matrix;
@@ -33,6 +44,30 @@ bool ReadOnlyTxnProtocol::CheckFMatrix(const CycleSnapshot& snap, ObjectId ob) {
     return true;
   }
   // read-condition(ob_j): for all (ob_i, cycle) in R_t : C(i, j) < cycle.
+  // Sparse representations answer the same condition in O(reads * log nnz)
+  // instead of touching a dense column; decisions and AbortInfo are
+  // bit-identical (SparseFMatrix::At is exact).
+  const SparseFMatrix* sparse = sparse_control_override_ != nullptr
+                                    ? sparse_control_override_
+                                    : snap.sparse_f_matrix.get();
+  if (sparse != nullptr && control_override_ == nullptr) {
+    if (!codec_.has_value()) {
+      const size_t fail = sparse->ReadConditionScan(reads_, ob);
+      if (fail == kReadConditionPass) return true;
+      const ReadRecord& r = reads_[fail];
+      last_abort_ = {AbortCause::kControlConflict, r.object, ob, r.cycle,
+                     sparse->At(r.object, ob)};
+      return false;
+    }
+    for (const ReadRecord& r : reads_) {
+      const Cycle c = Stamp(sparse->At(r.object, ob), snap.cycle);
+      if (c >= r.cycle) {
+        last_abort_ = {AbortCause::kControlConflict, r.object, ob, r.cycle, c};
+        return false;
+      }
+    }
+    return true;
+  }
   // The column base is hoisted out of the per-read loop (it used to be
   // re-derived from (r.object, ob) on every read record).
   const std::span<const Cycle> col =
@@ -110,15 +145,25 @@ StatusOr<ObjectVersion> ReadOnlyTxnProtocol::Read(const CycleSnapshot& snap, Obj
   std::vector<Cycle> column;
   const bool f_family =
       algorithm_ == Algorithm::kFMatrix || algorithm_ == Algorithm::kFMatrixNo;
-  if (f_family && !snap.group_matrix.has_value()) {
-    const uint32_t fm_n = control_override_ != nullptr ? control_override_->num_objects()
-                                                       : snap.f_matrix.num_objects();
-    if (fm_n > 0) {
-      const std::span<const Cycle> raw = control_override_ != nullptr
-                                             ? control_override_->Column(ob)
-                                             : snap.f_matrix.Column(ob);
-      column.reserve(raw.size());
-      for (Cycle c : raw) column.push_back(Stamp(c, snap.cycle));
+  if (capture_columns_ && f_family && !snap.group_matrix.has_value()) {
+    const SparseFMatrix* sparse = sparse_control_override_ != nullptr
+                                      ? sparse_control_override_
+                                      : snap.sparse_f_matrix.get();
+    if (sparse != nullptr && control_override_ == nullptr) {
+      if (sparse->num_objects() > 0) {
+        sparse->MaterializeColumn(ob, column);
+        for (Cycle& c : column) c = Stamp(c, snap.cycle);
+      }
+    } else {
+      const uint32_t fm_n = control_override_ != nullptr ? control_override_->num_objects()
+                                                         : snap.f_matrix.num_objects();
+      if (fm_n > 0) {
+        const std::span<const Cycle> raw = control_override_ != nullptr
+                                               ? control_override_->Column(ob)
+                                               : snap.f_matrix.Column(ob);
+        column.reserve(raw.size());
+        for (Cycle c : raw) column.push_back(Stamp(c, snap.cycle));
+      }
     }
   }
   Record(ob, snap.cycle, version, std::move(column));

@@ -79,6 +79,36 @@ class ReadOnlyTxnProtocol {
   void set_control_override(const FMatrix* matrix) { control_override_ = matrix; }
   const FMatrix* control_override() const { return control_override_; }
 
+  /// Sparse-representation variant of set_control_override: validates and
+  /// captures columns from `matrix` instead of the snapshot. Used in sparse
+  /// snapshot+delta mode, where the tracker reconstructs a SparseFMatrix.
+  /// Takes precedence over a dense override when both are set (they are
+  /// never both set by the sims). Same congruence argument applies.
+  void set_sparse_control_override(const SparseFMatrix* matrix) {
+    sparse_control_override_ = matrix;
+  }
+  const SparseFMatrix* sparse_control_override() const { return sparse_control_override_; }
+
+  /// Routes every F-family check through a hierarchical matrix
+  /// (MatrixMode::kHier): unrefined columns validate against the group
+  /// aggregate (conservative — spurious aborts only), refined ones against
+  /// the exact column. Mutable because scans record spurious-abort evidence
+  /// for the refinement policy. Takes precedence over every other control
+  /// source; incompatible with the cache and the wire codec (enforced by
+  /// SimConfig::Validate).
+  void set_hier_control_override(HierMatrix* matrix) { hier_control_override_ = matrix; }
+  HierMatrix* hier_control_override() const { return hier_control_override_; }
+
+  /// Gates the per-read capture of the full consulted control column
+  /// (F-family, ungrouped). The capture is O(n) per read and exists solely
+  /// so later *stale* cached reads can be validated against it — a client
+  /// with no cache pays it for nothing, and at n = 10^6 it dominates the
+  /// read cost. Defaults to on (safe); the sims pass their enable_cache
+  /// flag. With capture off, ReadFromCache's F-family path rejects stale
+  /// insertions (no evidence), which is the conservative direction.
+  void set_capture_columns(bool capture) { capture_columns_ = capture; }
+  bool capture_columns() const { return capture_columns_; }
+
   /// Substitutes `values` for the snapshot's object array in Read (nullptr
   /// restores the broadcast values). Used in channel mode, where the client
   /// reads data pages from its receiver's reassembled frames instead of the
@@ -114,7 +144,10 @@ class ReadOnlyTxnProtocol {
   Algorithm algorithm_;
   std::optional<CycleStampCodec> codec_;
   const FMatrix* control_override_ = nullptr;
+  const SparseFMatrix* sparse_control_override_ = nullptr;
+  HierMatrix* hier_control_override_ = nullptr;
   const std::vector<ObjectVersion>* value_override_ = nullptr;
+  bool capture_columns_ = true;
   std::vector<ReadRecord> reads_;
   std::vector<ObjectVersion> values_;
   /// Per read: the control column consulted (F-family, ungrouped only;

@@ -1,5 +1,6 @@
 #include "common/rng.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -68,6 +69,18 @@ double Rng::NextExponential(double mean) {
 
 std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
   assert(k <= n);
+  if (n > kSampleRejectionThreshold && k < n / 16) {
+    // Sparse regime: rejection sampling is O(k^2) with a negligible collision
+    // rate, where the Fisher-Yates path below pays an O(n) allocation per
+    // call — 4 MB per 8-element sample at n = 10^6.
+    std::vector<uint32_t> out;
+    out.reserve(k);
+    while (out.size() < k) {
+      const uint32_t v = static_cast<uint32_t>(NextBounded(n));
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+    }
+    return out;
+  }
   // Partial Fisher-Yates over an index vector.
   std::vector<uint32_t> idx(n);
   for (uint32_t i = 0; i < n; ++i) idx[i] = i;

@@ -43,7 +43,16 @@ class Rng {
   double NextExponential(double mean);
 
   /// k distinct values sampled uniformly from [0, n); requires k <= n.
+  /// Deterministic for a given (seed, n, k), but the two internal regimes
+  /// draw different streams: n <= kSampleRejectionThreshold (every config the
+  /// seeded test corpus uses) keeps the historical partial-Fisher-Yates
+  /// sequence bit-for-bit, while larger n with k << n switches to rejection
+  /// sampling so a small sample never pays an O(n) allocation (the n = 10^6
+  /// sparse-matrix regime).
   std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  /// Regime boundary for SampleWithoutReplacement.
+  static constexpr uint32_t kSampleRejectionThreshold = 65536;
 
   /// Derives an independent generator (for sub-streams) deterministically.
   Rng Split();

@@ -1,0 +1,340 @@
+#include "matrix/sparse_f_matrix.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <unordered_map>
+
+#include "matrix/kernels.h"
+
+namespace bcc {
+
+namespace {
+
+/// The all-zero column every fresh matrix starts from; shared so an n-column
+/// construction allocates one payload, not n.
+const std::shared_ptr<const SparseColumnData>& EmptyColumn() {
+  static const std::shared_ptr<const SparseColumnData> empty =
+      std::make_shared<const SparseColumnData>();
+  return empty;
+}
+
+bool ColumnIsEmpty(const SparseColumnData& col) {
+  return col.floor == 0 && col.entries.empty();
+}
+
+}  // namespace
+
+Cycle SparseColumnData::At(ObjectId row) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), row,
+      [](const Entry& e, ObjectId r) { return e.row < r; });
+  if (it != entries.end() && it->row == row) return it->value;
+  return floor;
+}
+
+SparseFMatrix::SparseFMatrix(uint32_t num_objects)
+    : n_(num_objects), cols_(num_objects, EmptyColumn()) {}
+
+void SparseFMatrix::MarkTouched(ObjectId j) {
+  if (!track_dirty_) return;
+  if (touched_mask_[j]) return;
+  touched_mask_[j] = 1;
+  touched_cols_.push_back(j);
+}
+
+void SparseFMatrix::Account(ObjectId j, const SparseColumnData& next) {
+  const SparseColumnData& cur = *cols_[j];
+  nnz_ += next.entries.size();
+  nnz_ -= cur.entries.size();
+  if (ColumnIsEmpty(cur) != ColumnIsEmpty(next)) {
+    if (ColumnIsEmpty(next)) {
+      --nonempty_cols_;
+    } else {
+      ++nonempty_cols_;
+    }
+  }
+}
+
+void SparseFMatrix::AssignColumn(ObjectId j, std::shared_ptr<const SparseColumnData> data) {
+  assert(data != nullptr);
+  Account(j, *data);
+  cols_[j] = std::move(data);
+  MarkTouched(j);
+}
+
+void SparseFMatrix::MaterializeColumn(ObjectId j, std::vector<Cycle>& out) const {
+  const SparseColumnData& col = *cols_[j];
+  out.assign(n_, col.floor);
+  for (const SparseColumnData::Entry& e : col.entries) out[e.row] = e.value;
+}
+
+void SparseFMatrix::ApplyCommit(std::span<const ObjectId> read_set,
+                                std::span<const ObjectId> write_set, Cycle commit_cycle) {
+  if (write_set.empty()) return;
+
+  // Dependency vector dep(i) = max_{k in RS} C(i, k), in sparse form: the
+  // floor is the max of the read columns' floors, and an explicit entry
+  // survives only where the row-wise max of explicit values exceeds that
+  // floor (server-path columns keep entries >= their own floor, so the max
+  // over floors and explicit row maxima is exactly max_k C(i, k)).
+  Cycle dep_floor = 0;
+  for (ObjectId k : read_set) dep_floor = std::max(dep_floor, cols_[k]->floor);
+
+  merge_scratch_.clear();
+  if (read_set.size() == 1) {
+    const SparseColumnData& col = *cols_[read_set.front()];
+    for (const SparseColumnData::Entry& e : col.entries) {
+      if (e.value > dep_floor) merge_scratch_.push_back(e);
+    }
+  } else if (!read_set.empty()) {
+    // k-way merge by row over the read columns (k = |RS| is workload-sized,
+    // so the linear cursor scan per output row is cheap).
+    struct Cursor {
+      const SparseColumnData::Entry* it;
+      const SparseColumnData::Entry* end;
+    };
+    std::vector<Cursor> cursors;
+    cursors.reserve(read_set.size());
+    for (ObjectId k : read_set) {
+      const auto& entries = cols_[k]->entries;
+      if (!entries.empty()) cursors.push_back({entries.data(), entries.data() + entries.size()});
+    }
+    while (!cursors.empty()) {
+      ObjectId row = cursors.front().it->row;
+      for (size_t c = 1; c < cursors.size(); ++c) row = std::min(row, cursors[c].it->row);
+      Cycle value = 0;
+      for (size_t c = 0; c < cursors.size();) {
+        if (cursors[c].it->row == row) {
+          value = std::max(value, cursors[c].it->value);
+          if (++cursors[c].it == cursors[c].end) {
+            cursors.erase(cursors.begin() + static_cast<ptrdiff_t>(c));
+            continue;
+          }
+        }
+        ++c;
+      }
+      if (value > dep_floor) merge_scratch_.push_back({row, value});
+    }
+  }
+
+  // One payload for every write-set column: dep with WS rows at commit_cycle.
+  ws_scratch_.assign(write_set.begin(), write_set.end());
+  std::sort(ws_scratch_.begin(), ws_scratch_.end());
+  auto next = std::make_shared<SparseColumnData>();
+  next->floor = dep_floor;
+  next->entries.reserve(merge_scratch_.size() + ws_scratch_.size());
+  size_t d = 0;
+  for (ObjectId w : ws_scratch_) {
+    while (d < merge_scratch_.size() && merge_scratch_[d].row < w) {
+      next->entries.push_back(merge_scratch_[d++]);
+    }
+    if (d < merge_scratch_.size() && merge_scratch_[d].row == w) ++d;  // WS overrides dep
+    if (commit_cycle != dep_floor) next->entries.push_back({w, commit_cycle});
+  }
+  while (d < merge_scratch_.size()) next->entries.push_back(merge_scratch_[d++]);
+
+  std::shared_ptr<const SparseColumnData> shared = std::move(next);
+  // Original write-set order, so dirty tracking matches FMatrix first-touch
+  // order exactly.
+  for (ObjectId j : write_set) AssignColumn(j, shared);
+}
+
+void SparseFMatrix::ApplyCommitBatch(std::span<const CommitSets> commits, Cycle commit_cycle) {
+  for (const CommitSets& c : commits) ApplyCommit(c.read_set, c.write_set, commit_cycle);
+}
+
+void SparseFMatrix::SetInColumn(ObjectId j, ObjectId i, Cycle c) {
+  const SparseColumnData& cur = *cols_[j];
+  if (cur.At(i) == c) {
+    MarkTouched(j);  // a rewrite with an equal value still counts as touched
+    return;
+  }
+  auto next = std::make_shared<SparseColumnData>();
+  next->floor = cur.floor;
+  next->entries.reserve(cur.entries.size() + 1);
+  bool placed = false;
+  for (const SparseColumnData::Entry& e : cur.entries) {
+    if (e.row == i) continue;
+    if (!placed && e.row > i) {
+      if (c != cur.floor) next->entries.push_back({i, c});
+      placed = true;
+    }
+    next->entries.push_back(e);
+  }
+  if (!placed && c != cur.floor) next->entries.push_back({i, c});
+  AssignColumn(j, std::move(next));
+}
+
+void SparseFMatrix::Set(ObjectId i, ObjectId j, Cycle c) { SetInColumn(j, i, c); }
+
+void SparseFMatrix::EnableDirtyTracking() {
+  track_dirty_ = true;
+  touched_mask_.assign(n_, 0);
+  touched_cols_.clear();
+}
+
+std::vector<ObjectId> SparseFMatrix::TakeTouchedColumns() {
+  std::vector<ObjectId> out;
+  DrainTouchedColumns(out);
+  return out;
+}
+
+void SparseFMatrix::DrainTouchedColumns(std::vector<ObjectId>& out) {
+  out.clear();
+  std::swap(out, touched_cols_);
+  for (ObjectId j : out) touched_mask_[j] = 0;
+}
+
+size_t SparseFMatrix::ReadConditionScan(std::span<const ReadRecord> reads, ObjectId j) const {
+  const SparseColumnData& col = *cols_[j];
+  for (size_t k = 0; k < reads.size(); ++k) {
+    if (col.At(reads[k].object) >= reads[k].cycle) return k;
+  }
+  return kReadConditionPass;
+}
+
+bool SparseFMatrix::ReadCondition(std::span<const ReadRecord> reads, ObjectId j) const {
+  return ReadConditionScan(reads, j) == kReadConditionPass;
+}
+
+uint64_t SparseFMatrix::CompactModulo(const CycleStampCodec& codec, Cycle current) {
+  uint64_t dropped = 0;
+  // Shared payloads must stay shared after compaction (they are the memory
+  // win), so rewritten payloads are memoized by source pointer.
+  std::unordered_map<const SparseColumnData*, std::shared_ptr<const SparseColumnData>> rewritten;
+  for (ObjectId j = 0; j < n_; ++j) {
+    const SparseColumnData* src = cols_[j].get();
+    auto it = rewritten.find(src);
+    if (it == rewritten.end()) {
+      const Cycle floor = codec.Decode(codec.Encode(src->floor), current);
+      bool changed = floor != src->floor;
+      auto next = std::make_shared<SparseColumnData>();
+      next->floor = floor;
+      next->entries.reserve(src->entries.size());
+      for (const SparseColumnData::Entry& e : src->entries) {
+        const Cycle value = codec.Decode(codec.Encode(e.value), current);
+        changed = changed || value != e.value;
+        if (value == floor) continue;  // congruent to the floor: now implicit
+        next->entries.push_back({e.row, value});
+      }
+      it = rewritten
+               .emplace(src, changed ? std::shared_ptr<const SparseColumnData>(std::move(next))
+                                     : cols_[j])
+               .first;
+    }
+    if (it->second.get() != src) {
+      dropped += src->entries.size() - it->second->entries.size();
+      Account(j, *it->second);
+      cols_[j] = it->second;
+      MarkTouched(j);
+    }
+  }
+  return dropped;
+}
+
+FMatrix SparseFMatrix::ToDense() const {
+  FMatrix dense(n_);
+  for (ObjectId j = 0; j < n_; ++j) {
+    const SparseColumnData& col = *cols_[j];
+    if (col.floor != 0) {
+      for (ObjectId i = 0; i < n_; ++i) dense.Set(i, j, col.floor);
+    }
+    for (const SparseColumnData::Entry& e : col.entries) dense.Set(e.row, j, e.value);
+  }
+  return dense;
+}
+
+SparseFMatrix SparseFMatrix::FromDense(const FMatrix& dense) {
+  const uint32_t n = dense.num_objects();
+  SparseFMatrix sparse(n);
+  std::vector<Cycle> sorted;
+  for (ObjectId j = 0; j < n; ++j) {
+    const std::span<const Cycle> col = dense.Column(j);
+    // Most-frequent value as the floor, so adopting a windowed-decoded
+    // matrix (channel-mode refresh, where even "untouched" entries decode to
+    // a recent nonzero anchor) stays sparse.
+    sorted.assign(col.begin(), col.end());
+    std::sort(sorted.begin(), sorted.end());
+    Cycle floor = 0;
+    size_t best = 0;
+    for (size_t a = 0; a < sorted.size();) {
+      size_t b = a;
+      while (b < sorted.size() && sorted[b] == sorted[a]) ++b;
+      if (b - a > best) {
+        best = b - a;
+        floor = sorted[a];
+      }
+      a = b;
+    }
+    auto data = std::make_shared<SparseColumnData>();
+    data->floor = floor;
+    for (ObjectId i = 0; i < n; ++i) {
+      if (col[i] != floor) data->entries.push_back({i, col[i]});
+    }
+    sparse.AssignColumn(j, std::move(data));
+  }
+  return sparse;
+}
+
+bool operator==(const SparseFMatrix& a, const SparseFMatrix& b) {
+  if (a.n_ != b.n_) return false;
+  for (ObjectId j = 0; j < a.n_; ++j) {
+    const SparseColumnData& ca = *a.cols_[j];
+    const SparseColumnData& cb = *b.cols_[j];
+    if (&ca == &cb) continue;
+    // Merge walk over both entry lists; rows implicit in both compare floors.
+    size_t ia = 0, ib = 0;
+    bool both_implicit =
+        ca.entries.size() + cb.entries.size() < a.n_;  // some row implicit in both
+    while (ia < ca.entries.size() || ib < cb.entries.size()) {
+      const bool take_a = ib == cb.entries.size() ||
+                          (ia < ca.entries.size() && ca.entries[ia].row <= cb.entries[ib].row);
+      const bool take_b = ia == ca.entries.size() ||
+                          (ib < cb.entries.size() && cb.entries[ib].row <= ca.entries[ia].row);
+      if (take_a && take_b) {
+        if (ca.entries[ia].value != cb.entries[ib].value) return false;
+        ++ia, ++ib;
+      } else if (take_a) {
+        if (ca.entries[ia].value != cb.floor) return false;
+        ++ia;
+      } else {
+        if (cb.entries[ib].value != ca.floor) return false;
+        ++ib;
+      }
+    }
+    if (both_implicit && ca.floor != cb.floor) return false;
+  }
+  return true;
+}
+
+bool operator==(const SparseFMatrix& s, const FMatrix& d) {
+  if (s.num_objects() != d.num_objects()) return false;
+  const uint32_t n = s.num_objects();
+  for (ObjectId j = 0; j < n; ++j) {
+    const std::span<const Cycle> col = d.Column(j);
+    const SparseColumnData& sc = *s.ColumnData(j);
+    size_t e = 0;
+    for (ObjectId i = 0; i < n; ++i) {
+      Cycle v = sc.floor;
+      if (e < sc.entries.size() && sc.entries[e].row == i) v = sc.entries[e++].value;
+      if (v != col[i]) return false;
+    }
+  }
+  return true;
+}
+
+uint64_t SparseMatrixControlBits(uint64_t nnz, uint32_t nonempty_columns, uint32_t num_objects,
+                                 unsigned ts_bits) {
+  const unsigned index_bits =
+      num_objects > 1 ? static_cast<unsigned>(std::bit_width(num_objects - 1)) : 0u;
+  return 32 + static_cast<uint64_t>(nonempty_columns) * (index_bits + ts_bits + 32) +
+         nnz * (index_bits + ts_bits);
+}
+
+uint64_t SparseMatrixControlBits(const SparseFMatrix& matrix, unsigned ts_bits) {
+  return SparseMatrixControlBits(matrix.nnz(), matrix.nonempty_columns(),
+                                 matrix.num_objects(), ts_bits);
+}
+
+}  // namespace bcc

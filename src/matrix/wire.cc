@@ -140,10 +140,97 @@ std::vector<DeltaCodec::Entry> DeltaCodec::DiffColumns(const FMatrix& prev,
   return DiffColumnsImpl(prev, cur, touched_columns, codec);
 }
 
+std::vector<DeltaCodec::Entry> DeltaCodec::DiffColumns(const SparseFMatrix& prev,
+                                                       const SparseFMatrix& cur,
+                                                       std::span<const ObjectId> touched_columns,
+                                                       const CycleStampCodec& codec) {
+  std::vector<ObjectId> cols(touched_columns.begin(), touched_columns.end());
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+
+  std::vector<Entry> out;
+  const uint32_t n = cur.num_objects();
+  std::vector<Cycle> prev_dense, cur_dense;
+  for (ObjectId j : cols) {
+    const SparseColumnData& a = *prev.ColumnData(j);
+    const SparseColumnData& b = *cur.ColumnData(j);
+    if (&a == &b) continue;  // shared payload: provably unchanged
+    if (a.floor != b.floor) {
+      // Differing floors make every doubly-implicit row differ too; the
+      // straightforward dense walk is the clear O(n) way to emit them all.
+      // (Server-path matrices keep floor 0 throughout, so this branch only
+      // runs for client-reconstructed bases.)
+      prev.MaterializeColumn(j, prev_dense);
+      cur.MaterializeColumn(j, cur_dense);
+      for (ObjectId i = 0; i < n; ++i) {
+        if (prev_dense[i] != cur_dense[i]) out.push_back({i, j, codec.Encode(cur_dense[i])});
+      }
+      continue;
+    }
+    // Equal floors: only rows explicit in at least one side can differ.
+    size_t ia = 0, ib = 0;
+    while (ia < a.entries.size() || ib < b.entries.size()) {
+      const bool take_a = ib == b.entries.size() ||
+                          (ia < a.entries.size() && a.entries[ia].row <= b.entries[ib].row);
+      const bool take_b = ia == a.entries.size() ||
+                          (ib < b.entries.size() && b.entries[ib].row <= a.entries[ia].row);
+      if (take_a && take_b) {
+        if (a.entries[ia].value != b.entries[ib].value) {
+          out.push_back({a.entries[ia].row, j, codec.Encode(b.entries[ib].value)});
+        }
+        ++ia, ++ib;
+      } else if (take_a) {
+        out.push_back({a.entries[ia].row, j, codec.Encode(b.floor)});
+        ++ia;
+      } else {
+        out.push_back({b.entries[ib].row, j, codec.Encode(b.entries[ib].value)});
+        ++ib;
+      }
+    }
+  }
+  return out;
+}
+
 void DeltaCodec::Apply(FMatrix* base, std::span<const Entry> entries,
                        const CycleStampCodec& codec, Cycle current) {
   for (const Entry& e : entries) {
     base->Set(e.row, e.col, codec.Decode(e.residue, current));
+  }
+}
+
+void DeltaCodec::Apply(SparseFMatrix* base, std::span<const Entry> entries,
+                       const CycleStampCodec& codec, Cycle current) {
+  // Entries arrive grouped by column in ascending row order (Diff emission
+  // and Pack/Unpack preserve it); rebuild each column's payload once instead
+  // of one copy-on-write rebuild per entry. Row order within a run is not
+  // assumed — a defensive stable sort keeps last-wins semantics identical to
+  // the dense Apply even on adversarial input.
+  std::vector<SparseColumnData::Entry> updates;
+  for (size_t k = 0; k < entries.size();) {
+    const ObjectId j = entries[k].col;
+    updates.clear();
+    for (; k < entries.size() && entries[k].col == j; ++k) {
+      updates.push_back({entries[k].row, codec.Decode(entries[k].residue, current)});
+    }
+    std::stable_sort(updates.begin(), updates.end(),
+                     [](const SparseColumnData::Entry& a, const SparseColumnData::Entry& b) {
+                       return a.row < b.row;
+                     });
+    const SparseColumnData& cur = *base->ColumnData(j);
+    auto next = std::make_shared<SparseColumnData>();
+    next->floor = cur.floor;
+    next->entries.reserve(cur.entries.size() + updates.size());
+    size_t ic = 0;
+    for (size_t u = 0; u < updates.size(); ++u) {
+      if (u + 1 < updates.size() && updates[u + 1].row == updates[u].row) continue;  // last wins
+      while (ic < cur.entries.size() && cur.entries[ic].row < updates[u].row) {
+        next->entries.push_back(cur.entries[ic++]);
+      }
+      if (ic < cur.entries.size() && cur.entries[ic].row == updates[u].row) ++ic;
+      if (updates[u].value != next->floor) next->entries.push_back(updates[u]);
+    }
+    while (ic < cur.entries.size()) next->entries.push_back(cur.entries[ic++]);
+    base->AssignColumn(j, std::move(next));
   }
 }
 
@@ -243,6 +330,19 @@ std::vector<uint8_t> PackMatrix(const FMatrix& matrix, const CycleStampCodec& co
 
 std::vector<uint8_t> PackMatrix(const FMatrixSnapshot& matrix, const CycleStampCodec& codec) {
   return PackMatrixImpl(matrix, codec);
+}
+
+std::vector<uint8_t> PackMatrix(const SparseFMatrix& matrix, const CycleStampCodec& codec) {
+  // Byte-identical to the dense packing: the on-air format does not change
+  // with the server's in-memory representation.
+  BitWriter writer;
+  const uint32_t n = matrix.num_objects();
+  std::vector<Cycle> column;
+  for (ObjectId j = 0; j < n; ++j) {
+    matrix.MaterializeColumn(j, column);
+    for (const Cycle c : column) writer.Write(codec.Encode(c), codec.bits());
+  }
+  return writer.bytes();
 }
 
 StatusOr<FMatrix> UnpackMatrix(std::span<const uint8_t> bytes, uint32_t num_objects,

@@ -22,6 +22,7 @@
 #include "matrix/control_info.h"
 #include "matrix/f_matrix.h"
 #include "matrix/mc_vector.h"
+#include "matrix/sparse_f_matrix.h"
 
 namespace bcc {
 
@@ -97,9 +98,24 @@ class DeltaCodec {
                                         std::span<const ObjectId> touched_columns,
                                         const CycleStampCodec& codec);
 
+  /// Sparse-to-sparse variant: entries (and order) are identical to the dense
+  /// DiffColumns on the materialized matrices, but each touched column costs
+  /// O(nnz) via a merge walk — with a pointer-equality fast path for columns
+  /// whose payloads are shared between prev and cur (unchanged columns cost
+  /// O(1)).
+  static std::vector<Entry> DiffColumns(const SparseFMatrix& prev, const SparseFMatrix& cur,
+                                        std::span<const ObjectId> touched_columns,
+                                        const CycleStampCodec& codec);
+
   /// Applies a diff on top of `base` (decoding residues at `current`).
   static void Apply(FMatrix* base, std::span<const Entry> entries, const CycleStampCodec& codec,
                     Cycle current);
+
+  /// Sparse variant: one copy-on-write column rebuild per touched column
+  /// (entries are grouped by column, as Pack/Diff emit them), value-identical
+  /// to the dense Apply including duplicate-entry last-wins semantics.
+  static void Apply(SparseFMatrix* base, std::span<const Entry> entries,
+                    const CycleStampCodec& codec, Cycle current);
 
   /// Wire size of a diff: a count header (32 bits) plus, per entry, row and
   /// column indices (ceil(log2 n) bits each) and the TS-bit stamp.
@@ -121,9 +137,14 @@ class DeltaCodec {
 
 /// Packs a full matrix into the on-air bitstream: n^2 TS-bit residues,
 /// column-major and contiguous (no per-column padding), zero-padded to whole
-/// bytes — exactly FullMatrixControlBits(n, ts) data bits.
+/// bytes — exactly FullMatrixControlBits(n, ts) data bits. The sparse
+/// overload produces byte-identical output (the on-air format stays dense so
+/// frames, and therefore seeded loss patterns, are bit-identical across
+/// representations; the sparse saving is in server memory and maintenance,
+/// and in the delta/sparse accounting paths).
 std::vector<uint8_t> PackMatrix(const FMatrix& matrix, const CycleStampCodec& codec);
 std::vector<uint8_t> PackMatrix(const FMatrixSnapshot& matrix, const CycleStampCodec& codec);
+std::vector<uint8_t> PackMatrix(const SparseFMatrix& matrix, const CycleStampCodec& codec);
 
 /// Inverse of PackMatrix, decoding every residue anchored at `current`, with
 /// the same strict framing rules as UnpackStamps.

@@ -114,6 +114,12 @@ class ServerDaemon {
   Gauge* m_current_cycle_ = nullptr;
   Gauge* m_clients_gauge_ = nullptr;
   Gauge* m_pacing_slip_ = nullptr;
+  /// Control-matrix footprint (live via METRICS_REQ / bcc_statsctl): resident
+  /// non-floor entries and the cycle's control share in bytes. In dense mode
+  /// nnz is not tracked (a scan would be O(n^2)) and the byte gauge holds the
+  /// constant n^2*ts/8 full-matrix share.
+  Gauge* m_matrix_nnz_ = nullptr;
+  Gauge* m_matrix_control_bytes_ = nullptr;
   Histogram* m_slip_hist_ = nullptr;
   Histogram* m_cycle_ms_ = nullptr;
   Histogram* m_validate_us_ = nullptr;
@@ -146,8 +152,22 @@ class ServerDaemon {
 };
 
 Status ServerDaemon::SetUpEngine() {
+  if (sim_.matrix_mode == MatrixMode::kHier) {
+    return Status::InvalidArgument(
+        "the networked tier does not support matrix_mode=hier (its refinement policy is "
+        "driven by the in-process simulators)");
+  }
+  if (sim_.sparse_compaction_period > 0) {
+    return Status::InvalidArgument(
+        "the networked tier does not support sparse_compaction_period");
+  }
+  // Sparse mode swaps the manager's representation only: the on-air bytes
+  // (EncodeCycleFramesInto packs the snapshot's sparse matrix byte-identically)
+  // and every client decision are unchanged.
+  const bool sparse_mode = sim_.matrix_mode == MatrixMode::kSparse;
   TxnManagerOptions options;
-  options.maintain_f_matrix = true;
+  options.maintain_f_matrix = !sparse_mode;
+  options.maintain_sparse_matrix = sparse_mode;
   options.maintain_mc_vector = true;
   options.track_dirty_columns = sim_.delta_broadcast;
   manager_ = std::make_unique<ServerTxnManager>(sim_.num_objects, options);
@@ -210,6 +230,15 @@ void ServerDaemon::SetUpTelemetry() {
   m_current_cycle_ = registry_->AddGauge("server.cycle");
   m_clients_gauge_ = registry_->AddGauge("server.clients_registered");
   m_pacing_slip_ = registry_->AddGauge("pacing.slip_ms");
+  m_matrix_nnz_ = registry_->AddGauge("matrix.nnz");
+  m_matrix_control_bytes_ = registry_->AddGauge("matrix.control_bytes_per_cycle");
+  // Dense mode broadcasts the full n^2 stamp matrix every cycle; sparse mode
+  // overwrites both gauges per cycle from the live matrix.
+  if (sim_.matrix_mode != MatrixMode::kSparse) {
+    GaugeSet(m_matrix_control_bytes_,
+             static_cast<int64_t>(static_cast<uint64_t>(sim_.num_objects) * sim_.num_objects *
+                                  sim_.timestamp_bits / 8));
+  }
   m_slip_hist_ = registry_->AddHistogram("pacing.slip_ms_hist", ExponentialBounds(1, 2.0, 12));
   m_cycle_ms_ = registry_->AddHistogram("server.cycle_ms", ExponentialBounds(1, 2.0, 14));
   m_validate_us_ = registry_->AddHistogram("uplink.validate_us", ExponentialBounds(1, 2.0, 20));
@@ -588,6 +617,14 @@ Status ServerDaemon::BroadcastCycles() {
     const uint64_t cycle_start_us = wall_.ElapsedUs();
     server_->BeginCycle(cycle, static_cast<SimTime>(cycle - 1) * server_->CycleLengthBits(),
                         *manager_);
+    if (registry_ != nullptr && sim_.matrix_mode == MatrixMode::kSparse) {
+      // Cycle boundary: the commit batch was just flushed into the snapshot,
+      // so nnz() is the begin-of-cycle footprint clients validate against.
+      const SparseFMatrix& sm = manager_->sparse_f_matrix();
+      GaugeSet(m_matrix_nnz_, static_cast<int64_t>(sm.nnz()));
+      GaugeSet(m_matrix_control_bytes_,
+               static_cast<int64_t>(SparseMatrixControlBits(sm, sim_.timestamp_bits) / 8));
+    }
     if (sim_.delta_broadcast) {
       manager_->DrainTouchedColumns(touched_scratch_);
       server_->AttachDeltaControl(touched_scratch_);
@@ -664,7 +701,13 @@ Status ServerDaemon::Run(ServerReport* report) {
 
   const CycleSnapshot& snap = server_->snapshot();
   uint64_t digest = DigestValues(snap.values);
-  digest = DigestMatrixResidues(snap.f_matrix, CycleStampCodec(sim_.timestamp_bits), digest);
+  // Sparse mode leaves the snapshot's dense matrix empty; the sparse At()
+  // returns the same absolute values, so the digest is representation-
+  // independent (a sparse daemon still matches a dense in-process oracle).
+  const CycleStampCodec digest_codec(sim_.timestamp_bits);
+  digest = snap.sparse_f_matrix != nullptr
+               ? DigestMatrixResidues(*snap.sparse_f_matrix, digest_codec, digest)
+               : DigestMatrixResidues(snap.f_matrix, digest_codec, digest);
   stats_.digest = digest;
   stats_.wall_sec = wall_.ElapsedSec();
   stats_.cycles_per_sec =

@@ -36,6 +36,13 @@ struct CycleSnapshot {
   McVector mc_vector{0};
   /// Present when a grouped partition is configured (Section 3.2.2 spectrum).
   std::optional<GroupMatrix> group_matrix;
+  /// Present when the manager maintains the sparse representation
+  /// (MatrixMode::kSparse): the beginning-of-cycle control matrix as shared
+  /// immutable columns. Value-identical to what f_matrix would hold; when
+  /// set, f_matrix is left empty (n = 0) and consumers — read validation,
+  /// delta diffing, frame packing — use this instead, producing bit-identical
+  /// decisions and on-air bytes.
+  std::shared_ptr<const SparseFMatrix> sparse_f_matrix;
   /// Present in snapshot+delta mode: the sparse control block this cycle
   /// puts on the air instead of (notionally) the full matrix. f_matrix is
   /// still populated — it is what a refresh broadcasts and what tests
@@ -65,8 +72,17 @@ class BroadcastServer {
   }
 
   /// Configures the grouped-control spectrum: snapshots will carry an n x g
-  /// GroupMatrix derived from the full matrix.
-  void SetPartition(const ObjectPartition& partition) { partition_ = partition; }
+  /// GroupMatrix derived from the full matrix. Must be called before the
+  /// first BeginCycle — the paper's fixed-g protocol has no safe runtime
+  /// g-change (clients validate against the partition the cycle was
+  /// broadcast with; swapping it mid-run would mix two coarse views within
+  /// one validation). The adaptive-g path is MatrixMode::kHier, whose
+  /// HierMatrix regroups only at cycle boundaries, against its own exact
+  /// matrix.
+  void SetPartition(const ObjectPartition& partition) {
+    assert(!started_ && "the fixed-g partition cannot change after the first cycle");
+    partition_ = partition;
+  }
 
   /// Switches control broadcasting to snapshot+delta mode: each BeginCycle
   /// must be followed by AttachDeltaControl with the dirty columns drained

@@ -93,6 +93,15 @@ class DeltaBroadcaster {
   DeltaControl BuildControl(const FMatrixSnapshot& current,
                             std::span<const ObjectId> touched_columns, Cycle cycle);
 
+  /// Sparse-representation server (MatrixMode::kSparse): identical entries,
+  /// refresh policy, and bit accounting, but the diff is an O(nnz) merge
+  /// walk, a refresh folds the base in O(n) shared-pointer copies, and a
+  /// delta folds only the touched columns in O(1) pointer installs each.
+  /// The diff bases are kept per representation; a run must use one
+  /// overload family consistently.
+  DeltaControl BuildControl(const SparseFMatrix& current,
+                            std::span<const ObjectId> touched_columns, Cycle cycle);
+
  private:
   template <typename CurMatrix>
   DeltaControl BuildControlImpl(const CurMatrix& current,
@@ -105,7 +114,10 @@ class DeltaBroadcaster {
   Cycle last_cycle_ = 0;
   Cycle last_refresh_cycle_ = 0;
   /// The matrix as of the previous cycle's broadcast — the diff base.
-  FMatrix prev_;
+  /// Allocated lazily by the first BuildControl of the matching overload
+  /// family, so a sparse-mode run never materializes the O(n^2) dense base.
+  FMatrix prev_{0};
+  SparseFMatrix sparse_prev_{0};
 };
 
 }  // namespace bcc

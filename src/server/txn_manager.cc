@@ -8,10 +8,16 @@ ServerTxnManager::ServerTxnManager(uint32_t num_objects, TxnManagerOptions optio
     : options_(options),
       store_(num_objects),
       f_matrix_(options.maintain_f_matrix ? num_objects : 0),
+      sparse_f_matrix_(options.maintain_sparse_matrix ? num_objects : 0),
       mc_vector_(options.maintain_mc_vector ? num_objects : 0) {
+  if (options_.maintain_hier_matrix) {
+    hier_matrix_.emplace(num_objects, options_.hier_options);
+  }
   if (options_.track_dirty_columns) {
-    assert(options_.maintain_f_matrix && "dirty tracking requires the F-Matrix");
-    f_matrix_.EnableDirtyTracking();
+    assert((options_.maintain_f_matrix || options_.maintain_sparse_matrix) &&
+           "dirty tracking requires a control matrix");
+    if (options_.maintain_f_matrix) f_matrix_.EnableDirtyTracking();
+    if (options_.maintain_sparse_matrix) sparse_f_matrix_.EnableDirtyTracking();
   }
 }
 
@@ -38,9 +44,10 @@ std::vector<ObjectVersion> ServerTxnManager::ExecuteAndCommit(const ServerTxn& t
   if (options_.record_history) history_.AppendCommit(txn.id);
 
   // Control information (Theorem 2 incremental maintenance). With batching
-  // enabled the F-Matrix work is queued and fused per cycle
-  // (FMatrix::ApplyCommitBatch); a cycle change flushes the previous batch.
-  if (options_.maintain_f_matrix) {
+  // enabled the control-matrix work is queued and fused per cycle
+  // (ApplyCommitBatch); a cycle change flushes the previous batch.
+  if (options_.maintain_f_matrix || options_.maintain_sparse_matrix ||
+      options_.maintain_hier_matrix) {
     if (options_.batch_commit_maintenance) {
       if (batch_size_ > 0 && cycle != batch_cycle_) FlushCommitBatch();
       batch_cycle_ = cycle;
@@ -49,7 +56,13 @@ std::vector<ObjectVersion> ServerTxnManager::ExecuteAndCommit(const ServerTxn& t
       slot.read_set.assign(txn.read_set.begin(), txn.read_set.end());
       slot.write_set.assign(txn.write_set.begin(), txn.write_set.end());
     } else {
-      f_matrix_.ApplyCommit(txn.read_set, txn.write_set, cycle);
+      if (options_.maintain_f_matrix) f_matrix_.ApplyCommit(txn.read_set, txn.write_set, cycle);
+      if (options_.maintain_sparse_matrix) {
+        sparse_f_matrix_.ApplyCommit(txn.read_set, txn.write_set, cycle);
+      }
+      if (options_.maintain_hier_matrix) {
+        hier_matrix_->ApplyCommit(txn.read_set, txn.write_set, cycle);
+      }
     }
   }
   if (options_.maintain_mc_vector) {
@@ -66,11 +79,15 @@ void ServerTxnManager::FlushCommitBatch() {
   const size_t count = batch_size_;
   batch_size_ = 0;  // reset first: ApplyCommitBatch must not re-enter anyway
   const std::span<const CommitSets> commits(batch_.data(), count);
-  if (fold_runner_ && fold_shards_ > 1) {
-    f_matrix_.ApplyCommitBatch(commits, batch_cycle_, fold_runner_, fold_shards_);
-  } else {
-    f_matrix_.ApplyCommitBatch(commits, batch_cycle_);
+  if (options_.maintain_f_matrix) {
+    if (fold_runner_ && fold_shards_ > 1) {
+      f_matrix_.ApplyCommitBatch(commits, batch_cycle_, fold_runner_, fold_shards_);
+    } else {
+      f_matrix_.ApplyCommitBatch(commits, batch_cycle_);
+    }
   }
+  if (options_.maintain_sparse_matrix) sparse_f_matrix_.ApplyCommitBatch(commits, batch_cycle_);
+  if (options_.maintain_hier_matrix) hier_matrix_->ApplyCommitBatch(commits, batch_cycle_);
 }
 
 }  // namespace bcc

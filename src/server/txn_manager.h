@@ -17,10 +17,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include <optional>
+
 #include "history/history.h"
 #include "history/object_id.h"
 #include "matrix/f_matrix.h"
+#include "matrix/hier_matrix.h"
 #include "matrix/mc_vector.h"
+#include "matrix/sparse_f_matrix.h"
 #include "server/store.h"
 
 namespace bcc {
@@ -50,6 +54,17 @@ struct TxnManagerOptions {
   /// vector is always maintained eagerly — the uplink validator reads it
   /// mid-cycle. Disable to force the per-commit oracle path.
   bool batch_commit_maintenance = true;
+  /// Maintain the control matrix in compressed-sparse-column form
+  /// (MatrixMode::kSparse): value-identical to the dense FMatrix, O(nnz)
+  /// per commit. May be combined with maintain_f_matrix (parity tests);
+  /// the sims enable exactly one. Dirty-column drains prefer the sparse
+  /// matrix when both track.
+  bool maintain_sparse_matrix = false;
+  /// Maintain the hierarchical matrix (MatrixMode::kHier) with these policy
+  /// options. The sim drives its cycle-boundary policy via
+  /// hier_matrix()->EndOfCycle.
+  bool maintain_hier_matrix = false;
+  HierMatrixOptions hier_options = {};
 };
 
 /// Serial update-transaction executor.
@@ -78,23 +93,62 @@ class ServerTxnManager {
   }
   const McVector& mc_vector() const { return mc_vector_; }
 
+  /// The sparse control matrix (options.maintain_sparse_matrix); flushes the
+  /// pending batch like f_matrix(). Size-0 matrix when not maintained.
+  const SparseFMatrix& sparse_f_matrix() const {
+    const_cast<ServerTxnManager*>(this)->FlushCommitBatch();
+    return sparse_f_matrix_;
+  }
+
+  /// Stable snapshot of the sparse matrix for the cycle's CycleSnapshot:
+  /// O(n) shared-pointer copies, payloads shared with the live matrix.
+  std::shared_ptr<const SparseFMatrix> SnapshotSparseFMatrix() const {
+    auto snap = std::make_shared<SparseFMatrix>(sparse_f_matrix());
+    snap->DisableDirtyTracking();
+    return snap;
+  }
+
+  /// Wraparound-horizon compaction of the sparse matrix (sparse mode with
+  /// use_wire_codec only; see SparseFMatrix::CompactModulo for the
+  /// conservative-safety argument). Flushes the pending batch first. Returns
+  /// the number of entries dropped.
+  uint64_t CompactSparseMatrix(const CycleStampCodec& codec, Cycle current) {
+    FlushCommitBatch();
+    return sparse_f_matrix_.CompactModulo(codec, current);
+  }
+
+  /// The hierarchical matrix (options.maintain_hier_matrix), mutable because
+  /// scans record spurious-abort evidence and EndOfCycle applies policy.
+  /// Flushes the pending batch first. nullptr when not maintained.
+  HierMatrix* hier_matrix() {
+    FlushCommitBatch();
+    return hier_matrix_ ? &*hier_matrix_ : nullptr;
+  }
+
   /// Copy-on-write snapshot of the F-Matrix after every commit so far
   /// (flushes the pending batch like f_matrix()). O(n * touched columns)
   /// per cycle in steady state.
   FMatrixSnapshot SnapshotFMatrix() const { return f_matrix().Snapshot(); }
 
-  /// Drains the F-Matrix columns rewritten by commits since the last drain
-  /// (options.track_dirty_columns must be set). Called once per broadcast
-  /// cycle by the delta broadcaster.
+  /// Drains the control-matrix columns rewritten by commits since the last
+  /// drain (options.track_dirty_columns must be set; drains the sparse
+  /// matrix's list when it is maintained, the dense one's otherwise — the
+  /// orders are identical by construction). Called once per broadcast cycle
+  /// by the delta broadcaster.
   std::vector<ObjectId> TakeTouchedColumns() {
     FlushCommitBatch();
-    return f_matrix_.TakeTouchedColumns();
+    return options_.maintain_sparse_matrix ? sparse_f_matrix_.TakeTouchedColumns()
+                                           : f_matrix_.TakeTouchedColumns();
   }
 
   /// Capacity-preserving variant (see FMatrix::DrainTouchedColumns).
   void DrainTouchedColumns(std::vector<ObjectId>& out) {
     FlushCommitBatch();
-    f_matrix_.DrainTouchedColumns(out);
+    if (options_.maintain_sparse_matrix) {
+      sparse_f_matrix_.DrainTouchedColumns(out);
+    } else {
+      f_matrix_.DrainTouchedColumns(out);
+    }
   }
 
   /// Pooled-apply mode: route the cycle-batch F-Matrix fold through `runner`
@@ -122,6 +176,8 @@ class ServerTxnManager {
   TxnManagerOptions options_;
   VersionedStore store_;
   FMatrix f_matrix_;
+  SparseFMatrix sparse_f_matrix_;
+  std::optional<HierMatrix> hier_matrix_;
   McVector mc_vector_;
   History history_;
   std::unordered_map<TxnId, Cycle> commit_cycles_;

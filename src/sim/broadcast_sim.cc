@@ -12,15 +12,29 @@ namespace bcc {
 BroadcastSim::Client::Client(const SimConfig& config, Rng rng,
                              std::optional<CycleStampCodec> codec)
     : workload(config, rng), protocol(config.algorithm, codec) {
+  // The per-read O(n) column capture exists only to validate stale cached
+  // reads; without a cache it is pure overhead (and the dominant read cost
+  // at n = 10^6).
+  protocol.set_capture_columns(config.enable_cache);
   if (config.enable_cache) {
     cache = std::make_unique<QuasiCache>(config.cache_capacity, config.cache_currency_bound);
   }
   if (config.delta_broadcast) {
-    tracker = std::make_unique<DeltaMatrixTracker>(config.num_objects,
-                                                   CycleStampCodec(config.timestamp_bits));
+    // In sparse direct mode the tracker reconstructs a SparseFMatrix
+    // (refreshes adopt the snapshot's shared columns); channel-mode trackers
+    // stay dense — they rebuild from on-air bytes, which are byte-identical
+    // regardless of the server's representation.
+    const bool sparse_tracker =
+        config.matrix_mode == MatrixMode::kSparse && !config.channel_broadcast;
+    tracker = std::make_unique<DeltaMatrixTracker>(
+        config.num_objects, CycleStampCodec(config.timestamp_bits), sparse_tracker);
     // All F-family validation reads the locally reconstructed matrix from
     // here on; the sim stalls reads while the tracker is unusable.
-    protocol.set_control_override(&tracker->matrix());
+    if (sparse_tracker) {
+      protocol.set_sparse_control_override(&tracker->sparse_matrix());
+    } else {
+      protocol.set_control_override(&tracker->matrix());
+    }
   }
   if (config.channel_broadcast) {
     receiver = std::make_unique<ChannelReceiver>(
@@ -48,12 +62,22 @@ StatusOr<SimSummary> BroadcastSim::Run() {
 
   const bool f_family = config_.algorithm == Algorithm::kFMatrix ||
                         config_.algorithm == Algorithm::kFMatrixNo;
+  const bool sparse_mode = config_.matrix_mode == MatrixMode::kSparse;
+  const bool hier_mode = config_.matrix_mode == MatrixMode::kHier;
   TxnManagerOptions manager_options;
-  manager_options.maintain_f_matrix = f_family || config_.record_history;
+  // In sparse/hier mode the dense matrix is maintained only when the oracle
+  // needs it (record_history) — it is O(n^2) and the snapshot path prefers
+  // the sparse representation regardless.
+  manager_options.maintain_f_matrix =
+      (f_family && !sparse_mode && !hier_mode) || config_.record_history;
+  manager_options.maintain_sparse_matrix = f_family && sparse_mode;
+  manager_options.maintain_hier_matrix = hier_mode;
+  manager_options.hier_options = config_.HierOptions();
   manager_options.maintain_mc_vector = true;
   manager_options.record_history = config_.record_history;
   manager_options.track_dirty_columns = config_.delta_broadcast;
   manager_ = std::make_unique<ServerTxnManager>(config_.num_objects, manager_options);
+  if (hier_mode) hier_ = manager_->hier_matrix();
 
   server_ = std::make_unique<BroadcastServer>(config_.num_objects, geometry_);
   if (config_.delta_broadcast) {
@@ -109,6 +133,9 @@ StatusOr<SimSummary> BroadcastSim::Run() {
   clients_.clear();
   for (uint32_t c = 0; c < config_.num_clients; ++c) {
     clients_.push_back(std::make_unique<Client>(config_, root.Split(), codec));
+    // Hier mode: every client validates against the broadcast hierarchical
+    // view (raw pointer — no batch flush mid-cycle, see the hier_ comment).
+    if (hier_ != nullptr) clients_.back()->protocol.set_hier_control_override(hier_);
   }
   if (config_.record_decisions) decisions_.resize(config_.num_clients);
 
@@ -155,8 +182,17 @@ StatusOr<SimSummary> BroadcastSim::Run() {
   for (const auto& client : clients_) {
     if (client->receiver) metrics_.AccumulateChannel(client->receiver->stats());
   }
-  return metrics_.Summarize(server_->snapshot().cycle, queue_.now(), TotalCacheHits(),
-                            TotalCacheMisses());
+  SimSummary summary = metrics_.Summarize(server_->snapshot().cycle, queue_.now(),
+                                          TotalCacheHits(), TotalCacheMisses());
+  if (config_.matrix_mode == MatrixMode::kSparse) {
+    summary.matrix_nnz = manager_->sparse_f_matrix().nnz();
+  } else if (hier_ != nullptr) {
+    summary.matrix_nnz = hier_->exact().nnz();
+    summary.hier = hier_->stats();
+    summary.hier_groups = hier_->num_groups();
+    summary.hier_refined_columns = hier_->refined_columns();
+  }
+  return summary;
 }
 
 uint64_t BroadcastSim::TotalCacheHits() const {
@@ -201,12 +237,32 @@ void BroadcastSim::FlushServerBatch() {
   if (mc_overlay_ != nullptr) mc_overlay_->Clear();
 }
 
+void BroadcastSim::EndOfCycleMatrixStep(Cycle ending) {
+  if (hier_ != nullptr) {
+    // The flushing accessor folds the ending cycle's queued commits into the
+    // exact matrix — the cycle boundary — before policy and accounting run.
+    manager_->hier_matrix();
+    metrics_.RecordMatrixCycle(hier_->ControlBits(config_.timestamp_bits));
+    hier_->EndOfCycle(ending, metrics_.abort_causes().Count(AbortCause::kControlConflict));
+    return;
+  }
+  if (config_.matrix_mode != MatrixMode::kSparse) return;
+  if (config_.sparse_compaction_period > 0 && ending % config_.sparse_compaction_period == 0) {
+    metrics_.RecordSparseCompaction(
+        manager_->CompactSparseMatrix(CycleStampCodec(config_.timestamp_bits), ending));
+  }
+  // O(1): the sparse matrix keeps nnz / nonempty-column counters.
+  metrics_.RecordMatrixCycle(
+      SparseMatrixControlBits(manager_->sparse_f_matrix(), config_.timestamp_bits));
+}
+
 void BroadcastSim::StartNextCycle() {
   if (done_) return;
   // Pooled mode: the ending cycle's server transactions execute now, so the
   // snapshot taken at BeginCycle sees them — the same cycle-granular
   // visibility clients get under the sequential path.
   FlushServerBatch();
+  EndOfCycleMatrixStep(server_->snapshot().cycle);
   const Cycle next = server_->snapshot().cycle + 1;
   if (config_.stop_after_cycles > 0 && next > config_.stop_after_cycles) {
     done_ = true;
@@ -247,7 +303,11 @@ void BroadcastSim::AttachAndObserveDelta() {
   // frames (TransmitCycle), not from the in-process control block.
   if (config_.channel_broadcast) return;
   for (auto& client : clients_) {
-    client->tracker->Observe(ctl, snap.f_matrix);
+    if (snap.sparse_f_matrix != nullptr) {
+      client->tracker->Observe(ctl, *snap.sparse_f_matrix);
+    } else {
+      client->tracker->Observe(ctl, snap.f_matrix);
+    }
     // Test knob: model a client that missed this cycle's control block.
     if (config_.delta_desync_at_cycle != 0 && snap.cycle == config_.delta_desync_at_cycle) {
       client->tracker->ForceDesync();
@@ -677,8 +737,14 @@ Status BroadcastSim::VerifyDeltaTrackers() const {
   }
   if (!ran_) return Status::FailedPrecondition("VerifyDeltaTrackers requires a completed Run");
   const CycleStampCodec codec(config_.timestamp_bits);
-  const FMatrixSnapshot& truth = server_->snapshot().f_matrix;
-  const Cycle cycle = server_->snapshot().cycle;
+  const CycleSnapshot& final_snap = server_->snapshot();
+  const FMatrixSnapshot& truth = final_snap.f_matrix;
+  const Cycle cycle = final_snap.cycle;
+  // Sparse mode: truth and (direct-mode) reconstructions are SparseFMatrix.
+  const auto truth_at = [&](ObjectId i, ObjectId j) {
+    return final_snap.sparse_f_matrix != nullptr ? final_snap.sparse_f_matrix->At(i, j)
+                                                 : truth.At(i, j);
+  };
   for (size_t c = 0; c < clients_.size(); ++c) {
     const DeltaMatrixTracker& tracker = *clients_[c]->tracker;
     if (!tracker.synced()) continue;  // desync knob, or real loss in channel mode
@@ -694,11 +760,13 @@ Status BroadcastSim::VerifyDeltaTrackers() const {
     }
     for (ObjectId j = 0; j < config_.num_objects; ++j) {
       for (ObjectId i = 0; i < config_.num_objects; ++i) {
-        if (codec.Encode(tracker.matrix().At(i, j)) != codec.Encode(truth.At(i, j))) {
+        const Cycle mine =
+            tracker.sparse() ? tracker.sparse_matrix().At(i, j) : tracker.matrix().At(i, j);
+        if (codec.Encode(mine) != codec.Encode(truth_at(i, j))) {
           return Status::Internal(StrFormat(
               "client %zu reconstruction diverges at C(%u, %u): %llu !~ %llu (mod 2^%u)", c, i,
-              j, static_cast<unsigned long long>(tracker.matrix().At(i, j)),
-              static_cast<unsigned long long>(truth.At(i, j)), config_.timestamp_bits));
+              j, static_cast<unsigned long long>(mine),
+              static_cast<unsigned long long>(truth_at(i, j)), config_.timestamp_bits));
         }
       }
     }
@@ -709,6 +777,21 @@ Status BroadcastSim::VerifyDeltaTrackers() const {
 StatusOr<SimSummary> RunSimulation(const SimConfig& config) {
   return BroadcastSim(config).Run();
 }
+
+namespace {
+
+/// Value-equality of two managers' control matrices across representations
+/// (dense vs dense, sparse vs sparse, or sparse vs the dense oracle).
+bool ServerMatricesEqual(const ServerTxnManager& a, const ServerTxnManager& b) {
+  const bool a_sparse = a.sparse_f_matrix().num_objects() > 0;
+  const bool b_sparse = b.sparse_f_matrix().num_objects() > 0;
+  if (a_sparse && b_sparse) return a.sparse_f_matrix() == b.sparse_f_matrix();
+  if (a_sparse) return a.sparse_f_matrix() == b.f_matrix();
+  if (b_sparse) return b.sparse_f_matrix() == a.f_matrix();
+  return a.f_matrix() == b.f_matrix();
+}
+
+}  // namespace
 
 Status CrossCheckDeltaBroadcast(SimConfig config) {
   if (config.stop_after_cycles == 0) {
@@ -750,7 +833,7 @@ Status CrossCheckDeltaBroadcast(SimConfig config) {
                                       full_summary.abort_causes.ToString().c_str(),
                                       delta_summary.abort_causes.ToString().c_str()));
   }
-  if (!(full_sim.manager().f_matrix() == delta_sim.manager().f_matrix())) {
+  if (!ServerMatricesEqual(full_sim.manager(), delta_sim.manager())) {
     return Status::Internal("server F-Matrices diverge between full and delta runs");
   }
   if (!(full_sim.manager().store().committed() == delta_sim.manager().store().committed())) {
@@ -783,11 +866,12 @@ namespace {
 /// Field-by-field equality of every non-channel summary field (doubles are
 /// compared bit-exactly: identical event sequences must produce identical
 /// arithmetic).
-Status CompareSummaries(const SimSummary& a, const SimSummary& b) {
-  const auto check = [](const char* field, auto x, auto y) -> Status {
+Status CompareSummaries(const SimSummary& a, const SimSummary& b,
+                        const char* label_a = "direct", const char* label_b = "channel") {
+  const auto check = [&](const char* field, auto x, auto y) -> Status {
     if (x == y) return Status::OK();
-    return Status::Internal(StrFormat("summary field %s diverges: direct=%s channel=%s", field,
-                                      StrFormat("%g", static_cast<double>(x)).c_str(),
+    return Status::Internal(StrFormat("summary field %s diverges: %s=%s %s=%s", field, label_a,
+                                      StrFormat("%g", static_cast<double>(x)).c_str(), label_b,
                                       StrFormat("%g", static_cast<double>(y)).c_str()));
   };
   BCC_RETURN_IF_ERROR(check("mean_response_time", a.mean_response_time, b.mean_response_time));
@@ -810,8 +894,8 @@ Status CompareSummaries(const SimSummary& a, const SimSummary& b) {
   BCC_RETURN_IF_ERROR(check("full_control_bits", a.full_control_bits, b.full_control_bits));
   BCC_RETURN_IF_ERROR(check("delta_stall_waits", a.delta_stall_waits, b.delta_stall_waits));
   if (!(a.abort_causes == b.abort_causes)) {
-    return Status::Internal(StrFormat("abort breakdowns diverge: direct=(%s) channel=(%s)",
-                                      a.abort_causes.ToString().c_str(),
+    return Status::Internal(StrFormat("abort breakdowns diverge: %s=(%s) %s=(%s)", label_a,
+                                      a.abort_causes.ToString().c_str(), label_b,
                                       b.abort_causes.ToString().c_str()));
   }
   return Status::OK();
@@ -857,7 +941,7 @@ Status CrossCheckLossless(SimConfig config) {
   // ...and reproduce the direct path bit-exactly: summary, server state, and
   // every client's decision log.
   BCC_RETURN_IF_ERROR(CompareSummaries(direct_summary, channel_summary));
-  if (!(direct_sim.manager().f_matrix() == channel_sim.manager().f_matrix())) {
+  if (!ServerMatricesEqual(direct_sim.manager(), channel_sim.manager())) {
     return Status::Internal("server F-Matrices diverge between direct and channel runs");
   }
   if (!(direct_sim.manager().store().committed() ==
@@ -878,6 +962,67 @@ Status CrossCheckLossless(SimConfig config) {
       if (!(a[k] == b[k])) {
         return Status::Internal(
             StrFormat("client %zu txn %zu decisions diverge between direct and channel", c, k));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CrossCheckSparseMode(SimConfig config) {
+  if (config.stop_after_cycles == 0) {
+    return Status::InvalidArgument("CrossCheckSparseMode requires stop_after_cycles > 0");
+  }
+  if (config.sparse_compaction_period > 0) {
+    // Compaction aliases stale entries upward; the server's dependency fold
+    // (dep(i) = max_k C(i, k)) then mixes aliased and in-window values, so
+    // decisions are conservative-safe but not bit-identical to dense. Audit
+    // compacted runs with VerifyOracle instead.
+    return Status::InvalidArgument(
+        "CrossCheckSparseMode requires sparse_compaction_period == 0 (compaction is "
+        "conservative, not decision-identical)");
+  }
+  config.record_decisions = true;
+  // The cycle cutoff is the only stop condition, so both runs see the same
+  // timing-independent prefix of every client's transaction stream.
+  config.num_client_txns = std::numeric_limits<uint32_t>::max();
+
+  SimConfig sparse = config;
+  sparse.matrix_mode = MatrixMode::kSparse;
+  SimConfig dense = config;
+  dense.matrix_mode = MatrixMode::kDense;
+  dense.sparse_compaction_period = 0;
+
+  BroadcastSim dense_sim(dense);
+  BCC_ASSIGN_OR_RETURN(const SimSummary dense_summary, dense_sim.Run());
+  BroadcastSim sparse_sim(sparse);
+  BCC_ASSIGN_OR_RETURN(const SimSummary sparse_summary, sparse_sim.Run());
+
+  // The two runs must be bit-identical in every decision-relevant field;
+  // only the matrix_* accounting fields (absent from CompareSummaries) may
+  // differ between representations.
+  BCC_RETURN_IF_ERROR(CompareSummaries(dense_summary, sparse_summary, "dense", "sparse"));
+  if (sparse.delta_broadcast) BCC_RETURN_IF_ERROR(sparse_sim.VerifyDeltaTrackers());
+  if (!ServerMatricesEqual(dense_sim.manager(), sparse_sim.manager())) {
+    return Status::Internal("server control matrices diverge between dense and sparse runs");
+  }
+  if (!(dense_sim.manager().store().committed() ==
+        sparse_sim.manager().store().committed())) {
+    return Status::Internal("server stores diverge between dense and sparse runs");
+  }
+  if (dense_sim.decisions().size() != sparse_sim.decisions().size()) {
+    return Status::Internal("client counts diverge between dense and sparse runs");
+  }
+  for (size_t c = 0; c < dense_sim.decisions().size(); ++c) {
+    const auto& a = dense_sim.decisions()[c];
+    const auto& b = sparse_sim.decisions()[c];
+    if (a.size() != b.size()) {
+      return Status::Internal(StrFormat("client %zu completed %zu txns dense vs %zu sparse", c,
+                                        a.size(), b.size()));
+    }
+    for (size_t k = 0; k < a.size(); ++k) {
+      if (!(a[k] == b[k])) {
+        return Status::Internal(
+            StrFormat("client %zu txn %zu decisions diverge between dense and sparse", c, k));
       }
     }
   }

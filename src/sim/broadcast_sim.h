@@ -147,6 +147,13 @@ class BroadcastSim {
   // or through the receivers in channel mode).
   void AttachAndObserveDelta();
 
+  // Sparse/hier end-of-cycle control-plane step, run when cycle `ending`
+  // closes: accounts the cycle's control footprint (matrix.nnz, control
+  // bits), runs scheduled sparse compaction, and drives the hierarchical
+  // refinement/regroup policy (HierMatrix::EndOfCycle) with the run's
+  // cumulative control-conflict abort count. No-op in dense mode.
+  void EndOfCycleMatrixStep(Cycle ending);
+
   // Channel-mode per-cycle plumbing: packetizes the cycle's broadcast and
   // delivers each client its independently-faulted copy.
   void TransmitCycle();
@@ -179,6 +186,12 @@ class BroadcastSim {
 
   std::unique_ptr<ServerTxnManager> manager_;
   std::unique_ptr<BroadcastServer> server_;
+  /// Hier mode: raw pointer into the manager's HierMatrix, grabbed once at
+  /// setup. Protocol scans go through this pointer WITHOUT the flushing
+  /// accessor, so mid-cycle validation always sees the frozen
+  /// begin-of-cycle view; the batch flush happens at cycle boundaries
+  /// (BuildSnapshot / EndOfCycleMatrixStep).
+  HierMatrix* hier_ = nullptr;
   std::optional<ObjectPartition> partition_;
   std::unique_ptr<ServerWorkload> server_workload_;
   std::unique_ptr<UpdateValidator> validator_;
@@ -238,6 +251,20 @@ Status CrossCheckDeltaBroadcast(SimConfig config);
 /// requires stop_after_cycles > 0 for a timing-independent cutoff. Returns
 /// Internal with a description of the first divergence.
 Status CrossCheckLossless(SimConfig config);
+
+/// Runs `config` twice — once with the dense control matrix, once with
+/// matrix_mode=sparse — and verifies the sparse representation is
+/// bit-exact: identical per-client decision logs, identical server stores,
+/// value-identical control matrices (sparse vs dense oracle), and an
+/// identical summary in every decision-relevant field. Works with delta
+/// broadcast and the lossy channel enabled (the sparse run reuses the same
+/// seeded loss pattern because frames are byte-identical). Rejects
+/// sparse_compaction_period > 0: compaction aliases stale entries upward and
+/// the server's dependency fold mixes them with in-window values, so a
+/// compacted run is conservative-safe (audited by VerifyOracle), not
+/// bit-identical. record_decisions is forced on; requires
+/// stop_after_cycles > 0. `config` is taken as the sparse run.
+Status CrossCheckSparseMode(SimConfig config);
 
 }  // namespace bcc
 

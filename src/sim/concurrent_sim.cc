@@ -57,6 +57,9 @@ struct ConcurrentSim::ClientState {
 
   ClientState(const SimConfig& config, Rng rng, std::optional<CycleStampCodec> codec)
       : workload(config, rng), protocol(config.algorithm, codec) {
+    // Run rejects the cache, so the O(n) per-read column capture is never
+    // consulted; skipping it mirrors the DES client (decisions unaffected).
+    protocol.set_capture_columns(config.enable_cache);
     if (config.channel_broadcast) {
       // Full control mode only (Run rejects delta): the receiver's matrix
       // and values back the protocol, exactly as in the DES.
@@ -426,13 +429,25 @@ StatusOr<ConcurrentSummary> ConcurrentSim::Run() {
     return Status::InvalidArgument(
         "ConcurrentSim does not support the snapshot+delta control broadcast yet");
   }
+  if (config_.matrix_mode == MatrixMode::kHier) {
+    return Status::InvalidArgument(
+        "ConcurrentSim does not support matrix_mode=hier (the refinement policy is driven "
+        "by the sequential DES)");
+  }
+  if (config_.sparse_compaction_period > 0) {
+    return Status::InvalidArgument(
+        "ConcurrentSim does not support sparse_compaction_period (compaction rewrites "
+        "matrix values, which would break the cross-engine matrix comparison)");
+  }
 
   // Setup mirrors BroadcastSim::Run — the root RNG split order is part of
   // the cross-engine contract.
   const bool f_family = config_.algorithm == Algorithm::kFMatrix ||
                         config_.algorithm == Algorithm::kFMatrixNo;
+  const bool sparse_mode = config_.matrix_mode == MatrixMode::kSparse;
   TxnManagerOptions manager_options;
-  manager_options.maintain_f_matrix = f_family || config_.record_history;
+  manager_options.maintain_f_matrix = (f_family && !sparse_mode) || config_.record_history;
+  manager_options.maintain_sparse_matrix = f_family && sparse_mode;
   manager_options.maintain_mc_vector = true;
   manager_options.record_history = config_.record_history;
   manager_ = std::make_unique<ServerTxnManager>(config_.num_objects, manager_options);
@@ -676,8 +691,14 @@ Status CrossCheckEngines(SimConfig config) {
     return Status::Internal(StrFormat("server commit count diverged: %zu vs %zu",
                                       a.num_committed(), b.num_committed()));
   }
+  // Both engines ran the same config, so they maintain the same control
+  // representation; the unmaintained one is size 0 on both sides and
+  // compares trivially equal.
   if (!(a.f_matrix() == b.f_matrix())) {
     return Status::Internal("final F-Matrix diverged between engines");
+  }
+  if (!(a.sparse_f_matrix() == b.sparse_f_matrix())) {
+    return Status::Internal("final sparse F-Matrix diverged between engines");
   }
   if (!(a.mc_vector() == b.mc_vector())) {
     return Status::Internal("final MC vector diverged between engines");

@@ -123,7 +123,128 @@ Status SimConfig::Validate() const {
       return Status::InvalidArgument("update_workers must be >= 1 for a pooled update scheme");
     }
   }
+  if (matrix_mode == MatrixMode::kSparse) {
+    if (algorithm != Algorithm::kFMatrix && algorithm != Algorithm::kFMatrixNo) {
+      return Status::InvalidArgument("matrix_mode=sparse requires an F-family algorithm");
+    }
+    if (num_groups != 0) {
+      return Status::InvalidArgument(
+          "matrix_mode=sparse does not support grouped control (use matrix_mode=hier "
+          "for hierarchical grouping)");
+    }
+    if (enable_cache) {
+      return Status::InvalidArgument("matrix_mode=sparse does not support the client cache");
+    }
+  }
+  if (sparse_compaction_period > 0) {
+    if (matrix_mode != MatrixMode::kSparse) {
+      return Status::InvalidArgument("sparse_compaction_period requires matrix_mode=sparse");
+    }
+    if (!use_wire_codec) {
+      // Compaction only preserves residues; raw-value consumers would see
+      // different stamps.
+      return Status::InvalidArgument("sparse_compaction_period requires use_wire_codec");
+    }
+    if (delta_broadcast) {
+      return Status::InvalidArgument(
+          "sparse_compaction_period is incompatible with delta_broadcast (the delta base "
+          "diffs by value, so compaction would emit spurious entries)");
+    }
+  }
+  if (matrix_mode == MatrixMode::kHier) {
+    if (algorithm != Algorithm::kFMatrix) {
+      return Status::InvalidArgument("matrix_mode=hier requires the F-Matrix algorithm");
+    }
+    if (num_groups != 0) {
+      // The fixed-g GroupMatrix path and the adaptive hierarchy are distinct
+      // protocols; mixing them would validate against two different coarse
+      // views (see also the fixed-g invariant on BroadcastServer::SetPartition).
+      return Status::InvalidArgument("matrix_mode=hier is incompatible with num_groups");
+    }
+    if (delta_broadcast || channel_broadcast) {
+      return Status::InvalidArgument(
+          "matrix_mode=hier does not support delta or channel broadcast");
+    }
+    if (enable_cache) {
+      return Status::InvalidArgument("matrix_mode=hier does not support the client cache");
+    }
+    if (client_update_fraction > 0.0) {
+      return Status::InvalidArgument("matrix_mode=hier supports read-only clients only");
+    }
+    if (update_scheme != UpdateScheme::kSequential) {
+      return Status::InvalidArgument("matrix_mode=hier requires the sequential update scheme");
+    }
+    if (use_wire_codec) {
+      // The hierarchical view validates raw absolute stamps (group maxima
+      // have no on-air encoding yet); the TS-bit wire study is the
+      // dense/sparse path.
+      return Status::InvalidArgument("matrix_mode=hier does not support use_wire_codec");
+    }
+    if (hier_min_groups == 0 || hier_min_groups > hier_max_groups) {
+      return Status::InvalidArgument("hier group bounds must satisfy 1 <= min <= max");
+    }
+    if (hier_initial_groups == 0) {
+      return Status::InvalidArgument("hier_initial_groups must be >= 1");
+    }
+  }
   return Status::OK();
+}
+
+std::string_view MatrixModeName(MatrixMode mode) {
+  switch (mode) {
+    case MatrixMode::kDense:
+      return "dense";
+    case MatrixMode::kSparse:
+      return "sparse";
+    case MatrixMode::kHier:
+      return "hier";
+  }
+  return "?";
+}
+
+HierMatrixOptions SimConfig::HierOptions() const {
+  HierMatrixOptions opts;
+  opts.initial_groups = hier_initial_groups;
+  opts.min_groups = hier_min_groups;
+  opts.max_groups = hier_max_groups;
+  opts.refine_limit = hier_refine_limit;
+  opts.coarsen_idle_cycles = hier_coarsen_idle_cycles;
+  opts.regroup_period = hier_regroup_period;
+  opts.split_threshold = hier_split_threshold;
+  return opts;
+}
+
+Status ParseMatrixOption(std::string_view value, SimConfig* config) {
+  if (value == "dense") {
+    config->matrix_mode = MatrixMode::kDense;
+    return Status::OK();
+  }
+  if (value == "sparse") {
+    config->matrix_mode = MatrixMode::kSparse;
+    return Status::OK();
+  }
+  if (value == "hier") {
+    config->matrix_mode = MatrixMode::kHier;
+    return Status::OK();
+  }
+  if (value.starts_with("group:")) {
+    const std::string_view digits = value.substr(6);
+    uint32_t g = 0;
+    if (digits.empty()) return Status::InvalidArgument("--matrix=group:<g> needs a group count");
+    for (char ch : digits) {
+      if (ch < '0' || ch > '9') {
+        return Status::InvalidArgument("--matrix=group:<g> group count must be a number");
+      }
+      const uint64_t next = uint64_t{g} * 10 + static_cast<uint64_t>(ch - '0');
+      if (next > UINT32_MAX) return Status::InvalidArgument("--matrix=group:<g> count overflows");
+      g = static_cast<uint32_t>(next);
+    }
+    if (g == 0) return Status::InvalidArgument("--matrix=group:<g> count must be >= 1");
+    config->matrix_mode = MatrixMode::kDense;  // group broadcast of the dense matrix
+    config->num_groups = g;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("--matrix must be dense, sparse, group:<g>, or hier");
 }
 
 ChannelFaultConfig SimConfig::ChannelFaults() const {
@@ -150,6 +271,15 @@ std::string SimConfig::ToString() const {
       static_cast<unsigned long long>(server_txn_interval), num_objects,
       static_cast<unsigned long long>(object_size_bits), timestamp_bits, num_groups,
       enable_cache ? 1 : 0, delta_broadcast ? 1 : 0, static_cast<unsigned long long>(seed));
+  if (matrix_mode != MatrixMode::kDense) {
+    out += StrFormat(" matrix=%s", std::string(MatrixModeName(matrix_mode)).c_str());
+    if (matrix_mode == MatrixMode::kSparse && sparse_compaction_period > 0) {
+      out += StrFormat("(compact=%llu)", static_cast<unsigned long long>(sparse_compaction_period));
+    }
+    if (matrix_mode == MatrixMode::kHier) {
+      out += StrFormat("(g=%u..%u)", hier_min_groups, hier_max_groups);
+    }
+  }
   if (channel_broadcast) {
     out += StrFormat(" channel(frame=%llu %s)",
                      static_cast<unsigned long long>(channel_frame_bits),

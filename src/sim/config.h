@@ -4,14 +4,27 @@
 #define BCC_SIM_CONFIG_H_
 
 #include <string>
+#include <string_view>
 
 #include "channel/lossy_channel.h"
 #include "common/status.h"
 #include "des/event_queue.h"
+#include "matrix/hier_matrix.h"
 #include "matrix/wire.h"
 #include "server/exec/scheme.h"
 
 namespace bcc {
+
+/// Server-side control-matrix representation (ROADMAP item 4, DESIGN.md §4l).
+enum class MatrixMode {
+  kDense,   ///< the paper's n x n FMatrix — the bit-exactness oracle
+  kSparse,  ///< compressed-sparse-column SparseFMatrix, value-identical to
+            ///< dense; O(nnz) maintenance/diffing, sparse control accounting
+  kHier,    ///< hierarchical: coarse group columns, on-demand exact
+            ///< refinement, adaptive g (conservative, NOT bit-identical)
+};
+
+std::string_view MatrixModeName(MatrixMode mode);
 
 /// All knobs of the Section 4 simulation. Defaults are Table 1; time values
 /// are bit-units (time to broadcast one bit). At 64 Kbit/s the default
@@ -107,6 +120,36 @@ struct SimConfig {
   double channel_burst_enter_rate = 0.02;
   double channel_burst_exit_rate = 0.25;
 
+  /// Control-matrix representation. kSparse requires an F-family algorithm,
+  /// ungrouped control, and no client cache; every decision stays
+  /// bit-identical to kDense (CrossCheckSparseMode). kHier additionally
+  /// requires kFMatrix, the sequential update scheme, read-only clients, and
+  /// no delta/channel broadcast; it is conservative rather than
+  /// bit-identical (spurious aborts only). The sim_cli spelling is
+  /// --matrix=dense|sparse|group:g|hier, where group:g is sugar for kDense
+  /// with num_groups = g (the fixed-g paper path; see ParseMatrixOption).
+  MatrixMode matrix_mode = MatrixMode::kDense;
+  /// Sparse wraparound compaction: every this many cycles, rewrite entries to
+  /// their windowed decode and drop the ones matching the column floor
+  /// (SparseFMatrix::CompactModulo). 0 = off. Compacted values stay congruent
+  /// mod 2^ts and >= the exact values, but the server's dependency fold can
+  /// mix aliased and in-window values, so compacted runs are conservative
+  /// (spurious aborts only; audited by VerifyOracle) rather than
+  /// bit-identical to dense. Requires use_wire_codec, matrix_mode == kSparse,
+  /// and no delta broadcast (the delta base diffs by value).
+  uint64_t sparse_compaction_period = 0;
+  /// Hierarchical-matrix policy knobs (HierMatrixOptions mirror).
+  uint32_t hier_initial_groups = 64;
+  uint32_t hier_min_groups = 1;
+  uint32_t hier_max_groups = 1u << 16;
+  uint32_t hier_refine_limit = 1024;
+  uint32_t hier_coarsen_idle_cycles = 64;
+  uint32_t hier_regroup_period = 32;
+  uint64_t hier_split_threshold = 4;
+
+  /// The hier knobs above as HierMatrixOptions.
+  HierMatrixOptions HierOptions() const;
+
   /// The channel knobs above as a ChannelFaultConfig.
   ChannelFaultConfig ChannelFaults() const;
 
@@ -151,6 +194,10 @@ struct SimConfig {
   /// One-line description for bench output headers.
   std::string ToString() const;
 };
+
+/// Parses the --matrix=dense|sparse|group:<g>|hier spelling into
+/// config->matrix_mode (and num_groups for group:<g>).
+Status ParseMatrixOption(std::string_view value, SimConfig* config);
 
 }  // namespace bcc
 

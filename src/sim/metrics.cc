@@ -37,6 +37,27 @@ std::string SimSummary::ToString() const {
                      static_cast<unsigned long long>(full_control_bits),
                      static_cast<unsigned long long>(delta_stall_waits));
   }
+  if (matrix_cycles > 0) {
+    out += StrFormat(" matrixNnz=%llu matrixBytes/cycle=%.3e",
+                     static_cast<unsigned long long>(matrix_nnz),
+                     matrix_control_bytes_per_cycle);
+    if (sparse_compaction_drops > 0) {
+      out += StrFormat(" compactionDrops=%llu",
+                       static_cast<unsigned long long>(sparse_compaction_drops));
+    }
+    if (hier_groups > 0) {
+      out += StrFormat(
+          " hier(g=%u refined=%u refines=%llu coarsens=%llu regroups=%llu splits=%llu "
+          "merges=%llu spurious=%llu)",
+          hier_groups, hier_refined_columns,
+          static_cast<unsigned long long>(hier.refinements),
+          static_cast<unsigned long long>(hier.coarsenings),
+          static_cast<unsigned long long>(hier.regroups),
+          static_cast<unsigned long long>(hier.group_splits),
+          static_cast<unsigned long long>(hier.group_merges),
+          static_cast<unsigned long long>(hier.spurious_aborts));
+    }
+  }
   if (channel.frames_sent > 0) {
     out += StrFormat(
         " channel(sent=%llu dropped=%llu corrupted=%llu rejected=%llu stalls=%llu "
@@ -97,6 +118,13 @@ SimSummary SimMetrics::Summarize(uint64_t cycles, SimTime end_time, uint64_t cac
   s.delta_control_bits = delta_control_bits_;
   s.full_control_bits = full_control_bits_;
   s.delta_stall_waits = delta_stall_waits_;
+  s.matrix_cycles = matrix_cycles_;
+  s.matrix_control_bits = matrix_control_bits_;
+  if (matrix_cycles_ > 0) {
+    s.matrix_control_bytes_per_cycle =
+        static_cast<double>(matrix_control_bits_) / 8.0 / static_cast<double>(matrix_cycles_);
+  }
+  s.sparse_compaction_drops = sparse_compaction_drops_;
   s.channel = channel_;
   s.abort_causes = abort_causes_;
   if (!responses_.empty()) {
@@ -156,7 +184,38 @@ std::string SimSummary::ToJson() const {
       .Key("full_control_bits")
       .Value(full_control_bits)
       .Key("delta_stall_waits")
-      .Value(delta_stall_waits);
+      .Value(delta_stall_waits)
+      .Key("matrix_nnz")
+      .Value(matrix_nnz)
+      .Key("matrix_cycles")
+      .Value(matrix_cycles)
+      .Key("matrix_control_bits")
+      .Value(matrix_control_bits)
+      .Key("matrix_control_bytes_per_cycle")
+      .Value(matrix_control_bytes_per_cycle)
+      .Key("sparse_compaction_drops")
+      .Value(sparse_compaction_drops);
+  w.Key("hier")
+      .BeginObject()
+      .Key("groups")
+      .Value(hier_groups)
+      .Key("refined_columns")
+      .Value(hier_refined_columns)
+      .Key("refinements")
+      .Value(hier.refinements)
+      .Key("coarsenings")
+      .Value(hier.coarsenings)
+      .Key("regroups")
+      .Value(hier.regroups)
+      .Key("group_splits")
+      .Value(hier.group_splits)
+      .Key("group_merges")
+      .Value(hier.group_merges)
+      .Key("spurious_aborts")
+      .Value(hier.spurious_aborts)
+      .Key("group_rebuilds")
+      .Value(hier.group_rebuilds)
+      .EndObject();
   w.Key("abort_causes").BeginObject();
   for (size_t c = 1; c < kNumAbortCauses; ++c) {
     w.Key(AbortCauseName(static_cast<AbortCause>(c))).Value(abort_causes.counts[c]);

@@ -12,6 +12,7 @@
 #include "common/stats.h"
 #include "des/event_queue.h"
 #include "matrix/control_info.h"
+#include "matrix/hier_matrix.h"
 #include "obs/trace.h"
 
 namespace bcc {
@@ -73,6 +74,20 @@ struct SimSummary {
   /// all-zero otherwise).
   ChannelStats channel;
 
+  // Sparse/hierarchical control-matrix counters (matrix_mode != dense;
+  // all-zero otherwise).
+  uint64_t matrix_nnz = 0;            ///< final explicit entries in the sparse/exact matrix
+  uint64_t matrix_cycles = 0;         ///< cycles with sparse/hier control accounting
+  uint64_t matrix_control_bits = 0;   ///< summed sparse/hier control encoding, all cycles
+  /// matrix_control_bits / 8 / matrix_cycles — the headline sublinearity
+  /// figure of BENCH_10.json.
+  double matrix_control_bytes_per_cycle = 0.0;
+  uint64_t sparse_compaction_drops = 0;  ///< entries dropped by CompactModulo
+  /// Hierarchical-mode policy counters and final partition shape.
+  HierStats hier;
+  uint32_t hier_groups = 0;
+  uint32_t hier_refined_columns = 0;
+
   /// Per-cause abort breakdown over the whole run (not warmup-filtered, so
   /// two engines replaying the same decisions report identical tables).
   AbortBreakdown abort_causes;
@@ -107,6 +122,13 @@ class SimMetrics {
   /// next full refresh).
   void RecordDeltaStall() { ++delta_stall_waits_; }
 
+  /// Accounts one cycle's sparse/hierarchical control encoding.
+  void RecordMatrixCycle(uint64_t control_bits) {
+    ++matrix_cycles_;
+    matrix_control_bits_ += control_bits;
+  }
+  void RecordSparseCompaction(uint64_t dropped) { sparse_compaction_drops_ += dropped; }
+
   /// Folds one client's channel/receiver counters into the run totals.
   void AccumulateChannel(const ChannelStats& stats) { channel_.Accumulate(stats); }
 
@@ -140,6 +162,9 @@ class SimMetrics {
   uint64_t delta_control_bits_ = 0;
   uint64_t full_control_bits_ = 0;
   uint64_t delta_stall_waits_ = 0;
+  uint64_t matrix_cycles_ = 0;
+  uint64_t matrix_control_bits_ = 0;
+  uint64_t sparse_compaction_drops_ = 0;
   ChannelStats channel_;
   AbortBreakdown abort_causes_;
   StreamingStats response_;
